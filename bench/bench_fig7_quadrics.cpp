@@ -1,0 +1,75 @@
+// Figure 7 reproduction: barrier implementations on the 8-node
+// Quadrics/Elan3 cluster — chained-RDMA NIC barrier (DS and PE), the
+// host-level tree gsync, and the hardware hgsync.
+//
+// Paper anchors: elan_hgsync at 4.20 us (flat); NIC-based at 5.60 us over
+// 8 nodes, a 2.48x improvement over the tree-based elan_gsync; the NIC
+// barrier wins below the crossover, the hardware barrier above it.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace qmb;
+using core::ElanBarrierKind;
+
+void print_figure() {
+  std::vector<int> nodes;
+  for (int n = 2; n <= 8; ++n) nodes.push_back(n);
+
+  bench::Series nic_ds{"NIC-Barrier-DS", {}}, nic_pe{"NIC-Barrier-PE", {}};
+  bench::Series gsync{"Elan-Barrier", {}}, hw{"Elan-HW-Barrier", {}};
+  for (const int n : nodes) {
+    nic_ds.values_us.push_back(
+        bench::elan_mean_us(n, ElanBarrierKind::kNicChained, coll::Algorithm::kDissemination));
+    nic_pe.values_us.push_back(bench::elan_mean_us(n, ElanBarrierKind::kNicChained,
+                                                   coll::Algorithm::kPairwiseExchange));
+    gsync.values_us.push_back(
+        bench::elan_mean_us(n, ElanBarrierKind::kGsyncTree, coll::Algorithm::kDissemination));
+    hw.values_us.push_back(
+        bench::elan_mean_us(n, ElanBarrierKind::kHardware, coll::Algorithm::kDissemination));
+  }
+  bench::print_table("Figure 7: barrier latency (us), Quadrics/Elan3, 8-node 700 MHz cluster",
+                     nodes, {nic_ds, nic_pe, gsync, hw});
+
+  const double nic8 = nic_ds.values_us.back();
+  const double gsync8 = gsync.values_us.back();
+  const double hw8 = hw.values_us.back();
+  std::printf("\nPaper anchors:\n");
+  bench::print_anchor("NIC-based chained-RDMA barrier, 8 nodes", 5.60, nic8);
+  bench::print_anchor("elan_hgsync hardware barrier (flat)", 4.20, hw8);
+  bench::print_factor("improvement over tree-based elan_gsync", 2.48, gsync8 / nic8);
+  std::printf("  crossover: NIC wins at N=2 (%s), HW wins at N=8 (%s)\n",
+              nic_ds.values_us.front() < hw.values_us.front() ? "yes" : "NO",
+              hw8 < nic8 ? "yes" : "NO");
+}
+
+void BM_SimulateElanNicBarrier8(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = bench::elan_mean_us(8, ElanBarrierKind::kNicChained,
+                             coll::Algorithm::kDissemination, 50);
+  }
+  state.counters["sim_barrier_us"] = us;
+}
+BENCHMARK(BM_SimulateElanNicBarrier8)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateElanHwBarrier8(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = bench::elan_mean_us(8, ElanBarrierKind::kHardware,
+                             coll::Algorithm::kDissemination, 50);
+  }
+  state.counters["sim_barrier_us"] = us;
+}
+BENCHMARK(BM_SimulateElanHwBarrier8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// "Table H": every headline number the paper's abstract and Sec. 8 claim,
+// reproduced side by side with this repository's simulated results.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "model/analytic.hpp"
+
+namespace {
+
+using namespace qmb;
+using core::ElanBarrierKind;
+using core::MyriBarrierKind;
+
+void print_headlines() {
+  std::printf("Headline claims (paper abstract / Sec. 8) vs this reproduction\n");
+  std::printf("===============================================================\n");
+
+  // --- Quadrics 8 nodes ---
+  const double q_nic =
+      bench::elan_mean_us(8, ElanBarrierKind::kNicChained, coll::Algorithm::kDissemination);
+  const double q_tree =
+      bench::elan_mean_us(8, ElanBarrierKind::kGsyncTree, coll::Algorithm::kDissemination);
+  const double q_hw =
+      bench::elan_mean_us(8, ElanBarrierKind::kHardware, coll::Algorithm::kDissemination);
+  bench::print_anchor("Quadrics/Elan3 8-node NIC-based barrier", 5.60, q_nic);
+  bench::print_factor("  improvement over Elanlib tree barrier", 2.48, q_tree / q_nic);
+  bench::print_anchor("Quadrics elan_hgsync hardware barrier", 4.20, q_hw);
+
+  // --- Myrinet LANai-XP 8 nodes ---
+  const auto xp = myri::lanaixp_cluster();
+  const double xp_nic = bench::myri_mean_us(xp, 8, MyriBarrierKind::kNicCollective,
+                                            coll::Algorithm::kDissemination);
+  const double xp_host =
+      bench::myri_mean_us(xp, 8, MyriBarrierKind::kHost, coll::Algorithm::kDissemination);
+  bench::print_anchor("Myrinet LANai-XP 8-node NIC-based barrier", 14.20, xp_nic);
+  bench::print_factor("  improvement over host-based barrier", 2.64, xp_host / xp_nic);
+
+  // --- Myrinet LANai 9.1 16 nodes ---
+  const auto l9 = myri::lanai9_cluster();
+  const double l9_nic = bench::myri_mean_us(l9, 16, MyriBarrierKind::kNicCollective,
+                                            coll::Algorithm::kDissemination);
+  const double l9_host =
+      bench::myri_mean_us(l9, 16, MyriBarrierKind::kHost, coll::Algorithm::kDissemination);
+  const double l9_direct = bench::myri_mean_us(l9, 16, MyriBarrierKind::kNicDirect,
+                                               coll::Algorithm::kDissemination);
+  bench::print_anchor("Myrinet LANai 9.1 16-node NIC-based barrier", 25.72, l9_nic);
+  bench::print_factor("  improvement over host-based barrier", 3.38, l9_host / l9_nic);
+  bench::print_factor("  prior direct scheme vs host (paper: 1.86x)", 1.86,
+                      l9_host / l9_direct);
+
+  // --- model extrapolations to 1024 nodes ---
+  std::vector<model::MeasuredPoint> qpts, mpts;
+  for (int n : {4, 8, 16, 32}) {
+    qpts.push_back({n, bench::elan_mean_us(n, ElanBarrierKind::kNicChained,
+                                           coll::Algorithm::kDissemination)});
+    mpts.push_back({n, bench::myri_mean_us(xp, n, MyriBarrierKind::kNicCollective,
+                                           coll::Algorithm::kDissemination)});
+  }
+  const auto [qi, qs] = model::fit_intercept_slope(qpts);
+  const auto [mi, ms] = model::fit_intercept_slope(mpts);
+  bench::print_anchor("model: 1024-node Quadrics barrier", 22.13,
+                      model::model_from_fit(qi, qs, qi / 2).latency_us(1024));
+  bench::print_anchor("model: 1024-node Myrinet barrier", 38.94,
+                      model::model_from_fit(mi, ms, mi / 2).latency_us(1024));
+}
+
+void BM_HeadlineQuadricsNic8(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = bench::elan_mean_us(8, ElanBarrierKind::kNicChained,
+                             coll::Algorithm::kDissemination, 50);
+  }
+  state.counters["sim_barrier_us"] = us;
+}
+BENCHMARK(BM_HeadlineQuadricsNic8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_headlines();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Each bench binary prints its paper-style table(s) first — the rows a
+// reader compares against the paper's figure — then runs google-benchmark
+// timings of the simulator itself (wall time per simulated barrier), so the
+// binaries double as performance regression checks for the simulation.
+//
+// Methodology follows the paper (Sec. 8): consecutive barriers, warm-up
+// iterations discarded, mean of the timed iterations. The simulation is
+// deterministic, so fewer timed iterations than the paper's 10,000 yield
+// the identical mean; QMB_BENCH_ITERS overrides for exact replication.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/schedule.hpp"
+
+namespace qmb::bench {
+
+inline int timed_iters() {
+  if (const char* s = std::getenv("QMB_BENCH_ITERS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 200;
+}
+
+inline int warmup_iters() { return 20; }
+
+/// Mean consecutive-barrier latency (us) on a fresh Myrinet cluster.
+inline double myri_mean_us(const myri::MyrinetConfig& cfg, int nodes,
+                           core::MyriBarrierKind kind, coll::Algorithm alg,
+                           int iters = 0) {
+  sim::Engine engine;
+  core::MyriCluster cluster(engine, cfg, nodes);
+  auto barrier = cluster.make_barrier(kind, alg);
+  const auto r = core::run_consecutive_barriers(engine, *barrier, warmup_iters(),
+                                                iters > 0 ? iters : timed_iters());
+  return r.mean.micros();
+}
+
+/// Mean consecutive-barrier latency (us) on a fresh Quadrics cluster.
+inline double elan_mean_us(int nodes, core::ElanBarrierKind kind, coll::Algorithm alg,
+                           int iters = 0) {
+  sim::Engine engine;
+  core::ElanCluster cluster(engine, elan::elan3_cluster(), nodes);
+  auto barrier = cluster.make_barrier(kind, alg);
+  const auto r = core::run_consecutive_barriers(engine, *barrier, warmup_iters(),
+                                                iters > 0 ? iters : timed_iters());
+  return r.mean.micros();
+}
+
+struct Series {
+  std::string name;
+  std::vector<double> values_us;  // parallel to the node-count axis
+};
+
+/// Prints the table; additionally writes it as CSV into $QMB_CSV_DIR (one
+/// file per table, named after a slug of the title) for plotting.
+inline void print_table(const std::string& title, const std::vector<int>& nodes,
+                        const std::vector<Series>& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-8s", "nodes");
+  for (const auto& s : series) std::printf("%16s", s.name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::printf("%-8d", nodes[i]);
+    for (const auto& s : series) std::printf("%16.2f", s.values_us[i]);
+    std::printf("\n");
+  }
+
+  const char* dir = std::getenv("QMB_CSV_DIR");
+  if (dir == nullptr) return;
+  std::string slug;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+    if (slug.size() >= 60) break;
+  }
+  const std::string path = std::string(dir) + "/" + slug + ".csv";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "nodes");
+    for (const auto& s : series) std::fprintf(f, ",%s", s.name.c_str());
+    std::fprintf(f, "\n");
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      std::fprintf(f, "%d", nodes[i]);
+      for (const auto& s : series) std::fprintf(f, ",%.4f", s.values_us[i]);
+      std::fprintf(f, "\n");
+    }
+    std::fclose(f);
+  }
+}
+
+inline void print_anchor(const char* what, double paper_us, double ours_us) {
+  std::printf("  %-52s paper %8.2f us   ours %8.2f us   (%+.0f%%)\n", what, paper_us,
+              ours_us, (ours_us - paper_us) / paper_us * 100.0);
+}
+
+inline void print_factor(const char* what, double paper_factor, double ours_factor) {
+  std::printf("  %-52s paper %7.2fx    ours %7.2fx\n", what, paper_factor, ours_factor);
+}
+
+}  // namespace qmb::bench

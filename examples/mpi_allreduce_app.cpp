@@ -1,0 +1,80 @@
+// An iterative solver skeleton on the MPI-like layer: each iteration does
+// local work, a global allreduce (the residual norm), and a convergence
+// broadcast — the communication pattern of CG/Jacobi solvers. Written as
+// coroutines; run with both backends to see what NIC offload buys an
+// application (paper Sec. 9: "incorporate this barrier algorithm into
+// LA-MPI").
+//
+//   $ ./mpi_allreduce_app [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "mpi/comm.hpp"
+#include "sim/task.hpp"
+
+using namespace qmb;
+
+namespace {
+
+struct AppStats {
+  sim::SimTime finished;
+  std::int64_t final_residual = -1;
+};
+
+sim::Task solver_rank(sim::Engine& engine, mpi::Communicator& comm, int rank,
+                      int iterations, AppStats& out) {
+  // A synthetic "residual" that shrinks every iteration; the allreduce sums
+  // the per-rank contributions, the bcast distributes the root's verdict.
+  std::int64_t local = 1000 + 37 * rank;
+  for (int it = 0; it < iterations; ++it) {
+    // Local compute phase (sparse mat-vec etc.).
+    co_await sim::delay(engine, sim::microseconds(12));
+    local = local * 7 / 8;
+    const std::int64_t global = co_await mpi::allreduce(comm, rank, local,
+                                                        coll::ReduceOp::kSum);
+    // Root decides whether to continue; everyone learns via bcast.
+    const std::int64_t verdict = co_await mpi::bcast(comm, rank, 0, global);
+    out.final_residual = verdict;
+  }
+  co_await mpi::barrier(comm, rank);
+  out.finished = engine.now();
+}
+
+double run(mpi::Backend backend, int nodes, int iterations, std::int64_t* residual) {
+  sim::Engine engine;
+  core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
+  mpi::Communicator comm(cluster, backend);
+  std::vector<AppStats> stats(static_cast<std::size_t>(nodes));
+  for (int r = 0; r < nodes; ++r) {
+    solver_rank(engine, comm, r, iterations, stats[static_cast<std::size_t>(r)]);
+  }
+  engine.run();
+  sim::SimTime end;
+  for (const auto& s : stats) end = std::max(end, s.finished);
+  *residual = stats[0].final_residual;
+  return end.micros();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 300;
+  const int nodes = 8;
+  std::printf("iterative solver on the mpi layer: %d nodes, %d iterations,\n"
+              "12 us compute + allreduce + bcast per iteration\n\n",
+              nodes, iterations);
+  std::int64_t res_host = 0, res_nic = 0;
+  const double host_us = run(mpi::Backend::kHostBased, nodes, iterations, &res_host);
+  const double nic_us = run(mpi::Backend::kNicCollective, nodes, iterations, &res_nic);
+  std::printf("  host-based collectives:   %10.1f us total\n", host_us);
+  std::printf("  NIC-offloaded collectives:%10.1f us total  (%.2fx faster)\n", nic_us,
+              host_us / nic_us);
+  if (res_host != res_nic) {
+    std::printf("  ERROR: backends disagree on the result (%lld vs %lld)\n",
+                static_cast<long long>(res_host), static_cast<long long>(res_nic));
+    return 1;
+  }
+  std::printf("  both backends computed the same final residual: %lld\n",
+              static_cast<long long>(res_nic));
+  return 0;
+}

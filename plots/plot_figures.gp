@@ -1,0 +1,57 @@
+# Renders the paper-figure CSVs emitted by the benchmarks:
+#
+#   mkdir -p csv && QMB_CSV_DIR=csv ./build/bench/bench_fig5_myrinet_lanai9
+#   QMB_CSV_DIR=csv ./build/bench/bench_fig6_myrinet_lanaixp
+#   QMB_CSV_DIR=csv ./build/bench/bench_fig7_quadrics
+#   QMB_CSV_DIR=csv ./build/bench/bench_fig8_scalability
+#   gnuplot -e "csvdir='csv'" plots/plot_figures.gp
+#
+# Produces fig5.png .. fig8b.png next to the CSVs, matching the axes of the
+# paper's Figs. 5-8.
+if (!exists("csvdir")) csvdir = "csv"
+
+set datafile separator ","
+set terminal pngcairo size 800,560 font ",11"
+set key top left
+set grid ytics lc rgb "#dddddd"
+set xlabel "Number of Nodes"
+set ylabel "Latency (us)"
+
+set output csvdir."/fig5.png"
+set title "Figure 5: Myrinet LANai 9.1, 16-node 700 MHz cluster"
+f5 = csvdir."/figure-5-barrier-latency-us-myrinet-lanai-9-1-16-node-700-mh.csv"
+plot f5 using 1:2 with linespoints title "NIC-DS", \
+     f5 using 1:3 with linespoints title "NIC-PE", \
+     f5 using 1:4 with linespoints title "Host-DS", \
+     f5 using 1:5 with linespoints title "Host-PE"
+
+set output csvdir."/fig6.png"
+set title "Figure 6: Myrinet LANai-XP, 8-node 2.4 GHz cluster"
+f6 = csvdir."/figure-6-barrier-latency-us-myrinet-lanai-xp-8-node-2-4-ghz-.csv"
+plot f6 using 1:2 with linespoints title "NIC-DS", \
+     f6 using 1:3 with linespoints title "NIC-PE", \
+     f6 using 1:4 with linespoints title "Host-DS", \
+     f6 using 1:5 with linespoints title "Host-PE"
+
+set output csvdir."/fig7.png"
+set title "Figure 7: Quadrics/Elan3, 8-node cluster"
+f7 = csvdir."/figure-7-barrier-latency-us-quadrics-elan3-8-node-700-mhz-cl.csv"
+plot f7 using 1:2 with linespoints title "NIC-Barrier-DS", \
+     f7 using 1:3 with linespoints title "NIC-Barrier-PE", \
+     f7 using 1:4 with linespoints title "Elan-Barrier", \
+     f7 using 1:5 with linespoints title "Elan-HW-Barrier"
+
+set logscale x 2
+set output csvdir."/fig8a.png"
+set title "Figure 8(a): Quadrics scalability"
+f8a = csvdir."/figure-8-a-quadrics-elan3-nic-barrier-scalability-us-.csv"
+plot f8a using 1:2 with linespoints title "Quadrics (sim)", \
+     f8a using 1:3 with linespoints title "Model (fit)", \
+     f8a using 1:4 with linespoints dt 2 title "Model (paper)"
+
+set output csvdir."/fig8b.png"
+set title "Figure 8(b): Myrinet scalability"
+f8b = csvdir."/figure-8-b-myrinet-lanai-xp-nic-barrier-scalability-us-.csv"
+plot f8b using 1:2 with linespoints title "Myrinet (sim)", \
+     f8b using 1:3 with linespoints title "Model (fit)", \
+     f8b using 1:4 with linespoints dt 2 title "Model (paper)"

@@ -1,0 +1,26 @@
+// Public barrier interface. Each implementation spans a whole simulated
+// cluster (the simulation owns every rank); application code enters per
+// rank and gets its completion callback at host time.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "sim/engine.hpp"
+
+namespace qmb::core {
+
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+
+  /// Rank `rank` enters the barrier; `done` runs on that rank's host when
+  /// the barrier completes for it. A rank must not re-enter before its
+  /// previous completion.
+  virtual void enter(int rank, sim::EventCallback done) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+};
+
+}  // namespace qmb::core

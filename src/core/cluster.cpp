@@ -1,0 +1,150 @@
+#include "core/cluster.hpp"
+
+#include <cassert>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/myri_barriers.hpp"
+#include "core/quadrics_barriers.hpp"
+#include "net/fat_tree.hpp"
+#include "net/topology.hpp"
+
+namespace qmb::core {
+
+MyriCluster::MyriCluster(sim::Engine& engine, const myri::MyrinetConfig& config,
+                         int nodes, sim::Tracer* tracer)
+    : engine_(engine), config_(config) {
+  if (nodes < 2) throw std::invalid_argument("cluster needs >= 2 nodes");
+  std::unique_ptr<net::Topology> topo;
+  if (nodes <= 16) {
+    // The paper's testbeds: every node on one Myrinet 2000 crossbar.
+    topo = std::make_unique<net::SingleCrossbar>(static_cast<std::size_t>(nodes));
+  } else {
+    // Larger configurations (Fig. 8 scalability): a Clos of 16-port
+    // crossbars, i.e. a 16-ary fat tree.
+    topo = std::make_unique<net::FatTree>(
+        net::FatTree::fitting(16, static_cast<std::size_t>(nodes)));
+  }
+  fabric_ = std::make_unique<net::Fabric>(engine_, std::move(topo),
+                                          net::FabricParams{config_.link, config_.sw},
+                                          tracer);
+  nodes_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    nodes_.push_back(std::make_unique<myri::MyriNode>(engine_, *fabric_, config_, i, tracer));
+  }
+}
+
+std::unique_ptr<Barrier> MyriCluster::make_barrier(MyriBarrierKind kind,
+                                                   coll::Algorithm algorithm,
+                                                   std::vector<int> rank_to_node,
+                                                   myri::CollFeatures features) {
+  if (rank_to_node.empty()) rank_to_node = identity_placement(size());
+  const auto schedule = coll::make_barrier_schedule(algorithm, static_cast<int>(rank_to_node.size()));
+  switch (kind) {
+    case MyriBarrierKind::kHost:
+      return std::make_unique<MyriHostBarrier>(*this, schedule, std::move(rank_to_node));
+    case MyriBarrierKind::kNicDirect:
+      return std::make_unique<MyriDirectNicBarrier>(*this, schedule, std::move(rank_to_node));
+    case MyriBarrierKind::kNicCollective:
+      return std::make_unique<MyriNicBarrier>(*this, schedule, std::move(rank_to_node),
+                                              features);
+  }
+  throw std::invalid_argument("unknown Myrinet barrier kind");
+}
+
+ElanCluster::ElanCluster(sim::Engine& engine, const elan::Elan3Config& config,
+                         int nodes, sim::Tracer* tracer)
+    : engine_(engine), config_(config) {
+  if (nodes < 2) throw std::invalid_argument("cluster needs >= 2 nodes");
+  fabric_ = elan::make_elan_fabric(engine_, config_, static_cast<std::size_t>(nodes), tracer);
+  nodes_.reserve(static_cast<std::size_t>(nodes));
+  std::vector<elan::Nic*> nics;
+  for (int i = 0; i < nodes; ++i) {
+    nodes_.push_back(std::make_unique<elan::ElanNode>(engine_, *fabric_, config_, i, tracer));
+    nics.push_back(&nodes_.back()->nic());
+  }
+  hw_ = std::make_unique<elan::HwBarrierController>(engine_, *fabric_, std::move(nics), config_);
+  for (auto& n : nodes_) n->attach_hw_barrier(hw_.get());
+}
+
+std::unique_ptr<Barrier> ElanCluster::make_barrier(ElanBarrierKind kind,
+                                                   coll::Algorithm algorithm,
+                                                   std::vector<int> rank_to_node,
+                                                   int gsync_tree_degree) {
+  if (rank_to_node.empty()) rank_to_node = identity_placement(size());
+  switch (kind) {
+    case ElanBarrierKind::kGsyncTree:
+      return std::make_unique<ElanGsyncBarrier>(*this, std::move(rank_to_node),
+                                                gsync_tree_degree);
+    case ElanBarrierKind::kHardware:
+      return std::make_unique<ElanHwBarrier>(*this);
+    case ElanBarrierKind::kNicChained: {
+      const auto schedule =
+          coll::make_barrier_schedule(algorithm, static_cast<int>(rank_to_node.size()));
+      return std::make_unique<ElanNicBarrier>(*this, schedule, std::move(rank_to_node));
+    }
+  }
+  throw std::invalid_argument("unknown Quadrics barrier kind");
+}
+
+std::vector<int> identity_placement(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+std::vector<int> random_placement(int n, sim::Rng& rng) {
+  const auto perm = rng.permutation(static_cast<std::size_t>(n));
+  std::vector<int> v(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) v[i] = static_cast<int>(perm[i]);
+  return v;
+}
+
+BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
+                                          int warmup, int iters) {
+  const int n = barrier.size();
+  const int total = warmup + iters;
+  assert(total > 0);
+
+  std::vector<int> rank_iter(static_cast<std::size_t>(n), 0);
+  std::vector<int> done_in_iter(static_cast<std::size_t>(total), 0);
+  std::vector<sim::SimTime> iter_complete(static_cast<std::size_t>(total));
+
+  std::function<void(int)> enter_next = [&](int rank) {
+    const int it = rank_iter[static_cast<std::size_t>(rank)];
+    if (it >= total) return;
+    barrier.enter(rank, [&, rank, it] {
+      rank_iter[static_cast<std::size_t>(rank)] = it + 1;
+      if (++done_in_iter[static_cast<std::size_t>(it)] == n) {
+        iter_complete[static_cast<std::size_t>(it)] = engine.now();
+      }
+      // Decouple re-entry from the completion callback so trivially-
+      // completing barriers cannot recurse the host stack.
+      engine.schedule(sim::SimDuration::zero(), [&enter_next, rank] { enter_next(rank); });
+    });
+  };
+  for (int r = 0; r < n; ++r) enter_next(r);
+  // Watchdog: a protocol bug that retransmits forever would otherwise spin
+  // the engine indefinitely. No legitimate run needs minutes of simulated
+  // time per 10k barriers.
+  engine.run_until(engine.now() + sim::seconds(120));
+
+  for (int r = 0; r < n; ++r) {
+    if (rank_iter[static_cast<std::size_t>(r)] != total) {
+      throw std::runtime_error("barrier run did not complete (deadlock in protocol?)");
+    }
+  }
+
+  BarrierRunResult res;
+  res.iterations = static_cast<std::uint64_t>(iters);
+  for (int i = warmup; i < total; ++i) {
+    const sim::SimTime prev =
+        i == 0 ? sim::SimTime::zero() : iter_complete[static_cast<std::size_t>(i - 1)];
+    res.per_iteration.add(iter_complete[static_cast<std::size_t>(i)] - prev);
+  }
+  res.mean = res.per_iteration.mean();
+  return res;
+}
+
+}  // namespace qmb::core

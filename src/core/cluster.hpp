@@ -1,0 +1,115 @@
+// Cluster builders and the barrier benchmark runner — the library's main
+// entry points.
+//
+//   sim::Engine engine;
+//   core::MyriCluster cluster(engine, myri::lanaixp_cluster(), 8);
+//   auto barrier = cluster.make_barrier(core::MyriBarrierKind::kNicCollective,
+//                                       coll::Algorithm::kDissemination);
+//   auto result = core::run_consecutive_barriers(engine, *barrier, 100, 10000);
+//   std::cout << result.mean.micros() << " us\n";
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "core/schedule.hpp"
+#include "myrinet/gm.hpp"
+#include "quadrics/elanlib.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace qmb::core {
+
+enum class MyriBarrierKind {
+  kHost,           // host-based over GM point-to-point (baseline)
+  kNicDirect,      // prior work: NIC-triggered over the p2p MCP path
+  kNicCollective,  // the paper: NIC-based collective protocol
+};
+
+enum class ElanBarrierKind {
+  kGsyncTree,   // elan_gsync(): host-level gather-broadcast tree
+  kHardware,    // elan_hgsync(): hardware broadcast + test-and-set
+  kNicChained,  // the paper: chained-RDMA NIC barrier
+};
+
+/// A simulated Myrinet cluster: N nodes on a crossbar (<= 16 nodes, as in
+/// the paper's testbeds) or a 16-ary Clos fat tree (larger, for the Fig. 8
+/// scalability runs).
+class MyriCluster {
+ public:
+  MyriCluster(sim::Engine& engine, const myri::MyrinetConfig& config, int nodes,
+              sim::Tracer* tracer = nullptr);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] myri::MyriNode& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const myri::MyrinetConfig& config() const { return config_; }
+
+  /// Builds a barrier over all nodes. `rank_to_node` permutes rank
+  /// placement (the paper benchmarks random permutations); empty = identity.
+  std::unique_ptr<Barrier> make_barrier(MyriBarrierKind kind, coll::Algorithm algorithm,
+                                        std::vector<int> rank_to_node = {},
+                                        myri::CollFeatures features = {});
+
+  [[nodiscard]] std::uint32_t next_group_id() { return next_group_id_++; }
+
+ private:
+  sim::Engine& engine_;
+  myri::MyrinetConfig config_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<myri::MyriNode>> nodes_;
+  std::uint32_t next_group_id_ = 1;
+};
+
+/// A simulated Quadrics cluster on a quaternary fat tree.
+class ElanCluster {
+ public:
+  ElanCluster(sim::Engine& engine, const elan::Elan3Config& config, int nodes,
+              sim::Tracer* tracer = nullptr);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] elan::ElanNode& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] elan::HwBarrierController& hw_barrier() { return *hw_; }
+  [[nodiscard]] const elan::Elan3Config& config() const { return config_; }
+
+  std::unique_ptr<Barrier> make_barrier(ElanBarrierKind kind, coll::Algorithm algorithm,
+                                        std::vector<int> rank_to_node = {},
+                                        int gsync_tree_degree = 4);
+
+  [[nodiscard]] std::uint32_t next_group_id() { return next_group_id_++; }
+
+ private:
+  sim::Engine& engine_;
+  elan::Elan3Config config_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<elan::ElanNode>> nodes_;
+  std::unique_ptr<elan::HwBarrierController> hw_;
+  std::uint32_t next_group_id_ = 1;
+};
+
+/// Identity placement helper.
+[[nodiscard]] std::vector<int> identity_placement(int n);
+/// Random placement drawn from `rng` (paper Sec. 8.1: "random permutation
+/// of the nodes").
+[[nodiscard]] std::vector<int> random_placement(int n, sim::Rng& rng);
+
+/// Result of a consecutive-barrier latency run (paper methodology: warm-up
+/// iterations discarded, then the average of the timed iterations).
+struct BarrierRunResult {
+  sim::LatencySeries per_iteration;  // steady-state completion-to-completion
+  sim::SimDuration mean = sim::SimDuration::zero();
+  std::uint64_t iterations = 0;
+};
+
+/// Runs `warmup + iters` consecutive barriers: every rank re-enters as soon
+/// as its previous completion is delivered. Drives the engine to completion.
+BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
+                                          int warmup, int iters);
+
+}  // namespace qmb::core

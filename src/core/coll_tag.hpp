@@ -1,0 +1,55 @@
+// Tag codec for collective messages multiplexed over GM tags: group id,
+// windowed operation sequence and schedule-edge tag share the 32-bit GM tag
+// space, above a base bit that keeps them clear of application traffic.
+// Layout: [31] base | [24..30] group | [12..23] seq | [0..11] edge tag.
+//
+// Header-only and dependency-free: the GM port uses it to demultiplex
+// collective traffic to group handlers, the host-level executors to encode
+// their messages.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <initializer_list>
+
+namespace qmb::core {
+
+struct BarrierTag {
+  static constexpr std::uint32_t kBase = 0x80000000u;
+  static constexpr std::uint32_t kSeqMask = 0xFFFu;  // 12-bit sequence window
+
+  [[nodiscard]] static constexpr std::uint32_t encode(std::uint32_t group,
+                                                      std::uint32_t seq,
+                                                      std::uint32_t tag) {
+    return kBase | ((group & 0x7Fu) << 24) | ((seq & kSeqMask) << 12) | (tag & 0xFFFu);
+  }
+  [[nodiscard]] static constexpr bool is_barrier(std::uint32_t t) { return (t & kBase) != 0; }
+  [[nodiscard]] static constexpr std::uint32_t group(std::uint32_t t) { return (t >> 24) & 0x7Fu; }
+  [[nodiscard]] static constexpr std::uint32_t seq_low(std::uint32_t t) { return (t >> 12) & kSeqMask; }
+  [[nodiscard]] static constexpr std::uint32_t edge_tag(std::uint32_t t) { return t & 0xFFFu; }
+
+  /// Widens the windowed sequence bits against a full-width reference: the
+  /// true sequence is within the two-deep operation window around the
+  /// receiver's progress, so pick the candidate congruent to `low` (mod the
+  /// window modulus) closest to `next_seq`.
+  [[nodiscard]] static std::uint32_t widen_seq(std::uint32_t low, std::uint32_t next_seq) {
+    const std::uint32_t modulus = kSeqMask + 1;
+    const std::uint32_t base = next_seq & ~kSeqMask;
+    std::uint32_t best = base | low;
+    std::int64_t best_dist = std::llabs(static_cast<std::int64_t>(best) -
+                                        static_cast<std::int64_t>(next_seq));
+    for (const std::int64_t delta : {-static_cast<std::int64_t>(modulus),
+                                     static_cast<std::int64_t>(modulus)}) {
+      const std::int64_t cand = static_cast<std::int64_t>(base | low) + delta;
+      if (cand < 0) continue;
+      const std::int64_t dist = std::llabs(cand - static_cast<std::int64_t>(next_seq));
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = static_cast<std::uint32_t>(cand);
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace qmb::core

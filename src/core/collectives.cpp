@@ -1,0 +1,269 @@
+#include "core/collectives.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/cluster.hpp"
+#include "core/myri_barriers.hpp"  // BarrierTag codec
+
+namespace qmb::core {
+
+namespace {
+
+std::string_view kind_name(coll::OpKind kind) {
+  switch (kind) {
+    case coll::OpKind::kBarrier: return "barrier";
+    case coll::OpKind::kBcast: return "bcast";
+    case coll::OpKind::kAllreduce: return "allreduce";
+    case coll::OpKind::kAllgather: return "allgather";
+    case coll::OpKind::kAlltoall: return "alltoall";
+  }
+  return "?";
+}
+
+}  // namespace
+
+coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n, int root) {
+  switch (kind) {
+    case coll::OpKind::kBarrier:
+      return coll::make_barrier_schedule(coll::Algorithm::kDissemination, n);
+    case coll::OpKind::kBcast:
+      return coll::make_bcast_schedule(n, root);
+    case coll::OpKind::kAllreduce:
+      return coll::make_allreduce_schedule(n);
+    case coll::OpKind::kAllgather:
+      return coll::make_allgather_schedule(n);
+    case coll::OpKind::kAlltoall:
+      return coll::make_alltoall_schedule(n);
+  }
+  throw std::invalid_argument("unknown collective kind");
+}
+
+MyriNicCollective::MyriNicCollective(MyriCluster& cluster, coll::OpKind kind, int root,
+                                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                                     std::uint32_t payload_bytes)
+    : cluster_(cluster),
+      kind_(kind),
+      rank_to_node_(std::move(rank_to_node)),
+      group_id_(cluster.next_group_id()) {
+  const int n = static_cast<int>(rank_to_node_.size());
+  const auto schedule = make_collective_schedule(kind, n, root);
+  name_ = std::string("myri-nic-") + std::string(kind_name(kind));
+
+  for (int r = 0; r < n; ++r) {
+    myri::GroupDesc desc;
+    desc.group_id = group_id_;
+    desc.my_rank = r;
+    desc.rank_to_node = rank_to_node_;
+    desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
+    desc.op_kind = kind;
+    desc.reduce_op = reduce;
+    desc.payload_bytes = payload_bytes;
+    cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]).port().create_group(std::move(desc));
+  }
+}
+
+void MyriNicCollective::enter(int rank, std::int64_t value, DoneFn done) {
+  const int node = rank_to_node_.at(static_cast<std::size_t>(rank));
+  cluster_.node(node).port().collective_enter(group_id_, value, std::move(done));
+}
+
+MyriHostCollective::MyriHostCollective(MyriCluster& cluster, coll::OpKind kind, int root,
+                                       coll::ReduceOp reduce,
+                                       std::vector<int> rank_to_node,
+                                       std::uint32_t payload_bytes)
+    : cluster_(cluster),
+      kind_(kind),
+      rank_to_node_(std::move(rank_to_node)),
+      group_id_(cluster.next_group_id() & 0x7Fu),
+      payload_bytes_(payload_bytes) {
+  const int n = static_cast<int>(rank_to_node_.size());
+  schedule_ = make_collective_schedule(kind, n, root);
+  name_ = std::string("myri-host-") + std::string(kind_name(kind));
+
+  node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
+  for (int r = 0; r < n; ++r) {
+    node_to_rank_.at(static_cast<std::size_t>(rank_to_node_[static_cast<std::size_t>(r)])) = r;
+  }
+
+  ranks_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    RankCtx& ctx = ranks_[static_cast<std::size_t>(r)];
+    ctx.port = &cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]).port();
+    ctx.waits_per_op = schedule_.ranks[static_cast<std::size_t>(r)].total_waits();
+    ctx.port->provide_receive_buffers(2 * ctx.waits_per_op + 4);
+    ctx.window = std::make_unique<OpWindow>(
+        schedule_.ranks[static_cast<std::size_t>(r)],
+        [this, r](std::uint32_t seq, const coll::Edge& e, std::int64_t value) {
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          const int dst_node = rank_to_node_[static_cast<std::size_t>(e.peer)];
+          const auto bytes =
+              payload_bytes_ * static_cast<std::uint32_t>(
+                                   coll::edge_payload_words(kind_, e.tag, value));
+          c.port->send(dst_node, bytes, BarrierTag::encode(group_id_, seq, e.tag), {}, value);
+        },
+        [this, r](std::uint32_t seq, std::int64_t result) {
+          (void)seq;
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          auto cb = std::move(c.done);
+          c.done = nullptr;
+          if (cb) cb(result);
+        },
+        kind, reduce);
+
+    ctx.port->add_collective_handler(group_id_, [this, r](const myri::RecvEvent& ev) {
+      RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+      const int src_rank = node_to_rank_.at(static_cast<std::size_t>(ev.src_node));
+      assert(src_rank >= 0);
+      const std::uint32_t seq =
+          BarrierTag::widen_seq(BarrierTag::seq_low(ev.tag), c.window->next_seq());
+      c.window->on_arrival(seq, src_rank, BarrierTag::edge_tag(ev.tag), ev.inline_value);
+    });
+  }
+}
+
+void MyriHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
+  RankCtx& ctx = ranks_.at(static_cast<std::size_t>(rank));
+  assert(!ctx.done && "rank re-entered before completion");
+  ctx.done = std::move(done);
+  ctx.port->provide_receive_buffers(ctx.waits_per_op);
+  ctx.port->host_cpu().exec(ctx.port->host_config().barrier_logic, [this, rank, value] {
+    ranks_[static_cast<std::size_t>(rank)].window->start(value);
+  });
+}
+
+ElanNicCollective::ElanNicCollective(ElanCluster& cluster, coll::OpKind kind, int root,
+                                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                                     std::uint32_t payload_bytes)
+    : cluster_(cluster),
+      kind_(kind),
+      rank_to_node_(std::move(rank_to_node)),
+      group_id_(cluster.next_group_id()) {
+  const int n = static_cast<int>(rank_to_node_.size());
+  const auto schedule = make_collective_schedule(kind, n, root);
+  name_ = std::string("elan-nic-") + std::string(kind_name(kind));
+
+  for (int r = 0; r < n; ++r) {
+    elan::ElanGroupDesc desc;
+    desc.group_id = group_id_;
+    desc.my_rank = r;
+    desc.rank_to_node = rank_to_node_;
+    desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
+    desc.op_kind = kind;
+    desc.reduce_op = reduce;
+    desc.payload_bytes = payload_bytes;
+    cluster_.node(rank_to_node_[static_cast<std::size_t>(r)])
+        .create_barrier_group(std::move(desc));
+  }
+}
+
+void ElanNicCollective::enter(int rank, std::int64_t value, DoneFn done) {
+  const int node = rank_to_node_.at(static_cast<std::size_t>(rank));
+  cluster_.node(node).collective_enter(group_id_, value, std::move(done));
+}
+
+ElanHostCollective::ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, int root,
+                                       coll::ReduceOp reduce,
+                                       std::vector<int> rank_to_node,
+                                       std::uint32_t payload_bytes)
+    : cluster_(cluster),
+      kind_(kind),
+      rank_to_node_(std::move(rank_to_node)),
+      group_id_(cluster.next_group_id() & 0x7Fu),
+      payload_bytes_(payload_bytes) {
+  const int n = static_cast<int>(rank_to_node_.size());
+  schedule_ = make_collective_schedule(kind, n, root);
+  name_ = std::string("elan-host-") + std::string(kind_name(kind));
+
+  node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
+  for (int r = 0; r < n; ++r) {
+    node_to_rank_.at(static_cast<std::size_t>(rank_to_node_[static_cast<std::size_t>(r)])) = r;
+  }
+
+  ranks_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    RankCtx& ctx = ranks_[static_cast<std::size_t>(r)];
+    ctx.node = &cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]);
+    ctx.window = std::make_unique<OpWindow>(
+        schedule_.ranks[static_cast<std::size_t>(r)],
+        [this, r](std::uint32_t seq, const coll::Edge& e, std::int64_t value) {
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          const int dst_node = rank_to_node_[static_cast<std::size_t>(e.peer)];
+          const auto bytes =
+              payload_bytes_ * static_cast<std::uint32_t>(
+                                   coll::edge_payload_words(kind_, e.tag, value));
+          c.node->put(dst_node, bytes, BarrierTag::encode(group_id_, seq, e.tag), value);
+        },
+        [this, r](std::uint32_t seq, std::int64_t result) {
+          (void)seq;
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          auto cb = std::move(c.done);
+          c.done = nullptr;
+          if (cb) cb(result);
+        },
+        kind, reduce);
+
+    // One host-level collective per ElanNode receive handler; the elan host
+    // API has no per-group dispatch (unlike GmPort), so filter by group.
+    ctx.node->set_receive_handler(
+        [this, r](int src_node, std::uint32_t tag, std::int64_t value) {
+          if (!BarrierTag::is_barrier(tag)) return;
+          if (BarrierTag::group(tag) != group_id_) return;
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          const int src_rank = node_to_rank_.at(static_cast<std::size_t>(src_node));
+          assert(src_rank >= 0);
+          const std::uint32_t seq =
+              BarrierTag::widen_seq(BarrierTag::seq_low(tag), c.window->next_seq());
+          c.window->on_arrival(seq, src_rank, BarrierTag::edge_tag(tag), value);
+        });
+  }
+}
+
+void ElanHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
+  RankCtx& ctx = ranks_.at(static_cast<std::size_t>(rank));
+  assert(!ctx.done && "rank re-entered before completion");
+  ctx.done = std::move(done);
+  ctx.node->host_cpu().exec(ctx.node->config().host_event_setup, [this, rank, value] {
+    ranks_[static_cast<std::size_t>(rank)].window->start(value);
+  });
+}
+
+std::unique_ptr<Collective> make_nic_collective(MyriCluster& cluster, coll::OpKind kind,
+                                                int root, coll::ReduceOp reduce,
+                                                std::vector<int> rank_to_node,
+                                                std::uint32_t payload_bytes) {
+  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
+  return std::make_unique<MyriNicCollective>(cluster, kind, root, reduce,
+                                             std::move(rank_to_node), payload_bytes);
+}
+
+std::unique_ptr<Collective> make_host_collective(MyriCluster& cluster, coll::OpKind kind,
+                                                 int root, coll::ReduceOp reduce,
+                                                 std::vector<int> rank_to_node,
+                                                 std::uint32_t payload_bytes) {
+  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
+  return std::make_unique<MyriHostCollective>(cluster, kind, root, reduce,
+                                              std::move(rank_to_node), payload_bytes);
+}
+
+std::unique_ptr<Collective> make_elan_nic_collective(ElanCluster& cluster,
+                                                     coll::OpKind kind, int root,
+                                                     coll::ReduceOp reduce,
+                                                     std::vector<int> rank_to_node,
+                                                     std::uint32_t payload_bytes) {
+  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
+  return std::make_unique<ElanNicCollective>(cluster, kind, root, reduce,
+                                             std::move(rank_to_node), payload_bytes);
+}
+
+std::unique_ptr<Collective> make_elan_host_collective(ElanCluster& cluster,
+                                                      coll::OpKind kind, int root,
+                                                      coll::ReduceOp reduce,
+                                                      std::vector<int> rank_to_node,
+                                                      std::uint32_t payload_bytes) {
+  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
+  return std::make_unique<ElanHostCollective>(cluster, kind, root, reduce,
+                                              std::move(rank_to_node), payload_bytes);
+}
+
+}  // namespace qmb::core

@@ -1,0 +1,178 @@
+// Value-carrying collectives over the NIC collective protocol — the
+// paper's Sec. 9 future work ("whether other collective communication
+// operations, such as Allgather ... could benefit from similar NIC-level
+// implementations"), plus host-based counterparts for comparison.
+//
+// Each rank contributes one logical value: a broadcast payload, a reduction
+// operand, or an allgather/alltoall contribution mask (bit r = rank r's
+// item; the simulator checks set union, a real implementation would ship
+// the items). `payload_bytes` sets the simulated size of one contribution:
+// at the default 8 bytes everything rides the padded static send packet
+// (Sec. 6.2); larger contributions fall back to pool buffers and host DMA
+// on Myrinet, while Elan RDMA carries any size to host memory directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/op_window.hpp"
+#include "core/schedule.hpp"
+#include "myrinet/gm.hpp"
+#include "quadrics/elanlib.hpp"
+
+namespace qmb::core {
+
+class MyriCluster;
+class ElanCluster;
+
+/// A cluster-wide value collective. Ranks enter with a contribution and
+/// receive the operation's result in their completion callback.
+class Collective {
+ public:
+  virtual ~Collective() = default;
+
+  using DoneFn = std::function<void(std::int64_t result)>;
+
+  /// Rank `rank` enters with `value`; `done(result)` runs on its host.
+  /// A rank must not re-enter before its previous completion.
+  virtual void enter(int rank, std::int64_t value, DoneFn done) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+  [[nodiscard]] virtual coll::OpKind kind() const = 0;
+};
+
+/// NIC-resident implementation: one doorbell in, one completion word out,
+/// all combining done by the NICs inside the collective protocol.
+class MyriNicCollective final : public Collective {
+ public:
+  MyriNicCollective(MyriCluster& cluster, coll::OpKind kind, int root,
+                    coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                    std::uint32_t payload_bytes = 8);
+
+  void enter(int rank, std::int64_t value, DoneFn done) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] int size() const override { return static_cast<int>(rank_to_node_.size()); }
+  [[nodiscard]] coll::OpKind kind() const override { return kind_; }
+
+ private:
+  MyriCluster& cluster_;
+  coll::OpKind kind_;
+  std::vector<int> rank_to_node_;
+  std::uint32_t group_id_;
+  std::string name_;
+};
+
+/// Host-based implementation over GM send/receive: every schedule edge pays
+/// the full point-to-point path and host processing — the baseline the NIC
+/// version is measured against (bench_collectives).
+class MyriHostCollective final : public Collective {
+ public:
+  MyriHostCollective(MyriCluster& cluster, coll::OpKind kind, int root,
+                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                     std::uint32_t payload_bytes = 8);
+
+  void enter(int rank, std::int64_t value, DoneFn done) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] int size() const override { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] coll::OpKind kind() const override { return kind_; }
+
+ private:
+  struct RankCtx {
+    myri::GmPort* port = nullptr;
+    std::unique_ptr<OpWindow> window;
+    DoneFn done;
+    int waits_per_op = 0;
+  };
+
+  MyriCluster& cluster_;
+  coll::OpKind kind_;
+  coll::GroupSchedule schedule_;
+  std::vector<int> rank_to_node_;
+  std::vector<int> node_to_rank_;
+  std::vector<RankCtx> ranks_;
+  std::uint32_t group_id_ = 0;
+  std::uint32_t payload_bytes_ = 8;
+  std::string name_;
+};
+
+/// Quadrics chained-RDMA implementation: the payload rides the RDMA puts of
+/// the same descriptor chains the barrier uses (paper Sec. 7 generalized to
+/// its Sec. 9 future work).
+class ElanNicCollective final : public Collective {
+ public:
+  ElanNicCollective(ElanCluster& cluster, coll::OpKind kind, int root,
+                    coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                    std::uint32_t payload_bytes = 8);
+
+  void enter(int rank, std::int64_t value, DoneFn done) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] int size() const override { return static_cast<int>(rank_to_node_.size()); }
+  [[nodiscard]] coll::OpKind kind() const override { return kind_; }
+
+ private:
+  ElanCluster& cluster_;
+  coll::OpKind kind_;
+  std::vector<int> rank_to_node_;
+  std::uint32_t group_id_;
+  std::string name_;
+};
+
+/// Host-level Quadrics implementation over tagged puts (the gsync pattern
+/// generalized to value operations).
+class ElanHostCollective final : public Collective {
+ public:
+  ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, int root,
+                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                     std::uint32_t payload_bytes = 8);
+
+  void enter(int rank, std::int64_t value, DoneFn done) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] int size() const override { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] coll::OpKind kind() const override { return kind_; }
+
+ private:
+  struct RankCtx {
+    elan::ElanNode* node = nullptr;
+    std::unique_ptr<OpWindow> window;
+    DoneFn done;
+  };
+
+  ElanCluster& cluster_;
+  coll::OpKind kind_;
+  coll::GroupSchedule schedule_;
+  std::vector<int> rank_to_node_;
+  std::vector<int> node_to_rank_;
+  std::vector<RankCtx> ranks_;
+  std::uint32_t group_id_ = 0;
+  std::uint32_t payload_bytes_ = 8;
+  std::string name_;
+};
+
+/// Builds the schedule for an operation kind (root applies to bcast).
+[[nodiscard]] coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n,
+                                                           int root);
+
+/// Factory helpers used by benches, tests and the mpi layer.
+std::unique_ptr<Collective> make_nic_collective(
+    MyriCluster& cluster, coll::OpKind kind, int root = 0,
+    coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
+    std::uint32_t payload_bytes = 8);
+std::unique_ptr<Collective> make_host_collective(
+    MyriCluster& cluster, coll::OpKind kind, int root = 0,
+    coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
+    std::uint32_t payload_bytes = 8);
+std::unique_ptr<Collective> make_elan_nic_collective(
+    ElanCluster& cluster, coll::OpKind kind, int root = 0,
+    coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
+    std::uint32_t payload_bytes = 8);
+std::unique_ptr<Collective> make_elan_host_collective(
+    ElanCluster& cluster, coll::OpKind kind, int root = 0,
+    coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
+    std::uint32_t payload_bytes = 8);
+
+}  // namespace qmb::core

@@ -1,0 +1,77 @@
+#include <cassert>
+#include <cstdlib>
+
+#include "core/cluster.hpp"
+#include "core/myri_barriers.hpp"
+
+namespace qmb::core {
+
+MyriHostBarrier::MyriHostBarrier(MyriCluster& cluster, const coll::GroupSchedule& schedule,
+                                 std::vector<int> rank_to_node)
+    : cluster_(cluster),
+      schedule_(schedule),
+      rank_to_node_(std::move(rank_to_node)),
+      group_id_(cluster.next_group_id() & 0x7Fu) {
+  const int n = schedule_.size;
+  assert(static_cast<int>(rank_to_node_.size()) == n);
+  name_ = std::string("myri-host-") + std::string(coll::to_string(schedule_.algorithm));
+
+  node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
+  for (int r = 0; r < n; ++r) {
+    node_to_rank_.at(static_cast<std::size_t>(rank_to_node_[static_cast<std::size_t>(r)])) = r;
+  }
+
+  ranks_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    RankCtx& ctx = ranks_[static_cast<std::size_t>(r)];
+    ctx.port = &cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]).port();
+    ctx.waits_per_op = schedule_.ranks[static_cast<std::size_t>(r)].total_waits();
+    // Head start of one full operation window: peers may run one barrier
+    // ahead, and their early messages consume tokens meant for the current
+    // operation. Without this slack a lost message can starve: its
+    // retransmissions find no token, the operation never completes, and no
+    // new tokens are ever provided.
+    ctx.port->provide_receive_buffers(2 * ctx.waits_per_op + 4);
+    ctx.window = std::make_unique<OpWindow>(
+        schedule_.ranks[static_cast<std::size_t>(r)],
+        // Each schedule edge is a full GM send: descriptor post, doorbell,
+        // MCP path with host DMA, the works.
+        [this, r](std::uint32_t seq, const coll::Edge& e, std::int64_t) {
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          const int dst_node = rank_to_node_[static_cast<std::size_t>(e.peer)];
+          c.port->send(dst_node, 8, BarrierTag::encode(group_id_, seq, e.tag));
+        },
+        [this, r](std::uint32_t seq, std::int64_t) {
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          (void)seq;
+          if (auto cb = std::move(c.done)) {
+            c.done = nullptr;
+            cb();
+          }
+        });
+
+    ctx.port->add_collective_handler(group_id_, [this, r](const myri::RecvEvent& ev) {
+      RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+      const int src_rank = node_to_rank_.at(static_cast<std::size_t>(ev.src_node));
+      assert(src_rank >= 0);
+      const std::uint32_t seq =
+          BarrierTag::widen_seq(BarrierTag::seq_low(ev.tag), c.window->next_seq());
+      c.window->on_arrival(seq, src_rank, BarrierTag::edge_tag(ev.tag));
+    });
+  }
+}
+
+void MyriHostBarrier::enter(int rank, sim::EventCallback done) {
+  RankCtx& ctx = ranks_.at(static_cast<std::size_t>(rank));
+  assert(!ctx.done && "rank re-entered before completion");
+  ctx.done = std::move(done);
+  // Replenish receive buffers for this operation's expected messages, then
+  // pay the host-side per-barrier bookkeeping before the first send.
+  ctx.port->provide_receive_buffers(ctx.waits_per_op);
+  ctx.port->host_cpu().exec(ctx.port->host_config().barrier_logic, [this, rank] {
+    RankCtx& c = ranks_[static_cast<std::size_t>(rank)];
+    c.entered_seq = c.window->start();
+  });
+}
+
+}  // namespace qmb::core

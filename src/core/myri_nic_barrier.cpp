@@ -1,0 +1,33 @@
+#include <cassert>
+
+#include "core/cluster.hpp"
+#include "core/myri_barriers.hpp"
+
+namespace qmb::core {
+
+MyriNicBarrier::MyriNicBarrier(MyriCluster& cluster, const coll::GroupSchedule& schedule,
+                               std::vector<int> rank_to_node, myri::CollFeatures features)
+    : cluster_(cluster),
+      rank_to_node_(std::move(rank_to_node)),
+      group_id_(cluster.next_group_id()) {
+  const int n = schedule.size;
+  assert(static_cast<int>(rank_to_node_.size()) == n);
+  name_ = std::string("myri-nic-coll-") + std::string(coll::to_string(schedule.algorithm));
+
+  for (int r = 0; r < n; ++r) {
+    myri::GroupDesc desc;
+    desc.group_id = group_id_;
+    desc.my_rank = r;
+    desc.rank_to_node = rank_to_node_;
+    desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
+    desc.features = features;
+    cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]).port().create_group(std::move(desc));
+  }
+}
+
+void MyriNicBarrier::enter(int rank, sim::EventCallback done) {
+  const int node = rank_to_node_.at(static_cast<std::size_t>(rank));
+  cluster_.node(node).port().barrier_enter(group_id_, std::move(done));
+}
+
+}  // namespace qmb::core

@@ -1,0 +1,160 @@
+// Two-deep operation window around ScheduleExecutor.
+//
+// Consecutive collective operations overlap: a peer that completed
+// operation k may send its first message of k+1 before this rank finished
+// k, but never k+2 (its completion of k+1 transitively required everyone to
+// finish k). OpWindow keeps two operation slots, buffers early arrivals,
+// and recycles a slot only once its operation completed. It also carries
+// the one-word payload semantics of value collectives: payloads fold into
+// the accumulator as their step is consumed, sends carry the accumulator. Used by the host-level executors; the NIC
+// engines embed the same discipline with their own cost accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace qmb::core {
+
+class OpWindow {
+ public:
+  using SendFn = std::function<void(std::uint32_t seq, const coll::Edge&, std::int64_t value)>;
+  using CompleteFn = std::function<void(std::uint32_t seq, std::int64_t result)>;
+
+  OpWindow(const coll::RankSchedule& schedule, SendFn send, CompleteFn complete,
+           coll::OpKind kind = coll::OpKind::kBarrier,
+           coll::ReduceOp reduce = coll::ReduceOp::kSum)
+      : schedule_(&schedule),
+        send_(std::move(send)),
+        complete_(std::move(complete)),
+        kind_(kind),
+        reduce_(reduce) {}
+
+  /// Starts the next operation for this rank with its contribution;
+  /// returns the operation's sequence number.
+  std::uint32_t start(std::int64_t value = 0) {
+    const std::uint32_t seq = next_seq_++;
+    Op& op = touch(seq);
+    op.active = true;
+    op.acc = value;
+    ensure_executor(op);
+    // Payloads buffered before activation fold when their step is consumed.
+    for (const Early& ea : op.early) {
+      op.wait_values.emplace(edge_key(ea.peer, ea.tag), ea.value);
+    }
+    op.exec->start();
+    if (!op.complete) {
+      for (const Early& ea : op.early) {
+        op.exec->on_arrival(ea.peer, ea.tag);
+        if (op.complete) break;
+      }
+    }
+    op.early.clear();
+    return seq;
+  }
+
+  /// Records an arrival for operation `seq`. Early and duplicate arrivals
+  /// are handled; stale ones (completed operations) are dropped.
+  void on_arrival(std::uint32_t seq, int peer, std::uint32_t tag, std::int64_t value = 0) {
+    Op& slot = slots_[seq & 1];
+    if (slot.in_use && slot.seq == seq) {
+      if (slot.complete) return;
+      if (slot.active) {
+        slot.wait_values.emplace(edge_key(peer, tag), value);
+        slot.exec->on_arrival(peer, tag);
+      } else {
+        slot.early.push_back({peer, tag, value});
+      }
+      return;
+    }
+    if (slot.in_use && seq < slot.seq) return;  // stale
+    Op& op = touch(seq);
+    op.early.push_back({peer, tag, value});
+  }
+
+  [[nodiscard]] bool is_complete(std::uint32_t seq) const {
+    const Op& slot = slots_[seq & 1];
+    return slot.in_use && slot.seq == seq && slot.complete;
+  }
+
+  /// Sequence number the next start() will use.
+  [[nodiscard]] std::uint32_t next_seq() const { return next_seq_; }
+
+ private:
+  struct Early {
+    int peer;
+    std::uint32_t tag;
+    std::int64_t value;
+  };
+
+  struct Op {
+    std::uint32_t seq = 0;
+    bool in_use = false;
+    bool active = false;
+    bool complete = false;
+    std::int64_t acc = 0;
+    std::unique_ptr<coll::ScheduleExecutor> exec;
+    std::vector<Early> early;
+    std::unordered_map<std::uint64_t, std::int64_t> wait_values;
+  };
+
+  [[nodiscard]] static std::uint64_t edge_key(int peer, std::uint32_t tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 32) | tag;
+  }
+
+  Op& touch(std::uint32_t seq) {
+    Op& op = slots_[seq & 1];
+    if (op.in_use && op.seq == seq) return op;
+    if (op.in_use && !op.complete) {
+      throw std::logic_error("operation window violated: overtaken by seq+2");
+    }
+    if (op.exec) op.exec->reset();
+    op.early.clear();
+    op.wait_values.clear();
+    op.seq = seq;
+    op.in_use = true;
+    op.active = false;
+    op.complete = false;
+    op.acc = 0;
+    return op;
+  }
+
+  void ensure_executor(Op& op) {
+    if (op.exec) return;
+    Op* opp = &op;
+    op.exec = std::make_unique<coll::ScheduleExecutor>(
+        *schedule_,
+        [this, opp](const coll::Edge& e) { send_(opp->seq, e, opp->acc); },
+        [this, opp] {
+          opp->complete = true;
+          complete_(opp->seq, opp->acc);
+        });
+    // Fold payloads only as their step is consumed (see ScheduleExecutor::
+    // set_step_consumer): an early arrival must not leak into the values
+    // this rank sends during the same step.
+    op.exec->set_step_consumer([this, opp](const coll::Step& st) {
+      for (const coll::Edge& w : st.waits) {
+        const auto it = opp->wait_values.find(edge_key(w.peer, w.tag));
+        if (it != opp->wait_values.end()) {
+          opp->acc = coll::combine_value(kind_, reduce_, w.tag, opp->acc, it->second);
+        }
+      }
+    });
+  }
+
+  const coll::RankSchedule* schedule_;
+  SendFn send_;
+  CompleteFn complete_;
+  coll::OpKind kind_;
+  coll::ReduceOp reduce_;
+  std::uint32_t next_seq_ = 0;
+  Op slots_[2];
+};
+
+}  // namespace qmb::core

@@ -1,0 +1,80 @@
+// The three Quadrics barrier implementations compared in Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "core/myri_barriers.hpp"  // BarrierTag codec (network-agnostic)
+#include "core/op_window.hpp"
+#include "core/schedule.hpp"
+#include "quadrics/elanlib.hpp"
+
+namespace qmb::core {
+
+class ElanCluster;
+
+/// elan_gsync() with hardware broadcast disabled: a host-level tree
+/// gather-broadcast over tagged RDMA puts. Every tree stage pays host event
+/// detection and a fresh doorbell.
+class ElanGsyncBarrier final : public Barrier {
+ public:
+  ElanGsyncBarrier(ElanCluster& cluster, std::vector<int> rank_to_node, int tree_degree);
+
+  void enter(int rank, sim::EventCallback done) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] int size() const override { return static_cast<int>(ranks_.size()); }
+
+ private:
+  struct RankCtx {
+    elan::ElanNode* node = nullptr;
+    std::unique_ptr<OpWindow> window;
+    sim::EventCallback done;
+  };
+
+  ElanCluster& cluster_;
+  coll::GroupSchedule schedule_;
+  std::vector<int> rank_to_node_;
+  std::vector<int> node_to_rank_;
+  std::vector<RankCtx> ranks_;
+  std::uint32_t group_id_ = 0;
+  std::string name_;
+};
+
+/// elan_hgsync(): the hardware broadcast + network test-and-set barrier.
+/// Fast and N-independent, but only when processes arrive together; a
+/// straggler forces probe retries (paper Secs. 4.1 and 8.2).
+class ElanHwBarrier final : public Barrier {
+ public:
+  explicit ElanHwBarrier(ElanCluster& cluster);
+
+  void enter(int rank, sim::EventCallback done) override;
+  [[nodiscard]] std::string_view name() const override { return "elan-hgsync"; }
+  [[nodiscard]] int size() const override { return size_; }
+
+ private:
+  ElanCluster& cluster_;
+  int size_;
+};
+
+/// The paper's Quadrics barrier: chained RDMA descriptors at the NIC,
+/// advanced purely by remote events (Sec. 7).
+class ElanNicBarrier final : public Barrier {
+ public:
+  ElanNicBarrier(ElanCluster& cluster, const coll::GroupSchedule& schedule,
+                 std::vector<int> rank_to_node);
+
+  void enter(int rank, sim::EventCallback done) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] int size() const override { return static_cast<int>(rank_to_node_.size()); }
+
+ private:
+  ElanCluster& cluster_;
+  std::vector<int> rank_to_node_;
+  std::uint32_t group_id_;
+  std::string name_;
+};
+
+}  // namespace qmb::core

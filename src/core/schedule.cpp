@@ -1,0 +1,391 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+
+namespace qmb::coll {
+namespace {
+
+[[nodiscard]] int floor_pow2(int n) {
+  int m = 1;
+  while (m * 2 <= n) m *= 2;
+  return m;
+}
+
+GroupSchedule make_dissemination(int n) {
+  GroupSchedule g;
+  g.algorithm = Algorithm::kDissemination;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    for (int m = 0, dist = 1; dist < n; ++m, dist *= 2) {
+      Step st;
+      st.sends.push_back({(i + dist) % n, static_cast<std::uint32_t>(m)});
+      st.waits.push_back({(i - dist + n) % n, static_cast<std::uint32_t>(m)});
+      rs.steps.push_back(std::move(st));
+    }
+  }
+  return g;
+}
+
+GroupSchedule make_pairwise_exchange(int n) {
+  GroupSchedule g;
+  g.algorithm = Algorithm::kPairwiseExchange;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  const int m = floor_pow2(n);
+
+  for (int i = 0; i < n; ++i) {
+    auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    if (i >= m) {
+      // Extra rank: register with partner i-m up front, wait for release.
+      Step pre;
+      pre.sends.push_back({i - m, kTagPre});
+      rs.steps.push_back(std::move(pre));
+      Step post;
+      post.waits.push_back({i - m, kTagPost});
+      rs.steps.push_back(std::move(post));
+      continue;
+    }
+    if (i + m < n) {
+      // Partner of an extra rank: absorb its registration first.
+      Step pre;
+      pre.waits.push_back({i + m, kTagPre});
+      rs.steps.push_back(std::move(pre));
+    }
+    for (int s = 0, dist = 1; dist < m; ++s, dist *= 2) {
+      Step st;
+      const int peer = i ^ dist;
+      st.sends.push_back({peer, static_cast<std::uint32_t>(s)});
+      st.waits.push_back({peer, static_cast<std::uint32_t>(s)});
+      rs.steps.push_back(std::move(st));
+    }
+    if (i + m < n) {
+      Step post;
+      post.sends.push_back({i + m, kTagPost});
+      rs.steps.push_back(std::move(post));
+    }
+  }
+  return g;
+}
+
+GroupSchedule make_gather_broadcast(int n, int d) {
+  if (d < 1) throw std::invalid_argument("tree degree must be >= 1");
+  GroupSchedule g;
+  g.algorithm = Algorithm::kGatherBroadcast;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    std::vector<int> children;
+    for (int c = d * i + 1; c <= d * i + d && c < n; ++c) children.push_back(c);
+    const int parent = (i - 1) / d;
+
+    if (i == 0) {
+      if (!children.empty()) {
+        Step gather;
+        for (int c : children) gather.waits.push_back({c, kTagUp});
+        rs.steps.push_back(std::move(gather));
+        Step release;
+        for (int c : children) release.sends.push_back({c, kTagDown});
+        rs.steps.push_back(std::move(release));
+      }
+      continue;
+    }
+    if (!children.empty()) {
+      Step gather;
+      for (int c : children) gather.waits.push_back({c, kTagUp});
+      rs.steps.push_back(std::move(gather));
+    }
+    Step up_then_wait;
+    up_then_wait.sends.push_back({parent, kTagUp});
+    up_then_wait.waits.push_back({parent, kTagDown});
+    rs.steps.push_back(std::move(up_then_wait));
+    if (!children.empty()) {
+      Step release;
+      for (int c : children) release.sends.push_back({c, kTagDown});
+      rs.steps.push_back(std::move(release));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::string_view to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kGatherBroadcast: return "gather-broadcast";
+    case Algorithm::kPairwiseExchange: return "pairwise-exchange";
+    case Algorithm::kDissemination: return "dissemination";
+  }
+  return "?";
+}
+
+int RankSchedule::total_sends() const {
+  int n = 0;
+  for (const Step& s : steps) n += static_cast<int>(s.sends.size());
+  return n;
+}
+
+int RankSchedule::total_waits() const {
+  int n = 0;
+  for (const Step& s : steps) n += static_cast<int>(s.waits.size());
+  return n;
+}
+
+int GroupSchedule::total_messages() const {
+  int n = 0;
+  for (const RankSchedule& r : ranks) n += r.total_sends();
+  return n;
+}
+
+int GroupSchedule::max_steps() const {
+  std::size_t n = 0;
+  for (const RankSchedule& r : ranks) n = std::max(n, r.steps.size());
+  return static_cast<int>(n);
+}
+
+GroupSchedule make_barrier_schedule(Algorithm algorithm, int n, int tree_degree) {
+  if (n < 1) throw std::invalid_argument("barrier group needs >= 1 rank");
+  if (n == 1) {
+    GroupSchedule g;
+    g.algorithm = algorithm;
+    g.size = 1;
+    g.ranks.resize(1);
+    return g;
+  }
+  switch (algorithm) {
+    case Algorithm::kDissemination: return make_dissemination(n);
+    case Algorithm::kPairwiseExchange: return make_pairwise_exchange(n);
+    case Algorithm::kGatherBroadcast: return make_gather_broadcast(n, tree_degree);
+  }
+  throw std::invalid_argument("unknown algorithm");
+}
+
+std::int64_t combine_value(OpKind kind, ReduceOp op, std::uint32_t tag,
+                           std::int64_t acc, std::int64_t incoming) {
+  switch (kind) {
+    case OpKind::kBarrier:
+      return acc;
+    case OpKind::kBcast:
+      return incoming;
+    case OpKind::kAllgather:
+    case OpKind::kAlltoall:
+      return acc | incoming;  // idempotent mask union
+    case OpKind::kAllreduce:
+      if (is_result_tag(tag)) return incoming;
+      switch (op) {
+        case ReduceOp::kSum: return acc + incoming;
+        case ReduceOp::kMin: return incoming < acc ? incoming : acc;
+        case ReduceOp::kMax: return incoming > acc ? incoming : acc;
+      }
+      return acc;
+  }
+  return acc;
+}
+
+int value_words(OpKind kind, std::int64_t value) {
+  if (kind != OpKind::kAllgather) return 1;  // alltoall ships one word per pair
+  int words = 0;
+  auto v = static_cast<std::uint64_t>(value);
+  while (v != 0) {
+    words += static_cast<int>(v & 1);
+    v >>= 1;
+  }
+  return words > 0 ? words : 1;
+}
+
+GroupSchedule make_bcast_schedule(int n, int root, int tree_degree) {
+  if (n < 1) throw std::invalid_argument("bcast group needs >= 1 rank");
+  if (root < 0 || root >= n) throw std::invalid_argument("bcast root out of range");
+  if (tree_degree < 1) throw std::invalid_argument("tree degree must be >= 1");
+  GroupSchedule g;
+  g.algorithm = Algorithm::kGatherBroadcast;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  // Tree on virtual ranks v = (r - root) mod n, so `root` is virtual rank 0.
+  //
+  // The payload fans out on kTagDown edges; an ACK phase combines back up
+  // on kTagUp edges (as in the paper's NIC-multicast companion work). The
+  // ACK phase is what keeps consecutive broadcasts pipelined by at most one
+  // operation: without it the root completes instantly and can race
+  // arbitrarily far ahead of the leaves, which no fixed-depth operation
+  // window could absorb.
+  const auto real = [&](int v) { return (v + root) % n; };
+  for (int v = 0; v < n; ++v) {
+    auto& rs = g.ranks[static_cast<std::size_t>(real(v))];
+    std::vector<int> children;
+    for (int c = tree_degree * v + 1; c <= tree_degree * v + tree_degree && c < n; ++c) {
+      children.push_back(c);
+    }
+    if (v == 0) {
+      if (!children.empty()) {
+        Step release;
+        for (int c : children) release.sends.push_back({real(c), kTagDown});
+        rs.steps.push_back(std::move(release));
+        Step gather;
+        for (int c : children) gather.waits.push_back({real(c), kTagUp});
+        rs.steps.push_back(std::move(gather));
+      }
+      continue;
+    }
+    const int parent = (v - 1) / tree_degree;
+    Step recv;
+    recv.waits.push_back({real(parent), kTagDown});
+    rs.steps.push_back(std::move(recv));
+    if (!children.empty()) {
+      Step fwd;
+      for (int c : children) fwd.sends.push_back({real(c), kTagDown});
+      rs.steps.push_back(std::move(fwd));
+      Step gather;
+      for (int c : children) gather.waits.push_back({real(c), kTagUp});
+      rs.steps.push_back(std::move(gather));
+    }
+    Step ack;
+    ack.sends.push_back({real(parent), kTagUp});
+    rs.steps.push_back(std::move(ack));
+  }
+  return g;
+}
+
+GroupSchedule make_allreduce_schedule(int n) {
+  // Recursive doubling: exchange partials, then release the extra ranks
+  // with the final result. The pairwise-exchange barrier schedule already
+  // has exactly this structure; only the payload semantics differ.
+  return make_barrier_schedule(Algorithm::kPairwiseExchange, n);
+}
+
+GroupSchedule make_allgather_schedule(int n) {
+  return make_barrier_schedule(Algorithm::kDissemination, n);
+}
+
+GroupSchedule make_alltoall_schedule(int n) {
+  if (n < 1) throw std::invalid_argument("alltoall group needs >= 1 rank");
+  GroupSchedule g;
+  g.algorithm = Algorithm::kDissemination;  // rotation pattern, reported as DS
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    for (int r = 1; r < n; ++r) {
+      Step st;
+      st.sends.push_back({(i + r) % n, static_cast<std::uint32_t>(r - 1)});
+      st.waits.push_back({(i - r + n) % n, static_cast<std::uint32_t>(r - 1)});
+      rs.steps.push_back(std::move(st));
+    }
+  }
+  return g;
+}
+
+bool schedule_is_correct_barrier(const GroupSchedule& g) {
+  // Virtual execution with knowledge propagation: every message carries the
+  // sender's current knowledge set; a correct barrier ends with every rank
+  // knowing every other rank and every executor complete.
+  const int n = g.size;
+  std::vector<std::vector<bool>> knows(static_cast<std::size_t>(n),
+                                       std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int i = 0; i < n; ++i) knows[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = true;
+
+  struct Msg {
+    int src, dst;
+    std::uint32_t tag;
+    std::vector<bool> carried;
+  };
+  std::deque<Msg> wire;
+
+  std::vector<std::unique_ptr<ScheduleExecutor>> exec(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    exec[static_cast<std::size_t>(i)] = std::make_unique<ScheduleExecutor>(
+        g.ranks[static_cast<std::size_t>(i)],
+        [&, i](const Edge& e) {
+          wire.push_back(Msg{i, e.peer, e.tag, knows[static_cast<std::size_t>(i)]});
+        },
+        [] {});
+  }
+  for (auto& e : exec) e->start();
+
+  while (!wire.empty()) {
+    Msg m = std::move(wire.front());
+    wire.pop_front();
+    if (m.dst < 0 || m.dst >= n) return false;
+    auto& dst_knows = knows[static_cast<std::size_t>(m.dst)];
+    for (int r = 0; r < n; ++r) {
+      if (m.carried[static_cast<std::size_t>(r)]) dst_knows[static_cast<std::size_t>(r)] = true;
+    }
+    exec[static_cast<std::size_t>(m.dst)]->on_arrival(m.src, m.tag);
+  }
+
+  for (int i = 0; i < n; ++i) {
+    if (!exec[static_cast<std::size_t>(i)]->complete()) return false;
+    for (int r = 0; r < n; ++r) {
+      if (!knows[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)]) return false;
+    }
+  }
+  return true;
+}
+
+ScheduleExecutor::ScheduleExecutor(const RankSchedule& schedule, SendFn send,
+                                   CompleteFn complete)
+    : schedule_(&schedule), send_(std::move(send)), complete_(std::move(complete)) {}
+
+void ScheduleExecutor::start() {
+  assert(!started_ && "start() on a running executor; reset() first");
+  started_ = true;
+  step_ = 0;
+  advance();
+}
+
+bool ScheduleExecutor::on_arrival(int peer, std::uint32_t tag) {
+  if (!arrived_.insert(key(peer, tag)).second) return false;  // duplicate
+  if (started_ && !complete()) advance();
+  return true;
+}
+
+void ScheduleExecutor::reset() {
+  arrived_.clear();
+  sent_.clear();
+  step_ = 0;
+  started_ = false;
+}
+
+std::vector<Edge> ScheduleExecutor::missing_current_waits() const {
+  std::vector<Edge> missing;
+  if (!started_ || complete()) return missing;
+  for (const Edge& w : schedule_->steps[step_].waits) {
+    if (!arrived_.contains(key(w.peer, w.tag))) missing.push_back(w);
+  }
+  return missing;
+}
+
+bool ScheduleExecutor::has_sent(int peer, std::uint32_t tag) const {
+  return sent_.contains(key(peer, tag));
+}
+
+void ScheduleExecutor::advance() {
+  // Issue sends of each newly entered step, then stop at the first step
+  // whose waits are not yet satisfied. Step entry is detected by whether its
+  // sends were issued (sent_ acts as the entry marker).
+  while (step_ < schedule_->steps.size()) {
+    const Step& st = schedule_->steps[step_];
+    for (const Edge& s : st.sends) {
+      if (sent_.insert(key(s.peer, s.tag)).second) send_(s);
+    }
+    bool satisfied = true;
+    for (const Edge& w : st.waits) {
+      if (!arrived_.contains(key(w.peer, w.tag))) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (!satisfied) return;
+    if (consume_ && !st.waits.empty()) consume_(st);
+    ++step_;
+  }
+  complete_();
+}
+
+}  // namespace qmb::coll

@@ -1,0 +1,190 @@
+// Barrier communication schedules (paper Sec. 5, Figs. 2-4).
+//
+// A GroupSchedule is the full message pattern of one barrier operation: for
+// every rank, an ordered list of steps, each step issuing sends on entry and
+// blocking until its expected receives arrive. The three classic algorithms
+// are provided:
+//
+//  * gather-broadcast   — d-ary tree, combine to root, fan back out
+//                         (2 log_d N steps)
+//  * pairwise-exchange  — MPICH recursive doubling (log2 N steps, +2 for
+//                         non-powers of two)
+//  * dissemination      — Mellor-Crummey/Scott (ceil(log2 N) steps always)
+//
+// The schedule is *data*: the same GroupSchedule drives the host-based GM
+// barrier, the direct NIC scheme, the NIC collective protocol, and the
+// Quadrics chained-RDMA barrier. ScheduleExecutor is the shared step-advance
+// state machine those executors embed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace qmb::coll {
+
+enum class Algorithm { kGatherBroadcast, kPairwiseExchange, kDissemination };
+
+[[nodiscard]] std::string_view to_string(Algorithm a);
+
+// Tag namespaces. Plain exchange rounds use small step indices; the named
+// sentinels mark the pre/post steps of non-power-of-two pairwise-exchange
+// and the two phases of gather-broadcast. Value-carrying collectives use
+// the distinction: messages with a *result* tag carry a final value
+// (replace), everything else carries a partial (combine).
+inline constexpr std::uint32_t kTagPre = 0x100;   // PE: high rank registers with partner
+inline constexpr std::uint32_t kTagPost = 0x101;  // PE: partner releases high rank
+inline constexpr std::uint32_t kTagUp = 0x200;    // GB: combine toward the root
+inline constexpr std::uint32_t kTagDown = 0x201;  // GB: release from the root
+
+/// True for tags whose payload is a completed result rather than a partial.
+[[nodiscard]] constexpr bool is_result_tag(std::uint32_t tag) {
+  return tag == kTagPost || tag == kTagDown;
+}
+
+/// What a collective operation computes over its one-word payloads.
+enum class OpKind : std::uint8_t { kBarrier, kBcast, kAllreduce, kAllgather, kAlltoall };
+
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
+
+/// Payload folding rule shared by the NIC engine and host-level executors:
+/// barrier payloads are ignored, bcast and result-tagged edges replace,
+/// allgather unions bit masks, allreduce applies the reduction.
+[[nodiscard]] std::int64_t combine_value(OpKind kind, ReduceOp op, std::uint32_t tag,
+                                         std::int64_t acc, std::int64_t incoming);
+
+/// Words of payload a message carries (allgather messages grow with the
+/// number of gathered contributions; everything else is one integer).
+[[nodiscard]] int value_words(OpKind kind, std::int64_t value);
+
+/// Payload words for a specific schedule edge: broadcast ACKs (kTagUp) are
+/// pure notifications and carry no data.
+[[nodiscard]] inline int edge_payload_words(OpKind kind, std::uint32_t tag,
+                                            std::int64_t value) {
+  if (kind == OpKind::kBcast && tag == kTagUp) return 0;
+  return value_words(kind, value);
+}
+
+/// One directed barrier message: this rank -> `peer`, labeled `tag`.
+struct Edge {
+  int peer = -1;
+  std::uint32_t tag = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// One step of a rank's schedule. Entering the step issues every send;
+/// the step completes when every wait has arrived.
+struct Step {
+  std::vector<Edge> sends;
+  std::vector<Edge> waits;
+};
+
+struct RankSchedule {
+  std::vector<Step> steps;
+  [[nodiscard]] int total_sends() const;
+  [[nodiscard]] int total_waits() const;
+};
+
+struct GroupSchedule {
+  Algorithm algorithm = Algorithm::kDissemination;
+  int size = 0;
+  std::vector<RankSchedule> ranks;
+
+  [[nodiscard]] int total_messages() const;
+  [[nodiscard]] int max_steps() const;
+};
+
+/// Builds the message pattern for an N-rank barrier. `tree_degree` applies
+/// to gather-broadcast only.
+[[nodiscard]] GroupSchedule make_barrier_schedule(Algorithm algorithm, int n,
+                                                  int tree_degree = 2);
+
+/// Broadcast from `root`: the down-phase of a d-ary tree (rotated so any
+/// rank can be the root). Every message carries the final value (kTagDown).
+[[nodiscard]] GroupSchedule make_bcast_schedule(int n, int root, int tree_degree = 2);
+
+/// Allreduce: recursive-doubling pairwise exchange. Exchange-step messages
+/// carry partials (combine); the non-power-of-two post step carries the
+/// final result (kTagPost). Correct for non-idempotent operations (sum).
+[[nodiscard]] GroupSchedule make_allreduce_schedule(int n);
+
+/// Allgather of one contribution per rank, as a dissemination pattern.
+/// Only correct for idempotent merges (set union / bitmask or) — which is
+/// what the engine's allgather uses.
+[[nodiscard]] GroupSchedule make_allgather_schedule(int n);
+
+/// All-to-all personalized exchange, as a rotation ring: round r sends this
+/// rank's word for peer (i+r) mod n directly to it. n-1 rounds, one direct
+/// message per ordered pair — the pattern the paper's Sec. 9 asks about.
+[[nodiscard]] GroupSchedule make_alltoall_schedule(int n);
+
+/// Verifies the "full information" barrier property: following schedule
+/// edges in step order, every rank's exit transitively depends on every
+/// rank's entry. Returns true when the schedule is a correct barrier.
+[[nodiscard]] bool schedule_is_correct_barrier(const GroupSchedule& s);
+
+/// Step-advance state machine for one rank in one barrier operation.
+///
+/// The embedding protocol engine supplies `send` (issue a message to a peer;
+/// timing is the engine's business) and `complete` (this rank's barrier is
+/// locally complete). Early arrivals for future steps are buffered;
+/// duplicate arrivals (retransmissions) are idempotent.
+class ScheduleExecutor {
+ public:
+  using SendFn = std::function<void(const Edge&)>;
+  using CompleteFn = std::function<void()>;
+
+  ScheduleExecutor(const RankSchedule& schedule, SendFn send, CompleteFn complete);
+
+  /// Begins the operation: issues step-0 sends, advances through any steps
+  /// whose waits are already satisfied (e.g. empty or buffered).
+  void start();
+
+  /// Records a message from `peer` with `tag`; advances steps as satisfied.
+  /// Returns false for a duplicate (already recorded) arrival.
+  bool on_arrival(int peer, std::uint32_t tag);
+
+  /// Installs a callback invoked when a step's waits are all present and
+  /// the step is consumed — after that step's sends went out, before the
+  /// next step's sends are issued. This is where a value-carrying protocol
+  /// folds the step's payloads into its accumulator: folding earlier (at
+  /// arrival time) would corrupt recursive-doubling partials, because an
+  /// early arrival for step s must not leak into the value sent at step s.
+  using StepConsumeFn = std::function<void(const Step&)>;
+  void set_step_consumer(StepConsumeFn fn) { consume_ = std::move(fn); }
+
+  /// Re-arms for the next operation; buffered future arrivals are NOT kept
+  /// (the caller owns cross-operation windowing).
+  void reset();
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool complete() const { return started_ && step_ >= schedule_->steps.size(); }
+  [[nodiscard]] std::size_t current_step() const { return step_; }
+
+  /// Waits of the current step not yet arrived (receiver-driven NACK targets).
+  [[nodiscard]] std::vector<Edge> missing_current_waits() const;
+
+  /// True if the executor has issued the send matching (peer, tag) in this
+  /// operation — i.e. a NACK for it should be answered with a retransmit.
+  [[nodiscard]] bool has_sent(int peer, std::uint32_t tag) const;
+
+ private:
+  static std::uint64_t key(int peer, std::uint32_t tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 32) | tag;
+  }
+  void advance();
+
+  const RankSchedule* schedule_;
+  SendFn send_;
+  CompleteFn complete_;
+  StepConsumeFn consume_;
+  std::unordered_set<std::uint64_t> arrived_;
+  std::unordered_set<std::uint64_t> sent_;
+  std::size_t step_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace qmb::coll

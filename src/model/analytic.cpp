@@ -1,0 +1,49 @@
+#include "model/analytic.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qmb::model {
+
+int ceil_log2(int n) {
+  assert(n >= 1);
+  int l = 0;
+  int cap = 1;
+  while (cap < n) {
+    cap *= 2;
+    ++l;
+  }
+  return l;
+}
+
+double BarrierModel::latency_us(int n) const {
+  const int x = ceil_log2(n) - 1;
+  return t_init_us + static_cast<double>(x < 0 ? 0 : x) * t_trig_us + t_adj_us;
+}
+
+BarrierModel paper_myrinet_xp() { return BarrierModel{3.60, 3.50, 3.84}; }
+BarrierModel paper_quadrics() { return BarrierModel{2.25, 2.32, -1.00}; }
+
+std::pair<double, double> fit_intercept_slope(const std::vector<MeasuredPoint>& points) {
+  if (points.size() < 2) throw std::invalid_argument("fit needs >= 2 points");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double m = static_cast<double>(points.size());
+  for (const MeasuredPoint& p : points) {
+    const double x = static_cast<double>(ceil_log2(p.nodes) - 1);
+    sx += x;
+    sy += p.latency_us;
+    sxx += x * x;
+    sxy += x * p.latency_us;
+  }
+  const double denom = m * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("fit needs distinct ceil(log2 N) values");
+  const double slope = (m * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / m;
+  return {intercept, slope};
+}
+
+BarrierModel model_from_fit(double intercept_us, double slope_us, double t_init_us) {
+  return BarrierModel{t_init_us, slope_us, intercept_us - t_init_us};
+}
+
+}  // namespace qmb::model

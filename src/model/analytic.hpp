@@ -1,0 +1,53 @@
+// The paper's analytical scalability model (Sec. 8.3):
+//
+//   T_barrier(N) = T_init + (ceil(log2 N) - 1) * T_trig + T_adj
+//
+// with the published constants
+//   Myrinet (LANai-XP, 2.4 GHz Xeon):  3.60 + x*3.50 + 3.84   [us]
+//   Quadrics (Elan3, 700 MHz P-III):   2.25 + x*2.32 - 1.00   [us]
+//
+// plus a least-squares fitter to derive constants from measured small-N
+// latencies, which is how Fig. 8's "model" series is produced from our
+// simulated clusters.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace qmb::model {
+
+[[nodiscard]] int ceil_log2(int n);
+
+struct BarrierModel {
+  double t_init_us = 0.0;
+  double t_trig_us = 0.0;
+  double t_adj_us = 0.0;
+
+  /// Predicted dissemination-barrier latency over N nodes, microseconds.
+  [[nodiscard]] double latency_us(int n) const;
+};
+
+/// Paper constants for the 2.4 GHz Xeon / LANai-XP Myrinet cluster.
+[[nodiscard]] BarrierModel paper_myrinet_xp();
+/// Paper constants for the 700 MHz / Elan3 Quadrics cluster.
+[[nodiscard]] BarrierModel paper_quadrics();
+
+/// One measured point: N nodes -> mean barrier latency in microseconds.
+struct MeasuredPoint {
+  int nodes = 0;
+  double latency_us = 0.0;
+};
+
+/// Ordinary least squares of latency against x = ceil(log2 N) - 1:
+/// returns {intercept, slope}. The intercept corresponds to T_init + T_adj,
+/// the slope to T_trig. Needs >= 2 points with distinct x.
+[[nodiscard]] std::pair<double, double> fit_intercept_slope(
+    const std::vector<MeasuredPoint>& points);
+
+/// Builds a BarrierModel from a fit, splitting the intercept with a
+/// directly measured T_init (the paper measures T_init as the two-node
+/// barrier's initiation portion; T_adj absorbs the rest).
+[[nodiscard]] BarrierModel model_from_fit(double intercept_us, double slope_us,
+                                          double t_init_us);
+
+}  // namespace qmb::model

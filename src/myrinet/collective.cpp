@@ -1,0 +1,401 @@
+#include "myrinet/collective.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qmb::myri {
+
+CollectiveEngine::CollectiveEngine(Nic& nic) : nic_(nic), cfg_(nic.lanai()) {}
+
+void CollectiveEngine::create_group(GroupDesc desc) {
+  if (groups_.contains(desc.group_id)) {
+    throw std::invalid_argument("collective group id already registered");
+  }
+  if (desc.my_rank < 0 ||
+      desc.my_rank >= static_cast<int>(desc.rank_to_node.size())) {
+    throw std::invalid_argument("my_rank outside rank_to_node");
+  }
+  Group g;
+  g.desc = std::move(desc);
+  groups_.emplace(g.desc.group_id, std::move(g));
+}
+
+CollectiveEngine::Group& CollectiveEngine::group_of(std::uint32_t id) {
+  auto it = groups_.find(id);
+  assert(it != groups_.end());
+  return it->second;
+}
+
+std::uint32_t CollectiveEngine::send_cycles(const CollFeatures& f) const {
+  std::uint32_t c = cfg_.cyc_coll_trigger;
+  if (!f.dedicated_queue) c += cfg_.cyc_token_schedule;   // walk the p2p queues
+  if (!f.static_packet) c += cfg_.cyc_claim_packet + cfg_.cyc_release_packet;
+  if (!f.bitvector_record) c += cfg_.cyc_record_per_msg;  // one record per message
+  return c;
+}
+
+std::uint32_t CollectiveEngine::recv_cycles(const CollFeatures& f) const {
+  std::uint32_t c = cfg_.cyc_coll_recv;
+  if (!f.bitvector_record) c += cfg_.cyc_record_per_msg;
+  return c;
+}
+
+std::uint64_t CollectiveEngine::msg_key(std::uint32_t group, std::uint32_t seq,
+                                        std::uint32_t tag, int peer) {
+  // group(16) | seq(24) | tag(12) | peer(12) — ample for any simulated run.
+  return (static_cast<std::uint64_t>(group & 0xFFFF) << 48) |
+         (static_cast<std::uint64_t>(seq & 0xFFFFFF) << 24) |
+         (static_cast<std::uint64_t>(tag & 0xFFF) << 12) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer) & 0xFFF);
+}
+
+std::int64_t CollectiveEngine::combine(const GroupDesc& desc, std::uint32_t tag,
+                                       std::int64_t acc, std::int64_t incoming) {
+  return coll::combine_value(desc.op_kind, desc.reduce_op, tag, acc, incoming);
+}
+
+std::uint32_t CollectiveEngine::wire_bytes_for(const GroupDesc& desc, std::uint32_t tag,
+                                               std::int64_t value) const {
+  // Allgather/alltoall messages carry one contribution per gathered rank;
+  // the contribution size is the group's payload_bytes (8 for the classic
+  // one-integer collectives). Broadcast ACK edges carry nothing.
+  return cfg_.header_bytes +
+         desc.payload_bytes *
+             static_cast<std::uint32_t>(coll::edge_payload_words(desc.op_kind, tag, value));
+}
+
+CollectiveEngine::Op& CollectiveEngine::touch_slot(Group& g, std::uint32_t seq, bool& fresh) {
+  Op& op = g.slots[seq & 1];
+  fresh = false;
+  if (op.in_use && op.seq == seq) return op;
+  // Slot reuse: the operation two barriers back must have completed — a
+  // peer cannot legally be two operations ahead (the previous barrier's
+  // completion transitively required everyone to finish the one before).
+  if (op.in_use && !op.complete) {
+    throw std::logic_error("collective window violated: operation overtaken by seq+2");
+  }
+  nic_.engine().cancel(op.nack_timer);
+  if (op.exec) op.exec->reset();
+  op.early.clear();
+  op.sent_values.clear();
+  op.wait_values.clear();
+  op.seq = seq;
+  op.in_use = true;
+  op.active = false;
+  op.complete = false;
+  op.acc = 0;
+  op.done = nullptr;
+  fresh = true;
+  return op;
+}
+
+void CollectiveEngine::host_enter(std::uint32_t group, sim::EventCallback done) {
+  host_enter_value(group, 0,
+                   [done = std::move(done)](std::int64_t) mutable {
+                     if (done) done();
+                   });
+}
+
+void CollectiveEngine::host_enter_value(std::uint32_t group, std::int64_t value,
+                                        std::function<void(std::int64_t)> done) {
+  // A contribution larger than the static packet is pulled from host memory
+  // by DMA before the operation arms; integer-sized contributions ride the
+  // doorbell.
+  {
+    const Group& g0 = group_of(group);
+    if (g0.desc.payload_bytes > cfg_.coll_static_payload) {
+      nic_.pci().dma(g0.desc.payload_bytes, nullptr);
+    }
+  }
+  nic_.exec(cfg_.cyc_coll_init, [this, group, value, done = std::move(done)]() mutable {
+    Group& g = group_of(group);
+    const std::uint32_t seq = g.next_host_seq++;
+    bool fresh = false;
+    Op& op = touch_slot(g, seq, fresh);
+    op.done = std::move(done);
+    // The accumulator starts from this rank's contribution; early arrivals
+    // replayed by activate() fold on top (bcast edges replace it anyway).
+    op.acc = value;
+    activate(g, op);
+  });
+}
+
+void CollectiveEngine::activate(Group& g, Op& op) {
+  op.active = true;
+  if (!op.exec) {
+    // Bound once per slot; Group and Op have stable addresses (node-based
+    // map, member array).
+    Group* gp = &g;
+    Op* opp = &op;
+    op.exec = std::make_unique<coll::ScheduleExecutor>(
+        g.desc.schedule,
+        [this, gp, opp](const coll::Edge& e) {
+          const std::int64_t v = opp->acc;
+          opp->sent_values[msg_key(gp->desc.group_id, opp->seq, e.tag, e.peer)] = v;
+          send_msg(*gp, opp->seq, e, false, v);
+        },
+        [this, gp, opp] { finish_op(*gp, *opp); });
+    // Payloads fold into the accumulator only when their step is consumed,
+    // never at arrival time (an early arrival must not leak into the value
+    // this rank sends during that same step).
+    op.exec->set_step_consumer([this, gp, opp](const coll::Step& st) {
+      for (const coll::Edge& w : st.waits) {
+        const auto it = opp->wait_values.find(edge_key(w.peer, w.tag));
+        if (it != opp->wait_values.end()) {
+          opp->acc = combine(gp->desc, w.tag, opp->acc, it->second);
+        }
+      }
+    });
+  }
+  if (g.desc.features.receiver_driven) arm_nack_timer(g, op);
+  nic_.trace("coll_enter", g.desc.group_id, op.seq);
+  // Stash early payloads before starting: the executor may consume their
+  // steps during start() already.
+  for (const EarlyArrival& ea : op.early) {
+    op.wait_values.emplace(edge_key(ea.peer_rank, ea.tag), ea.value);
+  }
+  op.exec->start();
+  if (!op.complete) {
+    for (const EarlyArrival& ea : op.early) {
+      if (!op.exec->on_arrival(ea.peer_rank, ea.tag)) ++stats_.duplicates;
+      if (op.complete) break;
+    }
+  }
+  op.early.clear();
+}
+
+void CollectiveEngine::send_msg(Group& g, std::uint32_t seq, const coll::Edge& e,
+                                bool is_retransmit, std::int64_t value) {
+  const CollFeatures& f = g.desc.features;
+  std::uint32_t cyc = is_retransmit ? cfg_.cyc_retransmit : send_cycles(f);
+  // A payload beyond the padded static packet's capacity cannot use the
+  // fast path: it claims/releases a pool buffer like a regular message
+  // (Sec. 6.2's optimization only applies to integer-sized payloads).
+  const std::uint32_t payload = wire_bytes_for(g.desc, e.tag, value) - cfg_.header_bytes;
+  if (!is_retransmit && f.static_packet && payload > cfg_.coll_static_payload) {
+    cyc += cfg_.cyc_claim_packet + cfg_.cyc_release_packet;
+  }
+  const std::uint32_t group_id = g.desc.group_id;
+  const int my_rank = g.desc.my_rank;
+  const int dst_node = g.desc.rank_to_node.at(static_cast<std::size_t>(e.peer));
+  const std::uint32_t tag = e.tag;
+  const int peer_rank = e.peer;
+  const std::uint32_t wire = wire_bytes_for(g.desc, e.tag, value);
+  const CollOpKind kind = g.desc.op_kind;
+
+  nic_.exec(cyc, [this, group_id, seq, tag, my_rank, dst_node, value, wire, kind] {
+    auto body = std::make_unique<CollPacket>();
+    switch (kind) {
+      case CollOpKind::kBarrier: body->kind = CollPacket::Kind::kBarrier; break;
+      case CollOpKind::kBcast: body->kind = CollPacket::Kind::kBcast; break;
+      case CollOpKind::kAllreduce: body->kind = CollPacket::Kind::kReduce; break;
+      case CollOpKind::kAllgather: body->kind = CollPacket::Kind::kGather; break;
+      case CollOpKind::kAlltoall: body->kind = CollPacket::Kind::kAlltoall; break;
+    }
+    body->group = group_id;
+    body->barrier_seq = seq;
+    body->tag = tag;
+    body->src_rank = static_cast<std::uint32_t>(my_rank);
+    body->value = value;
+    nic_.inject(net::Packet(nic_.addr(), net::NicAddr(dst_node), wire, std::move(body)));
+    ++stats_.msgs_sent;
+    nic_.trace("coll_send", dst_node, tag);
+  });
+
+  if (is_retransmit) {
+    ++stats_.retransmissions;
+    return;
+  }
+  if (!f.receiver_driven) {
+    // Ablation: sender-driven reliability — per-message record + timeout.
+    const std::uint64_t key = msg_key(group_id, seq, tag, peer_rank);
+    MsgRecord rec{group_id, seq, tag, peer_rank, {}};
+    auto [it, inserted] = msg_records_.emplace(key, std::move(rec));
+    if (!inserted) return;  // identical send edge already tracked
+    arm_msg_timer(&g, key, seq);
+  }
+}
+
+void CollectiveEngine::arm_msg_timer(Group* gp, std::uint64_t key, std::uint32_t seq) {
+  auto it = msg_records_.find(key);
+  if (it == msg_records_.end()) return;
+  it->second.timer = nic_.engine().schedule(cfg_.ack_timeout, [this, gp, key, seq] {
+    auto rit = msg_records_.find(key);
+    if (rit == msg_records_.end()) return;  // ACKed meanwhile
+    const Op& slot = gp->slots[seq & 1];
+    const std::int64_t value =
+        slot.in_use && slot.seq == seq && slot.sent_values.contains(key)
+            ? slot.sent_values.at(key)
+            : 0;
+    send_msg(*gp, seq, coll::Edge{rit->second.peer_rank, rit->second.tag}, true, value);
+    arm_msg_timer(gp, key, seq);
+  });
+}
+
+void CollectiveEngine::finish_op(Group& g, Op& op) {
+  assert(!op.complete);
+  op.complete = true;
+  ++stats_.ops_completed;
+  nic_.engine().cancel(op.nack_timer);
+  nic_.trace("coll_complete", g.desc.group_id, op.seq);
+  // One completion word DMAed to host memory — the only PCI traffic on the
+  // completion path of a NIC-based collective.
+  auto done = std::move(op.done);
+  op.done = nullptr;
+  const std::int64_t result = op.acc;
+  // The completion DMA delivers the result payload to host memory (one
+  // word for the classic collectives, the gathered data for larger ones).
+  const std::uint32_t result_bytes =
+      g.desc.op_kind == CollOpKind::kBarrier
+          ? 8u
+          : g.desc.payload_bytes *
+                static_cast<std::uint32_t>(coll::value_words(g.desc.op_kind, result));
+  nic_.exec(cfg_.cyc_coll_complete, [this, done = std::move(done), result,
+                                     result_bytes]() mutable {
+    nic_.pci().dma(result_bytes, [done = std::move(done), result] {
+      if (done) done(result);
+    });
+  });
+}
+
+void CollectiveEngine::arm_nack_timer(Group& g, Op& op) {
+  Group* gp = &g;
+  Op* opp = &op;
+  const std::uint32_t armed_seq = op.seq;
+  op.nack_timer = nic_.engine().schedule(cfg_.nack_timeout, [this, gp, opp, armed_seq] {
+    if (!opp->in_use || opp->seq != armed_seq || opp->complete || !opp->active) return;
+    for (const coll::Edge& miss : opp->exec->missing_current_waits()) {
+      const int peer_node = gp->desc.rank_to_node.at(static_cast<std::size_t>(miss.peer));
+      const std::uint32_t group_id = gp->desc.group_id;
+      const int my_rank = gp->desc.my_rank;
+      const std::uint32_t tag = miss.tag;
+      nic_.exec(cfg_.cyc_coll_nack, [this, group_id, armed_seq, tag, my_rank, peer_node] {
+        auto body = std::make_unique<CollNack>();
+        body->group = group_id;
+        body->barrier_seq = armed_seq;
+        body->tag = tag;
+        body->dst_rank = static_cast<std::uint32_t>(my_rank);
+        nic_.inject(net::Packet(nic_.addr(), net::NicAddr(peer_node),
+                                coll_wire_bytes(cfg_.header_bytes), std::move(body)));
+        ++stats_.nacks_sent;
+        nic_.trace("coll_nack", peer_node, tag);
+      });
+    }
+    arm_nack_timer(*gp, *opp);
+  });
+}
+
+bool CollectiveEngine::on_packet(net::Packet&& p) {
+  if (const auto* c = net::body_as<CollPacket>(p)) {
+    const CollPacket body = *c;
+    nic_.exec(cfg_.cyc_coll_recv, [this, body] {
+      auto git = groups_.find(body.group);
+      if (git == groups_.end()) {
+        ++stats_.stale_dropped;
+        return;
+      }
+      Group& g = git->second;
+      if (!g.desc.features.bitvector_record) {
+        nic_.cpu().occupy(cfg_.cycles(cfg_.cyc_record_per_msg));
+      }
+      ++stats_.msgs_received;
+      if (!g.desc.features.receiver_driven) {
+        // Ablation: acknowledge every collective message.
+        nic_.exec(cfg_.cyc_make_ack, [this, body, &g] {
+          auto ack = std::make_unique<CollAck>();
+          ack->group = body.group;
+          ack->barrier_seq = body.barrier_seq;
+          ack->tag = body.tag;
+          ack->acker_rank = static_cast<std::uint32_t>(g.desc.my_rank);
+          const int src_node =
+              g.desc.rank_to_node.at(static_cast<std::size_t>(body.src_rank));
+          nic_.inject(net::Packet(nic_.addr(), net::NicAddr(src_node),
+                                  ack_wire_bytes(cfg_.header_bytes), std::move(ack)));
+          ++stats_.acks_sent;
+        });
+      }
+      deliver_arrival(g, body.barrier_seq, static_cast<int>(body.src_rank), body.tag,
+                      body.value);
+    });
+    return true;
+  }
+  if (const auto* n = net::body_as<CollNack>(p)) {
+    const CollNack body = *n;
+    nic_.exec(cfg_.cyc_coll_nack, [this, body] { handle_nack(body); });
+    return true;
+  }
+  if (const auto* a = net::body_as<CollAck>(p)) {
+    const CollAck body = *a;
+    nic_.exec(cfg_.cyc_process_ack, [this, body] { handle_ack(body); });
+    return true;
+  }
+  return false;
+}
+
+void CollectiveEngine::deliver_arrival(Group& g, std::uint32_t seq, int peer_rank,
+                                       std::uint32_t tag, std::int64_t value) {
+  Op& slot = g.slots[seq & 1];
+  if (slot.in_use && slot.seq == seq) {
+    if (slot.complete) {
+      ++stats_.stale_dropped;  // late retransmission of a finished operation
+      return;
+    }
+    if (slot.active) {
+      slot.wait_values.emplace(edge_key(peer_rank, tag), value);
+      if (!slot.exec->on_arrival(peer_rank, tag)) ++stats_.duplicates;
+    } else {
+      ++stats_.early_buffered;
+      slot.early.push_back({peer_rank, tag, value});
+    }
+    return;
+  }
+  if (slot.in_use && seq < slot.seq) {
+    ++stats_.stale_dropped;
+    return;
+  }
+  // Arrival for an operation this host has not started: claim the slot and
+  // buffer (the peer raced ahead by one operation).
+  bool fresh = false;
+  Op& op = touch_slot(g, seq, fresh);
+  ++stats_.early_buffered;
+  op.early.push_back({peer_rank, tag, value});
+}
+
+void CollectiveEngine::handle_nack(const CollNack& n) {
+  auto git = groups_.find(n.group);
+  if (git == groups_.end()) return;
+  Group& g = git->second;
+  ++stats_.nacks_received;
+  nic_.trace("coll_nack_rx", n.dst_rank, n.tag);
+  const coll::Edge edge{static_cast<int>(n.dst_rank), n.tag};
+  Op& slot = g.slots[n.barrier_seq & 1];
+  if (slot.in_use && slot.seq == n.barrier_seq && slot.exec) {
+    const std::uint64_t key = msg_key(n.group, n.barrier_seq, n.tag, edge.peer);
+    if (slot.exec->has_sent(edge.peer, edge.tag)) {
+      send_msg(g, n.barrier_seq, edge, true, slot.sent_values.at(key));
+    }
+    // Not sent yet: we are behind; the normal send will cover it.
+    return;
+  }
+  if (g.desc.op_kind == CollOpKind::kBarrier && n.barrier_seq < g.next_host_seq) {
+    // The slot was recycled but barrier messages carry no data: the packet
+    // is fully reconstructible from the NACK itself. (Value-carrying kinds
+    // never need this path — a sender two operations ahead proves the
+    // NACKing receiver already completed the operation; see tests.)
+    send_msg(g, n.barrier_seq, edge, true, 0);
+  }
+  // Otherwise the receiver is ahead of us; ignore.
+}
+
+void CollectiveEngine::handle_ack(const CollAck& a) {
+  auto git = groups_.find(a.group);
+  if (git == groups_.end()) return;
+  const std::uint64_t key =
+      msg_key(a.group, a.barrier_seq, a.tag, static_cast<int>(a.acker_rank));
+  auto it = msg_records_.find(key);
+  if (it == msg_records_.end()) return;
+  nic_.engine().cancel(it->second.timer);
+  msg_records_.erase(it);
+}
+
+}  // namespace qmb::myri

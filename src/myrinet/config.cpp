@@ -1,0 +1,31 @@
+#include "myrinet/config.hpp"
+
+namespace qmb::myri {
+
+MyrinetConfig lanai9_cluster() {
+  MyrinetConfig c;
+  c.lanai.clock_mhz = 133.0;
+  c.pci.bytes_per_second = 528e6;               // 66 MHz x 64-bit PCI
+  c.pci.pio_write = sim::nanoseconds(450);
+  c.pci.dma_overhead = sim::nanoseconds(900);
+  c.host.send_post = sim::nanoseconds(1400);    // 700 MHz P-III host
+  c.host.recv_detect = sim::nanoseconds(1800);
+  c.host.barrier_logic = sim::nanoseconds(500);
+  c.host.barrier_detect = sim::nanoseconds(900);
+  return c;
+}
+
+MyrinetConfig lanaixp_cluster() {
+  MyrinetConfig c;
+  c.lanai.clock_mhz = 225.0;
+  c.pci.bytes_per_second = 1064e6;              // 133 MHz x 64-bit PCI-X
+  c.pci.pio_write = sim::nanoseconds(250);
+  c.pci.dma_overhead = sim::nanoseconds(500);
+  c.host.send_post = sim::nanoseconds(520);     // 2.4 GHz Xeon host
+  c.host.recv_detect = sim::nanoseconds(650);
+  c.host.barrier_logic = sim::nanoseconds(160);
+  c.host.barrier_detect = sim::nanoseconds(290);
+  return c;
+}
+
+}  // namespace qmb::myri

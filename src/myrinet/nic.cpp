@@ -1,0 +1,29 @@
+#include "myrinet/nic.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace qmb::myri {
+
+Nic::Nic(sim::Engine& engine, net::Fabric& fabric, PciBus& pci,
+         const MyrinetConfig& config, int node_index, sim::Tracer* tracer)
+    : engine_(&engine),
+      fabric_(&fabric),
+      pci_(&pci),
+      config_(&config),
+      node_(node_index),
+      tracer_(tracer),
+      cpu_(engine) {
+  addr_ = fabric_->attach([this](net::Packet&& p) {
+    if (!handler_) throw std::logic_error("NIC received a packet before wiring");
+    handler_(std::move(p));
+  });
+}
+
+void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b) {
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->record({engine_->now(), "nic", std::string(event), node_, a, b});
+  }
+}
+
+}  // namespace qmb::myri

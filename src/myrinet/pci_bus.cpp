@@ -1,0 +1,3 @@
+#include "myrinet/pci_bus.hpp"
+
+namespace qmb::myri {}

@@ -1,0 +1,147 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace qmb::net {
+
+Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topology,
+               FabricParams params, sim::Tracer* tracer)
+    : engine_(engine),
+      topology_(std::move(topology)),
+      params_(params),
+      tracer_(tracer) {
+  links_.reserve(topology_->num_links());
+  for (std::size_t i = 0; i < topology_->num_links(); ++i) {
+    links_.emplace_back(params_.link);
+  }
+  switches_.reserve(topology_->num_switches());
+  for (std::size_t i = 0; i < topology_->num_switches(); ++i) {
+    switches_.emplace_back(SwitchId(static_cast<std::int32_t>(i)), params_.sw);
+  }
+  faults_.set_clock(&engine_);
+}
+
+NicAddr Fabric::attach(DeliverFn deliver) {
+  if (nics_.size() >= topology_->max_nics()) {
+    throw std::runtime_error("fabric: all NIC ports in use");
+  }
+  nics_.push_back(std::move(deliver));
+  return NicAddr(static_cast<std::int32_t>(nics_.size() - 1));
+}
+
+sim::SimTime Fabric::traverse(const Route& route, std::uint32_t bytes, sim::SimTime start) {
+  assert(route.links.size() == route.switches.size() + 1);
+  sim::SimTime head = start;
+  for (std::size_t i = 0; i < route.links.size(); ++i) {
+    Link& l = links_[route.links[i].index()];
+    head = l.reserve(head, bytes) + l.latency();
+    if (i < route.switches.size()) {
+      SwitchNode& s = switches_[route.switches[i].index()];
+      s.note_forwarded(bytes);
+      head += s.routing_delay();
+    }
+  }
+  // Cut-through: the tail trails the head by one serialization time.
+  return head + links_[route.links.back().index()].serialization(bytes);
+}
+
+void Fabric::schedule_delivery(Packet&& p, sim::SimTime at) {
+  auto shared = std::make_shared<Packet>(std::move(p));
+  engine_.schedule_at(at, [this, shared]() mutable {
+    ++packets_delivered_;
+    nics_[shared->dst.index()](std::move(*shared));
+  });
+}
+
+void Fabric::send(Packet&& p) {
+  assert(p.src.valid() && p.src.index() < nics_.size() && "send from unattached NIC");
+  assert(p.dst.valid() && p.dst.index() < nics_.size() && "send to unattached NIC");
+  assert(p.src != p.dst && "fabric does not loop back");
+  p.id = next_packet_id_++;
+  ++packets_sent_;
+  bytes_sent_ += p.wire_bytes;
+
+  const FaultAction action = faults_.decide(p);
+  const Route route = topology_->route(p.src, p.dst);
+  const sim::SimTime arrival = traverse(route, p.wire_bytes, engine_.now());
+
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->record({engine_.now(), "fabric",
+                     action == FaultAction::kDrop ? "drop" : "inject",
+                     p.src.value(), p.dst.value(),
+                     static_cast<std::int64_t>(p.wire_bytes)});
+  }
+
+  if (action == FaultAction::kDrop) return;  // lost on the wire
+  if (action == FaultAction::kDuplicate) {
+    Packet copy = p.duplicate();
+    const sim::SimTime arrival2 = traverse(route, copy.wire_bytes, engine_.now());
+    schedule_delivery(std::move(copy), arrival2);
+  }
+  schedule_delivery(std::move(p), arrival);
+}
+
+sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
+                               std::uint32_t wire_bytes, std::unique_ptr<PacketBody> body,
+                               int min_top_level) {
+  assert(first.value() <= last.value());
+  assert(last.index() < nics_.size());
+  // The broadcast climbs to at least the level spanning the whole range.
+  int top = std::max(1, min_top_level);
+  for (std::int32_t d = first.value(); d <= last.value(); ++d) {
+    top = std::max(top, topology_->merge_level(src, NicAddr(d)));
+  }
+  // Each physical link carries the broadcast exactly once; the switches
+  // fork the copies. Cache the head time after each traversed link (plus
+  // its following switch) so shared prefixes ride the same transmission.
+  std::unordered_map<std::int32_t, sim::SimTime> head_after;
+  sim::SimTime latest = engine_.now();
+  for (std::int32_t d = first.value(); d <= last.value(); ++d) {
+    const NicAddr dst(d);
+    Packet p(src, dst, wire_bytes, body ? body->clone() : nullptr);
+    p.id = next_packet_id_++;
+    ++packets_sent_;
+    bytes_sent_ += wire_bytes;
+    const Route route = topology_->broadcast_route(src, dst, top);
+    assert(route.links.size() == route.switches.size() + 1);
+    sim::SimTime head = engine_.now();
+    for (std::size_t i = 0; i < route.links.size(); ++i) {
+      const std::int32_t link_id = route.links[i].value();
+      if (const auto it = head_after.find(link_id); it != head_after.end()) {
+        head = it->second;
+        continue;
+      }
+      Link& l = links_[route.links[i].index()];
+      head = l.reserve(head, wire_bytes) + l.latency();
+      if (i < route.switches.size()) {
+        SwitchNode& s = switches_[route.switches[i].index()];
+        s.note_forwarded(wire_bytes);
+        head += s.routing_delay();
+      }
+      head_after.emplace(link_id, head);
+    }
+    const sim::SimTime arrival =
+        head + links_[route.links.back().index()].serialization(wire_bytes);
+    latest = std::max(latest, arrival);
+    schedule_delivery(std::move(p), arrival);
+  }
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->record({engine_.now(), "fabric", "broadcast", src.value(),
+                     first.value(), last.value()});
+  }
+  return latest;
+}
+
+sim::SimDuration Fabric::unloaded_latency(NicAddr src, NicAddr dst,
+                                          std::uint32_t bytes) const {
+  const Route route = topology_->route(src, dst);
+  const Link probe(params_.link);
+  sim::SimDuration total = probe.serialization(bytes);
+  total += params_.link.latency * static_cast<std::int64_t>(route.links.size());
+  total += params_.sw.routing_delay * static_cast<std::int64_t>(route.switches.size());
+  return total;
+}
+
+}  // namespace qmb::net

@@ -1,0 +1,91 @@
+// The Fabric: instantiates a Topology's links and switches, attaches NICs,
+// and models packet traversal with wormhole cut-through timing.
+//
+// Timing of one unicast: the head flit leaves the source when the first
+// link is free, pays each link's propagation latency plus each switch's
+// routing delay, and the tail arrives one serialization time after the head
+// (cut-through: serialization is paid once, not per hop). Every link on the
+// route is occupied for one serialization time starting when the head
+// reaches it, which is what creates contention between packets sharing a
+// link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/switch_node.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace qmb::net {
+
+struct FabricParams {
+  LinkParams link;     // uniform across the fabric
+  SwitchParams sw;
+};
+
+class Fabric {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+
+  Fabric(sim::Engine& engine, std::unique_ptr<Topology> topology,
+         FabricParams params, sim::Tracer* tracer = nullptr);
+
+  /// Attaches the next NIC; `deliver` is invoked (from an engine event) when
+  /// a packet addressed to it arrives.
+  NicAddr attach(DeliverFn deliver);
+
+  /// Injects a packet. The source NIC must have been attached.
+  void send(Packet&& p);
+
+  /// Hardware multicast: replicates a packet from `src` to every attached
+  /// NIC in [first, last] (inclusive, possibly including src). Climbs to at
+  /// least `min_top_level` (and at least the level spanning the range) and
+  /// fans out downward; shared route links are reserved once for the whole
+  /// replication — the copies ride one transmission until the switches fork
+  /// them. Returns the latest delivery time.
+  sim::SimTime broadcast(NicAddr src, NicAddr first, NicAddr last, std::uint32_t wire_bytes,
+                         std::unique_ptr<PacketBody> body, int min_top_level = 0);
+
+  /// Pure timing query: unloaded latency of a `bytes` packet src->dst.
+  [[nodiscard]] sim::SimDuration unloaded_latency(NicAddr src, NicAddr dst,
+                                                  std::uint32_t bytes) const;
+
+  [[nodiscard]] FaultInjector& faults() { return faults_; }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] std::size_t attached_nics() const { return nics_.size(); }
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  [[nodiscard]] Link& link(LinkId id) { return links_[id.index()]; }
+  [[nodiscard]] SwitchNode& switch_node(SwitchId id) { return switches_[id.index()]; }
+
+ private:
+  /// Walks a route, reserving links; returns tail-arrival time at dst.
+  sim::SimTime traverse(const Route& route, std::uint32_t bytes, sim::SimTime start);
+  void schedule_delivery(Packet&& p, sim::SimTime at);
+
+  sim::Engine& engine_;
+  std::unique_ptr<Topology> topology_;
+  FabricParams params_;
+  sim::Tracer* tracer_;
+  std::vector<Link> links_;
+  std::vector<SwitchNode> switches_;
+  std::vector<DeliverFn> nics_;
+  FaultInjector faults_;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace qmb::net

@@ -1,0 +1,147 @@
+#include "net/fat_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace qmb::net {
+
+FatTree::FatTree(std::size_t arity, std::size_t levels, std::size_t nics)
+    : arity_(arity), levels_(levels), nics_(nics) {
+  if (arity < 2) throw std::invalid_argument("fat tree arity must be >= 2");
+  if (levels < 1) throw std::invalid_argument("fat tree needs >= 1 level");
+  pow_.resize(levels_ + 1);
+  pow_[0] = 1;
+  for (std::size_t e = 1; e <= levels_; ++e) {
+    pow_[e] = pow_[e - 1] * arity_;
+    if (pow_[e] / arity_ != pow_[e - 1]) throw std::invalid_argument("fat tree too large");
+  }
+  slots_ = pow_[levels_];
+  if (nics_ < 2 || nics_ > slots_) throw std::invalid_argument("nics out of range for tree");
+  sw_level_off_.resize(levels_);
+  for (std::size_t j = 0; j < levels_; ++j) {
+    sw_level_off_[j] = num_switches_;
+    num_switches_ += slots_ / pow_[j + 1];
+  }
+}
+
+FatTree FatTree::fitting(std::size_t arity, std::size_t nics) {
+  std::size_t levels = 1;
+  std::size_t cap = arity;
+  while (cap < nics) {
+    cap *= arity;
+    ++levels;
+  }
+  return FatTree(arity, levels, nics);
+}
+
+LinkId FatTree::node_up(std::size_t p) const {
+  return LinkId(static_cast<std::int32_t>(p));
+}
+
+LinkId FatTree::node_down(std::size_t p) const {
+  return LinkId(static_cast<std::int32_t>(slots_ + p));
+}
+
+LinkId FatTree::up_trunk(std::size_t j, std::size_t group, std::size_t h) const {
+  assert(j >= 1 && j < levels_);
+  assert(h < pow_[j]);
+  const std::size_t base = 2 * slots_ + (j - 1) * 2 * slots_;
+  return LinkId(static_cast<std::int32_t>(base + group * pow_[j] + h));
+}
+
+LinkId FatTree::down_trunk(std::size_t j, std::size_t group, std::size_t h) const {
+  assert(j >= 1 && j < levels_);
+  assert(h < pow_[j]);
+  const std::size_t base = 2 * slots_ + (j - 1) * 2 * slots_ + slots_;
+  return LinkId(static_cast<std::int32_t>(base + group * pow_[j] + h));
+}
+
+SwitchId FatTree::sw(std::size_t j, std::size_t group) const {
+  assert(j < levels_);
+  assert(group < slots_ / pow_[j + 1]);
+  return SwitchId(static_cast<std::int32_t>(sw_level_off_[j] + group));
+}
+
+std::uint64_t FatTree::mix(std::uint64_t x) {
+  // splitmix64 finalizer: deterministic trunk selection.
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+int FatTree::merge_level(NicAddr a, NicAddr b) const {
+  assert(a.valid() && b.valid());
+  std::size_t x = a.index();
+  std::size_t y = b.index();
+  int l = 0;
+  while (x != y) {
+    x /= arity_;
+    y /= arity_;
+    ++l;
+  }
+  return l == 0 ? 1 : l;  // a == b still crosses the leaf switch (level 1 span)
+}
+
+Route FatTree::route_impl(std::size_t src, std::size_t dst, std::size_t top,
+                          std::uint64_t trunk_hash) const {
+  assert(top >= 1 && top <= levels_);
+  Route r;
+  const std::uint64_t h64 = trunk_hash;
+
+  r.links.push_back(node_up(src));
+  r.switches.push_back(sw(0, src / arity_));
+  for (std::size_t j = 1; j < top; ++j) {
+    const std::size_t h = static_cast<std::size_t>(h64 % pow_[j]);
+    r.links.push_back(up_trunk(j, src / pow_[j], h));
+    r.switches.push_back(sw(j, src / pow_[j + 1]));
+  }
+  for (std::size_t j = top - 1; j >= 1; --j) {
+    const std::size_t h = static_cast<std::size_t>(h64 % pow_[j]);
+    r.links.push_back(down_trunk(j, dst / pow_[j], h));
+    r.switches.push_back(sw(j - 1, dst / pow_[j]));
+  }
+  r.links.push_back(node_down(dst));
+  return r;
+}
+
+Route FatTree::route(NicAddr src, NicAddr dst) const {
+  assert(src != dst && "no loopback routes");
+  assert(src.index() < nics_ && dst.index() < nics_);
+  const std::uint64_t h =
+      mix((static_cast<std::uint64_t>(src.index()) << 32) | dst.index());
+  return route_impl(src.index(), dst.index(),
+                    static_cast<std::size_t>(merge_level(src, dst)), h);
+}
+
+Route FatTree::route_via(NicAddr src, NicAddr dst, int top_level) const {
+  assert(src.index() < nics_ && dst.index() < nics_);
+  std::size_t top = static_cast<std::size_t>(top_level);
+  if (src != dst) {
+    top = std::max(top, static_cast<std::size_t>(merge_level(src, dst)));
+  }
+  if (top < 1) top = 1;
+  if (top > levels_) top = levels_;
+  const std::uint64_t h =
+      mix((static_cast<std::uint64_t>(src.index()) << 32) | dst.index());
+  return route_impl(src.index(), dst.index(), top, h);
+}
+
+Route FatTree::broadcast_route(NicAddr src, NicAddr dst, int top_level) const {
+  assert(src.index() < nics_ && dst.index() < nics_);
+  std::size_t top = static_cast<std::size_t>(top_level);
+  if (src != dst) {
+    top = std::max(top, static_cast<std::size_t>(merge_level(src, dst)));
+  }
+  if (top < 1) top = 1;
+  if (top > levels_) top = levels_;
+  // Trunk choice from src only: all copies of one broadcast share the
+  // up-path and the per-subtree down trunks, so the Fabric can reserve each
+  // physical link once for the whole replication.
+  return route_impl(src.index(), dst.index(), top, mix(src.index()));
+}
+
+}  // namespace qmb::net

@@ -1,0 +1,67 @@
+#include "net/fault.hpp"
+
+#include <cassert>
+
+namespace qmb::net {
+
+void FaultInjector::add_nth_rule(std::optional<NicAddr> src, std::optional<NicAddr> dst,
+                                 std::uint64_t ordinal, FaultAction action) {
+  Rule r;
+  r.src = src;
+  r.dst = dst;
+  r.action = action;
+  r.ordinal = ordinal;
+  rules_.push_back(std::move(r));
+}
+
+void FaultInjector::add_random_rule(std::optional<NicAddr> src, std::optional<NicAddr> dst,
+                                    double p, std::uint64_t seed, FaultAction action) {
+  Rule r;
+  r.src = src;
+  r.dst = dst;
+  r.action = action;
+  r.prob = p;
+  r.rng = sim::Rng(seed);
+  rules_.push_back(std::move(r));
+}
+
+void FaultInjector::add_blackout(std::optional<NicAddr> src, std::optional<NicAddr> dst,
+                                 sim::SimTime from, sim::SimTime until) {
+  Rule r;
+  r.src = src;
+  r.dst = dst;
+  r.action = FaultAction::kDrop;
+  r.windowed = true;
+  r.from = from;
+  r.until = until;
+  rules_.push_back(std::move(r));
+}
+
+bool FaultInjector::matches(const Rule& r, const Packet& p) {
+  if (r.src && *r.src != p.src) return false;
+  if (r.dst && *r.dst != p.dst) return false;
+  return true;
+}
+
+FaultAction FaultInjector::decide(const Packet& p) {
+  for (Rule& r : rules_) {
+    if (!matches(r, p)) continue;
+    ++r.matches;
+    bool fire = false;
+    if (r.windowed) {
+      assert(engine_ != nullptr && "blackout rule requires a clock");
+      fire = engine_->now() >= r.from && engine_->now() < r.until;
+    } else if (r.ordinal > 0) {
+      fire = r.matches == r.ordinal;
+    } else {
+      fire = r.rng.next_bool(r.prob);
+    }
+    if (!fire) continue;
+    if (r.action == FaultAction::kDrop) ++dropped_;
+    if (r.action == FaultAction::kDuplicate) ++duplicated_;
+    return r.action;
+  }
+  return FaultAction::kDeliver;
+}
+
+}  // namespace qmb::net

@@ -1,0 +1,77 @@
+// Deterministic fault injection at the fabric boundary.
+//
+// Rules match packets by (src, dst) filters and decide per-match whether to
+// drop or duplicate: either the N-th matching packet (exact, for targeted
+// protocol tests) or with a probability drawn from a seeded RNG (for soak
+// tests). Myrinet provides no link-level reliability, so the MCP and the
+// collective protocol must recover from anything injected here; Quadrics is
+// hardware-reliable and normally runs with no rules installed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace qmb::net {
+
+enum class FaultAction { kDeliver, kDrop, kDuplicate };
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Drops/duplicates the `ordinal`-th (1-based) packet matching the filter.
+  void add_nth_rule(std::optional<NicAddr> src, std::optional<NicAddr> dst,
+                    std::uint64_t ordinal, FaultAction action = FaultAction::kDrop);
+
+  /// Drops/duplicates each matching packet with probability `p`.
+  void add_random_rule(std::optional<NicAddr> src, std::optional<NicAddr> dst,
+                       double p, std::uint64_t seed,
+                       FaultAction action = FaultAction::kDrop);
+
+  /// Drops every matching packet injected within [from, until): a link or
+  /// path blackout. Protocols must ride it out on their retransmission
+  /// machinery and resume afterwards.
+  void add_blackout(std::optional<NicAddr> src, std::optional<NicAddr> dst,
+                    sim::SimTime from, sim::SimTime until);
+
+  /// Installs the clock used by time-windowed rules (the Fabric wires its
+  /// engine in automatically).
+  void set_clock(const sim::Engine* engine) { engine_ = engine; }
+
+  void clear() { rules_.clear(); }
+
+  /// Consulted once per injected packet; first firing rule wins.
+  [[nodiscard]] FaultAction decide(const Packet& p);
+
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+
+ private:
+  struct Rule {
+    std::optional<NicAddr> src;
+    std::optional<NicAddr> dst;
+    FaultAction action = FaultAction::kDrop;
+    // Modes: ordinal > 0 = nth-match; window = blackout; else probabilistic.
+    std::uint64_t ordinal = 0;
+    std::uint64_t matches = 0;
+    double prob = 0.0;
+    sim::Rng rng;
+    bool windowed = false;
+    sim::SimTime from;
+    sim::SimTime until;
+  };
+
+  static bool matches(const Rule& r, const Packet& p);
+
+  const sim::Engine* engine_ = nullptr;
+  std::vector<Rule> rules_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+};
+
+}  // namespace qmb::net

@@ -1,0 +1,5 @@
+#include "net/link.hpp"
+
+// Header-only today; the TU anchors the target and keeps room for growth
+// (e.g. credit-based flow control) without touching the build.
+namespace qmb::net {}

@@ -1,0 +1,53 @@
+// Unidirectional link with propagation latency, serialization bandwidth and
+// FIFO occupancy.
+//
+// Full-duplex cables are modeled as two Link objects. Occupancy follows the
+// LogGP-style "busy until" discipline: a packet's serialization reserves the
+// link starting no earlier than the previous packet's tail.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace qmb::net {
+
+struct LinkParams {
+  sim::SimDuration latency;        // wire propagation delay of the head flit
+  double bytes_per_second = 0.0;   // serialization bandwidth
+};
+
+class Link {
+ public:
+  explicit Link(LinkParams params) : params_(params) {}
+
+  /// Time to clock `bytes` onto the wire.
+  [[nodiscard]] sim::SimDuration serialization(std::uint32_t bytes) const {
+    const double picos = static_cast<double>(bytes) / params_.bytes_per_second * 1e12;
+    return sim::SimDuration(static_cast<std::int64_t>(picos + 0.5));
+  }
+
+  [[nodiscard]] sim::SimDuration latency() const { return params_.latency; }
+
+  /// Reserves the link for a packet whose head is ready at `earliest`.
+  /// Returns when injection actually starts (>= earliest under contention).
+  sim::SimTime reserve(sim::SimTime earliest, std::uint32_t bytes) {
+    const sim::SimTime start = earliest > free_at_ ? earliest : free_at_;
+    free_at_ = start + serialization(bytes);
+    ++packets_;
+    bytes_ += bytes;
+    return start;
+  }
+
+  [[nodiscard]] sim::SimTime free_at() const { return free_at_; }
+  [[nodiscard]] std::uint64_t packets_carried() const { return packets_; }
+  [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
+
+ private:
+  LinkParams params_;
+  sim::SimTime free_at_ = sim::SimTime::zero();
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace qmb::net

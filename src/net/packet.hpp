@@ -1,0 +1,60 @@
+// Wire packets exchanged between NICs through a Fabric.
+//
+// The fabric models only the header fields it needs for timing (size, src,
+// dst); the protocol payload is a polymorphic body the receiving NIC
+// downcasts by its own packet-type tag. Bodies are cloneable so the fault
+// injector can duplicate packets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/types.hpp"
+
+namespace qmb::net {
+
+class PacketBody {
+ public:
+  virtual ~PacketBody() = default;
+  [[nodiscard]] virtual std::unique_ptr<PacketBody> clone() const = 0;
+
+ protected:
+  PacketBody() = default;
+  PacketBody(const PacketBody&) = default;
+  PacketBody& operator=(const PacketBody&) = default;
+};
+
+/// CRTP helper implementing clone() for concrete bodies.
+template <class Derived>
+class PacketBodyBase : public PacketBody {
+ public:
+  [[nodiscard]] std::unique_ptr<PacketBody> clone() const final {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+struct Packet {
+  NicAddr src;
+  NicAddr dst;
+  std::uint32_t wire_bytes = 0;  // total on-the-wire size including headers
+  std::uint64_t id = 0;          // fabric-assigned, unique per injection
+  std::unique_ptr<PacketBody> body;
+
+  Packet() = default;
+  Packet(NicAddr s, NicAddr d, std::uint32_t bytes, std::unique_ptr<PacketBody> b)
+      : src(s), dst(d), wire_bytes(bytes), body(std::move(b)) {}
+
+  [[nodiscard]] Packet duplicate() const {
+    Packet p(src, dst, wire_bytes, body ? body->clone() : nullptr);
+    p.id = id;
+    return p;
+  }
+};
+
+/// Narrowing helper: returns the body as T* or nullptr.
+template <class T>
+[[nodiscard]] const T* body_as(const Packet& p) {
+  return dynamic_cast<const T*>(p.body.get());
+}
+
+}  // namespace qmb::net

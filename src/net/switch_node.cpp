@@ -1,0 +1,3 @@
+#include "net/switch_node.hpp"
+
+namespace qmb::net {}

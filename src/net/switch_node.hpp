@@ -1,0 +1,41 @@
+// Wormhole-routed crossbar switch element.
+//
+// In the cut-through latency model the switch contributes a fixed routing
+// delay per traversal; port contention is captured by the occupancy of the
+// outgoing Link. The object also counts traffic for observability.
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace qmb::net {
+
+struct SwitchParams {
+  sim::SimDuration routing_delay;  // header decode + crossbar setup per hop
+};
+
+class SwitchNode {
+ public:
+  SwitchNode(SwitchId id, SwitchParams params) : id_(id), params_(params) {}
+
+  [[nodiscard]] SwitchId id() const { return id_; }
+  [[nodiscard]] sim::SimDuration routing_delay() const { return params_.routing_delay; }
+
+  void note_forwarded(std::uint32_t bytes) {
+    ++packets_;
+    bytes_ += bytes;
+  }
+
+  [[nodiscard]] std::uint64_t packets_forwarded() const { return packets_; }
+  [[nodiscard]] std::uint64_t bytes_forwarded() const { return bytes_; }
+
+ private:
+  SwitchId id_;
+  SwitchParams params_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace qmb::net

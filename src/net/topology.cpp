@@ -1,0 +1,24 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qmb::net {
+
+SingleCrossbar::SingleCrossbar(std::size_t ports) : ports_(ports) {
+  if (ports < 2) throw std::invalid_argument("crossbar needs >= 2 ports");
+}
+
+Route SingleCrossbar::route(NicAddr src, NicAddr dst) const {
+  assert(src.valid() && dst.valid());
+  assert(src != dst && "no loopback routes");
+  assert(src.index() < ports_ && dst.index() < ports_);
+  Route r;
+  // Link ids: [0, ports) are NIC->switch uplinks, [ports, 2*ports) downlinks.
+  r.links = {LinkId(src.value()),
+             LinkId(static_cast<std::int32_t>(ports_) + dst.value())};
+  r.switches = {SwitchId(0)};
+  return r;
+}
+
+}  // namespace qmb::net

@@ -1,0 +1,78 @@
+// Topology interface: maps (src NIC, dst NIC) to an ordered route of links
+// and switches. The Fabric owns the Link/SwitchNode instances; a Topology is
+// pure structure.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace qmb::net {
+
+struct Route {
+  std::vector<LinkId> links;       // traversal order; size == switches.size() + 1
+  std::vector<SwitchId> switches;  // switches crossed between consecutive links
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of NIC attachment points.
+  [[nodiscard]] virtual std::size_t max_nics() const = 0;
+  /// Total unidirectional links to instantiate.
+  [[nodiscard]] virtual std::size_t num_links() const = 0;
+  /// Total switch elements to instantiate.
+  [[nodiscard]] virtual std::size_t num_switches() const = 0;
+
+  /// Unicast route. Precondition: src != dst, both < max_nics().
+  [[nodiscard]] virtual Route route(NicAddr src, NicAddr dst) const = 0;
+
+  /// Route forced through (at least) tree level `top_level`; used to model
+  /// hardware broadcast, which always climbs to the level spanning the whole
+  /// destination range. Defaults to the plain unicast route for topologies
+  /// without a level structure.
+  [[nodiscard]] virtual Route route_via(NicAddr src, NicAddr dst, int top_level) const {
+    (void)top_level;
+    return route(src, dst);
+  }
+
+  /// Smallest tree level whose subtree contains both NICs (0 for a single
+  /// crossbar). Used by hardware-broadcast timing.
+  [[nodiscard]] virtual int merge_level(NicAddr a, NicAddr b) const {
+    (void)a; (void)b;
+    return 0;
+  }
+
+  /// Height of the tree (0 for a single crossbar). A hardware broadcast
+  /// always climbs to this level — QsNet broadcasts through the root of the
+  /// fat tree regardless of the destination range.
+  [[nodiscard]] virtual int top_level() const { return 0; }
+
+  /// Route used by hardware broadcast replication: like route_via, but the
+  /// up-path trunk choice depends only on `src`, so every copy of one
+  /// broadcast shares the same up-path links (the switches replicate at the
+  /// top, they do not re-send from the source). Defaults to route_via.
+  [[nodiscard]] virtual Route broadcast_route(NicAddr src, NicAddr dst, int top) const {
+    return route_via(src, dst, top);
+  }
+};
+
+/// Single crossbar switch with `ports` full-duplex NIC cables — the shape of
+/// the paper's 8- and 16-node Myrinet 2000 clusters.
+class SingleCrossbar final : public Topology {
+ public:
+  explicit SingleCrossbar(std::size_t ports);
+
+  [[nodiscard]] std::size_t max_nics() const override { return ports_; }
+  [[nodiscard]] std::size_t num_links() const override { return 2 * ports_; }
+  [[nodiscard]] std::size_t num_switches() const override { return 1; }
+  [[nodiscard]] Route route(NicAddr src, NicAddr dst) const override;
+
+ private:
+  std::size_t ports_;
+};
+
+}  // namespace qmb::net

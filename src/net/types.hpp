@@ -1,0 +1,42 @@
+// Strongly typed identifiers for fabric entities (I.4: precise interfaces).
+//
+// All are thin 32-bit indices; the tag type prevents, e.g., passing a switch
+// index where a NIC address is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace qmb::net {
+
+template <class Tag>
+class Id32 {
+ public:
+  constexpr Id32() = default;
+  constexpr explicit Id32(std::int32_t v) : v_(v) {}
+
+  [[nodiscard]] constexpr std::int32_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ >= 0; }
+  [[nodiscard]] constexpr std::size_t index() const { return static_cast<std::size_t>(v_); }
+
+  friend constexpr auto operator<=>(Id32, Id32) = default;
+
+ private:
+  std::int32_t v_ = -1;
+};
+
+/// Address of a NIC attached to a fabric (equals the node rank in clusters
+/// built by core::Cluster, which attaches one NIC per node in rank order).
+using NicAddr = Id32<struct NicAddrTag>;
+using SwitchId = Id32<struct SwitchIdTag>;
+using LinkId = Id32<struct LinkIdTag>;
+
+}  // namespace qmb::net
+
+template <class Tag>
+struct std::hash<qmb::net::Id32<Tag>> {
+  std::size_t operator()(qmb::net::Id32<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

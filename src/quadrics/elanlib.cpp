@@ -1,0 +1,71 @@
+#include "quadrics/elanlib.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace qmb::elan {
+
+ElanNode::ElanNode(sim::Engine& engine, net::Fabric& fabric, const Elan3Config& config,
+                   int index, sim::Tracer* tracer)
+    : index_(index),
+      cfg_(config),
+      host_cpu_(engine),
+      nic_(engine, fabric, config, index, tracer) {}
+
+void ElanNode::put(int dst_node, std::uint32_t bytes, std::uint32_t tag,
+                   std::int64_t value) {
+  host_cpu_.exec(cfg_.host_event_setup + cfg_.host_doorbell,
+                 [this, dst_node, bytes, tag, value] {
+    auto body = std::make_unique<ElanRdma>();
+    body->ev_class = ElanRdma::EventClass::kHostMsg;
+    body->tag = tag;
+    body->src_rank = static_cast<std::uint32_t>(index_);
+    body->payload_bytes = bytes;
+    body->value = value;
+    nic_.rdma_put(dst_node, bytes, std::move(body));
+  });
+}
+
+void ElanNode::set_receive_handler(ReceiveHandler fn) {
+  nic_.set_host_msg_handler([this, fn = std::move(fn)](const ElanRdma& r) {
+    host_cpu_.exec(cfg_.host_detect,
+                   [fn, src = static_cast<int>(r.src_rank), tag = r.tag,
+                    value = r.value] { fn(src, tag, value); });
+  });
+}
+
+void ElanNode::barrier_enter(std::uint32_t group, sim::EventCallback done) {
+  host_cpu_.exec(cfg_.host_doorbell, [this, group, done = std::move(done)]() mutable {
+    nic_.barrier_enter(group, [this, done = std::move(done)]() mutable {
+      host_cpu_.exec(cfg_.host_detect, std::move(done));
+    });
+  });
+}
+
+void ElanNode::collective_enter(std::uint32_t group, std::int64_t value,
+                                std::function<void(std::int64_t)> done) {
+  host_cpu_.exec(cfg_.host_doorbell, [this, group, value, done = std::move(done)]() mutable {
+    nic_.collective_enter(group, value,
+                          [this, done = std::move(done)](std::int64_t result) mutable {
+                            host_cpu_.exec(cfg_.host_detect,
+                                           [done = std::move(done), result]() mutable {
+                                             done(result);
+                                           });
+                          });
+  });
+}
+
+void ElanNode::hgsync_enter(sim::EventCallback done) {
+  if (hw_ == nullptr) {
+    throw std::logic_error("hgsync_enter without an attached HwBarrierController");
+  }
+  host_cpu_.exec(cfg_.host_doorbell, [this, done = std::move(done)]() mutable {
+    nic_.unit().exec(cfg_.command_process, [this, done = std::move(done)]() mutable {
+      hw_->enter(index_, [this, done = std::move(done)]() mutable {
+        host_cpu_.exec(cfg_.host_detect, std::move(done));
+      });
+    });
+  });
+}
+
+}  // namespace qmb::elan

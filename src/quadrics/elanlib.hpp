@@ -1,0 +1,73 @@
+// Elanlib-style host API (paper Sec. 4.1): tagged puts, the chained-RDMA
+// NIC barrier doorbell, and elan_hgsync()'s hardware-barrier entry. Host
+// costs (descriptor setup, doorbell, event-word polling) run on the node's
+// host CPU resource.
+//
+// The three Quadrics barrier flavours of Fig. 7 are built on these
+// primitives in core/quadrics_barrier.cpp:
+//   * elan_gsync  — host-level gather-broadcast tree over put()
+//   * elan_hgsync — hardware broadcast + network test-and-set
+//   * NIC barrier — chained RDMA descriptors (barrier_enter)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "quadrics/fabric.hpp"
+#include "quadrics/nic.hpp"
+#include "sim/resource.hpp"
+
+namespace qmb::elan {
+
+/// One simulated Quadrics node: host CPU + Elan3 NIC + user-level port.
+class ElanNode {
+ public:
+  ElanNode(sim::Engine& engine, net::Fabric& fabric, const Elan3Config& config,
+           int index, sim::Tracer* tracer);
+  ElanNode(const ElanNode&) = delete;
+  ElanNode& operator=(const ElanNode&) = delete;
+
+  /// Tagged host-level message (elan_put + remote event): the remote host's
+  /// receive handler runs after its poll loop sees the event word.
+  /// `value` models the first payload word.
+  void put(int dst_node, std::uint32_t bytes, std::uint32_t tag, std::int64_t value = 0);
+
+  using ReceiveHandler =
+      std::function<void(int src_node, std::uint32_t tag, std::int64_t value)>;
+  void set_receive_handler(ReceiveHandler fn);
+
+  /// Arms a chained-RDMA barrier group on this node's NIC (setup time, off
+  /// the measured path — the paper arms descriptors from user level once).
+  void create_barrier_group(ElanGroupDesc desc) {
+    nic_.create_barrier_group(std::move(desc));
+  }
+
+  /// Chained-RDMA NIC barrier: doorbell in, final local event out. `done`
+  /// runs on the host after it polls the completion word.
+  void barrier_enter(std::uint32_t group, sim::EventCallback done);
+
+  /// Value-carrying NIC collective (bcast/allreduce/allgather/alltoall
+  /// groups): operand in with the doorbell, result out with the event word.
+  void collective_enter(std::uint32_t group, std::int64_t value,
+                        std::function<void(std::int64_t)> done);
+
+  /// elan_hgsync() entry: sets the NIC test-and-set flag and waits for the
+  /// hardware release. Requires attach_hw_barrier().
+  void hgsync_enter(sim::EventCallback done);
+
+  void attach_hw_barrier(HwBarrierController* hw) { hw_ = hw; }
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] sim::Resource& host_cpu() { return host_cpu_; }
+  [[nodiscard]] Nic& nic() { return nic_; }
+  [[nodiscard]] const Elan3Config& config() const { return cfg_; }
+
+ private:
+  int index_;
+  const Elan3Config& cfg_;
+  sim::Resource host_cpu_;
+  Nic nic_;
+  HwBarrierController* hw_ = nullptr;
+};
+
+}  // namespace qmb::elan

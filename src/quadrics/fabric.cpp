@@ -1,0 +1,113 @@
+#include "quadrics/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "net/fat_tree.hpp"
+
+namespace qmb::elan {
+
+std::unique_ptr<net::Fabric> make_elan_fabric(sim::Engine& engine,
+                                              const Elan3Config& config,
+                                              std::size_t nodes, sim::Tracer* tracer) {
+  // The paper's switch is an Elite-16: a dimension-TWO quaternary fat tree
+  // even for small node counts, so build at least two levels. Hardware
+  // broadcasts always run through the top, making elan_hgsync's latency
+  // independent of how many slots are populated.
+  auto fitted = net::FatTree::fitting(config.arity, nodes);
+  const std::size_t levels = std::max<std::size_t>(2, fitted.levels());
+  auto tree = std::make_unique<net::FatTree>(config.arity, levels, nodes);
+  net::FabricParams params{config.link, config.sw};
+  return std::make_unique<net::Fabric>(engine, std::move(tree), params, tracer);
+}
+
+HwBarrierController::HwBarrierController(sim::Engine& engine, net::Fabric& fabric,
+                                         std::vector<Nic*> nics, const Elan3Config& config)
+    : engine_(engine), fabric_(fabric), nics_(std::move(nics)), cfg_(config) {
+  const auto n = nics_.size();
+  assert(n >= 2);
+  entered_.resize(n, 0);
+  pending_done_.resize(n);
+  // Hardware broadcast and combining always run through the fat tree's
+  // root, so the transaction cost is independent of how many of the slots
+  // participate (Fig. 7: elan_hgsync's flat latency).
+  combine_levels_ = std::max(1, fabric_.topology().top_level());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int node = static_cast<int>(i);
+    nics_[i]->set_probe_handler([this, node](const TsetProbe& probe) {
+      const bool ok = nics_[static_cast<std::size_t>(node)]->tset_flag_at_least(probe.round);
+      on_probe_reply(node, probe.round, ok, engine_.now());
+    });
+    nics_[i]->set_go_handler([this, node](const TsetGo& go) { on_go(node, go); });
+  }
+}
+
+void HwBarrierController::enter(int node, sim::EventCallback done) {
+  auto& count = entered_[static_cast<std::size_t>(node)];
+  ++count;
+  nics_[static_cast<std::size_t>(node)]->set_tset_flag(count);
+  pending_done_[static_cast<std::size_t>(node)] = std::move(done);
+  // The root drives the probe cycle; non-root entries just set their flag.
+  if (node == 0 && !probe_inflight_) launch_probe();
+}
+
+void HwBarrierController::launch_probe() {
+  probe_inflight_ = true;
+  probe_round_ = round_;
+  replies_expected_ = nics_.size();
+  replies_seen_ = 0;
+  all_ok_ = true;
+  last_reply_at_ = engine_.now();
+  ++probes_sent_;
+  auto body = std::make_unique<TsetProbe>();
+  body->round = round_;
+  fabric_.broadcast(nics_[0]->addr(), net::NicAddr(0),
+                    net::NicAddr(static_cast<std::int32_t>(nics_.size() - 1)),
+                    cfg_.header_bytes, std::move(body), combine_levels_);
+}
+
+void HwBarrierController::on_probe_reply(int /*node*/, std::uint64_t round, bool ok,
+                                         sim::SimTime at) {
+  if (!probe_inflight_ || round != probe_round_) return;
+  ++replies_seen_;
+  all_ok_ = all_ok_ && ok;
+  last_reply_at_ = std::max(last_reply_at_, at);
+  if (replies_seen_ == replies_expected_) {
+    // Reply tokens combine in the switch ASICs on the way back up: one
+    // combining stage per fat-tree level between the farthest leaf and the
+    // root, paid once (hardware combining, not per-node serialization).
+    const sim::SimDuration combine =
+        static_cast<std::int64_t>(combine_levels_) *
+        (cfg_.link.latency + cfg_.combine_per_level);
+    engine_.schedule(combine, [this] { finish_probe(); });
+  }
+}
+
+void HwBarrierController::finish_probe() {
+  probe_inflight_ = false;
+  if (!all_ok_) {
+    // Some process had not reached the barrier: back off and re-probe.
+    ++failed_probes_;
+    engine_.schedule(cfg_.hgsync_retry, [this] {
+      if (!probe_inflight_) launch_probe();
+    });
+    return;
+  }
+  auto body = std::make_unique<TsetGo>();
+  body->round = round_;
+  ++round_;
+  fabric_.broadcast(nics_[0]->addr(), net::NicAddr(0),
+                    net::NicAddr(static_cast<std::int32_t>(nics_.size() - 1)),
+                    cfg_.header_bytes, std::move(body), combine_levels_);
+}
+
+void HwBarrierController::on_go(int node, const TsetGo& go) {
+  (void)go;
+  auto& done = pending_done_[static_cast<std::size_t>(node)];
+  if (!done) return;
+  Nic& nic = *nics_[static_cast<std::size_t>(node)];
+  nic.unit().exec(cfg_.host_notify_dma, std::exchange(done, nullptr));
+}
+
+}  // namespace qmb::elan

@@ -1,0 +1,75 @@
+// Quadrics fabric helpers: quaternary fat-tree construction and the
+// hardware barrier (network test-and-set with switch combining) used by
+// elan_hgsync().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "quadrics/config.hpp"
+#include "quadrics/nic.hpp"
+#include "sim/stats.hpp"
+
+namespace qmb::elan {
+
+/// Builds the QsNet fabric: a quaternary fat tree just deep enough for
+/// `nodes`, with Elite link/switch parameters from `config`.
+[[nodiscard]] std::unique_ptr<net::Fabric> make_elan_fabric(sim::Engine& engine,
+                                                            const Elan3Config& config,
+                                                            std::size_t nodes,
+                                                            sim::Tracer* tracer = nullptr);
+
+/// The hardware barrier: the root NIC broadcasts a test-and-set probe; every
+/// NIC's reply token combines in the Elite switches on the way up; when all
+/// flags were set, the root broadcasts the release. An unsuccessful probe
+/// (some process had not reached the barrier) retries after a backoff — the
+/// behaviour that makes elan_hgsync() fast only for well-synchronized
+/// processes (paper Sec. 4.1 and 8.2).
+///
+/// Probes and releases travel as real broadcast packets; only the reply
+/// combining is computed analytically (in hardware it happens inside the
+/// switch ASICs and never occupies host-visible links).
+class HwBarrierController {
+ public:
+  HwBarrierController(sim::Engine& engine, net::Fabric& fabric,
+                      std::vector<Nic*> nics, const Elan3Config& config);
+
+  /// Node's host entered the hardware barrier (call at NIC time, after the
+  /// doorbell; the flag must already be set via Nic::set_tset_flag).
+  /// `done` runs at NIC time when the release event lands on that node.
+  void enter(int node, sim::EventCallback done);
+
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t failed_probes() const { return failed_probes_; }
+  [[nodiscard]] std::uint64_t rounds_completed() const { return round_ - 1; }
+
+ private:
+  void launch_probe();
+  void on_probe_reply(int node, std::uint64_t round, bool ok, sim::SimTime at);
+  void finish_probe();
+  void on_go(int node, const TsetGo& go);
+
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  std::vector<Nic*> nics_;
+  const Elan3Config& cfg_;
+
+  std::uint64_t round_ = 1;  // barrier round currently being performed
+  std::vector<std::uint64_t> entered_;           // per node: rounds entered so far
+  std::vector<sim::EventCallback> pending_done_; // per node: completion for current round
+  // probe in flight
+  bool probe_inflight_ = false;
+  std::uint64_t probe_round_ = 0;
+  std::size_t replies_expected_ = 0;
+  std::size_t replies_seen_ = 0;
+  bool all_ok_ = true;
+  sim::SimTime last_reply_at_;
+  int combine_levels_ = 1;
+
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t failed_probes_ = 0;
+};
+
+}  // namespace qmb::elan

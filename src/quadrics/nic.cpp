@@ -1,0 +1,216 @@
+#include "quadrics/nic.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace qmb::elan {
+
+Nic::Nic(sim::Engine& engine, net::Fabric& fabric, const Elan3Config& config,
+         int node_index, sim::Tracer* tracer)
+    : engine_(&engine),
+      fabric_(&fabric),
+      config_(&config),
+      node_(node_index),
+      tracer_(tracer),
+      unit_(engine) {
+  addr_ = fabric_->attach([this](net::Packet&& p) { on_packet(std::move(p)); });
+}
+
+void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b) {
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->record({engine_->now(), "elan", std::string(event), node_, a, b});
+  }
+}
+
+void Nic::rdma_put(int dst_node, std::uint32_t bytes, std::unique_ptr<ElanRdma> body) {
+  unit_.exec(config_->rdma_issue, [this, dst_node, bytes, b = body.release()]() mutable {
+    std::unique_ptr<ElanRdma> body(b);
+    ++stats_.rdma_issued;
+    fabric_->send(net::Packet(addr_, net::NicAddr(dst_node),
+                              config_->header_bytes + bytes, std::move(body)));
+  });
+}
+
+void Nic::on_packet(net::Packet&& p) {
+  if (const auto* r = net::body_as<ElanRdma>(p)) {
+    const ElanRdma body = *r;
+    // The event unit fires the remote event attached to the put.
+    unit_.exec(config_->event_fire, [this, body] {
+      ++stats_.events_fired;
+      switch (body.ev_class) {
+        case ElanRdma::EventClass::kBarrier:
+          handle_barrier_event(body);
+          return;
+        case ElanRdma::EventClass::kHostMsg:
+          // The event word DMAs into host memory; the host layer adds its
+          // own poll cost on top.
+          unit_.exec(config_->host_notify_dma, [this, body] {
+            ++stats_.host_notifies;
+            if (host_msg__handler_) host_msg__handler_(body);
+          });
+          return;
+      }
+    });
+    return;
+  }
+  if (const auto* probe = net::body_as<TsetProbe>(p)) {
+    const TsetProbe body = *probe;
+    unit_.exec(config_->tset_probe, [this, body] {
+      if (probe_handler_) probe_handler_(body);
+    });
+    return;
+  }
+  if (const auto* go = net::body_as<TsetGo>(p)) {
+    const TsetGo body = *go;
+    unit_.exec(config_->event_fire, [this, body] {
+      if (go_handler_) go_handler_(body);
+    });
+    return;
+  }
+  throw std::logic_error("unhandled packet body type at Elan NIC");
+}
+
+void Nic::create_barrier_group(ElanGroupDesc desc) {
+  if (groups_.contains(desc.group_id)) {
+    throw std::invalid_argument("elan barrier group id already registered");
+  }
+  Group g;
+  g.desc = std::move(desc);
+  groups_.emplace(g.desc.group_id, std::move(g));
+}
+
+Nic::Op& Nic::touch_slot(Group& g, std::uint32_t seq) {
+  Op& op = g.slots[seq & 1];
+  if (op.in_use && op.seq == seq) return op;
+  if (op.in_use && !op.complete) {
+    throw std::logic_error("elan barrier window violated: operation overtaken by seq+2");
+  }
+  if (op.exec) op.exec->reset();
+  op.early.clear();
+  op.wait_values.clear();
+  op.seq = seq;
+  op.in_use = true;
+  op.active = false;
+  op.complete = false;
+  op.acc = 0;
+  op.done = nullptr;
+  return op;
+}
+
+void Nic::barrier_enter(std::uint32_t group, sim::EventCallback done) {
+  collective_enter(group, 0, [done = std::move(done)](std::int64_t) mutable {
+    if (done) done();
+  });
+}
+
+void Nic::collective_enter(std::uint32_t group, std::int64_t value,
+                           std::function<void(std::int64_t)> done) {
+  unit_.exec(config_->command_process, [this, group, value, done = std::move(done)]() mutable {
+    auto it = groups_.find(group);
+    assert(it != groups_.end() && "collective_enter on unknown group");
+    Group& g = it->second;
+    const std::uint32_t seq = g.next_host_seq++;
+    Op& op = touch_slot(g, seq);
+    op.done = std::move(done);
+    op.acc = value;
+    activate(g, op);
+  });
+}
+
+void Nic::activate(Group& g, Op& op) {
+  op.active = true;
+  if (!op.exec) {
+    Group* gp = &g;
+    Op* opp = &op;
+    op.exec = std::make_unique<coll::ScheduleExecutor>(
+        g.desc.schedule,
+        [this, gp, opp](const coll::Edge& e) { barrier_send(*gp, opp->seq, e, opp->acc); },
+        [this, gp, opp] { finish_barrier(*gp, *opp); });
+    // Payloads fold into the accumulator as their step is consumed (never
+    // at arrival time), matching the Myrinet engine's semantics.
+    op.exec->set_step_consumer([gp, opp](const coll::Step& st) {
+      for (const coll::Edge& w : st.waits) {
+        const auto it = opp->wait_values.find(edge_key(w.peer, w.tag));
+        if (it != opp->wait_values.end()) {
+          opp->acc = coll::combine_value(gp->desc.op_kind, gp->desc.reduce_op, w.tag,
+                                         opp->acc, it->second);
+        }
+      }
+    });
+  }
+  trace("barrier_enter", g.desc.group_id, op.seq);
+  for (const EarlyArrival& ea : op.early) {
+    op.wait_values.emplace(edge_key(ea.peer_rank, ea.tag), ea.value);
+  }
+  op.exec->start();
+  if (!op.complete) {
+    for (const EarlyArrival& ea : op.early) {
+      op.exec->on_arrival(ea.peer_rank, ea.tag);
+      if (op.complete) break;
+    }
+  }
+  op.early.clear();
+}
+
+void Nic::barrier_send(Group& g, std::uint32_t seq, const coll::Edge& e,
+                       std::int64_t value) {
+  // For a barrier this is a zero-byte RDMA put that only fires the peer's
+  // chained event (paper Sec. 7: "RDMA operations with no data transfer
+  // can be utilized to fire a remote event"); value collectives put their
+  // payload words through the same descriptor.
+  auto body = std::make_unique<ElanRdma>();
+  body->ev_class = ElanRdma::EventClass::kBarrier;
+  body->group = g.desc.group_id;
+  body->seq = seq;
+  body->tag = e.tag;
+  body->src_rank = static_cast<std::uint32_t>(g.desc.my_rank);
+  body->value = value;
+  const std::uint32_t payload =
+      g.desc.op_kind == coll::OpKind::kBarrier
+          ? 0u
+          : g.desc.payload_bytes * static_cast<std::uint32_t>(coll::edge_payload_words(
+                                       g.desc.op_kind, e.tag, value));
+  body->payload_bytes = payload;
+  const int dst_node = g.desc.rank_to_node.at(static_cast<std::size_t>(e.peer));
+  rdma_put(dst_node, payload, std::move(body));
+}
+
+void Nic::handle_barrier_event(const ElanRdma& r) {
+  auto it = groups_.find(r.group);
+  if (it == groups_.end()) return;
+  Group& g = it->second;
+  Op& slot = g.slots[r.seq & 1];
+  if (slot.in_use && slot.seq == r.seq) {
+    if (slot.complete) return;  // hardware-reliable network: cannot happen
+    if (slot.active) {
+      slot.wait_values.emplace(edge_key(static_cast<int>(r.src_rank), r.tag), r.value);
+      slot.exec->on_arrival(static_cast<int>(r.src_rank), r.tag);
+    } else {
+      ++stats_.early_buffered;
+      slot.early.push_back({static_cast<int>(r.src_rank), r.tag, r.value});
+    }
+    return;
+  }
+  if (slot.in_use && r.seq < slot.seq) return;  // stale
+  Op& op = touch_slot(g, r.seq);
+  ++stats_.early_buffered;
+  op.early.push_back({static_cast<int>(r.src_rank), r.tag, r.value});
+}
+
+void Nic::finish_barrier(Group& g, Op& op) {
+  assert(!op.complete);
+  op.complete = true;
+  ++stats_.barrier_ops_completed;
+  trace("barrier_complete", g.desc.group_id, op.seq);
+  auto done = std::move(op.done);
+  op.done = nullptr;
+  const std::int64_t result = op.acc;
+  // The final chained descriptor fires a *local* event whose word DMAs to
+  // host memory, carrying the operation's result.
+  unit_.exec(config_->host_notify_dma, [done = std::move(done), result]() mutable {
+    if (done) done(result);
+  });
+}
+
+}  // namespace qmb::elan

@@ -1,0 +1,32 @@
+#include "sim/engine.hpp"
+
+namespace qmb::sim {
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  EventQueue::Fired f = queue_.pop();
+  now_ = f.at;
+  ++fired_;
+  f.cb();
+  return true;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  while (true) {
+    const auto next = queue_.next_time();
+    if (!next || *next > deadline) break;
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace qmb::sim

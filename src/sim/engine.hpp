@@ -1,0 +1,62 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded, deterministic: components schedule callbacks at future
+// simulated instants; run() drains the event queue in (time, insertion)
+// order. All simulated hardware (NICs, links, buses, host CPUs) is built as
+// objects holding a reference to one Engine.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace qmb::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` from now. Negative delays are a bug.
+  EventId schedule(SimDuration delay, EventCallback cb) {
+    if (delay < SimDuration::zero()) throw std::invalid_argument("negative delay");
+    return queue_.push(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` at an absolute instant; must not be in the past.
+  EventId schedule_at(SimTime at, EventCallback cb) {
+    if (at < now_) throw std::invalid_argument("schedule_at in the past");
+    return queue_.push(at, std::move(cb));
+  }
+
+  /// Cancels a previously scheduled event; false if it already ran.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue is empty. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Runs events with time <= deadline; the clock ends at min(deadline,
+  /// last event). Returns the number of events fired.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Fires exactly one event if any is pending. Returns true if one fired.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.total_scheduled(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace qmb::sim

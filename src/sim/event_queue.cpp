@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qmb::sim {
+
+EventId EventQueue::push(SimTime at, EventCallback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{at, seq, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end());
+  pending_.insert(seq);
+  return EventId(seq);
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return pending_.erase(id.seq_) == 1;
+}
+
+std::optional<SimTime> EventQueue::next_time() const {
+  if (pending_.empty()) return std::nullopt;
+  if (is_live(heap_.front())) return heap_.front().at;
+  // The earliest heap entry was cancelled; scan for the earliest live one.
+  // Hit only when the next-to-fire event was cancelled and nothing has been
+  // popped since — rare, so the linear scan is acceptable.
+  SimTime best = SimTime::max();
+  for (const Entry& e : heap_) {
+    if (is_live(e) && e.at < best) best = e.at;
+  }
+  return best;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && !is_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_top();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end());
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.seq);
+  return Fired{e.at, std::move(e.cb)};
+}
+
+}  // namespace qmb::sim

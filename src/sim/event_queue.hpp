@@ -1,0 +1,81 @@
+// Cancellable pending-event queue for the discrete-event engine.
+//
+// A binary heap keyed on (time, sequence). The sequence number breaks ties
+// in insertion order, which makes the whole simulation deterministic: two
+// events scheduled for the same instant always fire in the order they were
+// scheduled. Cancellation is O(1) lazy: the seq is removed from the pending
+// set and the heap entry is dropped when it reaches the top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace qmb::sim {
+
+using EventCallback = std::function<void()>;
+
+/// Identifies a scheduled event so it can be cancelled. Ids are never reused.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;  // 0 is the reserved "invalid" id
+};
+
+class EventQueue {
+ public:
+  /// Enqueues a callback to fire at absolute time `at`.
+  EventId push(SimTime at, EventCallback cb);
+
+  /// Cancels a pending event. Returns false if it already fired, was already
+  /// cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Time of the earliest live event, or nullopt when empty.
+  [[nodiscard]] std::optional<SimTime> next_time() const;
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  struct Fired {
+    SimTime at;
+    EventCallback cb;
+  };
+  Fired pop();
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Total events ever scheduled; useful as a cheap determinism fingerprint.
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq = 0;
+    EventCallback cb;
+
+    // Min-heap: std::push_heap etc. build a max-heap on operator<, so invert.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] bool is_live(const Entry& e) const { return pending_.contains(e.seq); }
+  void drop_dead_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // seqs scheduled but not fired/cancelled
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace qmb::sim

@@ -1,0 +1,53 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/engine.hpp"
+
+namespace qmb::sim {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::string to_string(SimDuration d) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << d.micros() << "us";
+  return os.str();
+}
+
+std::string to_string(SimTime t) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << t.micros() << "us";
+  return os.str();
+}
+
+Logger::Logger(const Engine& engine, LogLevel level)
+    : engine_(&engine), level_(level) {}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view msg) const {
+  if (!enabled(level)) return;
+  ++lines_;
+  std::ostringstream os;
+  os << "[" << std::fixed << std::setprecision(3) << std::setw(12)
+     << engine_->now().micros() << "us " << to_string(level) << " "
+     << component << "] " << msg;
+  if (sink_) {
+    sink_(os.str());
+  } else {
+    std::fputs(os.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+  }
+}
+
+}  // namespace qmb::sim

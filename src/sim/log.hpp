@@ -1,0 +1,72 @@
+// Leveled logging stamped with simulated time.
+//
+// Off by default (benchmarks run silent); tests and examples raise the level
+// on a per-Logger basis. Deliberately not a global singleton (I.3): each
+// simulated cluster owns a Logger and hands references to its components.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace qmb::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Engine;
+
+class Logger {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  /// Logs to stderr by default.
+  explicit Logger(const Engine& engine, LogLevel level = LogLevel::kOff);
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  /// Redirects output (tests capture lines this way).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void log(LogLevel level, std::string_view component, std::string_view msg) const;
+
+  [[nodiscard]] std::uint64_t lines_emitted() const { return lines_; }
+
+ private:
+  const Engine* engine_;
+  LogLevel level_;
+  Sink sink_;
+  mutable std::uint64_t lines_ = 0;
+};
+
+// Stream-style convenience: QMB_LOG(logger, kDebug, "mcp") << "tok=" << t;
+// The ostringstream is only constructed when the level is enabled.
+#define QMB_LOG(logger, lvl, component)                                     \
+  for (bool qmb_once = (logger).enabled(::qmb::sim::LogLevel::lvl);        \
+       qmb_once; qmb_once = false)                                          \
+  ::qmb::sim::detail::LogLine((logger), ::qmb::sim::LogLevel::lvl, (component)).stream()
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(const Logger& logger, LogLevel level, std::string_view component)
+      : logger_(logger), level_(level), component_(component) {}
+  ~LogLine() { logger_.log(level_, component_, os_.str()); }
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  const Logger& logger_;
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace qmb::sim

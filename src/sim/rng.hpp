@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// xoshiro256** seeded through splitmix64, per Blackman & Vigna. Self-
+// contained so simulation results are reproducible independent of the
+// standard library's distribution implementations.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace qmb::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses Lemire rejection
+  /// to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// A random permutation of {0, 1, ..., n-1} (Fisher-Yates).
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> v(n);
+    std::iota(v.begin(), v.end(), std::size_t{0});
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(v[i - 1], v[next_below(i)]);
+    }
+    return v;
+  }
+
+  /// Derives an independent stream (for per-node RNGs from one master seed).
+  Rng split() { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace qmb::sim

@@ -1,0 +1,53 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qmb::sim {
+
+SimDuration LatencySeries::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+SimDuration LatencySeries::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+SimDuration LatencySeries::mean() const {
+  assert(!samples_.empty());
+  // Sum in 128 bits: 10k samples of up to ~2^63 ps would overflow int64.
+  __int128 sum = 0;
+  for (SimDuration s : samples_) sum += s.picos();
+  return SimDuration(static_cast<std::int64_t>(sum / static_cast<__int128>(samples_.size())));
+}
+
+double LatencySeries::stddev_picos() const {
+  assert(!samples_.empty());
+  const double m = static_cast<double>(mean().picos());
+  double acc = 0;
+  for (SimDuration s : samples_) {
+    const double d = static_cast<double>(s.picos()) - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+SimDuration LatencySeries::percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<SimDuration> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double interp = static_cast<double>(sorted[lo].picos()) * (1.0 - frac) +
+                        static_cast<double>(sorted[lo + 1].picos()) * frac;
+  return SimDuration(static_cast<std::int64_t>(interp));
+}
+
+}  // namespace qmb::sim

@@ -1,0 +1,46 @@
+// Latency statistics used by the benchmark harnesses.
+//
+// The paper's methodology (Sec. 8): 100 warm-up iterations, then the mean of
+// the next 10,000 barriers. LatencySeries stores the raw samples so tests
+// and benches can also report min/max/percentiles and variance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace qmb::sim {
+
+class LatencySeries {
+ public:
+  void add(SimDuration sample) { samples_.push_back(sample); }
+  void clear() { samples_.clear(); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] SimDuration min() const;
+  [[nodiscard]] SimDuration max() const;
+  [[nodiscard]] SimDuration mean() const;
+  /// Population standard deviation, in picoseconds (double-precision).
+  [[nodiscard]] double stddev_picos() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] SimDuration percentile(double p) const;
+
+  [[nodiscard]] const std::vector<SimDuration>& samples() const { return samples_; }
+
+ private:
+  std::vector<SimDuration> samples_;
+};
+
+/// Running counter bundle a component exposes for observability (packets
+/// sent, retransmissions, ...). Plain struct: callers name their counters.
+struct Counter {
+  std::uint64_t value = 0;
+  Counter& operator++() { ++value; return *this; }
+  Counter& operator+=(std::uint64_t d) { value += d; return *this; }
+  operator std::uint64_t() const { return value; }  // NOLINT(google-explicit-constructor)
+};
+
+}  // namespace qmb::sim

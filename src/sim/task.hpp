@@ -1,0 +1,99 @@
+// Minimal C++20 coroutine support for writing simulated host processes.
+//
+// A `Task` is a fire-and-forget coroutine driven entirely by the engine:
+// awaiting a `Trigger` or a delay parks the coroutine, and resumption is
+// always performed from an engine event (never inline from fire()), so the
+// engine remains the only stack frame driving simulation code.
+//
+//   sim::Task host_main(Cluster& c, int rank) {
+//     for (int i = 0; i < 1000; ++i) {
+//       co_await c.barrier(rank);
+//     }
+//   }
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace qmb::sim {
+
+/// Fire-and-forget coroutine. Starts eagerly; destroys itself at the final
+/// suspend point. Exceptions escaping the coroutine terminate the program —
+/// in a simulation an unhandled error is a model bug, not a recoverable
+/// condition.
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() { return Task{}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+/// One-shot completion signal. A coroutine co_awaits it; fire() resumes the
+/// waiter via a zero-delay engine event. Reusable after reset().
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) : engine_(&engine) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  /// Marks the trigger fired and resumes any waiter on the next engine tick.
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    if (waiter_) {
+      auto h = std::exchange(waiter_, nullptr);
+      engine_->schedule(SimDuration::zero(), [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] bool fired() const { return fired_; }
+
+  /// Re-arms the trigger for another fire/await cycle.
+  void reset() {
+    assert(!waiter_ && "reset() with a parked waiter");
+    fired_ = false;
+  }
+
+  auto operator co_await() {
+    struct Awaiter {
+      Trigger& t;
+      bool await_ready() const { return t.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(!t.waiter_ && "Trigger supports a single waiter");
+        t.waiter_ = h;
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* engine_;
+  bool fired_ = false;
+  std::coroutine_handle<> waiter_;
+};
+
+/// Awaitable pause: `co_await delay(engine, microseconds(5));`
+struct DelayAwaiter {
+  Engine& engine;
+  SimDuration d;
+  bool await_ready() const { return d <= SimDuration::zero(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine.schedule(d, [h] { h.resume(); });
+  }
+  void await_resume() const {}
+};
+
+[[nodiscard]] inline DelayAwaiter delay(Engine& engine, SimDuration d) {
+  return DelayAwaiter{engine, d};
+}
+
+}  // namespace qmb::sim

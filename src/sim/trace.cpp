@@ -1,0 +1,25 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace qmb::sim {
+
+std::size_t Tracer::count(std::string_view component, std::string_view event) const {
+  std::size_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.component == component && r.event == event) ++n;
+  }
+  return n;
+}
+
+std::string Tracer::to_csv() const {
+  std::ostringstream os;
+  os << "time_us,component,event,node,a,b\n";
+  for (const TraceRecord& r : records_) {
+    os << r.at.micros() << ',' << r.component << ',' << r.event << ','
+       << r.node << ',' << r.a << ',' << r.b << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qmb::sim

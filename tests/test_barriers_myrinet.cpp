@@ -1,0 +1,215 @@
+// End-to-end tests of the three Myrinet barrier implementations.
+#include "core/myri_barriers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace qmb::core {
+namespace {
+
+using namespace qmb::sim::literals;
+using sim::Engine;
+using sim::SimTime;
+
+struct Case {
+  MyriBarrierKind kind;
+  coll::Algorithm algorithm;
+  int nodes;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string kind;
+  switch (info.param.kind) {
+    case MyriBarrierKind::kHost: kind = "host"; break;
+    case MyriBarrierKind::kNicDirect: kind = "direct"; break;
+    case MyriBarrierKind::kNicCollective: kind = "coll"; break;
+  }
+  std::string alg(coll::to_string(info.param.algorithm));
+  for (char& c : alg) {
+    if (c == '-') c = '_';
+  }
+  return kind + "_" + alg + "_n" + std::to_string(info.param.nodes);
+}
+
+class MyriBarrierSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MyriBarrierSweep, ConsecutiveBarriersComplete) {
+  const Case& p = GetParam();
+  Engine engine;
+  MyriCluster cluster(engine, myri::lanaixp_cluster(), p.nodes);
+  auto barrier = cluster.make_barrier(p.kind, p.algorithm);
+  const auto result = run_consecutive_barriers(engine, *barrier, 2, 8);
+  EXPECT_EQ(result.iterations, 8u);
+  EXPECT_GT(result.mean.picos(), 0);
+  EXPECT_LT(result.mean.micros(), 500.0);
+}
+
+TEST_P(MyriBarrierSweep, BarrierSafetyWithStraggler) {
+  const Case& p = GetParam();
+  Engine engine;
+  MyriCluster cluster(engine, myri::lanaixp_cluster(), p.nodes);
+  auto barrier = cluster.make_barrier(p.kind, p.algorithm);
+  const auto straggle = sim::microseconds(300);
+  std::vector<SimTime> completed(static_cast<std::size_t>(p.nodes));
+  for (int r = 0; r < p.nodes; ++r) {
+    const auto d = r == p.nodes / 2 ? straggle : sim::microseconds(r);
+    engine.schedule(d, [&, r] {
+      barrier->enter(r, [&, r] { completed[static_cast<std::size_t>(r)] = engine.now(); });
+    });
+  }
+  engine.run();
+  for (int r = 0; r < p.nodes; ++r) {
+    EXPECT_GT(completed[static_cast<std::size_t>(r)].picos(), straggle.picos())
+        << "rank " << r << " exited before the straggler entered";
+  }
+}
+
+std::vector<Case> sweep_cases() {
+  std::vector<Case> cases;
+  for (const auto kind : {MyriBarrierKind::kHost, MyriBarrierKind::kNicDirect,
+                          MyriBarrierKind::kNicCollective}) {
+    for (const auto alg :
+         {coll::Algorithm::kDissemination, coll::Algorithm::kPairwiseExchange}) {
+      for (const int n : {2, 3, 4, 6, 8, 11, 16}) {
+        cases.push_back({kind, alg, n});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MyriBarrierSweep, ::testing::ValuesIn(sweep_cases()),
+                         case_name);
+
+TEST(MyriBarriers, NicCollectiveBeatsHostBased) {
+  for (const int n : {4, 8, 16}) {
+    Engine eh, en;
+    MyriCluster ch(eh, myri::lanaixp_cluster(), n);
+    MyriCluster cn(en, myri::lanaixp_cluster(), n);
+    auto host = ch.make_barrier(MyriBarrierKind::kHost, coll::Algorithm::kDissemination);
+    auto nic = cn.make_barrier(MyriBarrierKind::kNicCollective,
+                               coll::Algorithm::kDissemination);
+    const auto host_r = run_consecutive_barriers(eh, *host, 10, 50);
+    const auto nic_r = run_consecutive_barriers(en, *nic, 10, 50);
+    const double factor = host_r.mean.micros() / nic_r.mean.micros();
+    EXPECT_GT(factor, 1.5) << "n=" << n;
+  }
+}
+
+TEST(MyriBarriers, CollectiveProtocolBeatsDirectScheme) {
+  Engine ed, ec;
+  MyriCluster cd(ed, myri::lanaixp_cluster(), 8);
+  MyriCluster cc(ec, myri::lanaixp_cluster(), 8);
+  auto direct = cd.make_barrier(MyriBarrierKind::kNicDirect, coll::Algorithm::kDissemination);
+  auto coll_b = cc.make_barrier(MyriBarrierKind::kNicCollective,
+                                coll::Algorithm::kDissemination);
+  const auto direct_r = run_consecutive_barriers(ed, *direct, 10, 50);
+  const auto coll_r = run_consecutive_barriers(ec, *coll_b, 10, 50);
+  EXPECT_GT(direct_r.mean.picos(), coll_r.mean.picos());
+}
+
+TEST(MyriBarriers, CollectiveProtocolHalvesWirePackets) {
+  // The direct scheme ACKs every barrier message; the collective protocol
+  // sends none (receiver-driven NACKs only on loss).
+  Engine ed, ec;
+  MyriCluster cd(ed, myri::lanaixp_cluster(), 8);
+  MyriCluster cc(ec, myri::lanaixp_cluster(), 8);
+  auto direct = cd.make_barrier(MyriBarrierKind::kNicDirect, coll::Algorithm::kDissemination);
+  auto coll_b = cc.make_barrier(MyriBarrierKind::kNicCollective,
+                                coll::Algorithm::kDissemination);
+  run_consecutive_barriers(ed, *direct, 0, 10);
+  run_consecutive_barriers(ec, *coll_b, 0, 10);
+  EXPECT_EQ(cd.fabric().packets_sent(), 2 * cc.fabric().packets_sent());
+}
+
+TEST(MyriBarriers, RandomPlacementMatchesIdentity) {
+  // Paper Sec. 8.1: random node permutations showed only negligible
+  // variation. On a single crossbar, placement must be near-irrelevant.
+  Engine ei, ep;
+  MyriCluster ci(ei, myri::lanaixp_cluster(), 8);
+  MyriCluster cp(ep, myri::lanaixp_cluster(), 8);
+  sim::Rng rng(123);
+  auto ident = ci.make_barrier(MyriBarrierKind::kNicCollective,
+                               coll::Algorithm::kDissemination);
+  auto perm = cp.make_barrier(MyriBarrierKind::kNicCollective,
+                              coll::Algorithm::kDissemination, random_placement(8, rng));
+  const auto ri = run_consecutive_barriers(ei, *ident, 10, 50);
+  const auto rp = run_consecutive_barriers(ep, *perm, 10, 50);
+  const double rel = std::abs(ri.mean.micros() - rp.mean.micros()) / ri.mean.micros();
+  EXPECT_LT(rel, 0.15);
+}
+
+TEST(MyriBarriers, PairwiseExchangeSlowerOnNonPowerOfTwo) {
+  // Fig. 5/6: PE pays two extra steps at non-powers of two; DS does not.
+  Engine ep, ed;
+  MyriCluster cp(ep, myri::lanaixp_cluster(), 6);
+  MyriCluster cd(ed, myri::lanaixp_cluster(), 6);
+  auto pe = cp.make_barrier(MyriBarrierKind::kNicCollective,
+                            coll::Algorithm::kPairwiseExchange);
+  auto ds = cd.make_barrier(MyriBarrierKind::kNicCollective,
+                            coll::Algorithm::kDissemination);
+  const auto rpe = run_consecutive_barriers(ep, *pe, 5, 20);
+  const auto rds = run_consecutive_barriers(ed, *ds, 5, 20);
+  EXPECT_GT(rpe.mean.picos(), rds.mean.picos());
+}
+
+TEST(MyriBarriers, AlgorithmsTieOnPowerOfTwo) {
+  Engine ep, ed;
+  MyriCluster cp(ep, myri::lanaixp_cluster(), 8);
+  MyriCluster cd(ed, myri::lanaixp_cluster(), 8);
+  auto pe = cp.make_barrier(MyriBarrierKind::kNicCollective,
+                            coll::Algorithm::kPairwiseExchange);
+  auto ds = cd.make_barrier(MyriBarrierKind::kNicCollective,
+                            coll::Algorithm::kDissemination);
+  const auto rpe = run_consecutive_barriers(ep, *pe, 5, 20);
+  const auto rds = run_consecutive_barriers(ed, *ds, 5, 20);
+  const double rel = std::abs(rpe.mean.micros() - rds.mean.micros()) / rds.mean.micros();
+  EXPECT_LT(rel, 0.10);
+}
+
+TEST(MyriBarriers, NicBarrierSurvivesRandomLoss) {
+  Engine engine;
+  MyriCluster cluster(engine, myri::lanaixp_cluster(), 8);
+  cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, 0.02, 2024);
+  auto barrier = cluster.make_barrier(MyriBarrierKind::kNicCollective,
+                                      coll::Algorithm::kDissemination);
+  const auto result = run_consecutive_barriers(engine, *barrier, 0, 30);
+  EXPECT_EQ(result.iterations, 30u);
+}
+
+TEST(MyriBarriers, HostBarrierSurvivesRandomLoss) {
+  Engine engine;
+  MyriCluster cluster(engine, myri::lanaixp_cluster(), 4);
+  cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, 0.02, 7);
+  auto barrier = cluster.make_barrier(MyriBarrierKind::kHost,
+                                      coll::Algorithm::kDissemination);
+  const auto result = run_consecutive_barriers(engine, *barrier, 0, 15);
+  EXPECT_EQ(result.iterations, 15u);
+}
+
+TEST(MyriBarriers, LatencyGrowsLogarithmically) {
+  // Doubling the node count should add roughly one trigger step, far less
+  // than doubling the latency.
+  auto mean_at = [](int n) {
+    Engine e;
+    MyriCluster c(e, myri::lanaixp_cluster(), n);
+    auto b = c.make_barrier(MyriBarrierKind::kNicCollective,
+                            coll::Algorithm::kDissemination);
+    return run_consecutive_barriers(e, *b, 5, 20).mean.micros();
+  };
+  const double at4 = mean_at(4);
+  const double at8 = mean_at(8);
+  const double at16 = mean_at(16);
+  EXPECT_GT(at8, at4);
+  EXPECT_GT(at16, at8);
+  EXPECT_LT(at16, 2.0 * at8);            // sub-linear growth
+  EXPECT_NEAR(at16 - at8, at8 - at4, 2.0);  // roughly constant per-step cost
+}
+
+}  // namespace
+}  // namespace qmb::core

@@ -1,0 +1,137 @@
+// Cluster builders, placement helpers, and the benchmark runner.
+#include "core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qmb::core {
+namespace {
+
+using sim::Engine;
+
+TEST(MyriCluster, BuildsRequestedNodeCount) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 8);
+  EXPECT_EQ(c.size(), 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(c.node(i).index(), i);
+  EXPECT_EQ(c.fabric().attached_nics(), 8u);
+}
+
+TEST(MyriCluster, RejectsTooFewNodes) {
+  Engine e;
+  EXPECT_THROW(MyriCluster(e, myri::lanaixp_cluster(), 1), std::invalid_argument);
+}
+
+TEST(MyriCluster, LargeClusterUsesClosTopology) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 64);
+  EXPECT_EQ(c.size(), 64);
+  // A 64-node Clos has tree structure: nodes in different 16-node groups
+  // merge above level 1.
+  EXPECT_GT(c.fabric().topology().merge_level(net::NicAddr(0), net::NicAddr(63)), 1);
+}
+
+TEST(MyriCluster, GroupIdsAreUnique) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 2);
+  std::set<std::uint32_t> ids;
+  for (int i = 0; i < 10; ++i) ids.insert(c.next_group_id());
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(ElanCluster, AlwaysAtLeastTwoLevels) {
+  Engine e;
+  ElanCluster c(e, elan::elan3_cluster(), 2);
+  // Elite-16 is a dimension-two quaternary fat tree even half-populated.
+  EXPECT_EQ(c.fabric().topology().top_level(), 2);
+}
+
+TEST(Placement, IdentityIsIota) {
+  const auto p = identity_placement(5);
+  EXPECT_EQ(p, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Placement, RandomIsAPermutation) {
+  sim::Rng rng(3);
+  const auto p = random_placement(16, rng);
+  std::set<int> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 16u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 15);
+}
+
+TEST(Runner, CollectsExactlyItersSamples) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 2);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  const auto r = run_consecutive_barriers(e, *b, 3, 7);
+  EXPECT_EQ(r.iterations, 7u);
+  EXPECT_EQ(r.per_iteration.count(), 7u);
+  EXPECT_EQ(r.mean, r.per_iteration.mean());
+}
+
+TEST(Runner, ZeroWarmupWorks) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 2);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  const auto r = run_consecutive_barriers(e, *b, 0, 3);
+  EXPECT_EQ(r.per_iteration.count(), 3u);
+  // First sample includes cold start from t=0.
+  EXPECT_GT(r.per_iteration.max().picos(), 0);
+}
+
+TEST(Runner, ThrowsOnDeadlockedBarrier) {
+  // A barrier that never completes must be detected by the watchdog, not
+  // hang. Build one by only entering half the ranks via a wrapper.
+  struct HalfBarrier final : Barrier {
+    Barrier& inner;
+    explicit HalfBarrier(Barrier& b) : inner(b) {}
+    void enter(int rank, sim::EventCallback done) override {
+      if (rank % 2 == 0) inner.enter(rank, std::move(done));
+      // Odd ranks never really enter: their done never fires.
+    }
+    std::string_view name() const override { return "half"; }
+    int size() const override { return inner.size(); }
+  };
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 4);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  HalfBarrier half(*b);
+  EXPECT_THROW(run_consecutive_barriers(e, half, 0, 1), std::runtime_error);
+}
+
+TEST(Factories, AllMyriKindsConstruct) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 4);
+  for (const auto kind : {MyriBarrierKind::kHost, MyriBarrierKind::kNicDirect,
+                          MyriBarrierKind::kNicCollective}) {
+    auto b = c.make_barrier(kind, coll::Algorithm::kDissemination);
+    EXPECT_EQ(b->size(), 4);
+    EXPECT_FALSE(b->name().empty());
+  }
+}
+
+TEST(Factories, AllElanKindsConstruct) {
+  Engine e;
+  ElanCluster c(e, elan::elan3_cluster(), 4);
+  for (const auto kind : {ElanBarrierKind::kGsyncTree, ElanBarrierKind::kHardware,
+                          ElanBarrierKind::kNicChained}) {
+    auto b = c.make_barrier(kind, coll::Algorithm::kDissemination);
+    EXPECT_EQ(b->size(), 4);
+    EXPECT_FALSE(b->name().empty());
+  }
+}
+
+TEST(Factories, PlacementMustCoverCluster) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 4);
+  // A 4-rank barrier on 4 nodes with a permuted placement works.
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination,
+                          {3, 2, 1, 0});
+  const auto r = run_consecutive_barriers(e, *b, 0, 2);
+  EXPECT_EQ(r.iterations, 2u);
+}
+
+}  // namespace
+}  // namespace qmb::core

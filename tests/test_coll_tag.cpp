@@ -1,0 +1,62 @@
+#include "core/coll_tag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qmb::core {
+namespace {
+
+TEST(BarrierTag, RoundTripsFields) {
+  const std::uint32_t t = BarrierTag::encode(0x55, 0xABC, 0x201);
+  EXPECT_TRUE(BarrierTag::is_barrier(t));
+  EXPECT_EQ(BarrierTag::group(t), 0x55u);
+  EXPECT_EQ(BarrierTag::seq_low(t), 0xABCu);
+  EXPECT_EQ(BarrierTag::edge_tag(t), 0x201u);
+}
+
+TEST(BarrierTag, ApplicationTagsAreNotBarriers) {
+  EXPECT_FALSE(BarrierTag::is_barrier(0));
+  EXPECT_FALSE(BarrierTag::is_barrier(0x7FFFFFFFu));
+  EXPECT_TRUE(BarrierTag::is_barrier(BarrierTag::kBase));
+}
+
+TEST(BarrierTag, FieldsAreMasked) {
+  // Oversized inputs must not bleed into neighbouring fields.
+  const std::uint32_t t = BarrierTag::encode(0xFFF, 0xFFFFF, 0xFFFFF);
+  EXPECT_EQ(BarrierTag::group(t), 0x7Fu);
+  EXPECT_EQ(BarrierTag::seq_low(t), 0xFFFu);
+  EXPECT_EQ(BarrierTag::edge_tag(t), 0xFFFu);
+}
+
+TEST(BarrierTag, WidenSeqIdentityInWindow) {
+  for (std::uint32_t seq : {0u, 1u, 5u, 100u, 4094u}) {
+    EXPECT_EQ(BarrierTag::widen_seq(seq & BarrierTag::kSeqMask, seq), seq);
+    EXPECT_EQ(BarrierTag::widen_seq((seq + 1) & BarrierTag::kSeqMask, seq), seq + 1);
+  }
+}
+
+TEST(BarrierTag, WidenSeqAcrossWrap) {
+  // Receiver progressed past a wrap boundary; the incoming low bits belong
+  // to the previous window period.
+  const std::uint32_t next = 0x1001;  // receiver will start 0x1001 next
+  EXPECT_EQ(BarrierTag::widen_seq(0xFFF, next), 0xFFFu);   // one behind
+  EXPECT_EQ(BarrierTag::widen_seq(0x001, next), 0x1001u);  // current
+  EXPECT_EQ(BarrierTag::widen_seq(0x002, next), 0x1002u);  // one ahead
+}
+
+TEST(BarrierTag, WidenSeqNearZero) {
+  EXPECT_EQ(BarrierTag::widen_seq(0, 0), 0u);
+  EXPECT_EQ(BarrierTag::widen_seq(1, 0), 1u);
+  // Low bits far "above" a near-zero reference resolve to the small value,
+  // never to a negative period.
+  EXPECT_EQ(BarrierTag::widen_seq(0xFFF, 1), 0xFFFu);
+}
+
+TEST(BarrierTag, DistinctGroupsDistinctTags) {
+  const auto a = BarrierTag::encode(1, 5, 3);
+  const auto b = BarrierTag::encode(2, 5, 3);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(BarrierTag::seq_low(a), BarrierTag::seq_low(b));
+}
+
+}  // namespace
+}  // namespace qmb::core

@@ -1,0 +1,125 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qmb::sim {
+namespace {
+
+SimTime at_us(std::int64_t us) { return SimTime(us * 1'000'000); }
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at_us(30), [&] { order.push_back(3); });
+  q.push(at_us(10), [&] { order.push_back(1); });
+  q.push(at_us(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.push(at_us(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  q.push(at_us(1), [&] { ++fired; });
+  const EventId victim = q.push(at_us(2), [&] { fired += 100; });
+  q.push(at_us(3), [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(victim));
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(at_us(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue q;
+  const EventId id = q.push(at_us(1), [] {});
+  q.pop().cb();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  const EventId a = q.push(at_us(1), [] {});
+  q.push(at_us(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledTop) {
+  EventQueue q;
+  const EventId first = q.push(at_us(1), [] {});
+  q.push(at_us(5), [] {});
+  ASSERT_TRUE(q.next_time().has_value());
+  EXPECT_EQ(*q.next_time(), at_us(1));
+  q.cancel(first);
+  ASSERT_TRUE(q.next_time().has_value());
+  EXPECT_EQ(*q.next_time(), at_us(5));
+}
+
+TEST(EventQueue, NextTimeEmptyIsNullopt) {
+  EventQueue q;
+  EXPECT_FALSE(q.next_time().has_value());
+}
+
+TEST(EventQueue, PopSkipsTombstones) {
+  EventQueue q;
+  const EventId a = q.push(at_us(1), [] {});
+  const EventId b = q.push(at_us(2), [] {});
+  int fired = 0;
+  q.push(at_us(3), [&] { fired = 3; });
+  q.cancel(a);
+  q.cancel(b);
+  const auto f = q.pop();
+  EXPECT_EQ(f.at, at_us(3));
+  f.cb();
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StressInterleavedPushCancelPop) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(q.push(at_us(round * 100 + i), [&] { ++fired; }));
+    }
+    // Cancel every third pending id.
+    for (std::size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+    ids.clear();
+    while (!q.empty() && q.size() > 5) q.pop().cb();
+  }
+  while (!q.empty()) q.pop().cb();
+  EXPECT_GT(fired, 0);
+  EXPECT_EQ(q.total_scheduled(), 50u * 20u);
+}
+
+}  // namespace
+}  // namespace qmb::sim

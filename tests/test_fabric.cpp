@@ -1,0 +1,166 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/fat_tree.hpp"
+#include "net/topology.hpp"
+
+namespace qmb::net {
+namespace {
+
+using namespace qmb::sim::literals;
+using sim::Engine;
+using sim::SimTime;
+
+struct ProbeBody final : PacketBodyBase<ProbeBody> {
+  int value = 0;
+};
+
+struct Harness {
+  Engine engine;
+  std::unique_ptr<Fabric> fabric;
+  std::vector<std::vector<Packet>> received;
+
+  explicit Harness(std::size_t nics, sim::SimDuration link_lat = 300_ns,
+                   double bw = 2.0e9, sim::SimDuration sw = 300_ns) {
+    fabric = std::make_unique<Fabric>(
+        engine, std::make_unique<SingleCrossbar>(nics),
+        FabricParams{LinkParams{link_lat, bw}, SwitchParams{sw}});
+    received.resize(nics);
+    for (std::size_t i = 0; i < nics; ++i) {
+      fabric->attach([this, i](Packet&& p) { received[i].push_back(std::move(p)); });
+    }
+  }
+
+  void send(int src, int dst, std::uint32_t bytes, int value = 0) {
+    auto body = std::make_unique<ProbeBody>();
+    body->value = value;
+    fabric->send(Packet(NicAddr(src), NicAddr(dst), bytes, std::move(body)));
+  }
+};
+
+TEST(Fabric, DeliversToAddressee) {
+  Harness h(4);
+  h.send(0, 2, 64, 42);
+  h.engine.run();
+  ASSERT_EQ(h.received[2].size(), 1u);
+  EXPECT_TRUE(h.received[0].empty());
+  EXPECT_TRUE(h.received[1].empty());
+  const auto* body = body_as<ProbeBody>(h.received[2][0]);
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->value, 42);
+}
+
+TEST(Fabric, UnloadedLatencyMatchesDelivery) {
+  Harness h(4);
+  const auto expected = h.fabric->unloaded_latency(NicAddr(0), NicAddr(2), 64);
+  h.send(0, 2, 64);
+  h.engine.run();
+  EXPECT_EQ(h.engine.now() - SimTime::zero(), expected);
+}
+
+TEST(Fabric, CutThroughLatencyComposition) {
+  Harness h(4, 300_ns, 2.0e9, 300_ns);
+  // 2 links * 300ns + 1 switch * 300ns + 64B/2GBps = 900ns + 32ns.
+  const auto lat = h.fabric->unloaded_latency(NicAddr(0), NicAddr(1), 64);
+  EXPECT_EQ(lat.picos(), 900'000 + 32'000);
+}
+
+TEST(Fabric, SharedDownlinkSerializes) {
+  Harness h(4, 300_ns, 2.0e9, 300_ns);
+  std::vector<SimTime> arrivals;
+  // Re-attach is not possible; instead send two large packets to the same
+  // destination from different sources and observe spaced arrivals.
+  h.send(0, 3, 4000);
+  h.send(1, 3, 4000);
+  h.engine.run();
+  ASSERT_EQ(h.received[3].size(), 2u);
+  // Serialization of 4000B at 2GB/s is 2us; second arrival must trail the
+  // first by at least that (shared downlink).
+  EXPECT_EQ(h.fabric->packets_delivered(), 2u);
+  EXPECT_GE((h.engine.now() - SimTime::zero()).picos(),
+            (2_us + 2_us).picos());
+}
+
+TEST(Fabric, DisjointPathsDoNotSerialize) {
+  Harness h(4, 300_ns, 2.0e9, 300_ns);
+  h.send(0, 1, 4000);
+  h.send(2, 3, 4000);
+  h.engine.run();
+  // Both complete at the unloaded latency: 900ns + 2us serialization.
+  EXPECT_EQ(h.engine.now().picos(), 2'900'000);
+}
+
+TEST(Fabric, PacketIdsAreUniqueAndCounted) {
+  Harness h(4);
+  h.send(0, 1, 64);
+  h.send(0, 2, 64);
+  h.send(1, 3, 64);
+  h.engine.run();
+  EXPECT_EQ(h.fabric->packets_sent(), 3u);
+  EXPECT_EQ(h.fabric->packets_delivered(), 3u);
+  EXPECT_EQ(h.fabric->bytes_sent(), 192u);
+  EXPECT_NE(h.received[1][0].id, h.received[2][0].id);
+}
+
+TEST(Fabric, AttachBeyondPortsThrows) {
+  Engine e;
+  Fabric f(e, std::make_unique<SingleCrossbar>(2),
+           FabricParams{LinkParams{300_ns, 2.0e9}, SwitchParams{300_ns}});
+  f.attach([](Packet&&) {});
+  f.attach([](Packet&&) {});
+  EXPECT_THROW(f.attach([](Packet&&) {}), std::runtime_error);
+}
+
+TEST(Fabric, BroadcastReachesWholeRange) {
+  Engine e;
+  Fabric f(e, std::make_unique<FatTree>(4, 2, 8),
+           FabricParams{LinkParams{250_ns, 3.4e8}, SwitchParams{200_ns}});
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    f.attach([&hits, i](Packet&&) { hits[static_cast<std::size_t>(i)]++; });
+  }
+  auto body = std::make_unique<ProbeBody>();
+  f.broadcast(NicAddr(0), NicAddr(0), NicAddr(7), 24, std::move(body));
+  e.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << i;
+}
+
+TEST(Fabric, BroadcastArrivalSkewIsSwitchLevelNotSerial) {
+  Engine e;
+  Fabric f(e, std::make_unique<FatTree>(4, 3, 64),
+           FabricParams{LinkParams{250_ns, 3.4e8}, SwitchParams{200_ns}});
+  std::vector<SimTime> arrival(64);
+  for (int i = 0; i < 64; ++i) {
+    f.attach([&arrival, i, &e](Packet&&) { arrival[static_cast<std::size_t>(i)] = e.now(); });
+  }
+  f.broadcast(NicAddr(0), NicAddr(0), NicAddr(63), 24, std::make_unique<ProbeBody>());
+  e.run();
+  SimTime first = arrival[0], last = arrival[0];
+  for (const SimTime t : arrival) {
+    first = std::min(first, t);
+    last = std::max(last, t);
+  }
+  // 64 serial unicasts of 24B headers would skew by >= 63 * serialization
+  // (~4.4us at 340MB/s); tree replication keeps the skew far below that.
+  EXPECT_LT((last - first).picos(), 4'000'000);
+}
+
+TEST(Fabric, TracerRecordsInjections) {
+  Engine e;
+  sim::Tracer tracer;
+  tracer.enable();
+  Fabric f(e, std::make_unique<SingleCrossbar>(2),
+           FabricParams{LinkParams{300_ns, 2.0e9}, SwitchParams{300_ns}}, &tracer);
+  f.attach([](Packet&&) {});
+  f.attach([](Packet&&) {});
+  f.send(Packet(NicAddr(0), NicAddr(1), 64, std::make_unique<ProbeBody>()));
+  e.run();
+  EXPECT_EQ(tracer.count("fabric", "inject"), 1u);
+}
+
+}  // namespace
+}  // namespace qmb::net

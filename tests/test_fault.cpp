@@ -1,0 +1,138 @@
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+
+namespace qmb::net {
+namespace {
+
+using namespace qmb::sim::literals;
+using sim::Engine;
+
+struct ProbeBody final : PacketBodyBase<ProbeBody> {
+  int value = 0;
+};
+
+Packet make_packet(int src, int dst, int value = 0) {
+  auto body = std::make_unique<ProbeBody>();
+  body->value = value;
+  return Packet(NicAddr(src), NicAddr(dst), 64, std::move(body));
+}
+
+TEST(FaultInjector, NoRulesDeliversEverything) {
+  FaultInjector fi;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDeliver);
+  }
+  EXPECT_EQ(fi.dropped(), 0u);
+}
+
+TEST(FaultInjector, NthRuleDropsExactlyThatMatch) {
+  FaultInjector fi;
+  fi.add_nth_rule(NicAddr(0), NicAddr(1), 3);
+  int dropped = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fi.decide(make_packet(0, 1)) == FaultAction::kDrop) ++dropped;
+  }
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(fi.dropped(), 1u);
+}
+
+TEST(FaultInjector, FiltersBySrcAndDst) {
+  FaultInjector fi;
+  fi.add_nth_rule(NicAddr(0), NicAddr(1), 1);
+  EXPECT_EQ(fi.decide(make_packet(2, 1)), FaultAction::kDeliver);
+  EXPECT_EQ(fi.decide(make_packet(0, 2)), FaultAction::kDeliver);
+  EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDrop);
+}
+
+TEST(FaultInjector, WildcardFilters) {
+  FaultInjector fi;
+  fi.add_nth_rule(std::nullopt, NicAddr(3), 1);
+  EXPECT_EQ(fi.decide(make_packet(7, 2)), FaultAction::kDeliver);
+  EXPECT_EQ(fi.decide(make_packet(7, 3)), FaultAction::kDrop);
+}
+
+TEST(FaultInjector, DuplicateAction) {
+  FaultInjector fi;
+  fi.add_nth_rule(std::nullopt, std::nullopt, 2, FaultAction::kDuplicate);
+  EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDeliver);
+  EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDuplicate);
+  EXPECT_EQ(fi.duplicated(), 1u);
+}
+
+TEST(FaultInjector, RandomRuleIsDeterministicPerSeed) {
+  auto run = [] {
+    FaultInjector fi;
+    fi.add_random_rule(std::nullopt, std::nullopt, 0.3, 99);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 50; ++i) {
+      outcomes.push_back(fi.decide(make_packet(0, 1)) == FaultAction::kDrop ? 1 : 0);
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjector, RandomRuleRateApproximatesP) {
+  FaultInjector fi;
+  fi.add_random_rule(std::nullopt, std::nullopt, 0.2, 7);
+  int dropped = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (fi.decide(make_packet(0, 1)) == FaultAction::kDrop) ++dropped;
+  }
+  EXPECT_NEAR(dropped / 10000.0, 0.2, 0.03);
+}
+
+TEST(FaultInjector, FirstMatchingRuleWins) {
+  FaultInjector fi;
+  fi.add_nth_rule(NicAddr(0), std::nullopt, 1, FaultAction::kDrop);
+  fi.add_nth_rule(NicAddr(0), std::nullopt, 1, FaultAction::kDuplicate);
+  EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDrop);
+}
+
+TEST(FaultInjector, ClearRemovesRules) {
+  FaultInjector fi;
+  fi.add_nth_rule(std::nullopt, std::nullopt, 1);
+  fi.clear();
+  EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDeliver);
+}
+
+TEST(FabricFault, DroppedPacketNeverDelivered) {
+  Engine e;
+  Fabric f(e, std::make_unique<SingleCrossbar>(2),
+           FabricParams{LinkParams{300_ns, 2.0e9}, SwitchParams{300_ns}});
+  int delivered = 0;
+  f.attach([&](Packet&&) { ++delivered; });
+  f.attach([&](Packet&&) { ++delivered; });
+  f.faults().add_nth_rule(NicAddr(0), NicAddr(1), 1);
+  f.send(make_packet(0, 1));
+  f.send(make_packet(0, 1));
+  e.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(f.packets_sent(), 2u);
+  EXPECT_EQ(f.packets_delivered(), 1u);
+}
+
+TEST(FabricFault, DuplicatedPacketDeliveredTwice) {
+  Engine e;
+  Fabric f(e, std::make_unique<SingleCrossbar>(2),
+           FabricParams{LinkParams{300_ns, 2.0e9}, SwitchParams{300_ns}});
+  int delivered = 0;
+  f.attach([&](Packet&&) { ++delivered; });
+  f.attach([&](Packet&& p) {
+    ++delivered;
+    EXPECT_NE(body_as<ProbeBody>(p), nullptr);  // clone carries the body
+  });
+  f.faults().add_nth_rule(NicAddr(0), NicAddr(1), 1, FaultAction::kDuplicate);
+  f.send(make_packet(0, 1, 5));
+  e.run();
+  EXPECT_EQ(delivered, 2);
+}
+
+}  // namespace
+}  // namespace qmb::net

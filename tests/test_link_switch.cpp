@@ -1,0 +1,63 @@
+#include "net/link.hpp"
+#include "net/switch_node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qmb::net {
+namespace {
+
+using namespace qmb::sim::literals;
+using sim::SimTime;
+
+LinkParams gbps2() { return LinkParams{300_ns, 2.0e9}; }  // Myrinet 2000-ish
+
+TEST(Link, SerializationScalesWithBytes) {
+  Link l(gbps2());
+  EXPECT_EQ(l.serialization(2000).picos(), 1'000'000'000'000 / 1'000'000);  // 1us for 2000B at 2GB/s
+  EXPECT_EQ(l.serialization(0).picos(), 0);
+  // 1 byte at 2 GB/s = 0.5 ns = 500 ps.
+  EXPECT_EQ(l.serialization(1).picos(), 500);
+}
+
+TEST(Link, ReserveIdleStartsImmediately) {
+  Link l(gbps2());
+  const SimTime start = l.reserve(SimTime(1000), 100);
+  EXPECT_EQ(start, SimTime(1000));
+  EXPECT_EQ(l.free_at(), SimTime(1000) + l.serialization(100));
+}
+
+TEST(Link, ReserveBusyQueuesFifo) {
+  Link l(gbps2());
+  l.reserve(SimTime(0), 2000);  // busy until 1us
+  const SimTime start = l.reserve(SimTime(0), 2000);
+  EXPECT_EQ(start, SimTime(1'000'000));
+  EXPECT_EQ(l.free_at(), SimTime(2'000'000));
+}
+
+TEST(Link, ReserveAfterIdlePeriod) {
+  Link l(gbps2());
+  l.reserve(SimTime(0), 2000);
+  const SimTime start = l.reserve(SimTime(5'000'000), 2000);
+  EXPECT_EQ(start, SimTime(5'000'000));
+}
+
+TEST(Link, CountsTraffic) {
+  Link l(gbps2());
+  l.reserve(SimTime(0), 100);
+  l.reserve(SimTime(0), 200);
+  EXPECT_EQ(l.packets_carried(), 2u);
+  EXPECT_EQ(l.bytes_carried(), 300u);
+}
+
+TEST(SwitchNode, ReportsRoutingDelayAndCountsTraffic) {
+  SwitchNode s(SwitchId(3), SwitchParams{300_ns});
+  EXPECT_EQ(s.id(), SwitchId(3));
+  EXPECT_EQ(s.routing_delay(), 300_ns);
+  s.note_forwarded(64);
+  s.note_forwarded(64);
+  EXPECT_EQ(s.packets_forwarded(), 2u);
+  EXPECT_EQ(s.bytes_forwarded(), 128u);
+}
+
+}  // namespace
+}  // namespace qmb::net

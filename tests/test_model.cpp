@@ -1,0 +1,87 @@
+#include "model/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qmb::model {
+namespace {
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(BarrierModel, PaperMyrinetConstantsReproduceHeadlines) {
+  const BarrierModel m = paper_myrinet_xp();
+  // Sec. 8.3: 38.94us over 1024 Myrinet nodes.
+  EXPECT_NEAR(m.latency_us(1024), 38.94, 0.01);
+  // 8 nodes: 3.60 + 2*3.50 + 3.84 = 14.44 (close to the measured 14.20).
+  EXPECT_NEAR(m.latency_us(8), 14.44, 0.01);
+}
+
+TEST(BarrierModel, PaperQuadricsConstantsReproduceHeadlines) {
+  const BarrierModel m = paper_quadrics();
+  // Sec. 8.3: 22.13us over 1024 Quadrics nodes.
+  EXPECT_NEAR(m.latency_us(1024), 22.13, 0.01);
+  // 8 nodes: 2.25 + 2*2.32 - 1.00 = 5.89 (measured: 5.60).
+  EXPECT_NEAR(m.latency_us(8), 5.89, 0.01);
+}
+
+TEST(BarrierModel, StepFunctionBetweenPowersOfTwo) {
+  const BarrierModel m = paper_myrinet_xp();
+  // ceil(log2) is flat within (2^k, 2^(k+1)].
+  EXPECT_DOUBLE_EQ(m.latency_us(5), m.latency_us(8));
+  EXPECT_LT(m.latency_us(4), m.latency_us(5));
+}
+
+TEST(Fit, RecoversSyntheticLine) {
+  std::vector<MeasuredPoint> pts;
+  for (int n : {2, 4, 8, 16, 32}) {
+    const double x = ceil_log2(n) - 1;
+    pts.push_back({n, 7.0 + 2.5 * x});
+  }
+  const auto [intercept, slope] = fit_intercept_slope(pts);
+  EXPECT_NEAR(intercept, 7.0, 1e-9);
+  EXPECT_NEAR(slope, 2.5, 1e-9);
+}
+
+TEST(Fit, LeastSquaresWithNoise) {
+  std::vector<MeasuredPoint> pts = {
+      {2, 7.1}, {4, 9.4}, {8, 12.1}, {16, 14.4}, {32, 17.2}};
+  const auto [intercept, slope] = fit_intercept_slope(pts);
+  EXPECT_NEAR(slope, 2.5, 0.2);
+  EXPECT_NEAR(intercept, 7.0, 0.4);
+}
+
+TEST(Fit, RequiresTwoDistinctX) {
+  EXPECT_THROW((void)fit_intercept_slope({}), std::invalid_argument);
+  EXPECT_THROW((void)fit_intercept_slope({{8, 1.0}}), std::invalid_argument);
+  // 5..8 all share ceil(log2)=3.
+  EXPECT_THROW((void)fit_intercept_slope({{5, 1.0}, {6, 1.1}, {8, 1.2}}),
+               std::invalid_argument);
+}
+
+TEST(Fit, ModelFromFitSplitsIntercept) {
+  const BarrierModel m = model_from_fit(7.44, 3.50, 3.60);
+  EXPECT_DOUBLE_EQ(m.t_init_us, 3.60);
+  EXPECT_DOUBLE_EQ(m.t_trig_us, 3.50);
+  EXPECT_NEAR(m.t_adj_us, 3.84, 1e-9);
+  EXPECT_NEAR(m.latency_us(1024), 38.94, 0.01);
+}
+
+TEST(BarrierModel, MonotoneInN) {
+  const BarrierModel m = paper_quadrics();
+  double prev = 0;
+  for (int n = 2; n <= 2048; n *= 2) {
+    const double v = m.latency_us(n);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace qmb::model

@@ -1,0 +1,163 @@
+// The MPI-like layer: semantics across both backends, coroutine adapters,
+// and mixing collectives with point-to-point traffic.
+#include "mpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace qmb::mpi {
+namespace {
+
+using sim::Engine;
+
+struct Fixture {
+  Engine engine;
+  core::MyriCluster cluster;
+  Communicator comm;
+  Fixture(int n, Backend backend)
+      : cluster(engine, myri::lanaixp_cluster(), n), comm(cluster, backend) {}
+};
+
+class BothBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(BothBackends, BarrierCompletes) {
+  Fixture f(6, GetParam());
+  int done = 0;
+  for (int r = 0; r < 6; ++r) f.comm.barrier(r, [&] { ++done; });
+  f.engine.run();
+  EXPECT_EQ(done, 6);
+}
+
+TEST_P(BothBackends, AllreduceSum) {
+  Fixture f(8, GetParam());
+  std::vector<std::int64_t> out(8, -1);
+  for (int r = 0; r < 8; ++r) {
+    f.comm.allreduce(r, r * r, coll::ReduceOp::kSum,
+                     [&, r](std::int64_t v) { out[static_cast<std::size_t>(r)] = v; });
+  }
+  f.engine.run();
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)], 140);
+}
+
+TEST_P(BothBackends, BcastFromEveryRoot) {
+  for (int root = 0; root < 5; ++root) {
+    Fixture f(5, GetParam());
+    std::vector<std::int64_t> out(5, -1);
+    for (int r = 0; r < 5; ++r) {
+      f.comm.bcast(r, root, 1000 + root,
+                   [&, r](std::int64_t v) { out[static_cast<std::size_t>(r)] = v; });
+    }
+    f.engine.run();
+    for (int r = 0; r < 5; ++r) {
+      EXPECT_EQ(out[static_cast<std::size_t>(r)], 1000 + root) << "root " << root;
+    }
+  }
+}
+
+TEST_P(BothBackends, AllgatherFullMask) {
+  Fixture f(7, GetParam());
+  std::vector<std::int64_t> out(7, 0);
+  for (int r = 0; r < 7; ++r) {
+    f.comm.allgather(r, [&, r](std::int64_t v) { out[static_cast<std::size_t>(r)] = v; });
+  }
+  f.engine.run();
+  for (int r = 0; r < 7; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)], 0x7F);
+}
+
+TEST_P(BothBackends, AlltoallFullMask) {
+  Fixture f(5, GetParam());
+  std::vector<std::int64_t> out(5, 0);
+  for (int r = 0; r < 5; ++r) {
+    f.comm.alltoall(r, [&, r](std::int64_t v) { out[static_cast<std::size_t>(r)] = v; });
+  }
+  f.engine.run();
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)], 0x1F);
+}
+
+TEST_P(BothBackends, MixedCollectiveSequence) {
+  // barrier -> allreduce -> bcast of the reduced value, coroutine style.
+  Fixture f(4, GetParam());
+  std::vector<std::int64_t> final_value(4, -1);
+  auto worker = [&](int rank) -> sim::Task {
+    co_await barrier(f.comm, rank);
+    const std::int64_t sum =
+        co_await allreduce(f.comm, rank, rank + 1, coll::ReduceOp::kSum);
+    const std::int64_t doubled = co_await bcast(f.comm, rank, 0, sum * 2);
+    final_value[static_cast<std::size_t>(rank)] = doubled;
+  };
+  for (int r = 0; r < 4; ++r) worker(r);
+  f.engine.run();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(final_value[static_cast<std::size_t>(r)], 20);  // (1+2+3+4)*2
+  }
+}
+
+TEST_P(BothBackends, PointToPointAlongsideCollectives) {
+  Fixture f(4, GetParam());
+  int app_msgs = 0;
+  f.comm.set_receive_handler(3, [&](int src, std::uint32_t tag, std::uint32_t bytes) {
+    EXPECT_EQ(src, 1);
+    EXPECT_EQ(tag, 7u);
+    EXPECT_EQ(bytes, 512u);
+    ++app_msgs;
+  });
+  int barriers = 0;
+  for (int r = 0; r < 4; ++r) f.comm.barrier(r, [&] { ++barriers; });
+  f.comm.send(1, 3, 512, 7);
+  f.engine.run();
+  EXPECT_EQ(barriers, 4);
+  EXPECT_EQ(app_msgs, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BothBackends,
+                         ::testing::Values(Backend::kHostBased, Backend::kNicCollective),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kHostBased ? "host" : "nic";
+                         });
+
+TEST(Communicator, NicBackendFasterThanHost) {
+  auto total_us = [](Backend b) {
+    Fixture f(8, b);
+    sim::SimTime end;
+    auto worker = [&](int rank) -> sim::Task {
+      for (int i = 0; i < 50; ++i) {
+        co_await barrier(f.comm, rank);
+      }
+      end = std::max(end, f.engine.now());
+    };
+    for (int r = 0; r < 8; ++r) worker(r);
+    f.engine.run();
+    return end.micros();
+  };
+  EXPECT_GT(total_us(Backend::kHostBased), 1.8 * total_us(Backend::kNicCollective));
+}
+
+TEST(Communicator, RejectsCollectiveBitInAppTags) {
+  Fixture f(2, Backend::kNicCollective);
+  EXPECT_THROW(f.comm.send(0, 1, 8, 0x80000001u), std::invalid_argument);
+}
+
+TEST(Communicator, RejectsOutOfRangeBcastRoot) {
+  Fixture f(2, Backend::kNicCollective);
+  EXPECT_THROW(f.comm.bcast(0, 5, 1, [](std::int64_t) {}), std::invalid_argument);
+}
+
+TEST(Communicator, RandomPlacementWorks) {
+  Engine engine;
+  core::MyriCluster cluster(engine, myri::lanaixp_cluster(), 8);
+  sim::Rng rng(5);
+  Communicator comm(cluster, Backend::kNicCollective, core::random_placement(8, rng));
+  std::vector<std::int64_t> out(8, -1);
+  for (int r = 0; r < 8; ++r) {
+    comm.allreduce(r, 1, coll::ReduceOp::kSum,
+                   [&, r](std::int64_t v) { out[static_cast<std::size_t>(r)] = v; });
+  }
+  engine.run();
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)], 8);
+}
+
+}  // namespace
+}  // namespace qmb::mpi

@@ -1,0 +1,124 @@
+#include "core/op_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qmb::core {
+namespace {
+
+struct Sent {
+  std::uint32_t seq;
+  coll::Edge edge;
+  std::int64_t value;
+};
+
+struct Harness {
+  coll::GroupSchedule schedule;
+  std::vector<Sent> sent;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> completed;
+  std::unique_ptr<OpWindow> window;
+
+  explicit Harness(int n, int rank, coll::OpKind kind = coll::OpKind::kBarrier,
+                   coll::Algorithm alg = coll::Algorithm::kDissemination) {
+    schedule = coll::make_barrier_schedule(alg, n);
+    window = std::make_unique<OpWindow>(
+        schedule.ranks[static_cast<std::size_t>(rank)],
+        [this](std::uint32_t seq, const coll::Edge& e, std::int64_t v) {
+          sent.push_back({seq, e, v});
+        },
+        [this](std::uint32_t seq, std::int64_t result) {
+          completed.emplace_back(seq, result);
+        },
+        kind);
+  }
+};
+
+TEST(OpWindow, SequentialOperationsComplete) {
+  Harness h(4, 0);
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    EXPECT_EQ(h.window->start(), seq);
+    h.window->on_arrival(seq, 3, 0);
+    h.window->on_arrival(seq, 2, 1);
+    ASSERT_EQ(h.completed.size(), seq + 1);
+    EXPECT_EQ(h.completed.back().first, seq);
+    EXPECT_TRUE(h.window->is_complete(seq));
+  }
+}
+
+TEST(OpWindow, EarlyArrivalForNextOperationBuffered) {
+  Harness h(4, 0);
+  h.window->start();
+  // Messages for operation 1 land while operation 0 is still running.
+  h.window->on_arrival(1, 3, 0);
+  h.window->on_arrival(1, 2, 1);
+  EXPECT_TRUE(h.completed.empty());
+  h.window->on_arrival(0, 3, 0);
+  h.window->on_arrival(0, 2, 1);
+  ASSERT_EQ(h.completed.size(), 1u);
+  // Operation 1 completes instantly from the buffer.
+  h.window->start();
+  ASSERT_EQ(h.completed.size(), 2u);
+  EXPECT_EQ(h.completed[1].first, 1u);
+}
+
+TEST(OpWindow, StaleArrivalIgnored) {
+  Harness h(4, 0);
+  h.window->start();
+  h.window->on_arrival(0, 3, 0);
+  h.window->on_arrival(0, 2, 1);
+  h.window->start();  // seq 1
+  // A late retransmission for completed operation 0.
+  h.window->on_arrival(0, 3, 0);
+  EXPECT_EQ(h.completed.size(), 1u);  // no double completion
+}
+
+TEST(OpWindow, OvertakenWindowThrows) {
+  Harness h(4, 0);
+  h.window->start();  // seq 0, incomplete, occupies slot 0
+  // seq 2 maps to the same slot while it is busy: protocol violation.
+  EXPECT_THROW(h.window->on_arrival(2, 3, 0), std::logic_error);
+}
+
+TEST(OpWindow, DuplicateArrivalHarmless) {
+  Harness h(4, 0, coll::OpKind::kAllreduce);
+  h.window->start(10);
+  h.window->on_arrival(0, 3, 0, 5);
+  h.window->on_arrival(0, 3, 0, 5);  // retransmission
+  h.window->on_arrival(0, 2, 1, 7);
+  ASSERT_EQ(h.completed.size(), 1u);
+  EXPECT_EQ(h.completed[0].second, 22);  // 10 + 5 + 7, no double count
+}
+
+TEST(OpWindow, EarlyValueNotFoldedIntoSameStepSend) {
+  // Rank 0 of a 4-rank PE allreduce: step-0 partner is rank 1. If rank 1's
+  // value arrives before we start, our step-0 send to rank 1 must still
+  // carry only our own contribution.
+  coll::GroupSchedule g = coll::make_barrier_schedule(coll::Algorithm::kPairwiseExchange, 4);
+  std::vector<Sent> sent;
+  OpWindow w(
+      g.ranks[0],
+      [&](std::uint32_t seq, const coll::Edge& e, std::int64_t v) {
+        sent.push_back({seq, e, v});
+      },
+      [](std::uint32_t, std::int64_t) {}, coll::OpKind::kAllreduce);
+  w.on_arrival(0, 1, 0, 100);  // partner's value, early
+  w.start(1);
+  ASSERT_GE(sent.size(), 1u);
+  EXPECT_EQ(sent[0].edge.peer, 1);
+  EXPECT_EQ(sent[0].value, 1);  // own value only
+  // The step-1 send to rank 2 carries the combined pair value.
+  ASSERT_GE(sent.size(), 2u);
+  EXPECT_EQ(sent[1].edge.peer, 2);
+  EXPECT_EQ(sent[1].value, 101);
+}
+
+TEST(OpWindow, NextSeqAdvances) {
+  Harness h(2, 0);
+  EXPECT_EQ(h.window->next_seq(), 0u);
+  h.window->start();
+  EXPECT_EQ(h.window->next_seq(), 1u);
+}
+
+}  // namespace
+}  // namespace qmb::core

@@ -1,0 +1,296 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "model/analytic.hpp"
+
+namespace qmb::coll {
+namespace {
+
+// ---------- dissemination ----------
+
+TEST(Dissemination, StepCountIsCeilLog2) {
+  for (int n : {2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33}) {
+    const auto g = make_barrier_schedule(Algorithm::kDissemination, n);
+    EXPECT_EQ(g.max_steps(), model::ceil_log2(n)) << "n=" << n;
+  }
+}
+
+TEST(Dissemination, EveryRankSendsAndWaitsOncePerStep) {
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, 12);
+  for (const auto& rs : g.ranks) {
+    for (const auto& st : rs.steps) {
+      EXPECT_EQ(st.sends.size(), 1u);
+      EXPECT_EQ(st.waits.size(), 1u);
+    }
+  }
+}
+
+TEST(Dissemination, PeersFollowTheFormula) {
+  const int n = 11;
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, n);
+  for (int i = 0; i < n; ++i) {
+    int dist = 1;
+    for (const auto& st : g.ranks[static_cast<std::size_t>(i)].steps) {
+      EXPECT_EQ(st.sends[0].peer, (i + dist) % n);
+      EXPECT_EQ(st.waits[0].peer, (i - dist + n) % n);
+      dist *= 2;
+    }
+  }
+}
+
+TEST(Dissemination, MessageCountIsNCeilLog2N) {
+  for (int n : {2, 5, 8, 13, 16}) {
+    const auto g = make_barrier_schedule(Algorithm::kDissemination, n);
+    EXPECT_EQ(g.total_messages(), n * model::ceil_log2(n)) << "n=" << n;
+  }
+}
+
+// ---------- pairwise exchange ----------
+
+TEST(PairwiseExchange, PowerOfTwoIsPurePairing) {
+  const auto g = make_barrier_schedule(Algorithm::kPairwiseExchange, 8);
+  EXPECT_EQ(g.max_steps(), 3);
+  for (int i = 0; i < 8; ++i) {
+    int dist = 1;
+    for (const auto& st : g.ranks[static_cast<std::size_t>(i)].steps) {
+      ASSERT_EQ(st.sends.size(), 1u);
+      ASSERT_EQ(st.waits.size(), 1u);
+      EXPECT_EQ(st.sends[0].peer, i ^ dist);
+      EXPECT_EQ(st.waits[0].peer, i ^ dist);
+      dist *= 2;
+    }
+  }
+}
+
+TEST(PairwiseExchange, ExchangeIsSymmetric) {
+  // If i sends to j with tag t, then j sends to i with tag t.
+  const auto g = make_barrier_schedule(Algorithm::kPairwiseExchange, 16);
+  std::set<std::tuple<int, int, std::uint32_t>> sends;
+  for (int i = 0; i < 16; ++i) {
+    for (const auto& st : g.ranks[static_cast<std::size_t>(i)].steps) {
+      for (const auto& s : st.sends) sends.insert({i, s.peer, s.tag});
+    }
+  }
+  for (const auto& [src, dst, tag] : sends) {
+    EXPECT_TRUE(sends.contains({dst, src, tag}))
+        << src << "->" << dst << " tag " << tag;
+  }
+}
+
+TEST(PairwiseExchange, NonPowerOfTwoAddsTwoSteps) {
+  // floor(log2 12) = 3 exchange steps among the low 8, plus pre and post.
+  const auto g = make_barrier_schedule(Algorithm::kPairwiseExchange, 12);
+  // Ranks 8..11 have exactly 2 steps (register, wait release).
+  for (int i = 8; i < 12; ++i) {
+    EXPECT_EQ(g.ranks[static_cast<std::size_t>(i)].steps.size(), 2u) << i;
+  }
+  // Ranks 0..3 (with partners) have 1 + 3 + 1 steps.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(g.ranks[static_cast<std::size_t>(i)].steps.size(), 5u) << i;
+  }
+  // Ranks 4..7 (no partner) have exactly the 3 exchange steps.
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(g.ranks[static_cast<std::size_t>(i)].steps.size(), 3u) << i;
+  }
+}
+
+TEST(PairwiseExchange, ExtraRanksSendOneMessageEach) {
+  const auto g = make_barrier_schedule(Algorithm::kPairwiseExchange, 12);
+  for (int i = 8; i < 12; ++i) {
+    EXPECT_EQ(g.ranks[static_cast<std::size_t>(i)].total_sends(), 1);
+    EXPECT_EQ(g.ranks[static_cast<std::size_t>(i)].total_waits(), 1);
+  }
+}
+
+// ---------- gather-broadcast ----------
+
+TEST(GatherBroadcast, RootHasGatherThenRelease) {
+  const auto g = make_barrier_schedule(Algorithm::kGatherBroadcast, 7, 2);
+  const auto& root = g.ranks[0];
+  ASSERT_EQ(root.steps.size(), 2u);
+  EXPECT_EQ(root.steps[0].waits.size(), 2u);  // children 1, 2
+  EXPECT_TRUE(root.steps[0].sends.empty());
+  EXPECT_EQ(root.steps[1].sends.size(), 2u);
+  EXPECT_TRUE(root.steps[1].waits.empty());
+}
+
+TEST(GatherBroadcast, LeafSendsUpWaitsDown) {
+  const auto g = make_barrier_schedule(Algorithm::kGatherBroadcast, 7, 2);
+  const auto& leaf = g.ranks[5];
+  ASSERT_EQ(leaf.steps.size(), 1u);
+  ASSERT_EQ(leaf.steps[0].sends.size(), 1u);
+  ASSERT_EQ(leaf.steps[0].waits.size(), 1u);
+  EXPECT_EQ(leaf.steps[0].sends[0].peer, 2);  // parent of 5 with d=2
+  EXPECT_EQ(leaf.steps[0].waits[0].peer, 2);
+}
+
+TEST(GatherBroadcast, MessageCountIsTwiceEdges) {
+  for (int n : {2, 5, 9, 16}) {
+    for (int d : {2, 4}) {
+      const auto g = make_barrier_schedule(Algorithm::kGatherBroadcast, n, d);
+      EXPECT_EQ(g.total_messages(), 2 * (n - 1)) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(GatherBroadcast, InvalidDegreeThrows) {
+  EXPECT_THROW(make_barrier_schedule(Algorithm::kGatherBroadcast, 4, 0),
+               std::invalid_argument);
+}
+
+// ---------- correctness property (all algorithms, swept N) ----------
+
+struct CorrectnessCase {
+  Algorithm algorithm;
+  int n;
+};
+
+class BarrierCorrectness : public ::testing::TestWithParam<CorrectnessCase> {};
+
+TEST_P(BarrierCorrectness, FullInformationProperty) {
+  const auto& p = GetParam();
+  const int degree = p.algorithm == Algorithm::kGatherBroadcast ? 4 : 2;
+  const auto g = make_barrier_schedule(p.algorithm, p.n, degree);
+  EXPECT_TRUE(schedule_is_correct_barrier(g))
+      << to_string(p.algorithm) << " n=" << p.n;
+}
+
+std::vector<CorrectnessCase> all_cases() {
+  std::vector<CorrectnessCase> cases;
+  for (const auto alg : {Algorithm::kDissemination, Algorithm::kPairwiseExchange,
+                         Algorithm::kGatherBroadcast}) {
+    for (int n = 1; n <= 33; ++n) cases.push_back({alg, n});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, BarrierCorrectness, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<CorrectnessCase>& info) {
+      std::string name(to_string(info.param.algorithm));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_n" + std::to_string(info.param.n);
+    });
+
+// ---------- executor ----------
+
+TEST(ScheduleExecutor, IssuesStepSendsOnEntry) {
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, 4);
+  std::vector<Edge> sent;
+  bool complete = false;
+  ScheduleExecutor ex(g.ranks[0], [&](const Edge& e) { sent.push_back(e); },
+                      [&] { complete = true; });
+  ex.start();
+  ASSERT_EQ(sent.size(), 1u);  // step 0 send only
+  EXPECT_EQ(sent[0].peer, 1);
+  EXPECT_FALSE(complete);
+}
+
+TEST(ScheduleExecutor, AdvancesThroughArrivals) {
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, 4);
+  std::vector<Edge> sent;
+  bool complete = false;
+  ScheduleExecutor ex(g.ranks[0], [&](const Edge& e) { sent.push_back(e); },
+                      [&] { complete = true; });
+  ex.start();
+  EXPECT_TRUE(ex.on_arrival(3, 0));  // step-0 wait
+  EXPECT_EQ(sent.size(), 2u);        // step-1 send issued
+  EXPECT_TRUE(ex.on_arrival(2, 1));  // step-1 wait
+  EXPECT_TRUE(complete);
+  EXPECT_TRUE(ex.complete());
+}
+
+TEST(ScheduleExecutor, BuffersEarlyArrivals) {
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, 4);
+  int sends = 0;
+  bool complete = false;
+  ScheduleExecutor ex(g.ranks[0], [&](const Edge&) { ++sends; }, [&] { complete = true; });
+  // Both arrivals land before start.
+  ex.on_arrival(3, 0);
+  ex.on_arrival(2, 1);
+  EXPECT_FALSE(complete);
+  ex.start();
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(sends, 2);
+}
+
+TEST(ScheduleExecutor, DuplicateArrivalReturnsFalse) {
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, 4);
+  ScheduleExecutor ex(g.ranks[0], [](const Edge&) {}, [] {});
+  ex.start();
+  EXPECT_TRUE(ex.on_arrival(3, 0));
+  EXPECT_FALSE(ex.on_arrival(3, 0));
+}
+
+TEST(ScheduleExecutor, MissingCurrentWaitsReported) {
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, 8);
+  ScheduleExecutor ex(g.ranks[0], [](const Edge&) {}, [] {});
+  ex.start();
+  auto missing = ex.missing_current_waits();
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].peer, 7);
+  EXPECT_EQ(missing[0].tag, 0u);
+  ex.on_arrival(7, 0);
+  missing = ex.missing_current_waits();
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].peer, 6);  // now waiting on step 1
+}
+
+TEST(ScheduleExecutor, HasSentTracksIssuedSends) {
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, 8);
+  ScheduleExecutor ex(g.ranks[0], [](const Edge&) {}, [] {});
+  ex.start();
+  EXPECT_TRUE(ex.has_sent(1, 0));
+  EXPECT_FALSE(ex.has_sent(2, 1));  // step 1 not entered yet
+  ex.on_arrival(7, 0);
+  EXPECT_TRUE(ex.has_sent(2, 1));
+}
+
+TEST(ScheduleExecutor, ResetAllowsReuse) {
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, 2);
+  int completions = 0;
+  ScheduleExecutor ex(g.ranks[0], [](const Edge&) {}, [&] { ++completions; });
+  ex.start();
+  ex.on_arrival(1, 0);
+  EXPECT_EQ(completions, 1);
+  ex.reset();
+  EXPECT_FALSE(ex.started());
+  ex.start();
+  ex.on_arrival(1, 0);
+  EXPECT_EQ(completions, 2);
+}
+
+TEST(ScheduleExecutor, SingleRankCompletesImmediately) {
+  const auto g = make_barrier_schedule(Algorithm::kDissemination, 1);
+  bool complete = false;
+  ScheduleExecutor ex(g.ranks[0], [](const Edge&) {}, [&] { complete = true; });
+  ex.start();
+  EXPECT_TRUE(complete);
+}
+
+// A deliberately broken schedule must be rejected by the checker.
+TEST(CorrectnessChecker, RejectsIncompleteBarrier) {
+  GroupSchedule g;
+  g.size = 4;
+  g.algorithm = Algorithm::kDissemination;
+  g.ranks.resize(4);
+  // Only a ring of single messages: rank i -> i+1; no transitive closure in
+  // one step, and rank 0 completes knowing only rank 3.
+  for (int i = 0; i < 4; ++i) {
+    Step st;
+    st.sends.push_back({(i + 1) % 4, 0});
+    st.waits.push_back({(i + 3) % 4, 0});
+    g.ranks[static_cast<std::size_t>(i)].steps.push_back(st);
+  }
+  EXPECT_FALSE(schedule_is_correct_barrier(g));
+}
+
+}  // namespace
+}  // namespace qmb::coll

@@ -1,0 +1,208 @@
+// Randomized-order property tests of the schedule executors: a collective's
+// result and completion must not depend on the order in which messages
+// happen to arrive (the network may interleave them arbitrarily), and the
+// payload semantics must be exactly those of an in-step fold.
+//
+// These properties are the ones that catch fold-ordering bugs: an early
+// arrival folded at arrival time (instead of at step consumption) yields
+// order-dependent allreduce results.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/op_window.hpp"
+#include "core/schedule.hpp"
+#include "sim/rng.hpp"
+
+namespace qmb::coll {
+namespace {
+
+struct WireMsg {
+  int src, dst;
+  std::uint32_t tag;
+  std::int64_t value;
+};
+
+/// Executes one operation over all ranks with message delivery order chosen
+/// by `rng`: any pending message may be delivered next. Returns per-rank
+/// results; fails the test on non-completion.
+std::vector<std::int64_t> run_shuffled(const GroupSchedule& g, OpKind kind, ReduceOp op,
+                                       const std::vector<std::int64_t>& inputs,
+                                       sim::Rng& rng) {
+  const int n = g.size;
+  std::vector<std::int64_t> results(static_cast<std::size_t>(n), -999);
+  std::vector<std::unique_ptr<core::OpWindow>> windows(static_cast<std::size_t>(n));
+  std::deque<WireMsg> wire;
+
+  for (int r = 0; r < n; ++r) {
+    windows[static_cast<std::size_t>(r)] = std::make_unique<core::OpWindow>(
+        g.ranks[static_cast<std::size_t>(r)],
+        [&wire, r](std::uint32_t, const Edge& e, std::int64_t v) {
+          wire.push_back({r, e.peer, e.tag, v});
+        },
+        [&results, r](std::uint32_t, std::int64_t result) {
+          results[static_cast<std::size_t>(r)] = result;
+        },
+        kind, op);
+  }
+  // Ranks start in random order too.
+  const auto start_order = rng.permutation(static_cast<std::size_t>(n));
+  for (const auto r : start_order) {
+    windows[r]->start(inputs[r]);
+  }
+  while (!wire.empty()) {
+    const auto pick = rng.next_below(wire.size());
+    const WireMsg m = wire[pick];
+    wire.erase(wire.begin() + static_cast<std::ptrdiff_t>(pick));
+    windows[static_cast<std::size_t>(m.dst)]->on_arrival(0, m.src, m.tag, m.value);
+  }
+  return results;
+}
+
+struct PropCase {
+  OpKind kind;
+  int n;
+};
+
+class OrderInvariance : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(OrderInvariance, ResultIndependentOfDeliveryOrder) {
+  const auto& p = GetParam();
+  GroupSchedule g;
+  std::vector<std::int64_t> inputs;
+  std::int64_t expected = 0;
+  switch (p.kind) {
+    case OpKind::kBarrier:
+      g = make_barrier_schedule(Algorithm::kDissemination, p.n);
+      inputs.assign(static_cast<std::size_t>(p.n), 0);
+      expected = 0;
+      break;
+    case OpKind::kBcast:
+      g = make_bcast_schedule(p.n, 0);
+      inputs.assign(static_cast<std::size_t>(p.n), 0);
+      inputs[0] = 777;
+      expected = 777;
+      break;
+    case OpKind::kAllreduce:
+      g = make_allreduce_schedule(p.n);
+      for (int r = 0; r < p.n; ++r) {
+        inputs.push_back(5 * r - 7);
+        expected += 5 * r - 7;
+      }
+      break;
+    case OpKind::kAllgather:
+      g = make_allgather_schedule(p.n);
+      for (int r = 0; r < p.n; ++r) inputs.push_back(std::int64_t{1} << r);
+      expected = (std::int64_t{1} << p.n) - 1;
+      break;
+    case OpKind::kAlltoall:
+      g = make_alltoall_schedule(p.n);
+      for (int r = 0; r < p.n; ++r) inputs.push_back(std::int64_t{1} << r);
+      expected = (std::int64_t{1} << p.n) - 1;
+      break;
+  }
+
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    sim::Rng rng(seed);
+    const auto results = run_shuffled(g, p.kind, ReduceOp::kSum, inputs, rng);
+    for (int r = 0; r < p.n; ++r) {
+      ASSERT_EQ(results[static_cast<std::size_t>(r)], expected)
+          << "kind=" << static_cast<int>(p.kind) << " n=" << p.n << " seed=" << seed
+          << " rank=" << r;
+    }
+  }
+}
+
+std::vector<PropCase> prop_cases() {
+  std::vector<PropCase> cases;
+  for (const auto kind : {OpKind::kBarrier, OpKind::kBcast, OpKind::kAllreduce,
+                          OpKind::kAllgather, OpKind::kAlltoall}) {
+    for (const int n : {2, 3, 5, 8, 11, 16}) cases.push_back({kind, n});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OrderInvariance, ::testing::ValuesIn(prop_cases()),
+                         [](const ::testing::TestParamInfo<PropCase>& info) {
+                           const char* k = "";
+                           switch (info.param.kind) {
+                             case OpKind::kBarrier: k = "barrier"; break;
+                             case OpKind::kBcast: k = "bcast"; break;
+                             case OpKind::kAllreduce: k = "allreduce"; break;
+                             case OpKind::kAllgather: k = "allgather"; break;
+                             case OpKind::kAlltoall: k = "alltoall"; break;
+                           }
+                           return std::string(k) + "_n" + std::to_string(info.param.n);
+                         });
+
+TEST(OrderInvariance, MinMaxReductionsToo) {
+  for (const auto op : {ReduceOp::kMin, ReduceOp::kMax}) {
+    const int n = 7;
+    const auto g = make_allreduce_schedule(n);
+    std::vector<std::int64_t> inputs;
+    for (int r = 0; r < n; ++r) inputs.push_back((r * 13) % 9 - 4);
+    std::int64_t expected = inputs[0];
+    for (const auto v : inputs) {
+      expected = op == ReduceOp::kMin ? std::min(expected, v) : std::max(expected, v);
+    }
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      sim::Rng rng(seed);
+      const auto results = run_shuffled(g, OpKind::kAllreduce, op, inputs, rng);
+      for (int r = 0; r < n; ++r) {
+        ASSERT_EQ(results[static_cast<std::size_t>(r)], expected) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(OrderInvariance, TwoOverlappingOperationsStayIsolated) {
+  // Run two consecutive allreduces where the second op's messages race the
+  // first's completion; results must match their own operation regardless
+  // of interleaving.
+  const int n = 4;
+  const auto g = make_allreduce_schedule(n);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    sim::Rng rng(seed);
+    std::vector<std::vector<std::int64_t>> results(2);
+    std::vector<std::unique_ptr<core::OpWindow>> windows(n);
+    struct SeqMsg {
+      std::uint32_t seq;
+      int src, dst;
+      std::uint32_t tag;
+      std::int64_t value;
+    };
+    std::deque<SeqMsg> wire;
+    for (int r = 0; r < n; ++r) {
+      windows[static_cast<std::size_t>(r)] = std::make_unique<core::OpWindow>(
+          g.ranks[static_cast<std::size_t>(r)],
+          [&wire, r](std::uint32_t seq, const Edge& e, std::int64_t v) {
+            wire.push_back({seq, r, e.peer, e.tag, v});
+          },
+          [&results, &windows, r](std::uint32_t seq, std::int64_t result) {
+            results[seq].push_back(result);
+            if (seq == 0) {
+              // Enter the next operation immediately on completion.
+              windows[static_cast<std::size_t>(r)]->start(100 + r);
+            }
+          },
+          OpKind::kAllreduce, ReduceOp::kSum);
+    }
+    for (int r = 0; r < n; ++r) windows[static_cast<std::size_t>(r)]->start(r + 1);
+    while (!wire.empty()) {
+      const auto pick = rng.next_below(wire.size());
+      const SeqMsg m = wire[pick];
+      wire.erase(wire.begin() + static_cast<std::ptrdiff_t>(pick));
+      windows[static_cast<std::size_t>(m.dst)]->on_arrival(m.seq, m.src, m.tag, m.value);
+    }
+    ASSERT_EQ(results[0].size(), 4u) << "seed " << seed;
+    ASSERT_EQ(results[1].size(), 4u) << "seed " << seed;
+    for (const auto v : results[0]) EXPECT_EQ(v, 10);           // 1+2+3+4
+    for (const auto v : results[1]) EXPECT_EQ(v, 406);          // 100..103 summed
+  }
+}
+
+}  // namespace
+}  // namespace qmb::coll

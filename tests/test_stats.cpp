@@ -1,0 +1,99 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qmb::sim {
+namespace {
+
+using namespace qmb::sim::literals;
+
+TEST(LatencySeries, MinMeanMax) {
+  LatencySeries s;
+  s.add(2_us);
+  s.add(4_us);
+  s.add(9_us);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.min(), 2_us);
+  EXPECT_EQ(s.max(), 9_us);
+  EXPECT_EQ(s.mean(), 5_us);
+}
+
+TEST(LatencySeries, MeanTruncatesTowardZero) {
+  LatencySeries s;
+  s.add(SimDuration(1));
+  s.add(SimDuration(2));
+  EXPECT_EQ(s.mean().picos(), 1);  // 1.5 truncates
+}
+
+TEST(LatencySeries, StddevZeroForConstant) {
+  LatencySeries s;
+  for (int i = 0; i < 10; ++i) s.add(5_us);
+  EXPECT_DOUBLE_EQ(s.stddev_picos(), 0.0);
+}
+
+TEST(LatencySeries, StddevKnownValue) {
+  LatencySeries s;
+  s.add(SimDuration(2));
+  s.add(SimDuration(4));
+  s.add(SimDuration(4));
+  s.add(SimDuration(4));
+  s.add(SimDuration(5));
+  s.add(SimDuration(5));
+  s.add(SimDuration(7));
+  s.add(SimDuration(9));
+  EXPECT_DOUBLE_EQ(s.stddev_picos(), 2.0);  // classic textbook data set
+}
+
+TEST(LatencySeries, PercentileEndpoints) {
+  LatencySeries s;
+  for (int i = 1; i <= 100; ++i) s.add(SimDuration(i));
+  EXPECT_EQ(s.percentile(0).picos(), 1);
+  EXPECT_EQ(s.percentile(100).picos(), 100);
+}
+
+TEST(LatencySeries, PercentileInterpolates) {
+  LatencySeries s;
+  s.add(SimDuration(10));
+  s.add(SimDuration(20));
+  EXPECT_EQ(s.percentile(50).picos(), 15);
+  EXPECT_EQ(s.percentile(25).picos(), 12);
+}
+
+TEST(LatencySeries, PercentileSingleSample) {
+  LatencySeries s;
+  s.add(7_us);
+  EXPECT_EQ(s.percentile(50), 7_us);
+}
+
+TEST(LatencySeries, PercentileUnsortedInput) {
+  LatencySeries s;
+  s.add(SimDuration(30));
+  s.add(SimDuration(10));
+  s.add(SimDuration(20));
+  EXPECT_EQ(s.percentile(50).picos(), 20);
+}
+
+TEST(LatencySeries, ClearResets) {
+  LatencySeries s;
+  s.add(1_us);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(LatencySeries, MeanLargeValuesNoOverflow) {
+  LatencySeries s;
+  // ~10^18 ps samples would overflow int64 summation over a few samples.
+  for (int i = 0; i < 100; ++i) s.add(SimDuration(4'000'000'000'000'000'000LL / 50));
+  EXPECT_EQ(s.mean().picos(), 4'000'000'000'000'000'000LL / 50);
+}
+
+TEST(Counter, IncrementAndAdd) {
+  Counter c;
+  ++c;
+  c += 5;
+  EXPECT_EQ(static_cast<std::uint64_t>(c), 6u);
+}
+
+}  // namespace
+}  // namespace qmb::sim

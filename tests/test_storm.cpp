@@ -1,0 +1,141 @@
+// The STORM-lite resource manager over both collective backends.
+#include "storm/storm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qmb::storm {
+namespace {
+
+using sim::Engine;
+
+struct Fixture {
+  Engine engine;
+  core::MyriCluster cluster;
+  ResourceManager rm;
+  Fixture(int n, Backend b) : cluster(engine, myri::lanaixp_cluster(), n), rm(cluster, b) {}
+};
+
+class BothBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(BothBackends, SingleJobRunsToCompletion) {
+  Fixture f(8, GetParam());
+  JobSpec spec;
+  spec.job_id = 42;
+  spec.work_per_node = sim::microseconds(100);
+  std::vector<JobResult> results;
+  f.rm.submit(spec, [&](const JobResult& r) { results.push_back(r); });
+  f.engine.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].job_id, 42);
+  EXPECT_EQ(results[0].exit_code_sum, 0);
+  EXPECT_GT(results[0].launch_latency.picos(), 0);
+  // Total runtime covers launch + work + gather.
+  EXPECT_GT(results[0].total_runtime.picos(),
+            results[0].launch_latency.picos() + sim::microseconds(100).picos());
+}
+
+TEST_P(BothBackends, JobsRunInSubmissionOrder) {
+  Fixture f(4, GetParam());
+  std::vector<int> order;
+  for (int j = 0; j < 5; ++j) {
+    JobSpec spec;
+    spec.job_id = j;
+    spec.work_per_node = sim::microseconds(20);
+    f.rm.submit(spec, [&order](const JobResult& r) { order.push_back(r.job_id); });
+  }
+  f.engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(f.rm.jobs_completed(), 5u);
+}
+
+TEST_P(BothBackends, NonZeroExitCodesGathered) {
+  Fixture f(6, GetParam());
+  JobSpec spec;
+  spec.exit_code = 3;
+  std::int64_t sum = -1;
+  f.rm.submit(spec, [&](const JobResult& r) { sum = r.exit_code_sum; });
+  f.engine.run();
+  EXPECT_EQ(sum, 18);  // 6 nodes x exit code 3
+}
+
+TEST_P(BothBackends, GlobalSyncCompletes) {
+  Fixture f(8, GetParam());
+  bool synced = false;
+  f.rm.global_sync([&] { synced = true; });
+  f.engine.run();
+  EXPECT_TRUE(synced);
+}
+
+TEST_P(BothBackends, HeartbeatDetectsUnhealthyDaemon) {
+  Fixture f(8, GetParam());
+  bool healthy = false;
+  f.rm.heartbeat([&](bool h) { healthy = h; });
+  f.engine.run();
+  EXPECT_TRUE(healthy);
+
+  f.rm.set_node_healthy(5, false);
+  f.rm.heartbeat([&](bool h) { healthy = h; });
+  f.engine.run();
+  EXPECT_FALSE(healthy);
+
+  f.rm.set_node_healthy(5, true);
+  f.rm.heartbeat([&](bool h) { healthy = h; });
+  f.engine.run();
+  EXPECT_TRUE(healthy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BothBackends,
+                         ::testing::Values(Backend::kHostBased, Backend::kNicOffloaded),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kHostBased ? "host" : "nic";
+                         });
+
+TEST(Storm, NicOffloadAcceleratesJobLaunch) {
+  auto launch_us = [](Backend b) {
+    Fixture f(16, b);
+    JobSpec spec;
+    spec.work_per_node = sim::microseconds(50);
+    double launch = 0;
+    f.rm.submit(spec, [&](const JobResult& r) { launch = r.launch_latency.micros(); });
+    f.engine.run();
+    return launch;
+  };
+  const double host = launch_us(Backend::kHostBased);
+  const double nic = launch_us(Backend::kNicOffloaded);
+  EXPECT_GT(host / nic, 1.5);  // the paper's projected management speedup
+}
+
+TEST(Storm, ImbalancedJobStillGathersEveryNode) {
+  Fixture f(8, Backend::kNicOffloaded);
+  JobSpec spec;
+  spec.work_per_node = sim::microseconds(200);
+  spec.imbalance = 0.5;
+  std::vector<JobResult> results;
+  f.rm.submit(spec, [&](const JobResult& r) { results.push_back(r); });
+  f.engine.run();
+  ASSERT_EQ(results.size(), 1u);
+  // The gather cannot finish before the slowest node's minimum possible
+  // work (work * (1 - imbalance)).
+  EXPECT_GT(results[0].total_runtime.picos(),
+            sim::microseconds(100).picos());
+}
+
+TEST(Storm, BackToBackManagementOperations) {
+  Fixture f(8, Backend::kNicOffloaded);
+  int events = 0;
+  f.rm.global_sync([&] { ++events; });
+  JobSpec spec;
+  spec.work_per_node = sim::microseconds(10);
+  f.rm.submit(spec, [&](const JobResult&) { ++events; });
+  f.rm.heartbeat([&](bool h) {
+    EXPECT_TRUE(h);
+    ++events;
+  });
+  f.engine.run();
+  EXPECT_EQ(events, 3);
+}
+
+}  // namespace
+}  // namespace qmb::storm

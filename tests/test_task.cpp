@@ -1,0 +1,136 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qmb::sim {
+namespace {
+
+using namespace qmb::sim::literals;
+
+TEST(Task, DelayAwaiterAdvancesClock) {
+  Engine e;
+  std::vector<std::int64_t> times;
+  auto body = [&]() -> Task {
+    times.push_back(e.now().picos());
+    co_await delay(e, 5_us);
+    times.push_back(e.now().picos());
+    co_await delay(e, 2_us);
+    times.push_back(e.now().picos());
+  };
+  body();
+  e.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{0, 5'000'000, 7'000'000}));
+}
+
+TEST(Task, ZeroDelayDoesNotSuspend) {
+  Engine e;
+  bool done = false;
+  auto body = [&]() -> Task {
+    co_await delay(e, SimDuration::zero());
+    done = true;
+  };
+  body();
+  // Completed synchronously: await_ready() for zero delay.
+  EXPECT_TRUE(done);
+}
+
+TEST(Trigger, FireResumesWaiter) {
+  Engine e;
+  Trigger t(e);
+  bool resumed = false;
+  auto body = [&]() -> Task {
+    co_await t;
+    resumed = true;
+  };
+  body();
+  EXPECT_FALSE(resumed);
+  e.schedule(3_us, [&] { t.fire(); });
+  e.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Trigger, AwaitAfterFireIsImmediate) {
+  Engine e;
+  Trigger t(e);
+  t.fire();
+  bool resumed = false;
+  auto body = [&]() -> Task {
+    co_await t;
+    resumed = true;
+  };
+  body();
+  EXPECT_TRUE(resumed);  // already fired: no suspension
+}
+
+TEST(Trigger, ResumptionHappensFromEngineNotInline) {
+  Engine e;
+  Trigger t(e);
+  bool resumed = false;
+  auto body = [&]() -> Task {
+    co_await t;
+    resumed = true;
+  };
+  body();
+  t.fire();
+  // fire() only schedules the resume; it must not run user code inline.
+  EXPECT_FALSE(resumed);
+  e.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Trigger, ResetAllowsReuse) {
+  Engine e;
+  Trigger t(e);
+  int resumes = 0;
+  auto wait_once = [&]() -> Task {
+    co_await t;
+    ++resumes;
+  };
+  t.fire();
+  wait_once();
+  EXPECT_EQ(resumes, 1);
+  t.reset();
+  EXPECT_FALSE(t.fired());
+  wait_once();
+  EXPECT_EQ(resumes, 1);
+  t.fire();
+  e.run();
+  EXPECT_EQ(resumes, 2);
+}
+
+TEST(Trigger, DoubleFireIsIdempotent) {
+  Engine e;
+  Trigger t(e);
+  int resumes = 0;
+  auto body = [&]() -> Task {
+    co_await t;
+    ++resumes;
+  };
+  body();
+  t.fire();
+  t.fire();
+  e.run();
+  EXPECT_EQ(resumes, 1);
+}
+
+TEST(Task, TwoProcessesInterleaveDeterministically) {
+  Engine e;
+  std::vector<int> order;
+  auto proc = [&](int id, SimDuration step) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await delay(e, step);
+      order.push_back(id);
+    }
+  };
+  proc(1, 2_us);   // ticks at 2, 4, 6
+  proc(2, 3_us);   // ticks at 3, 6, 9
+  e.run();
+  // At the t=6 tie, proc 2 wins: its 6us event was scheduled at t=3,
+  // before proc 1 scheduled its own at t=4 (insertion-order tie-break).
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+}  // namespace
+}  // namespace qmb::sim

@@ -1,0 +1,72 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qmb::sim {
+namespace {
+
+using namespace qmb::sim::literals;
+
+TEST(SimDuration, FactoryUnitsAgree) {
+  EXPECT_EQ(picoseconds(1'000'000).picos(), microseconds(1).picos());
+  EXPECT_EQ(nanoseconds(1'000).picos(), microseconds(1).picos());
+  EXPECT_EQ(milliseconds(1).picos(), microseconds(1'000).picos());
+  EXPECT_EQ(seconds(1).picos(), milliseconds(1'000).picos());
+}
+
+TEST(SimDuration, DoubleFactoriesRoundToNearestPicosecond) {
+  EXPECT_EQ(microseconds(1.5).picos(), 1'500'000);
+  EXPECT_EQ(microseconds(0.0000005).picos(), 1);  // 0.5 ps rounds up
+  EXPECT_EQ(nanoseconds(2.25).picos(), 2'250);
+}
+
+TEST(SimDuration, Literals) {
+  EXPECT_EQ((5_us).picos(), 5'000'000);
+  EXPECT_EQ((3.5_us).picos(), 3'500'000);
+  EXPECT_EQ((250_ns).picos(), 250'000);
+  EXPECT_EQ((7_ps).picos(), 7);
+}
+
+TEST(SimDuration, Arithmetic) {
+  SimDuration d = 2_us;
+  d += 500_ns;
+  EXPECT_EQ(d.picos(), 2'500'000);
+  d -= 1_us;
+  EXPECT_EQ(d.picos(), 1'500'000);
+  EXPECT_EQ((d * 2).picos(), 3'000'000);
+  EXPECT_EQ((2 * d).picos(), 3'000'000);
+  EXPECT_EQ((d / 3).picos(), 500'000);
+}
+
+TEST(SimDuration, ComparisonAndConversion) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_EQ(SimDuration::zero().picos(), 0);
+  EXPECT_DOUBLE_EQ((5_us).micros(), 5.0);
+  EXPECT_DOUBLE_EQ((5_us).nanos(), 5000.0);
+  EXPECT_DOUBLE_EQ((5_us).millis(), 0.005);
+}
+
+TEST(SimTime, PointArithmetic) {
+  SimTime t = SimTime::zero();
+  t += 3_us;
+  EXPECT_EQ(t.picos(), 3'000'000);
+  const SimTime u = t + 2_us;
+  EXPECT_EQ((u - t).picos(), 2'000'000);
+  EXPECT_EQ((u - 1_us).picos(), 4'000'000);
+  EXPECT_LT(t, u);
+}
+
+TEST(SimTime, ToStringFormatsMicros) {
+  EXPECT_EQ(to_string(SimTime(5'600'000)), "5.600us");
+  EXPECT_EQ(to_string(SimDuration(14'200'000)), "14.200us");
+}
+
+TEST(SimDuration, NegativeValuesBehave) {
+  const SimDuration d = 1_us - 3_us;
+  EXPECT_EQ(d.picos(), -2'000'000);
+  EXPECT_LT(d, SimDuration::zero());
+  EXPECT_EQ(microseconds(-1.5).picos(), -1'500'000);
+}
+
+}  // namespace
+}  // namespace qmb::sim

@@ -1,0 +1,57 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qmb::net {
+namespace {
+
+TEST(SingleCrossbar, Inventory) {
+  SingleCrossbar x(8);
+  EXPECT_EQ(x.max_nics(), 8u);
+  EXPECT_EQ(x.num_links(), 16u);
+  EXPECT_EQ(x.num_switches(), 1u);
+}
+
+TEST(SingleCrossbar, RouteIsUplinkSwitchDownlink) {
+  SingleCrossbar x(8);
+  const Route r = x.route(NicAddr(2), NicAddr(5));
+  ASSERT_EQ(r.links.size(), 2u);
+  ASSERT_EQ(r.switches.size(), 1u);
+  EXPECT_EQ(r.links[0], LinkId(2));        // uplink of NIC 2
+  EXPECT_EQ(r.links[1], LinkId(8 + 5));    // downlink of NIC 5
+  EXPECT_EQ(r.switches[0], SwitchId(0));
+}
+
+TEST(SingleCrossbar, DistinctPairsUseDistinctLinks) {
+  SingleCrossbar x(4);
+  const Route a = x.route(NicAddr(0), NicAddr(1));
+  const Route b = x.route(NicAddr(2), NicAddr(3));
+  EXPECT_NE(a.links[0], b.links[0]);
+  EXPECT_NE(a.links[1], b.links[1]);
+}
+
+TEST(SingleCrossbar, SharedDestinationSharesDownlink) {
+  SingleCrossbar x(4);
+  const Route a = x.route(NicAddr(0), NicAddr(3));
+  const Route b = x.route(NicAddr(1), NicAddr(3));
+  EXPECT_EQ(a.links[1], b.links[1]);  // contention point
+}
+
+TEST(SingleCrossbar, MergeLevelIsZero) {
+  SingleCrossbar x(4);
+  EXPECT_EQ(x.merge_level(NicAddr(0), NicAddr(3)), 0);
+}
+
+TEST(SingleCrossbar, RouteViaFallsBackToRoute) {
+  SingleCrossbar x(4);
+  const Route a = x.route(NicAddr(0), NicAddr(3));
+  const Route b = x.route_via(NicAddr(0), NicAddr(3), 5);
+  EXPECT_EQ(a.links, b.links);
+}
+
+TEST(SingleCrossbar, TooFewPortsThrows) {
+  EXPECT_THROW(SingleCrossbar(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qmb::net

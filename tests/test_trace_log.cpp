@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/log.hpp"
+#include "sim/trace.hpp"
+
+namespace qmb::sim {
+namespace {
+
+using namespace qmb::sim::literals;
+
+TEST(Tracer, DisabledByDefaultAndRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.record({SimTime(1), "x", "y", 0, 0, 0});
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Tracer, RecordsWhenEnabled) {
+  Tracer t;
+  t.enable();
+  t.record({SimTime(1'000'000), "mcp", "send", 3, 7, 9});
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].component, "mcp");
+  EXPECT_EQ(t.records()[0].node, 3);
+}
+
+TEST(Tracer, CountFiltersByComponentAndEvent) {
+  Tracer t;
+  t.enable();
+  t.record({SimTime(1), "mcp", "send", 0, 0, 0});
+  t.record({SimTime(2), "mcp", "send", 1, 0, 0});
+  t.record({SimTime(3), "mcp", "recv", 0, 0, 0});
+  t.record({SimTime(4), "coll", "send", 0, 0, 0});
+  EXPECT_EQ(t.count("mcp", "send"), 2u);
+  EXPECT_EQ(t.count("mcp", "recv"), 1u);
+  EXPECT_EQ(t.count("coll", "recv"), 0u);
+}
+
+TEST(Tracer, CsvContainsHeaderAndRows) {
+  Tracer t;
+  t.enable();
+  t.record({SimTime(5'600'000), "nic", "coll_send", 2, 4, 6});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("time_us,component,event,node,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("5.6,nic,coll_send,2,4,6"), std::string::npos);
+}
+
+TEST(Tracer, ClearEmpties) {
+  Tracer t;
+  t.enable();
+  t.record({SimTime(1), "a", "b", 0, 0, 0});
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Logger, OffByDefault) {
+  Engine e;
+  Logger log(e);
+  int lines = 0;
+  log.set_sink([&](std::string_view) { ++lines; });
+  QMB_LOG(log, kError, "test") << "should not appear";
+  EXPECT_EQ(lines, 0);
+}
+
+TEST(Logger, LevelFiltering) {
+  Engine e;
+  Logger log(e, LogLevel::kWarn);
+  std::vector<std::string> lines;
+  log.set_sink([&](std::string_view s) { lines.emplace_back(s); });
+  QMB_LOG(log, kDebug, "c") << "hidden";
+  QMB_LOG(log, kWarn, "c") << "shown";
+  QMB_LOG(log, kError, "c") << "also shown";
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("shown"), std::string::npos);
+}
+
+TEST(Logger, LinesCarrySimTimestampAndComponent) {
+  Engine e;
+  Logger log(e, LogLevel::kInfo);
+  std::string line;
+  log.set_sink([&](std::string_view s) { line = std::string(s); });
+  e.schedule(microseconds(42), [&] { QMB_LOG(log, kInfo, "mcp") << "tick"; });
+  e.run();
+  EXPECT_NE(line.find("42.000us"), std::string::npos);
+  EXPECT_NE(line.find("INFO"), std::string::npos);
+  EXPECT_NE(line.find("mcp"), std::string::npos);
+  EXPECT_NE(line.find("tick"), std::string::npos);
+}
+
+TEST(Logger, StreamBodyNotEvaluatedWhenDisabled) {
+  Engine e;
+  Logger log(e, LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  QMB_LOG(log, kError, "c") << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Logger, CountsEmittedLines) {
+  Engine e;
+  Logger log(e, LogLevel::kTrace);
+  log.set_sink([](std::string_view) {});
+  QMB_LOG(log, kTrace, "c") << "a";
+  QMB_LOG(log, kInfo, "c") << "b";
+  EXPECT_EQ(log.lines_emitted(), 2u);
+}
+
+TEST(LogLevel, Names) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace qmb::sim

@@ -1,0 +1,260 @@
+// qmbsim — command-line driver for the simulator.
+//
+// Runs any barrier or collective configuration and prints latency and
+// protocol statistics, so experiments beyond the committed benchmarks can
+// be run without writing code:
+//
+//   qmbsim --network myrinet-xp --nodes 8 --impl nic --op barrier
+//   qmbsim --network quadrics --nodes 64 --impl hgsync --iters 1000
+//   qmbsim --network myrinet-l9 --nodes 16 --impl host --algorithm pe
+//   qmbsim --network myrinet-xp --nodes 8 --op allreduce --impl host
+//   qmbsim --network myrinet-xp --nodes 8 --drop-prob 0.01 --trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "core/collectives.hpp"
+
+using namespace qmb;
+
+namespace {
+
+struct Options {
+  std::string network = "myrinet-xp";  // myrinet-xp | myrinet-l9 | quadrics
+  int nodes = 8;
+  std::string op = "barrier";    // barrier | bcast | allreduce | allgather | alltoall
+  std::string impl = "nic";      // nic | host | direct | gsync | hgsync
+  std::string algorithm = "ds";  // ds | pe | gb
+  int iters = 1000;
+  int warmup = 100;
+  std::uint64_t seed = 1;
+  bool random_placement = false;
+  double drop_prob = 0.0;
+  bool trace = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --network myrinet-xp|myrinet-l9|quadrics   (default myrinet-xp)\n"
+      "  --nodes N                                  (default 8)\n"
+      "  --op barrier|bcast|allreduce|allgather|alltoall (default barrier)\n"
+      "  --impl nic|host|direct|gsync|hgsync        (default nic;\n"
+      "         direct = prior-work NIC scheme, Myrinet barrier only;\n"
+      "         gsync/hgsync = Quadrics barrier only)\n"
+      "  --algorithm ds|pe|gb                       (default ds)\n"
+      "  --iters K --warmup W                       (default 1000 / 100)\n"
+      "  --seed S --perm                            random rank placement\n"
+      "  --drop-prob P                              Myrinet packet loss\n"
+      "  --trace                                    dump protocol trace CSV\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (a == "--network") o.network = next("--network");
+    else if (a == "--nodes") o.nodes = std::atoi(next("--nodes"));
+    else if (a == "--op") o.op = next("--op");
+    else if (a == "--impl") o.impl = next("--impl");
+    else if (a == "--algorithm") o.algorithm = next("--algorithm");
+    else if (a == "--iters") o.iters = std::atoi(next("--iters"));
+    else if (a == "--warmup") o.warmup = std::atoi(next("--warmup"));
+    else if (a == "--seed") o.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (a == "--perm") o.random_placement = true;
+    else if (a == "--drop-prob") o.drop_prob = std::atof(next("--drop-prob"));
+    else if (a == "--trace") o.trace = true;
+    else if (a == "--help" || a == "-h") usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (o.nodes < 2) {
+    std::fprintf(stderr, "--nodes must be >= 2\n");
+    std::exit(2);
+  }
+  return o;
+}
+
+coll::Algorithm algorithm_of(const Options& o) {
+  if (o.algorithm == "ds") return coll::Algorithm::kDissemination;
+  if (o.algorithm == "pe") return coll::Algorithm::kPairwiseExchange;
+  if (o.algorithm == "gb") return coll::Algorithm::kGatherBroadcast;
+  std::fprintf(stderr, "unknown algorithm '%s'\n", o.algorithm.c_str());
+  std::exit(2);
+}
+
+std::optional<coll::OpKind> value_op_of(const std::string& op) {
+  if (op == "bcast") return coll::OpKind::kBcast;
+  if (op == "allreduce") return coll::OpKind::kAllreduce;
+  if (op == "allgather") return coll::OpKind::kAllgather;
+  if (op == "alltoall") return coll::OpKind::kAlltoall;
+  return std::nullopt;
+}
+
+void print_result(const core::BarrierRunResult& r) {
+  std::printf("iterations: %llu\n", static_cast<unsigned long long>(r.iterations));
+  std::printf("latency: mean %.2f us, min %.2f us, max %.2f us, p99 %.2f us\n",
+              r.mean.micros(), r.per_iteration.min().micros(),
+              r.per_iteration.max().micros(), r.per_iteration.percentile(99).micros());
+}
+
+/// Drives consecutive value collectives with the barrier runner's
+/// methodology.
+core::BarrierRunResult run_collective(sim::Engine& engine, core::Collective& op,
+                                      int warmup, int iters) {
+  const int n = op.size();
+  const int total = warmup + iters;
+  std::vector<int> iter_of(static_cast<std::size_t>(n), 0);
+  std::vector<int> done_in(static_cast<std::size_t>(total), 0);
+  std::vector<sim::SimTime> completed(static_cast<std::size_t>(total));
+  std::function<void(int)> loop = [&](int rank) {
+    const int it = iter_of[static_cast<std::size_t>(rank)];
+    if (it >= total) return;
+    op.enter(rank, rank + 1, [&, rank, it](std::int64_t) {
+      iter_of[static_cast<std::size_t>(rank)] = it + 1;
+      if (++done_in[static_cast<std::size_t>(it)] == n) {
+        completed[static_cast<std::size_t>(it)] = engine.now();
+      }
+      engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
+    });
+  };
+  for (int r = 0; r < n; ++r) loop(r);
+  engine.run_until(engine.now() + sim::seconds(120));
+  core::BarrierRunResult res;
+  res.iterations = static_cast<std::uint64_t>(iters);
+  for (int i = warmup; i < total; ++i) {
+    const sim::SimTime prev =
+        i == 0 ? sim::SimTime::zero() : completed[static_cast<std::size_t>(i - 1)];
+    res.per_iteration.add(completed[static_cast<std::size_t>(i)] - prev);
+  }
+  res.mean = res.per_iteration.mean();
+  return res;
+}
+
+int run_myrinet(const Options& o) {
+  const auto cfg = o.network == "myrinet-l9" ? myri::lanai9_cluster()
+                                             : myri::lanaixp_cluster();
+  sim::Engine engine;
+  sim::Tracer tracer;
+  if (o.trace) tracer.enable();
+  core::MyriCluster cluster(engine, cfg, o.nodes, o.trace ? &tracer : nullptr);
+  if (o.drop_prob > 0) {
+    cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, o.drop_prob,
+                                              o.seed);
+  }
+  sim::Rng rng(o.seed);
+  auto placement = o.random_placement ? core::random_placement(o.nodes, rng)
+                                      : core::identity_placement(o.nodes);
+
+  if (const auto kind = value_op_of(o.op)) {
+    auto op = o.impl == "host"
+                  ? core::make_host_collective(cluster, *kind, 0,
+                                               coll::ReduceOp::kSum, placement)
+                  : core::make_nic_collective(cluster, *kind, 0, coll::ReduceOp::kSum,
+                                              placement);
+    std::printf("%s, %d nodes, %s\n", std::string(op->name()).c_str(), o.nodes,
+                cfg.lanai.clock_mhz > 200 ? "LANai-XP" : "LANai 9.1");
+    print_result(run_collective(engine, *op, o.warmup, o.iters));
+  } else if (o.op == "barrier") {
+    core::MyriBarrierKind kind = core::MyriBarrierKind::kNicCollective;
+    if (o.impl == "host") kind = core::MyriBarrierKind::kHost;
+    else if (o.impl == "direct") kind = core::MyriBarrierKind::kNicDirect;
+    else if (o.impl != "nic") {
+      std::fprintf(stderr, "impl '%s' is not a Myrinet barrier\n", o.impl.c_str());
+      return 2;
+    }
+    auto barrier = cluster.make_barrier(kind, algorithm_of(o), placement);
+    std::printf("%s, %d nodes\n", std::string(barrier->name()).c_str(), o.nodes);
+    print_result(core::run_consecutive_barriers(engine, *barrier, o.warmup, o.iters));
+  } else {
+    std::fprintf(stderr, "unknown op '%s'\n", o.op.c_str());
+    return 2;
+  }
+
+  std::printf("wire: %llu packets, %llu bytes, %llu dropped\n",
+              static_cast<unsigned long long>(cluster.fabric().packets_sent()),
+              static_cast<unsigned long long>(cluster.fabric().bytes_sent()),
+              static_cast<unsigned long long>(cluster.fabric().faults().dropped()));
+  std::uint64_t nacks = 0, retrans = 0;
+  for (int i = 0; i < o.nodes; ++i) {
+    nacks += cluster.node(i).coll().stats().nacks_sent.value;
+    retrans += cluster.node(i).coll().stats().retransmissions.value +
+               cluster.node(i).mcp().stats().retransmissions.value;
+  }
+  std::printf("recovery: %llu NACKs, %llu retransmissions\n",
+              static_cast<unsigned long long>(nacks),
+              static_cast<unsigned long long>(retrans));
+  if (o.trace) std::fputs(tracer.to_csv().c_str(), stdout);
+  return 0;
+}
+
+int run_quadrics(const Options& o) {
+  sim::Engine engine;
+  sim::Tracer tracer;
+  if (o.trace) tracer.enable();
+  core::ElanCluster cluster(engine, elan::elan3_cluster(), o.nodes,
+                            o.trace ? &tracer : nullptr);
+  sim::Rng rng(o.seed);
+  auto placement = o.random_placement ? core::random_placement(o.nodes, rng)
+                                      : core::identity_placement(o.nodes);
+
+  if (const auto kind = value_op_of(o.op)) {
+    auto op = o.impl == "host"
+                  ? core::make_elan_host_collective(cluster, *kind, 0,
+                                                    coll::ReduceOp::kSum, placement)
+                  : core::make_elan_nic_collective(cluster, *kind, 0,
+                                                   coll::ReduceOp::kSum, placement);
+    std::printf("%s, %d nodes\n", std::string(op->name()).c_str(), o.nodes);
+    print_result(run_collective(engine, *op, o.warmup, o.iters));
+  } else if (o.op == "barrier") {
+    core::ElanBarrierKind kind = core::ElanBarrierKind::kNicChained;
+    if (o.impl == "gsync" || o.impl == "host") kind = core::ElanBarrierKind::kGsyncTree;
+    else if (o.impl == "hgsync") kind = core::ElanBarrierKind::kHardware;
+    else if (o.impl != "nic") {
+      std::fprintf(stderr, "impl '%s' is not a Quadrics barrier\n", o.impl.c_str());
+      return 2;
+    }
+    auto barrier = cluster.make_barrier(kind, algorithm_of(o), placement);
+    std::printf("%s, %d nodes\n", std::string(barrier->name()).c_str(), o.nodes);
+    print_result(core::run_consecutive_barriers(engine, *barrier, o.warmup, o.iters));
+    if (kind == core::ElanBarrierKind::kHardware) {
+      std::printf("hgsync: %llu probes, %llu failed\n",
+                  static_cast<unsigned long long>(cluster.hw_barrier().probes_sent()),
+                  static_cast<unsigned long long>(cluster.hw_barrier().failed_probes()));
+    }
+  } else {
+    std::fprintf(stderr, "unknown op '%s'\n", o.op.c_str());
+    return 2;
+  }
+
+  std::printf("wire: %llu packets, %llu bytes\n",
+              static_cast<unsigned long long>(cluster.fabric().packets_sent()),
+              static_cast<unsigned long long>(cluster.fabric().bytes_sent()));
+  if (o.trace) std::fputs(tracer.to_csv().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.network == "quadrics") return run_quadrics(o);
+  if (o.network == "myrinet-xp" || o.network == "myrinet-l9") return run_myrinet(o);
+  std::fprintf(stderr, "unknown network '%s'\n", o.network.c_str());
+  return 2;
+}
