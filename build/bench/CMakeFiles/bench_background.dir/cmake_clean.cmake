@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_background.dir/bench_background.cpp.o"
+  "CMakeFiles/bench_background.dir/bench_background.cpp.o.d"
+  "bench_background"
+  "bench_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

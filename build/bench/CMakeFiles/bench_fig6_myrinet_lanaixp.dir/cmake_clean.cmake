@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_myrinet_lanaixp.dir/bench_fig6_myrinet_lanaixp.cpp.o"
+  "CMakeFiles/bench_fig6_myrinet_lanaixp.dir/bench_fig6_myrinet_lanaixp.cpp.o.d"
+  "bench_fig6_myrinet_lanaixp"
+  "bench_fig6_myrinet_lanaixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_myrinet_lanaixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_quadrics.dir/bench_fig7_quadrics.cpp.o"
+  "CMakeFiles/bench_fig7_quadrics.dir/bench_fig7_quadrics.cpp.o.d"
+  "bench_fig7_quadrics"
+  "bench_fig7_quadrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_quadrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_allreduce_app.dir/mpi_allreduce_app.cpp.o"
+  "CMakeFiles/mpi_allreduce_app.dir/mpi_allreduce_app.cpp.o.d"
+  "mpi_allreduce_app"
+  "mpi_allreduce_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_allreduce_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

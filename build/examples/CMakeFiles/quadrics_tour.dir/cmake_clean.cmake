@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadrics_tour.dir/quadrics_tour.cpp.o"
+  "CMakeFiles/quadrics_tour.dir/quadrics_tour.cpp.o.d"
+  "quadrics_tour"
+  "quadrics_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadrics_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_launcher.dir/storm_launcher.cpp.o"
+  "CMakeFiles/storm_launcher.dir/storm_launcher.cpp.o.d"
+  "storm_launcher"
+  "storm_launcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_launcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

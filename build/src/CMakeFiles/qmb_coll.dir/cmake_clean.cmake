@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmb_coll.dir/core/schedule.cpp.o"
+  "CMakeFiles/qmb_coll.dir/core/schedule.cpp.o.d"
+  "libqmb_coll.a"
+  "libqmb_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmb_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/qmb_core.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/qmb_core.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/collectives.cpp" "src/CMakeFiles/qmb_core.dir/core/collectives.cpp.o" "gcc" "src/CMakeFiles/qmb_core.dir/core/collectives.cpp.o.d"
+  "/root/repo/src/core/myri_host_barrier.cpp" "src/CMakeFiles/qmb_core.dir/core/myri_host_barrier.cpp.o" "gcc" "src/CMakeFiles/qmb_core.dir/core/myri_host_barrier.cpp.o.d"
+  "/root/repo/src/core/myri_nic_barrier.cpp" "src/CMakeFiles/qmb_core.dir/core/myri_nic_barrier.cpp.o" "gcc" "src/CMakeFiles/qmb_core.dir/core/myri_nic_barrier.cpp.o.d"
+  "/root/repo/src/core/myri_nic_barrier_direct.cpp" "src/CMakeFiles/qmb_core.dir/core/myri_nic_barrier_direct.cpp.o" "gcc" "src/CMakeFiles/qmb_core.dir/core/myri_nic_barrier_direct.cpp.o.d"
+  "/root/repo/src/core/quadrics_barrier.cpp" "src/CMakeFiles/qmb_core.dir/core/quadrics_barrier.cpp.o" "gcc" "src/CMakeFiles/qmb_core.dir/core/quadrics_barrier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmb_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_quadrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

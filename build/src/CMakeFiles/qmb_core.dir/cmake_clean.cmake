@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmb_core.dir/core/cluster.cpp.o"
+  "CMakeFiles/qmb_core.dir/core/cluster.cpp.o.d"
+  "CMakeFiles/qmb_core.dir/core/collectives.cpp.o"
+  "CMakeFiles/qmb_core.dir/core/collectives.cpp.o.d"
+  "CMakeFiles/qmb_core.dir/core/myri_host_barrier.cpp.o"
+  "CMakeFiles/qmb_core.dir/core/myri_host_barrier.cpp.o.d"
+  "CMakeFiles/qmb_core.dir/core/myri_nic_barrier.cpp.o"
+  "CMakeFiles/qmb_core.dir/core/myri_nic_barrier.cpp.o.d"
+  "CMakeFiles/qmb_core.dir/core/myri_nic_barrier_direct.cpp.o"
+  "CMakeFiles/qmb_core.dir/core/myri_nic_barrier_direct.cpp.o.d"
+  "CMakeFiles/qmb_core.dir/core/quadrics_barrier.cpp.o"
+  "CMakeFiles/qmb_core.dir/core/quadrics_barrier.cpp.o.d"
+  "libqmb_core.a"
+  "libqmb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

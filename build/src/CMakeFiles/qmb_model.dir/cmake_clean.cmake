@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmb_model.dir/model/analytic.cpp.o"
+  "CMakeFiles/qmb_model.dir/model/analytic.cpp.o.d"
+  "libqmb_model.a"
+  "libqmb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

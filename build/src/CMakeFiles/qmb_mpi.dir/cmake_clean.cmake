@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmb_mpi.dir/mpi/comm.cpp.o"
+  "CMakeFiles/qmb_mpi.dir/mpi/comm.cpp.o.d"
+  "libqmb_mpi.a"
+  "libqmb_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmb_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

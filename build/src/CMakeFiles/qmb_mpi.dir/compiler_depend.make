@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qmb_mpi.
+# This may be replaced when dependencies are built.

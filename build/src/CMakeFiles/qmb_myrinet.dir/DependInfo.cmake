@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/myrinet/collective.cpp" "src/CMakeFiles/qmb_myrinet.dir/myrinet/collective.cpp.o" "gcc" "src/CMakeFiles/qmb_myrinet.dir/myrinet/collective.cpp.o.d"
+  "/root/repo/src/myrinet/config.cpp" "src/CMakeFiles/qmb_myrinet.dir/myrinet/config.cpp.o" "gcc" "src/CMakeFiles/qmb_myrinet.dir/myrinet/config.cpp.o.d"
+  "/root/repo/src/myrinet/gm.cpp" "src/CMakeFiles/qmb_myrinet.dir/myrinet/gm.cpp.o" "gcc" "src/CMakeFiles/qmb_myrinet.dir/myrinet/gm.cpp.o.d"
+  "/root/repo/src/myrinet/mcp.cpp" "src/CMakeFiles/qmb_myrinet.dir/myrinet/mcp.cpp.o" "gcc" "src/CMakeFiles/qmb_myrinet.dir/myrinet/mcp.cpp.o.d"
+  "/root/repo/src/myrinet/nic.cpp" "src/CMakeFiles/qmb_myrinet.dir/myrinet/nic.cpp.o" "gcc" "src/CMakeFiles/qmb_myrinet.dir/myrinet/nic.cpp.o.d"
+  "/root/repo/src/myrinet/pci_bus.cpp" "src/CMakeFiles/qmb_myrinet.dir/myrinet/pci_bus.cpp.o" "gcc" "src/CMakeFiles/qmb_myrinet.dir/myrinet/pci_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmb_myrinet.dir/myrinet/collective.cpp.o"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/collective.cpp.o.d"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/config.cpp.o"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/config.cpp.o.d"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/gm.cpp.o"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/gm.cpp.o.d"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/mcp.cpp.o"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/mcp.cpp.o.d"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/nic.cpp.o"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/nic.cpp.o.d"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/pci_bus.cpp.o"
+  "CMakeFiles/qmb_myrinet.dir/myrinet/pci_bus.cpp.o.d"
+  "libqmb_myrinet.a"
+  "libqmb_myrinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmb_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

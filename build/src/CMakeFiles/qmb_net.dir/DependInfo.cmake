@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/qmb_net.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/qmb_net.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/fat_tree.cpp" "src/CMakeFiles/qmb_net.dir/net/fat_tree.cpp.o" "gcc" "src/CMakeFiles/qmb_net.dir/net/fat_tree.cpp.o.d"
+  "/root/repo/src/net/fault.cpp" "src/CMakeFiles/qmb_net.dir/net/fault.cpp.o" "gcc" "src/CMakeFiles/qmb_net.dir/net/fault.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/qmb_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/qmb_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/switch_node.cpp" "src/CMakeFiles/qmb_net.dir/net/switch_node.cpp.o" "gcc" "src/CMakeFiles/qmb_net.dir/net/switch_node.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/qmb_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/qmb_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmb_net.dir/net/fabric.cpp.o"
+  "CMakeFiles/qmb_net.dir/net/fabric.cpp.o.d"
+  "CMakeFiles/qmb_net.dir/net/fat_tree.cpp.o"
+  "CMakeFiles/qmb_net.dir/net/fat_tree.cpp.o.d"
+  "CMakeFiles/qmb_net.dir/net/fault.cpp.o"
+  "CMakeFiles/qmb_net.dir/net/fault.cpp.o.d"
+  "CMakeFiles/qmb_net.dir/net/link.cpp.o"
+  "CMakeFiles/qmb_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/qmb_net.dir/net/switch_node.cpp.o"
+  "CMakeFiles/qmb_net.dir/net/switch_node.cpp.o.d"
+  "CMakeFiles/qmb_net.dir/net/topology.cpp.o"
+  "CMakeFiles/qmb_net.dir/net/topology.cpp.o.d"
+  "libqmb_net.a"
+  "libqmb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

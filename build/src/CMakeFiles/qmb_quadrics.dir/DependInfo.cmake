@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quadrics/elanlib.cpp" "src/CMakeFiles/qmb_quadrics.dir/quadrics/elanlib.cpp.o" "gcc" "src/CMakeFiles/qmb_quadrics.dir/quadrics/elanlib.cpp.o.d"
+  "/root/repo/src/quadrics/fabric.cpp" "src/CMakeFiles/qmb_quadrics.dir/quadrics/fabric.cpp.o" "gcc" "src/CMakeFiles/qmb_quadrics.dir/quadrics/fabric.cpp.o.d"
+  "/root/repo/src/quadrics/nic.cpp" "src/CMakeFiles/qmb_quadrics.dir/quadrics/nic.cpp.o" "gcc" "src/CMakeFiles/qmb_quadrics.dir/quadrics/nic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

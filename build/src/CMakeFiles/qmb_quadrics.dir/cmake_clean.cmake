@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmb_quadrics.dir/quadrics/elanlib.cpp.o"
+  "CMakeFiles/qmb_quadrics.dir/quadrics/elanlib.cpp.o.d"
+  "CMakeFiles/qmb_quadrics.dir/quadrics/fabric.cpp.o"
+  "CMakeFiles/qmb_quadrics.dir/quadrics/fabric.cpp.o.d"
+  "CMakeFiles/qmb_quadrics.dir/quadrics/nic.cpp.o"
+  "CMakeFiles/qmb_quadrics.dir/quadrics/nic.cpp.o.d"
+  "libqmb_quadrics.a"
+  "libqmb_quadrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmb_quadrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qmb_quadrics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmb_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/qmb_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/qmb_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/qmb_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/qmb_sim.dir/sim/log.cpp.o"
+  "CMakeFiles/qmb_sim.dir/sim/log.cpp.o.d"
+  "CMakeFiles/qmb_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/qmb_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/qmb_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/qmb_sim.dir/sim/trace.cpp.o.d"
+  "libqmb_sim.a"
+  "libqmb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

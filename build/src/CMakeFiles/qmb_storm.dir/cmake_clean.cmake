@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmb_storm.dir/storm/storm.cpp.o"
+  "CMakeFiles/qmb_storm.dir/storm/storm.cpp.o.d"
+  "libqmb_storm.a"
+  "libqmb_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmb_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

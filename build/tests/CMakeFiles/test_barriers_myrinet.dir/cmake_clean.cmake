@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barriers_myrinet.dir/test_barriers_myrinet.cpp.o"
+  "CMakeFiles/test_barriers_myrinet.dir/test_barriers_myrinet.cpp.o.d"
+  "test_barriers_myrinet"
+  "test_barriers_myrinet.pdb"
+  "test_barriers_myrinet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barriers_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

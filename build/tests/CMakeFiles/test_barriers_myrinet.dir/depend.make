@@ -1,0 +1,2 @@
+# Empty dependencies file for test_barriers_myrinet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_tag.dir/test_coll_tag.cpp.o"
+  "CMakeFiles/test_coll_tag.dir/test_coll_tag.cpp.o.d"
+  "test_coll_tag"
+  "test_coll_tag.pdb"
+  "test_coll_tag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective_protocol.dir/test_collective_protocol.cpp.o"
+  "CMakeFiles/test_collective_protocol.dir/test_collective_protocol.cpp.o.d"
+  "test_collective_protocol"
+  "test_collective_protocol.pdb"
+  "test_collective_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elan_nic.dir/test_elan_nic.cpp.o"
+  "CMakeFiles/test_elan_nic.dir/test_elan_nic.cpp.o.d"
+  "test_elan_nic"
+  "test_elan_nic.pdb"
+  "test_elan_nic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elan_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gm.dir/test_gm.cpp.o"
+  "CMakeFiles/test_gm.dir/test_gm.cpp.o.d"
+  "test_gm"
+  "test_gm.pdb"
+  "test_gm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

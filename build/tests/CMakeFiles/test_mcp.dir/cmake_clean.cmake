@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcp.dir/test_mcp.cpp.o"
+  "CMakeFiles/test_mcp.dir/test_mcp.cpp.o.d"
+  "test_mcp"
+  "test_mcp.pdb"
+  "test_mcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

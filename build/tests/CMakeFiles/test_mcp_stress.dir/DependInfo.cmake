@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mcp_stress.cpp" "tests/CMakeFiles/test_mcp_stress.dir/test_mcp_stress.cpp.o" "gcc" "tests/CMakeFiles/test_mcp_stress.dir/test_mcp_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_quadrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcp_stress.dir/test_mcp_stress.cpp.o"
+  "CMakeFiles/test_mcp_stress.dir/test_mcp_stress.cpp.o.d"
+  "test_mcp_stress"
+  "test_mcp_stress.pdb"
+  "test_mcp_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcp_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_properties.dir/test_net_properties.cpp.o"
+  "CMakeFiles/test_net_properties.dir/test_net_properties.cpp.o.d"
+  "test_net_properties"
+  "test_net_properties.pdb"
+  "test_net_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

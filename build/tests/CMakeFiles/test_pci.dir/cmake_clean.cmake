@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pci.dir/test_pci.cpp.o"
+  "CMakeFiles/test_pci.dir/test_pci.cpp.o.d"
+  "test_pci"
+  "test_pci.pdb"
+  "test_pci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quadrics.dir/test_quadrics.cpp.o"
+  "CMakeFiles/test_quadrics.dir/test_quadrics.cpp.o.d"
+  "test_quadrics"
+  "test_quadrics.pdb"
+  "test_quadrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quadrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

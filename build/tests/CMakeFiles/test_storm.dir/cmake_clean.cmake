@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storm.dir/test_storm.cpp.o"
+  "CMakeFiles/test_storm.dir/test_storm.cpp.o.d"
+  "test_storm"
+  "test_storm.pdb"
+  "test_storm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmbsim.dir/qmbsim.cpp.o"
+  "CMakeFiles/qmbsim.dir/qmbsim.cpp.o.d"
+  "qmbsim"
+  "qmbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
