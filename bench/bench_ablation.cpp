@@ -2,83 +2,77 @@
 // dedicated group queue, static send packet, bit-vector bookkeeping, and
 // receiver-driven retransmission. Each row disables one feature; the last
 // rows disable all of them and compare against the prior-work direct scheme
-// (full point-to-point path).
+// (full point-to-point path). All rows of a table run as one parallel sweep.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 
 namespace {
 
 using namespace qmb;
-using core::MyriBarrierKind;
+using run::Impl;
+using run::Network;
 
-struct AblationResult {
-  double mean_us = 0;
-  std::uint64_t wire_packets = 0;
-};
-
-AblationResult run_features(int nodes, myri::CollFeatures features) {
-  sim::Engine engine;
-  core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
-  auto barrier = cluster.make_barrier(MyriBarrierKind::kNicCollective,
-                                      coll::Algorithm::kDissemination, {}, features);
-  const auto r = core::run_consecutive_barriers(engine, *barrier, bench::warmup_iters(),
-                                                bench::timed_iters());
-  return {r.mean.micros(), cluster.fabric().packets_sent()};
+run::ExperimentSpec features_spec(int nodes, myri::CollFeatures features) {
+  auto s = bench::barrier_spec(Network::kMyrinetXP, nodes, Impl::kNic,
+                               coll::Algorithm::kDissemination);
+  s.features = features;
+  return s;
 }
 
-AblationResult run_direct(int nodes) {
-  sim::Engine engine;
-  core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
-  auto barrier =
-      cluster.make_barrier(MyriBarrierKind::kNicDirect, coll::Algorithm::kDissemination);
-  const auto r = core::run_consecutive_barriers(engine, *barrier, bench::warmup_iters(),
-                                                bench::timed_iters());
-  return {r.mean.micros(), cluster.fabric().packets_sent()};
-}
-
-void print_row(const char* name, const AblationResult& r, double base_us) {
-  std::printf("  %-36s %10.2f us   %+6.1f%%   %10llu packets\n", name, r.mean_us,
-              (r.mean_us - base_us) / base_us * 100.0,
-              static_cast<unsigned long long>(r.wire_packets));
+void print_row(const char* name, const run::RunResult& r, double base_us) {
+  std::printf("  %-36s %10.2f us   %+6.1f%%   %10llu packets\n", name, r.mean_us(),
+              (r.mean_us() - base_us) / base_us * 100.0,
+              static_cast<unsigned long long>(r.packets_sent));
 }
 
 void print_ablation(int nodes) {
   std::printf("\nAblation at %d nodes (LANai-XP, dissemination, %d timed barriers)\n",
               nodes, bench::timed_iters());
-  myri::CollFeatures full;
-  const auto base = run_features(nodes, full);
-  print_row("full collective protocol", base, base.mean_us);
 
+  const myri::CollFeatures full;
+  std::vector<const char*> names;
+  std::vector<run::ExperimentSpec> specs;
+  const auto add = [&](const char* name, myri::CollFeatures f) {
+    names.push_back(name);
+    specs.push_back(features_spec(nodes, f));
+  };
+
+  add("full collective protocol", full);
   myri::CollFeatures f = full;
   f.dedicated_queue = false;
-  print_row("- dedicated group queue", run_features(nodes, f), base.mean_us);
-
+  add("- dedicated group queue", f);
   f = full;
   f.static_packet = false;
-  print_row("- static send packet", run_features(nodes, f), base.mean_us);
-
+  add("- static send packet", f);
   f = full;
   f.bitvector_record = false;
-  print_row("- bit-vector send record", run_features(nodes, f), base.mean_us);
-
+  add("- bit-vector send record", f);
   f = full;
   f.receiver_driven = false;
-  print_row("- receiver-driven retransmission", run_features(nodes, f), base.mean_us);
-
+  add("- receiver-driven retransmission", f);
   f.dedicated_queue = false;
   f.static_packet = false;
   f.bitvector_record = false;
-  print_row("all four disabled", run_features(nodes, f), base.mean_us);
+  add("all four disabled", f);
+  names.push_back("prior-work direct scheme (full p2p)");
+  specs.push_back(bench::barrier_spec(Network::kMyrinetXP, nodes, Impl::kDirect,
+                                      coll::Algorithm::kDissemination));
 
-  print_row("prior-work direct scheme (full p2p)", run_direct(nodes), base.mean_us);
+  const run::SweepRunner runner;
+  const auto results = runner.run(specs);
+  const double base_us = results.front().mean_us();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    print_row(names[i], results[i], base_us);
+  }
 }
 
 void BM_AblationFullProtocol(benchmark::State& state) {
   double us = 0;
-  for (auto _ : state) us = run_features(8, myri::CollFeatures{}).mean_us;
+  for (auto _ : state) us = bench::mean_us(features_spec(8, myri::CollFeatures{}));
   state.counters["sim_barrier_us"] = us;
 }
 BENCHMARK(BM_AblationFullProtocol)->Unit(benchmark::kMillisecond);

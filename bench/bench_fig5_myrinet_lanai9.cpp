@@ -11,35 +11,36 @@
 namespace {
 
 using namespace qmb;
-using core::MyriBarrierKind;
+using run::Impl;
+using run::Network;
+
+constexpr Network kNet = Network::kMyrinetL9;
 
 void print_figure() {
-  const auto cfg = myri::lanai9_cluster();
   std::vector<int> nodes;
   for (int n = 2; n <= 16; ++n) nodes.push_back(n);
 
-  bench::Series nic_ds{"NIC-DS", {}}, nic_pe{"NIC-PE", {}};
-  bench::Series host_ds{"Host-DS", {}}, host_pe{"Host-PE", {}};
-  bench::Series direct_ds{"Direct-DS", {}};
-  for (const int n : nodes) {
-    nic_ds.values_us.push_back(bench::myri_mean_us(
-        cfg, n, MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination));
-    nic_pe.values_us.push_back(bench::myri_mean_us(
-        cfg, n, MyriBarrierKind::kNicCollective, coll::Algorithm::kPairwiseExchange));
-    host_ds.values_us.push_back(bench::myri_mean_us(
-        cfg, n, MyriBarrierKind::kHost, coll::Algorithm::kDissemination));
-    host_pe.values_us.push_back(bench::myri_mean_us(
-        cfg, n, MyriBarrierKind::kHost, coll::Algorithm::kPairwiseExchange));
-    direct_ds.values_us.push_back(bench::myri_mean_us(
-        cfg, n, MyriBarrierKind::kNicDirect, coll::Algorithm::kDissemination));
-  }
+  const auto series = bench::sweep_series(
+      nodes,
+      {
+          {"NIC-DS", [](int n) { return bench::barrier_spec(kNet, n, Impl::kNic,
+                                                            coll::Algorithm::kDissemination); }},
+          {"NIC-PE", [](int n) { return bench::barrier_spec(kNet, n, Impl::kNic,
+                                                            coll::Algorithm::kPairwiseExchange); }},
+          {"Host-DS", [](int n) { return bench::barrier_spec(kNet, n, Impl::kHost,
+                                                             coll::Algorithm::kDissemination); }},
+          {"Host-PE", [](int n) { return bench::barrier_spec(kNet, n, Impl::kHost,
+                                                             coll::Algorithm::kPairwiseExchange); }},
+          {"Direct-DS", [](int n) { return bench::barrier_spec(kNet, n, Impl::kDirect,
+                                                               coll::Algorithm::kDissemination); }},
+      });
   bench::print_table(
       "Figure 5: barrier latency (us), Myrinet LANai 9.1, 16-node 700 MHz cluster",
-      nodes, {nic_ds, nic_pe, host_ds, host_pe, direct_ds});
+      nodes, series);
 
-  const double nic16 = nic_ds.values_us.back();
-  const double host16 = host_ds.values_us.back();
-  const double direct16 = direct_ds.values_us.back();
+  const double nic16 = series[0].values_us.back();
+  const double host16 = series[2].values_us.back();
+  const double direct16 = series[4].values_us.back();
   std::printf("\nPaper anchors:\n");
   bench::print_anchor("NIC-based barrier, 16 nodes", 25.72, nic16);
   bench::print_factor("improvement over host-based, 16 nodes", 3.38, host16 / nic16);
@@ -48,11 +49,10 @@ void print_figure() {
 }
 
 void BM_SimulateNicBarrierL9_16(benchmark::State& state) {
-  const auto cfg = myri::lanai9_cluster();
   double us = 0;
   for (auto _ : state) {
-    us = bench::myri_mean_us(cfg, 16, MyriBarrierKind::kNicCollective,
-                             coll::Algorithm::kDissemination, 50);
+    us = bench::mean_us(
+        bench::barrier_spec(kNet, 16, Impl::kNic, coll::Algorithm::kDissemination, 50));
   }
   state.counters["sim_barrier_us"] = us;
 }

@@ -10,53 +10,53 @@
 namespace {
 
 using namespace qmb;
-using core::MyriBarrierKind;
+using run::Impl;
+using run::Network;
+
+constexpr Network kNet = Network::kMyrinetXP;
 
 void print_figure() {
-  const auto cfg = myri::lanaixp_cluster();
   std::vector<int> nodes;
   for (int n = 2; n <= 8; ++n) nodes.push_back(n);
 
-  bench::Series nic_ds{"NIC-DS", {}}, nic_pe{"NIC-PE", {}};
-  bench::Series host_ds{"Host-DS", {}}, host_pe{"Host-PE", {}};
-  for (const int n : nodes) {
-    nic_ds.values_us.push_back(bench::myri_mean_us(
-        cfg, n, MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination));
-    nic_pe.values_us.push_back(bench::myri_mean_us(
-        cfg, n, MyriBarrierKind::kNicCollective, coll::Algorithm::kPairwiseExchange));
-    host_ds.values_us.push_back(bench::myri_mean_us(
-        cfg, n, MyriBarrierKind::kHost, coll::Algorithm::kDissemination));
-    host_pe.values_us.push_back(bench::myri_mean_us(
-        cfg, n, MyriBarrierKind::kHost, coll::Algorithm::kPairwiseExchange));
-  }
+  const auto series = bench::sweep_series(
+      nodes,
+      {
+          {"NIC-DS", [](int n) { return bench::barrier_spec(kNet, n, Impl::kNic,
+                                                            coll::Algorithm::kDissemination); }},
+          {"NIC-PE", [](int n) { return bench::barrier_spec(kNet, n, Impl::kNic,
+                                                            coll::Algorithm::kPairwiseExchange); }},
+          {"Host-DS", [](int n) { return bench::barrier_spec(kNet, n, Impl::kHost,
+                                                             coll::Algorithm::kDissemination); }},
+          {"Host-PE", [](int n) { return bench::barrier_spec(kNet, n, Impl::kHost,
+                                                             coll::Algorithm::kPairwiseExchange); }},
+      });
   bench::print_table(
       "Figure 6: barrier latency (us), Myrinet LANai-XP, 8-node 2.4 GHz cluster",
-      nodes, {nic_ds, nic_pe, host_ds, host_pe});
+      nodes, series);
 
-  const double nic8 = nic_ds.values_us.back();
-  const double host8 = host_ds.values_us.back();
+  const double nic8 = series[0].values_us.back();
+  const double host8 = series[2].values_us.back();
   std::printf("\nPaper anchors:\n");
   bench::print_anchor("NIC-based barrier, 8 nodes", 14.20, nic8);
   bench::print_factor("improvement over host-based, 8 nodes", 2.64, host8 / nic8);
 }
 
 void BM_SimulateNicBarrierXp8(benchmark::State& state) {
-  const auto cfg = myri::lanaixp_cluster();
   double us = 0;
   for (auto _ : state) {
-    us = bench::myri_mean_us(cfg, 8, MyriBarrierKind::kNicCollective,
-                             coll::Algorithm::kDissemination, 50);
+    us = bench::mean_us(
+        bench::barrier_spec(kNet, 8, Impl::kNic, coll::Algorithm::kDissemination, 50));
   }
   state.counters["sim_barrier_us"] = us;
 }
 BENCHMARK(BM_SimulateNicBarrierXp8)->Unit(benchmark::kMillisecond);
 
 void BM_SimulateHostBarrierXp8(benchmark::State& state) {
-  const auto cfg = myri::lanaixp_cluster();
   double us = 0;
   for (auto _ : state) {
-    us = bench::myri_mean_us(cfg, 8, MyriBarrierKind::kHost,
-                             coll::Algorithm::kDissemination, 50);
+    us = bench::mean_us(
+        bench::barrier_spec(kNet, 8, Impl::kHost, coll::Algorithm::kDissemination, 50));
   }
   state.counters["sim_barrier_us"] = us;
 }

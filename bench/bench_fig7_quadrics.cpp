@@ -12,27 +12,37 @@
 namespace {
 
 using namespace qmb;
-using core::ElanBarrierKind;
+using run::Impl;
+using run::Network;
+
+constexpr Network kNet = Network::kQuadrics;
 
 void print_figure() {
   std::vector<int> nodes;
   for (int n = 2; n <= 8; ++n) nodes.push_back(n);
 
-  bench::Series nic_ds{"NIC-Barrier-DS", {}}, nic_pe{"NIC-Barrier-PE", {}};
-  bench::Series gsync{"Elan-Barrier", {}}, hw{"Elan-HW-Barrier", {}};
-  for (const int n : nodes) {
-    nic_ds.values_us.push_back(
-        bench::elan_mean_us(n, ElanBarrierKind::kNicChained, coll::Algorithm::kDissemination));
-    nic_pe.values_us.push_back(bench::elan_mean_us(n, ElanBarrierKind::kNicChained,
-                                                   coll::Algorithm::kPairwiseExchange));
-    gsync.values_us.push_back(
-        bench::elan_mean_us(n, ElanBarrierKind::kGsyncTree, coll::Algorithm::kDissemination));
-    hw.values_us.push_back(
-        bench::elan_mean_us(n, ElanBarrierKind::kHardware, coll::Algorithm::kDissemination));
-  }
+  const auto series = bench::sweep_series(
+      nodes,
+      {
+          {"NIC-Barrier-DS",
+           [](int n) { return bench::barrier_spec(kNet, n, Impl::kNic,
+                                                  coll::Algorithm::kDissemination); }},
+          {"NIC-Barrier-PE",
+           [](int n) { return bench::barrier_spec(kNet, n, Impl::kNic,
+                                                  coll::Algorithm::kPairwiseExchange); }},
+          {"Elan-Barrier",
+           [](int n) { return bench::barrier_spec(kNet, n, Impl::kGsync,
+                                                  coll::Algorithm::kDissemination); }},
+          {"Elan-HW-Barrier",
+           [](int n) { return bench::barrier_spec(kNet, n, Impl::kHgsync,
+                                                  coll::Algorithm::kDissemination); }},
+      });
   bench::print_table("Figure 7: barrier latency (us), Quadrics/Elan3, 8-node 700 MHz cluster",
-                     nodes, {nic_ds, nic_pe, gsync, hw});
+                     nodes, series);
 
+  const auto& nic_ds = series[0];
+  const auto& gsync = series[2];
+  const auto& hw = series[3];
   const double nic8 = nic_ds.values_us.back();
   const double gsync8 = gsync.values_us.back();
   const double hw8 = hw.values_us.back();
@@ -48,8 +58,8 @@ void print_figure() {
 void BM_SimulateElanNicBarrier8(benchmark::State& state) {
   double us = 0;
   for (auto _ : state) {
-    us = bench::elan_mean_us(8, ElanBarrierKind::kNicChained,
-                             coll::Algorithm::kDissemination, 50);
+    us = bench::mean_us(
+        bench::barrier_spec(kNet, 8, Impl::kNic, coll::Algorithm::kDissemination, 50));
   }
   state.counters["sim_barrier_us"] = us;
 }
@@ -58,8 +68,8 @@ BENCHMARK(BM_SimulateElanNicBarrier8)->Unit(benchmark::kMillisecond);
 void BM_SimulateElanHwBarrier8(benchmark::State& state) {
   double us = 0;
   for (auto _ : state) {
-    us = bench::elan_mean_us(8, ElanBarrierKind::kHardware,
-                             coll::Algorithm::kDissemination, 50);
+    us = bench::mean_us(
+        bench::barrier_spec(kNet, 8, Impl::kHgsync, coll::Algorithm::kDissemination, 50));
   }
   state.counters["sim_barrier_us"] = us;
 }

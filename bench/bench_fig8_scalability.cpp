@@ -12,8 +12,8 @@
 namespace {
 
 using namespace qmb;
-using core::ElanBarrierKind;
-using core::MyriBarrierKind;
+using run::Impl;
+using run::Network;
 
 std::vector<int> fig8_nodes() { return {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}; }
 
@@ -53,23 +53,33 @@ model::BarrierModel fit_from(const std::vector<int>& nodes,
 void print_figure() {
   const auto nodes = fig8_nodes();
 
-  std::vector<double> elan_meas;
-  for (const int n : nodes) {
-    elan_meas.push_back(bench::elan_mean_us(n, ElanBarrierKind::kNicChained,
-                                            coll::Algorithm::kDissemination, iters_for(n)));
-  }
+  // Both node axes (Quadrics and Myrinet) go through one parallel sweep:
+  // the 1024-node points dominate, and the runner's dynamic work stealing
+  // keeps every core busy behind them.
+  const auto series = bench::sweep_series(
+      nodes, {
+                 {"Quadrics(sim)",
+                  [](int n) {
+                    return bench::barrier_spec(Network::kQuadrics, n, Impl::kNic,
+                                               coll::Algorithm::kDissemination,
+                                               iters_for(n));
+                  }},
+                 {"Myrinet(sim)",
+                  [](int n) {
+                    return bench::barrier_spec(Network::kMyrinetXP, n, Impl::kNic,
+                                               coll::Algorithm::kDissemination,
+                                               iters_for(n));
+                  }},
+             });
+  const auto& elan_meas = series[0].values_us;
+  const auto& myri_meas = series[1].values_us;
+
   print_panel("Figure 8(a): Quadrics/Elan3 NIC barrier scalability (us)",
               "Quadrics(sim)", elan_meas, fit_from(nodes, elan_meas),
               model::paper_quadrics());
   bench::print_anchor("Quadrics model at 1024 nodes (paper: 22.13)", 22.13,
                       fit_from(nodes, elan_meas).latency_us(1024));
 
-  const auto cfg = myri::lanaixp_cluster();
-  std::vector<double> myri_meas;
-  for (const int n : nodes) {
-    myri_meas.push_back(bench::myri_mean_us(cfg, n, MyriBarrierKind::kNicCollective,
-                                            coll::Algorithm::kDissemination, iters_for(n)));
-  }
   print_panel("Figure 8(b): Myrinet LANai-XP NIC barrier scalability (us)",
               "Myrinet(sim)", myri_meas, fit_from(nodes, myri_meas),
               model::paper_myrinet_xp());
@@ -78,11 +88,10 @@ void print_figure() {
 }
 
 void BM_Simulate1024NodeMyrinetBarrier(benchmark::State& state) {
-  const auto cfg = myri::lanaixp_cluster();
   double us = 0;
   for (auto _ : state) {
-    us = bench::myri_mean_us(cfg, 1024, MyriBarrierKind::kNicCollective,
-                             coll::Algorithm::kDissemination, 5);
+    us = bench::mean_us(bench::barrier_spec(Network::kMyrinetXP, 1024, Impl::kNic,
+                                            coll::Algorithm::kDissemination, 5));
   }
   state.counters["sim_barrier_us"] = us;
 }

@@ -1,6 +1,9 @@
 // "Table H": every headline number the paper's abstract and Sec. 8 claim,
-// reproduced side by side with this repository's simulated results.
+// reproduced side by side with this repository's simulated results. All
+// measured points execute as one parallel sweep.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/analytic.hpp"
@@ -8,53 +11,59 @@
 namespace {
 
 using namespace qmb;
-using core::ElanBarrierKind;
-using core::MyriBarrierKind;
+using run::Impl;
+using run::Network;
 
 void print_headlines() {
   std::printf("Headline claims (paper abstract / Sec. 8) vs this reproduction\n");
   std::printf("===============================================================\n");
 
+  const auto ds = coll::Algorithm::kDissemination;
+  std::vector<run::ExperimentSpec> specs = {
+      bench::barrier_spec(Network::kQuadrics, 8, Impl::kNic, ds),      // 0 q_nic
+      bench::barrier_spec(Network::kQuadrics, 8, Impl::kGsync, ds),    // 1 q_tree
+      bench::barrier_spec(Network::kQuadrics, 8, Impl::kHgsync, ds),   // 2 q_hw
+      bench::barrier_spec(Network::kMyrinetXP, 8, Impl::kNic, ds),     // 3 xp_nic
+      bench::barrier_spec(Network::kMyrinetXP, 8, Impl::kHost, ds),    // 4 xp_host
+      bench::barrier_spec(Network::kMyrinetL9, 16, Impl::kNic, ds),    // 5 l9_nic
+      bench::barrier_spec(Network::kMyrinetL9, 16, Impl::kHost, ds),   // 6 l9_host
+      bench::barrier_spec(Network::kMyrinetL9, 16, Impl::kDirect, ds), // 7 l9_direct
+  };
+  // Model-fit points ride the same sweep: 8..11 Quadrics, 12..15 Myrinet XP.
+  const std::vector<int> fit_nodes = {4, 8, 16, 32};
+  for (const int n : fit_nodes) {
+    specs.push_back(bench::barrier_spec(Network::kQuadrics, n, Impl::kNic, ds));
+  }
+  for (const int n : fit_nodes) {
+    specs.push_back(bench::barrier_spec(Network::kMyrinetXP, n, Impl::kNic, ds));
+  }
+
+  const run::SweepRunner runner;
+  const auto r = runner.run(specs);
+
   // --- Quadrics 8 nodes ---
-  const double q_nic =
-      bench::elan_mean_us(8, ElanBarrierKind::kNicChained, coll::Algorithm::kDissemination);
-  const double q_tree =
-      bench::elan_mean_us(8, ElanBarrierKind::kGsyncTree, coll::Algorithm::kDissemination);
-  const double q_hw =
-      bench::elan_mean_us(8, ElanBarrierKind::kHardware, coll::Algorithm::kDissemination);
-  bench::print_anchor("Quadrics/Elan3 8-node NIC-based barrier", 5.60, q_nic);
-  bench::print_factor("  improvement over Elanlib tree barrier", 2.48, q_tree / q_nic);
-  bench::print_anchor("Quadrics elan_hgsync hardware barrier", 4.20, q_hw);
+  bench::print_anchor("Quadrics/Elan3 8-node NIC-based barrier", 5.60, r[0].mean_us());
+  bench::print_factor("  improvement over Elanlib tree barrier", 2.48,
+                      r[1].mean_us() / r[0].mean_us());
+  bench::print_anchor("Quadrics elan_hgsync hardware barrier", 4.20, r[2].mean_us());
 
   // --- Myrinet LANai-XP 8 nodes ---
-  const auto xp = myri::lanaixp_cluster();
-  const double xp_nic = bench::myri_mean_us(xp, 8, MyriBarrierKind::kNicCollective,
-                                            coll::Algorithm::kDissemination);
-  const double xp_host =
-      bench::myri_mean_us(xp, 8, MyriBarrierKind::kHost, coll::Algorithm::kDissemination);
-  bench::print_anchor("Myrinet LANai-XP 8-node NIC-based barrier", 14.20, xp_nic);
-  bench::print_factor("  improvement over host-based barrier", 2.64, xp_host / xp_nic);
+  bench::print_anchor("Myrinet LANai-XP 8-node NIC-based barrier", 14.20, r[3].mean_us());
+  bench::print_factor("  improvement over host-based barrier", 2.64,
+                      r[4].mean_us() / r[3].mean_us());
 
   // --- Myrinet LANai 9.1 16 nodes ---
-  const auto l9 = myri::lanai9_cluster();
-  const double l9_nic = bench::myri_mean_us(l9, 16, MyriBarrierKind::kNicCollective,
-                                            coll::Algorithm::kDissemination);
-  const double l9_host =
-      bench::myri_mean_us(l9, 16, MyriBarrierKind::kHost, coll::Algorithm::kDissemination);
-  const double l9_direct = bench::myri_mean_us(l9, 16, MyriBarrierKind::kNicDirect,
-                                               coll::Algorithm::kDissemination);
-  bench::print_anchor("Myrinet LANai 9.1 16-node NIC-based barrier", 25.72, l9_nic);
-  bench::print_factor("  improvement over host-based barrier", 3.38, l9_host / l9_nic);
+  bench::print_anchor("Myrinet LANai 9.1 16-node NIC-based barrier", 25.72, r[5].mean_us());
+  bench::print_factor("  improvement over host-based barrier", 3.38,
+                      r[6].mean_us() / r[5].mean_us());
   bench::print_factor("  prior direct scheme vs host (paper: 1.86x)", 1.86,
-                      l9_host / l9_direct);
+                      r[6].mean_us() / r[7].mean_us());
 
   // --- model extrapolations to 1024 nodes ---
   std::vector<model::MeasuredPoint> qpts, mpts;
-  for (int n : {4, 8, 16, 32}) {
-    qpts.push_back({n, bench::elan_mean_us(n, ElanBarrierKind::kNicChained,
-                                           coll::Algorithm::kDissemination)});
-    mpts.push_back({n, bench::myri_mean_us(xp, n, MyriBarrierKind::kNicCollective,
-                                           coll::Algorithm::kDissemination)});
+  for (std::size_t i = 0; i < fit_nodes.size(); ++i) {
+    qpts.push_back({fit_nodes[i], r[8 + i].mean_us()});
+    mpts.push_back({fit_nodes[i], r[8 + fit_nodes.size() + i].mean_us()});
   }
   const auto [qi, qs] = model::fit_intercept_slope(qpts);
   const auto [mi, ms] = model::fit_intercept_slope(mpts);
@@ -67,8 +76,8 @@ void print_headlines() {
 void BM_HeadlineQuadricsNic8(benchmark::State& state) {
   double us = 0;
   for (auto _ : state) {
-    us = bench::elan_mean_us(8, ElanBarrierKind::kNicChained,
-                             coll::Algorithm::kDissemination, 50);
+    us = bench::mean_us(bench::barrier_spec(Network::kQuadrics, 8, Impl::kNic,
+                                            coll::Algorithm::kDissemination, 50));
   }
   state.counters["sim_barrier_us"] = us;
 }

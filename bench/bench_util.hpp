@@ -9,16 +9,22 @@
 // iterations discarded, mean of the timed iterations. The simulation is
 // deterministic, so fewer timed iterations than the paper's 10,000 yield
 // the identical mean; QMB_BENCH_ITERS overrides for exact replication.
+//
+// All table points route through run::SweepRunner: the whole
+// (series x node-count) grid executes across the machine's cores, and the
+// per-point results are bit-identical to a single-threaded run
+// (QMB_SWEEP_THREADS=1 pins that path).
 #pragma once
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/cluster.hpp"
-#include "core/schedule.hpp"
+#include "run/sweep.hpp"
 
 namespace qmb::bench {
 
@@ -32,33 +38,58 @@ inline int timed_iters() {
 
 inline int warmup_iters() { return 20; }
 
-/// Mean consecutive-barrier latency (us) on a fresh Myrinet cluster.
-inline double myri_mean_us(const myri::MyrinetConfig& cfg, int nodes,
-                           core::MyriBarrierKind kind, coll::Algorithm alg,
-                           int iters = 0) {
-  sim::Engine engine;
-  core::MyriCluster cluster(engine, cfg, nodes);
-  auto barrier = cluster.make_barrier(kind, alg);
-  const auto r = core::run_consecutive_barriers(engine, *barrier, warmup_iters(),
-                                                iters > 0 ? iters : timed_iters());
-  return r.mean.micros();
+/// Spec for one consecutive-barrier latency point with the bench defaults.
+inline run::ExperimentSpec barrier_spec(run::Network network, int nodes, run::Impl impl,
+                                        coll::Algorithm alg, int iters = 0) {
+  run::ExperimentSpec s;
+  s.network = network;
+  s.nodes = nodes;
+  s.impl = impl;
+  s.algorithm = alg;
+  s.iters = iters > 0 ? iters : timed_iters();
+  s.warmup = warmup_iters();
+  return s;
 }
 
-/// Mean consecutive-barrier latency (us) on a fresh Quadrics cluster.
-inline double elan_mean_us(int nodes, core::ElanBarrierKind kind, coll::Algorithm alg,
-                           int iters = 0) {
-  sim::Engine engine;
-  core::ElanCluster cluster(engine, elan::elan3_cluster(), nodes);
-  auto barrier = cluster.make_barrier(kind, alg);
-  const auto r = core::run_consecutive_barriers(engine, *barrier, warmup_iters(),
-                                                iters > 0 ? iters : timed_iters());
-  return r.mean.micros();
+/// Mean consecutive-barrier latency (us) of a single spec (the
+/// google-benchmark loops time this single-point path).
+inline double mean_us(const run::ExperimentSpec& spec) {
+  return run::run_experiment(spec).mean_us();
 }
 
 struct Series {
   std::string name;
   std::vector<double> values_us;  // parallel to the node-count axis
 };
+
+/// One table column: a name plus the spec to run at each node count.
+struct SeriesSpec {
+  std::string name;
+  std::function<run::ExperimentSpec(int nodes)> spec_for;
+};
+
+/// Runs the whole (series x nodes) grid through one parallel sweep and
+/// returns the per-series latency columns in the given order.
+inline std::vector<Series> sweep_series(const std::vector<int>& nodes,
+                                        const std::vector<SeriesSpec>& defs) {
+  std::vector<run::ExperimentSpec> specs;
+  specs.reserve(defs.size() * nodes.size());
+  for (const auto& d : defs) {
+    for (const int n : nodes) specs.push_back(d.spec_for(n));
+  }
+  const run::SweepRunner runner;
+  const auto results = runner.run(specs);
+  std::vector<Series> out;
+  out.reserve(defs.size());
+  std::size_t k = 0;
+  for (const auto& d : defs) {
+    Series s{d.name, {}};
+    s.values_us.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) s.values_us.push_back(results[k++].mean_us());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
 
 /// Prints the table; additionally writes it as CSV into $QMB_CSV_DIR (one
 /// file per table, named after a slug of the title) for plotting.

@@ -2,10 +2,16 @@
 // launch a gang job across the cluster when its broadcast/gather run over
 // the NIC collective protocol vs host-based messaging?
 //
+// The node-count axis executes through run::SweepRunner's ordered parallel
+// map — each point builds its own engine and cluster, so all points run
+// concurrently and print in axis order.
+//
 //   $ ./storm_launcher [nodes]
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "run/sweep.hpp"
 #include "storm/storm.hpp"
 
 using namespace qmb;
@@ -17,7 +23,7 @@ struct Numbers {
   double total_us = 0;
 };
 
-Numbers run(storm::Backend backend, int nodes) {
+Numbers run_backend(storm::Backend backend, int nodes) {
   sim::Engine engine;
   core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
   storm::ResourceManager rm(cluster, backend);
@@ -34,6 +40,11 @@ Numbers run(storm::Backend backend, int nodes) {
   return out;
 }
 
+struct Row {
+  Numbers host;
+  Numbers nic;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,11 +52,19 @@ int main(int argc, char** argv) {
   std::printf("STORM-lite gang launch (500 us job, 10%% imbalance)\n");
   std::printf("%8s %22s %22s %10s\n", "nodes", "host launch (us)", "NIC launch (us)",
               "speedup");
-  for (int n = 4; n <= max_nodes; n *= 2) {
-    const Numbers host = run(storm::Backend::kHostBased, n);
-    const Numbers nic = run(storm::Backend::kNicOffloaded, n);
-    std::printf("%8d %22.2f %22.2f %9.2fx\n", n, host.launch_us, nic.launch_us,
-                host.launch_us / nic.launch_us);
+
+  std::vector<int> node_counts;
+  for (int n = 4; n <= max_nodes; n *= 2) node_counts.push_back(n);
+
+  const run::SweepRunner runner;
+  const auto rows = runner.map<Row>(node_counts.size(), [&](std::size_t i) {
+    return Row{run_backend(storm::Backend::kHostBased, node_counts[i]),
+               run_backend(storm::Backend::kNicOffloaded, node_counts[i])};
+  });
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%8d %22.2f %22.2f %9.2fx\n", node_counts[i], rows[i].host.launch_us,
+                rows[i].nic.launch_us, rows[i].host.launch_us / rows[i].nic.launch_us);
   }
   std::printf("\nManagement operations are collectives (STORM's thesis); offloading\n"
               "them to the NIC collective protocol accelerates the whole manager.\n");

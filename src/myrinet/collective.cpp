@@ -1,6 +1,7 @@
 #include "myrinet/collective.hpp"
 
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 
 namespace qmb::myri {
@@ -90,9 +91,11 @@ CollectiveEngine::Op& CollectiveEngine::touch_slot(Group& g, std::uint32_t seq, 
 }
 
 void CollectiveEngine::host_enter(std::uint32_t group, sim::EventCallback done) {
+  // done is move-only; shared_ptr bridges it into the copyable DoneFn.
   host_enter_value(group, 0,
-                   [done = std::move(done)](std::int64_t) mutable {
-                     if (done) done();
+                   [done = std::make_shared<sim::EventCallback>(std::move(done))](
+                       std::int64_t) {
+                     if (*done) (*done)();
                    });
 }
 

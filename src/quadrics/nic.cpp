@@ -1,6 +1,7 @@
 #include "quadrics/nic.hpp"
 
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -99,9 +100,12 @@ Nic::Op& Nic::touch_slot(Group& g, std::uint32_t seq) {
 }
 
 void Nic::barrier_enter(std::uint32_t group, sim::EventCallback done) {
-  collective_enter(group, 0, [done = std::move(done)](std::int64_t) mutable {
-    if (done) done();
-  });
+  // done is move-only; shared_ptr bridges it into the copyable DoneFn.
+  collective_enter(group, 0,
+                   [done = std::make_shared<sim::EventCallback>(std::move(done))](
+                       std::int64_t) {
+                     if (*done) (*done)();
+                   });
 }
 
 void Nic::collective_enter(std::uint32_t group, std::int64_t value,

@@ -1,0 +1,342 @@
+#include "run/experiment.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace qmb::run {
+
+std::string_view to_string(Network n) {
+  switch (n) {
+    case Network::kMyrinetXP: return "myrinet-xp";
+    case Network::kMyrinetL9: return "myrinet-l9";
+    case Network::kQuadrics: return "quadrics";
+  }
+  return "?";
+}
+
+std::string_view to_string(Impl i) {
+  switch (i) {
+    case Impl::kNic: return "nic";
+    case Impl::kHost: return "host";
+    case Impl::kDirect: return "direct";
+    case Impl::kGsync: return "gsync";
+    case Impl::kHgsync: return "hgsync";
+  }
+  return "?";
+}
+
+std::string_view to_string(coll::OpKind k) {
+  switch (k) {
+    case coll::OpKind::kBarrier: return "barrier";
+    case coll::OpKind::kBcast: return "bcast";
+    case coll::OpKind::kAllreduce: return "allreduce";
+    case coll::OpKind::kAllgather: return "allgather";
+    case coll::OpKind::kAlltoall: return "alltoall";
+  }
+  return "?";
+}
+
+std::optional<Network> parse_network(std::string_view s) {
+  if (s == "myrinet-xp") return Network::kMyrinetXP;
+  if (s == "myrinet-l9") return Network::kMyrinetL9;
+  if (s == "quadrics") return Network::kQuadrics;
+  return std::nullopt;
+}
+
+std::optional<Impl> parse_impl(std::string_view s) {
+  if (s == "nic") return Impl::kNic;
+  if (s == "host") return Impl::kHost;
+  if (s == "direct") return Impl::kDirect;
+  if (s == "gsync") return Impl::kGsync;
+  if (s == "hgsync") return Impl::kHgsync;
+  return std::nullopt;
+}
+
+std::optional<coll::Algorithm> parse_algorithm(std::string_view s) {
+  if (s == "ds") return coll::Algorithm::kDissemination;
+  if (s == "pe") return coll::Algorithm::kPairwiseExchange;
+  if (s == "gb") return coll::Algorithm::kGatherBroadcast;
+  return std::nullopt;
+}
+
+std::optional<coll::OpKind> parse_op(std::string_view s) {
+  if (s == "barrier") return coll::OpKind::kBarrier;
+  if (s == "bcast") return coll::OpKind::kBcast;
+  if (s == "allreduce") return coll::OpKind::kAllreduce;
+  if (s == "allgather") return coll::OpKind::kAllgather;
+  if (s == "alltoall") return coll::OpKind::kAlltoall;
+  return std::nullopt;
+}
+
+namespace {
+
+std::string pair_error(const ExperimentSpec& s, const char* why, const char* valid) {
+  std::string msg = "invalid combination: --impl ";
+  msg += to_string(s.impl);
+  msg += " with --network ";
+  msg += to_string(s.network);
+  if (s.op != coll::OpKind::kBarrier) {
+    msg += " --op ";
+    msg += to_string(s.op);
+  }
+  msg += " (";
+  msg += why;
+  msg += "; valid: ";
+  msg += valid;
+  msg += ")";
+  return msg;
+}
+
+}  // namespace
+
+std::string validate(const ExperimentSpec& s) {
+  if (s.nodes < 2) return "--nodes must be >= 2 (got " + std::to_string(s.nodes) + ")";
+  if (s.iters < 1) return "--iters must be >= 1 (got " + std::to_string(s.iters) + ")";
+  if (s.warmup < 0) return "--warmup must be >= 0 (got " + std::to_string(s.warmup) + ")";
+  if (s.drop_prob < 0.0 || s.drop_prob >= 1.0) {
+    return "--drop-prob must be in [0, 1) (got " + std::to_string(s.drop_prob) + ")";
+  }
+  const bool myrinet = s.network != Network::kQuadrics;
+  if (!myrinet && s.drop_prob > 0.0) {
+    return "--drop-prob is Myrinet-only (the Quadrics models have no loss recovery "
+           "path); remove it or use --network myrinet-xp/myrinet-l9";
+  }
+  if (s.op == coll::OpKind::kBarrier) {
+    if (myrinet) {
+      if (s.impl == Impl::kGsync || s.impl == Impl::kHgsync) {
+        return pair_error(s, "gsync/hgsync are Quadrics barriers", "nic, host, direct");
+      }
+    } else {
+      if (s.impl == Impl::kDirect) {
+        return pair_error(s, "direct is the Myrinet prior-work NIC scheme",
+                          "nic, host, gsync, hgsync");
+      }
+    }
+  } else {
+    if (s.impl != Impl::kNic && s.impl != Impl::kHost) {
+      return pair_error(s, "value collectives only have NIC and host engines",
+                        "nic, host");
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Drives consecutive value collectives with the barrier runner's
+/// methodology: every rank re-enters as soon as its completion delivers;
+/// iteration latency is completion-to-completion of the whole group.
+core::BarrierRunResult run_collective(sim::Engine& engine, core::Collective& op,
+                                      int warmup, int iters) {
+  const int n = op.size();
+  const int total = warmup + iters;
+  std::vector<int> iter_of(static_cast<std::size_t>(n), 0);
+  std::vector<int> done_in(static_cast<std::size_t>(total), 0);
+  std::vector<sim::SimTime> completed(static_cast<std::size_t>(total));
+  std::function<void(int)> loop = [&](int rank) {
+    const int it = iter_of[static_cast<std::size_t>(rank)];
+    if (it >= total) return;
+    op.enter(rank, rank + 1, [&, rank, it](std::int64_t) {
+      iter_of[static_cast<std::size_t>(rank)] = it + 1;
+      if (++done_in[static_cast<std::size_t>(it)] == n) {
+        completed[static_cast<std::size_t>(it)] = engine.now();
+      }
+      engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
+    });
+  };
+  for (int r = 0; r < n; ++r) loop(r);
+  engine.run_until(engine.now() + sim::seconds(120));
+  core::BarrierRunResult res;
+  res.iterations = static_cast<std::uint64_t>(iters);
+  for (int i = warmup; i < total; ++i) {
+    const sim::SimTime prev =
+        i == 0 ? sim::SimTime::zero() : completed[static_cast<std::size_t>(i - 1)];
+    res.per_iteration.add(completed[static_cast<std::size_t>(i)] - prev);
+  }
+  res.mean = res.per_iteration.mean();
+  return res;
+}
+
+void fill_latency(RunResult& out, const core::BarrierRunResult& r) {
+  out.iterations = r.iterations;
+  out.mean_picos = r.mean.picos();
+  out.min_picos = r.per_iteration.min().picos();
+  out.max_picos = r.per_iteration.max().picos();
+  out.p99_picos = r.per_iteration.percentile(99).picos();
+}
+
+void fill_engine(RunResult& out, const sim::Engine& engine) {
+  out.events_scheduled = engine.events_scheduled();
+  out.events_fired = engine.events_fired();
+}
+
+std::vector<int> placement_of(const ExperimentSpec& s) {
+  if (!s.random_placement) return core::identity_placement(s.nodes);
+  sim::Rng rng(s.seed);
+  return core::random_placement(s.nodes, rng);
+}
+
+RunResult run_myrinet(const ExperimentSpec& s) {
+  const auto cfg =
+      s.network == Network::kMyrinetL9 ? myri::lanai9_cluster() : myri::lanaixp_cluster();
+  sim::Engine engine;
+  sim::Tracer tracer;
+  if (s.collect_trace) tracer.enable();
+  core::MyriCluster cluster(engine, cfg, s.nodes, s.collect_trace ? &tracer : nullptr);
+  if (s.drop_prob > 0) {
+    cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, s.drop_prob,
+                                              s.seed);
+  }
+  auto placement = placement_of(s);
+
+  RunResult out;
+  out.spec = s;
+  if (s.op == coll::OpKind::kBarrier) {
+    core::MyriBarrierKind kind = core::MyriBarrierKind::kNicCollective;
+    if (s.impl == Impl::kHost) kind = core::MyriBarrierKind::kHost;
+    else if (s.impl == Impl::kDirect) kind = core::MyriBarrierKind::kNicDirect;
+    auto barrier = cluster.make_barrier(kind, s.algorithm, placement, s.features);
+    out.impl_name = std::string(barrier->name());
+    fill_latency(out, core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters));
+  } else {
+    auto op = s.impl == Impl::kHost
+                  ? core::make_host_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
+                                               placement)
+                  : core::make_nic_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
+                                              placement);
+    out.impl_name = std::string(op->name());
+    fill_latency(out, run_collective(engine, *op, s.warmup, s.iters));
+  }
+  fill_engine(out, engine);
+  out.packets_sent = cluster.fabric().packets_sent();
+  out.bytes_sent = cluster.fabric().bytes_sent();
+  out.packets_dropped = cluster.fabric().faults().dropped();
+  for (int i = 0; i < s.nodes; ++i) {
+    out.nacks += cluster.node(i).coll().stats().nacks_sent.value;
+    out.retransmissions += cluster.node(i).coll().stats().retransmissions.value +
+                           cluster.node(i).mcp().stats().retransmissions.value;
+  }
+  if (s.collect_trace) out.trace_csv = tracer.to_csv();
+  return out;
+}
+
+RunResult run_quadrics(const ExperimentSpec& s) {
+  sim::Engine engine;
+  sim::Tracer tracer;
+  if (s.collect_trace) tracer.enable();
+  core::ElanCluster cluster(engine, elan::elan3_cluster(), s.nodes,
+                            s.collect_trace ? &tracer : nullptr);
+  auto placement = placement_of(s);
+
+  RunResult out;
+  out.spec = s;
+  if (s.op == coll::OpKind::kBarrier) {
+    core::ElanBarrierKind kind = core::ElanBarrierKind::kNicChained;
+    if (s.impl == Impl::kGsync || s.impl == Impl::kHost) {
+      kind = core::ElanBarrierKind::kGsyncTree;
+    } else if (s.impl == Impl::kHgsync) {
+      kind = core::ElanBarrierKind::kHardware;
+    }
+    auto barrier = cluster.make_barrier(kind, s.algorithm, placement);
+    out.impl_name = std::string(barrier->name());
+    fill_latency(out, core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters));
+    if (kind == core::ElanBarrierKind::kHardware) {
+      out.hw_probes = cluster.hw_barrier().probes_sent();
+      out.hw_failed_probes = cluster.hw_barrier().failed_probes();
+    }
+  } else {
+    auto op = s.impl == Impl::kHost
+                  ? core::make_elan_host_collective(cluster, s.op, 0,
+                                                    coll::ReduceOp::kSum, placement)
+                  : core::make_elan_nic_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
+                                                   placement);
+    out.impl_name = std::string(op->name());
+    fill_latency(out, run_collective(engine, *op, s.warmup, s.iters));
+  }
+  fill_engine(out, engine);
+  out.packets_sent = cluster.fabric().packets_sent();
+  out.bytes_sent = cluster.fabric().bytes_sent();
+  if (s.collect_trace) out.trace_csv = tracer.to_csv();
+  return out;
+}
+
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t RunResult::fingerprint() const {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  const auto fold = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  fold(events_scheduled);
+  fold(events_fired);
+  fold(iterations);
+  fold(static_cast<std::uint64_t>(mean_picos));
+  fold(static_cast<std::uint64_t>(min_picos));
+  fold(static_cast<std::uint64_t>(max_picos));
+  fold(static_cast<std::uint64_t>(p99_picos));
+  fold(packets_sent);
+  fold(bytes_sent);
+  fold(packets_dropped);
+  fold(nacks);
+  fold(retransmissions);
+  fold(hw_probes);
+  fold(hw_failed_probes);
+  return h;
+}
+
+RunResult run_experiment(const ExperimentSpec& spec) {
+  if (const std::string err = validate(spec); !err.empty()) {
+    throw std::invalid_argument(err);
+  }
+  return spec.network == Network::kQuadrics ? run_quadrics(spec) : run_myrinet(spec);
+}
+
+std::uint64_t seed_for(std::uint64_t base_seed, std::size_t index) {
+  return mix64(base_seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1));
+}
+
+std::string to_json(const RunResult& r) {
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(buf, sizeof buf,
+                "\"network\":\"%s\",\"nodes\":%d,\"op\":\"%s\",\"impl\":\"%s\","
+                "\"algorithm\":\"%s\",\"iters\":%d,\"warmup\":%d,\"seed\":%llu,"
+                "\"random_placement\":%s,\"drop_prob\":%g,",
+                std::string(to_string(r.spec.network)).c_str(), r.spec.nodes,
+                std::string(to_string(r.spec.op)).c_str(),
+                std::string(to_string(r.spec.impl)).c_str(),
+                std::string(coll::to_string(r.spec.algorithm)).c_str(), r.spec.iters,
+                r.spec.warmup, static_cast<unsigned long long>(r.spec.seed),
+                r.spec.random_placement ? "true" : "false", r.spec.drop_prob);
+  out += buf;
+  out += "\"impl_name\":\"" + r.impl_name + "\",";
+  std::snprintf(buf, sizeof buf,
+                "\"mean_us\":%.6f,\"min_us\":%.6f,\"max_us\":%.6f,\"p99_us\":%.6f,"
+                "\"iterations\":%llu,",
+                r.mean_us(), r.min_us(), r.max_us(), r.p99_us(),
+                static_cast<unsigned long long>(r.iterations));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"events_scheduled\":%llu,\"events_fired\":%llu,"
+                "\"packets_sent\":%llu,\"bytes_sent\":%llu,\"packets_dropped\":%llu,"
+                "\"nacks\":%llu,\"retransmissions\":%llu,\"fingerprint\":\"%016llx\"}",
+                static_cast<unsigned long long>(r.events_scheduled),
+                static_cast<unsigned long long>(r.events_fired),
+                static_cast<unsigned long long>(r.packets_sent),
+                static_cast<unsigned long long>(r.bytes_sent),
+                static_cast<unsigned long long>(r.packets_dropped),
+                static_cast<unsigned long long>(r.nacks),
+                static_cast<unsigned long long>(r.retransmissions),
+                static_cast<unsigned long long>(r.fingerprint()));
+  out += buf;
+  return out;
+}
+
+}  // namespace qmb::run

@@ -1,0 +1,110 @@
+// Experiment execution layer: one simulation point as data.
+//
+// Every figure in the paper is a sweep — latency vs. node count, drop
+// probability, NIC preset — and every sweep point is an independent
+// simulation: build an Engine and a cluster, run warm-up + timed
+// iterations, read the statistics. ExperimentSpec captures that point
+// declaratively; run_experiment() executes it on a private Engine (no
+// shared state, so points can run on any thread); RunResult carries the
+// latency summary, protocol counters, and a determinism fingerprint that
+// must be bit-identical across reruns and thread counts.
+//
+// Determinism contract: a RunResult is a pure function of its
+// ExperimentSpec. All randomness (placement permutation, fault rules)
+// derives from spec.seed; simulated time is integer picoseconds; the
+// engine breaks ties by insertion order. fingerprint() digests the exact
+// event counts and integer latency stats — two runs of the same spec, on
+// any thread of any sweep, must produce equal fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/cluster.hpp"
+#include "core/collectives.hpp"
+
+namespace qmb::run {
+
+enum class Network { kMyrinetXP, kMyrinetL9, kQuadrics };
+
+/// Barrier/collective implementation selector, across both networks.
+/// nic/host exist everywhere; direct is the Myrinet prior-work NIC scheme;
+/// gsync/hgsync are the Quadrics Elanlib tree and hardware barriers.
+enum class Impl { kNic, kHost, kDirect, kGsync, kHgsync };
+
+[[nodiscard]] std::string_view to_string(Network n);
+[[nodiscard]] std::string_view to_string(Impl i);
+[[nodiscard]] std::string_view to_string(coll::OpKind k);
+[[nodiscard]] std::optional<Network> parse_network(std::string_view s);
+[[nodiscard]] std::optional<Impl> parse_impl(std::string_view s);
+[[nodiscard]] std::optional<coll::Algorithm> parse_algorithm(std::string_view s);
+[[nodiscard]] std::optional<coll::OpKind> parse_op(std::string_view s);
+
+struct ExperimentSpec {
+  Network network = Network::kMyrinetXP;
+  int nodes = 8;
+  coll::OpKind op = coll::OpKind::kBarrier;
+  Impl impl = Impl::kNic;
+  coll::Algorithm algorithm = coll::Algorithm::kDissemination;
+  int iters = 200;
+  int warmup = 20;
+  std::uint64_t seed = 1;
+  bool random_placement = false;
+  double drop_prob = 0.0;              // Myrinet wire loss (NACK recovery path)
+  myri::CollFeatures features{};       // NIC-collective ablation switches
+  bool collect_trace = false;          // fills RunResult::trace_csv
+};
+
+/// Empty string when the spec is runnable; otherwise a usage error naming
+/// the offending value *pair* (e.g. which impl is invalid for which
+/// network), suitable for printing verbatim.
+[[nodiscard]] std::string validate(const ExperimentSpec& spec);
+
+struct RunResult {
+  ExperimentSpec spec;
+  std::string impl_name;  // the executor's self-reported name
+  std::uint64_t iterations = 0;
+
+  // Integer picoseconds — exact, so they participate in the fingerprint.
+  std::int64_t mean_picos = 0;
+  std::int64_t min_picos = 0;
+  std::int64_t max_picos = 0;
+  std::int64_t p99_picos = 0;
+
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t hw_probes = 0;         // Quadrics hgsync only
+  std::uint64_t hw_failed_probes = 0;  // Quadrics hgsync only
+  std::string trace_csv;               // only when spec.collect_trace
+
+  [[nodiscard]] double mean_us() const { return static_cast<double>(mean_picos) * 1e-6; }
+  [[nodiscard]] double min_us() const { return static_cast<double>(min_picos) * 1e-6; }
+  [[nodiscard]] double max_us() const { return static_cast<double>(max_picos) * 1e-6; }
+  [[nodiscard]] double p99_us() const { return static_cast<double>(p99_picos) * 1e-6; }
+
+  /// Digest of everything that must be bit-identical across reruns of the
+  /// same spec: event counts, wire counters, and the integer latency stats.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Runs one experiment on a private Engine. Thread-safe with respect to
+/// other concurrent runs (the simulation shares no mutable state). Throws
+/// std::invalid_argument with validate()'s message on a bad spec.
+[[nodiscard]] RunResult run_experiment(const ExperimentSpec& spec);
+
+/// Deterministic per-point seed stream: splitmix64 over the base seed, so a
+/// sweep's points get decorrelated yet reproducible seeds regardless of the
+/// order (or thread) they execute on.
+[[nodiscard]] std::uint64_t seed_for(std::uint64_t base_seed, std::size_t index);
+
+/// Single-line JSON object for one (spec, result) pair.
+[[nodiscard]] std::string to_json(const RunResult& r);
+
+}  // namespace qmb::run

@@ -1,0 +1,66 @@
+#include "run/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace qmb::run {
+
+unsigned default_sweep_threads() {
+  if (const char* s = std::getenv("QMB_SWEEP_THREADS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads == 0 ? default_sweep_threads() : threads) {}
+
+void SweepRunner::for_each_index(std::size_t count,
+                                 const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto work = [&] {
+    // Dynamic index stealing: sweep points vary wildly in cost (a 1024-node
+    // simulation vs a 2-node one), so static partitioning would leave
+    // threads idle behind the big points.
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<RunResult> SweepRunner::run(const std::vector<ExperimentSpec>& specs) const {
+  std::vector<RunResult> out(specs.size());
+  for_each_index(specs.size(), [&](std::size_t i) { out[i] = run_experiment(specs[i]); });
+  return out;
+}
+
+}  // namespace qmb::run

@@ -1,0 +1,55 @@
+// SweepRunner: executes many independent simulations across a thread pool.
+//
+// Simulations share no mutable state (each run_experiment builds a private
+// Engine and cluster), so a sweep is embarrassingly parallel. The runner
+// guarantees *ordered, deterministic* results: result i always corresponds
+// to spec i and is bit-identical whether the sweep ran on one thread or
+// sixteen — threads only decide wall-clock time, never values. Worker
+// exceptions are captured and the first one is rethrown after the pool
+// drains, so a bad spec in the middle of a sweep cannot deadlock it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "run/experiment.hpp"
+
+namespace qmb::run {
+
+/// Worker-thread count from $QMB_SWEEP_THREADS, else hardware concurrency
+/// (min 1). The env override exists so benches/CI can pin single-threaded
+/// runs when comparing against the parallel path.
+[[nodiscard]] unsigned default_sweep_threads();
+
+class SweepRunner {
+ public:
+  /// threads == 0 picks default_sweep_threads().
+  explicit SweepRunner(unsigned threads = 0);
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Ordered parallel-for: invokes fn(i) for every i in [0, count) across
+  /// the pool; blocks until all complete. fn must be safe to call from
+  /// multiple threads on distinct indices.
+  void for_each_index(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+  /// Ordered parallel map: out[i] = fn(i). R must be default-constructible
+  /// and movable.
+  template <typename R>
+  [[nodiscard]] std::vector<R> map(std::size_t count,
+                                   const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> out(count);
+    for_each_index(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Runs every spec; result i corresponds to specs[i]. Throws the first
+  /// spec-validation (or other) error after all workers finish.
+  [[nodiscard]] std::vector<RunResult> run(const std::vector<ExperimentSpec>& specs) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace qmb::run

@@ -1,0 +1,129 @@
+// Small-buffer-optimized move-only callable, the event hot path's callback
+// type.
+//
+// Every simulated action — link hops, DMA completions, NIC firmware steps —
+// is an EventQueue entry, so the callback representation is the single most
+// allocated object in the simulator. std::function heap-allocates most
+// capture lists and drags in RTTI and copyability the engine never uses.
+// Callback stores captures up to kInlineCapacity bytes directly inside the
+// object (a barrier sweep's schedule-site lambdas all fit), falls back to a
+// single heap allocation only for oversized captures, and is move-only, so
+// a scheduled event is never silently duplicated.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qmb::sim {
+
+class Callback {
+ public:
+  /// Inline capture budget. 64 bytes holds eight pointers — larger than any
+  /// schedule-site lambda on the barrier hot paths (checked by the packet
+  /// delivery and MCP timer call sites, the two biggest captures).
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  Callback() noexcept = default;
+  Callback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  Callback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~Callback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invokes the stored callable. Precondition: non-empty. Const like
+  /// std::function::operator(): the target is owned state, not observable
+  /// state of the Callback.
+  void operator()() const { ops_->invoke(const_cast<std::byte*>(buf_)); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*relocate)(void* from, void* to) noexcept;  // move-construct into `to`, destroy `from`
+    void (*destroy)(void* self) noexcept;
+  };
+
+  // Inline storage requires nothrow relocation because heap rebalancing in
+  // the event queue moves entries under noexcept move assignment.
+  template <typename Fn>
+  static constexpr bool fits_inline = sizeof(Fn) <= kInlineCapacity &&
+                                      alignof(Fn) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static Fn* as(void* p) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* self) { (*as<Fn>(self))(); },
+      [](void* from, void* to) noexcept {
+        Fn* f = as<Fn>(from);
+        ::new (to) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* self) noexcept { as<Fn>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* self) { (**as<Fn*>(self))(); },
+      [](void* from, void* to) noexcept { ::new (to) Fn*(*as<Fn*>(from)); },
+      [](void* self) noexcept { delete *as<Fn*>(self); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace qmb::sim

@@ -7,19 +7,47 @@ namespace qmb::sim {
 
 EventId EventQueue::push(SimTime at, EventCallback cb) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{at, seq, std::move(cb)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_gen_.size());
+    slot_gen_.push_back(0);
+  }
+  heap_.push_back(Entry{at, seq, slot, slot_gen_[slot], std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end());
-  pending_.insert(seq);
-  return EventId(seq);
+  ++live_;
+  return EventId(slot, slot_gen_[slot]);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  ++slot_gen_[slot];  // orphans the heap entry and invalidates outstanding ids
+  free_slots_.push_back(slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (!id.valid()) return false;
-  return pending_.erase(id.seq_) == 1;
+  if (!id.valid() || id.slot_ >= slot_gen_.size() || slot_gen_[id.slot_] != id.gen_) {
+    return false;
+  }
+  release_slot(id.slot_);
+  --live_;
+  compact_if_stale();
+  return true;
+}
+
+void EventQueue::compact_if_stale() {
+  // Sweep once dead entries exceed half the heap: mass cancellation (e.g. a
+  // NACK-timeout storm being acked) must return memory pressure to O(live)
+  // rather than O(ever-scheduled). Amortized O(1) per cancel: a sweep costs
+  // O(n) but at least n/2 cancels funded it.
+  if (heap_.size() < kCompactFloor || heap_.size() <= 2 * live_) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !is_live(e); });
+  std::make_heap(heap_.begin(), heap_.end());
 }
 
 std::optional<SimTime> EventQueue::next_time() const {
-  if (pending_.empty()) return std::nullopt;
+  if (live_ == 0) return std::nullopt;
   if (is_live(heap_.front())) return heap_.front().at;
   // The earliest heap entry was cancelled; scan for the earliest live one.
   // Hit only when the next-to-fire event was cancelled and nothing has been
@@ -31,20 +59,17 @@ std::optional<SimTime> EventQueue::next_time() const {
   return best;
 }
 
-void EventQueue::drop_dead_top() {
+EventQueue::Fired EventQueue::pop() {
   while (!heap_.empty() && !is_live(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end());
     heap_.pop_back();
   }
-}
-
-EventQueue::Fired EventQueue::pop() {
-  drop_dead_top();
   assert(!heap_.empty() && "pop() on empty EventQueue");
   std::pop_heap(heap_.begin(), heap_.end());
   Entry e = std::move(heap_.back());
   heap_.pop_back();
-  pending_.erase(e.seq);
+  release_slot(e.slot);
+  --live_;
   return Fired{e.at, std::move(e.cb)};
 }
 

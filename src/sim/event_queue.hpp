@@ -3,33 +3,44 @@
 // A binary heap keyed on (time, sequence). The sequence number breaks ties
 // in insertion order, which makes the whole simulation deterministic: two
 // events scheduled for the same instant always fire in the order they were
-// scheduled. Cancellation is O(1) lazy: the seq is removed from the pending
-// set and the heap entry is dropped when it reaches the top.
+// scheduled.
+//
+// Cancellation is O(1) and allocation-free: every live event owns a slot in
+// a generation table; cancelling bumps the slot's generation, which orphans
+// the heap entry (detected when it surfaces, or swept by compaction when
+// dead entries outnumber live ones — NACK-timeout storms cancel thousands
+// of armed retransmit timers and must not leave the heap full of corpses).
+// No hashing and no per-event allocation in the common case: callbacks are
+// small-buffer-optimized (sim::Callback) and slots are recycled through a
+// free list.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace qmb::sim {
 
-using EventCallback = std::function<void()>;
+using EventCallback = Callback;
 
-/// Identifies a scheduled event so it can be cancelled. Ids are never reused.
+/// Identifies a scheduled event so it can be cancelled. An id is a
+/// (slot, generation) pair: slots are reused, generations are not, so a
+/// stale id can never cancel a later event that inherited its slot.
 class EventId {
  public:
   constexpr EventId() = default;
-  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  [[nodiscard]] constexpr bool valid() const { return slot_ != kInvalidSlot; }
   friend constexpr bool operator==(EventId, EventId) = default;
 
  private:
   friend class EventQueue;
-  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;  // 0 is the reserved "invalid" id
+  static constexpr std::uint32_t kInvalidSlot = 0xFFFFFFFFu;
+  constexpr EventId(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = kInvalidSlot;
+  std::uint32_t gen_ = 0;
 };
 
 class EventQueue {
@@ -51,16 +62,23 @@ class EventQueue {
   };
   Fired pop();
 
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Total events ever scheduled; useful as a cheap determinism fingerprint.
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+  /// Heap entries currently held, live plus cancelled-but-unswept. Exposed
+  /// so tests can assert the compaction invariant: past kCompactFloor
+  /// entries, dead entries never exceed the live count.
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
  private:
   struct Entry {
     SimTime at;
     std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
     EventCallback cb;
 
     // Min-heap: std::push_heap etc. build a max-heap on operator<, so invert.
@@ -70,12 +88,19 @@ class EventQueue {
     }
   };
 
-  [[nodiscard]] bool is_live(const Entry& e) const { return pending_.contains(e.seq); }
-  void drop_dead_top();
+  // Below this size the dead-entry ratio is irrelevant; avoids re-heapifying
+  // tiny queues on every other cancel.
+  static constexpr std::size_t kCompactFloor = 64;
+
+  [[nodiscard]] bool is_live(const Entry& e) const { return slot_gen_[e.slot] == e.gen; }
+  void release_slot(std::uint32_t slot);
+  void compact_if_stale();
 
   std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_;  // seqs scheduled but not fired/cancelled
+  std::vector<std::uint32_t> slot_gen_;    // slot -> generation of its current owner
+  std::vector<std::uint32_t> free_slots_;  // recycled slot indices
   std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
 };
 
 }  // namespace qmb::sim

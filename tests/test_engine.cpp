@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace qmb::sim {
@@ -72,6 +73,72 @@ TEST(Engine, RunUntilInclusiveOfDeadline) {
   e.schedule(5_us, [&] { ++fired; });
   e.run_until(SimTime(5'000'000));
   EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunUntilEmptyQueueAdvancesClock) {
+  Engine e;
+  EXPECT_EQ(e.run_until(SimTime(7'000'000)), 0u);
+  EXPECT_EQ(e.now(), SimTime(7'000'000));
+}
+
+TEST(Engine, RunUntilPastDeadlineNeverRewindsClock) {
+  Engine e;
+  e.schedule(10_us, [] {});
+  e.run();
+  EXPECT_EQ(e.now(), SimTime(10'000'000));
+  EXPECT_EQ(e.run_until(SimTime(3'000'000)), 0u);  // deadline already behind us
+  EXPECT_EQ(e.now(), SimTime(10'000'000));
+}
+
+TEST(Engine, RunUntilFiresZeroDelayChainAtDeadline) {
+  // An event exactly at the deadline may spawn zero-delay work, all of
+  // which belongs to this run_until window.
+  Engine e;
+  int fired = 0;
+  e.schedule(5_us, [&] {
+    ++fired;
+    e.schedule(SimDuration::zero(), [&] {
+      ++fired;
+      e.schedule(SimDuration::zero(), [&] { ++fired; });
+    });
+  });
+  EXPECT_EQ(e.run_until(SimTime(5'000'000)), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(e.now(), SimTime(5'000'000));
+}
+
+TEST(Engine, RunUntilDeadlineBeforeFirstEvent) {
+  Engine e;
+  int fired = 0;
+  e.schedule(10_us, [&] { ++fired; });
+  EXPECT_EQ(e.run_until(SimTime(2'000'000)), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(e.now(), SimTime(2'000'000));
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunUntilSkipsCancelledEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1_us, [&] { ++fired; });
+  const EventId victim = e.schedule(2_us, [&] { fired += 100; });
+  e.schedule(3_us, [&] { ++fired; });
+  EXPECT_TRUE(e.cancel(victim));
+  EXPECT_EQ(e.run_until(SimTime(5'000'000)), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ScheduleAcceptsMoveOnlyCallback) {
+  // The event hot path stores a move-only callback type, so captures that
+  // std::function would reject (unique_ptr) now work directly.
+  Engine e;
+  auto payload = std::make_unique<int>(99);
+  int seen = 0;
+  e.schedule(1_us, [payload = std::move(payload), &seen] { seen = *payload; });
+  e.run();
+  EXPECT_EQ(seen, 99);
 }
 
 TEST(Engine, CancelStopsScheduledEvent) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace qmb::sim {
@@ -101,6 +104,100 @@ TEST(EventQueue, PopSkipsTombstones) {
   f.cb();
   EXPECT_EQ(fired, 3);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, MassCancelCompactsHeap) {
+  // Cancelling most of a large heap must sweep the dead entries out; the
+  // compaction invariant is that past the floor, dead entries never
+  // outnumber live ones.
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(1000);
+  for (int i = 0; i < 1000; ++i) ids.push_back(q.push(at_us(100 + i), [] {}));
+  for (int i = 0; i < 990; ++i) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+  EXPECT_EQ(q.size(), 10u);
+  EXPECT_LE(q.heap_entries(), 64u);  // swept, not just tombstoned
+  int fired = 0;
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.cb();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, SmallHeapSkipsCompaction) {
+  // Below the compaction floor, cancels just tombstone — no sweep churn.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(q.push(at_us(i + 1), [] {}));
+  for (int i = 0; i < 19; ++i) q.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.heap_entries(), 20u);
+}
+
+TEST(EventQueue, StaleIdAfterSlotReuseFails) {
+  // A cancelled id's slot gets recycled for the next push; the stale id's
+  // generation no longer matches, so it can never cancel the new event.
+  EventQueue q;
+  const EventId stale = q.push(at_us(1), [] {});
+  EXPECT_TRUE(q.cancel(stale));
+  int fired = 0;
+  const EventId fresh = q.push(at_us(2), [&] { ++fired; });
+  EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().cb();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.cancel(fresh));  // already fired
+}
+
+TEST(EventQueue, StaleIdAfterPopAndSlotReuseFails) {
+  EventQueue q;
+  const EventId popped = q.push(at_us(1), [] {});
+  q.pop().cb();
+  int fired = 0;
+  q.push(at_us(2), [&] { ++fired; });  // reuses popped's slot
+  EXPECT_FALSE(q.cancel(popped));
+  q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelRePushStress) {
+  // Timeout-heavy protocol pattern: arm a batch of timeouts, cancel nearly
+  // all of them (acks arrived), re-arm, repeat. The heap must stay bounded
+  // and the survivors must all fire.
+  EventQueue q;
+  int fired = 0;
+  std::vector<EventId> timeouts;
+  for (int round = 0; round < 100; ++round) {
+    timeouts.clear();
+    for (int i = 0; i < 100; ++i) {
+      timeouts.push_back(q.push(at_us(1'000'000 + round * 100 + i), [&] { ++fired; }));
+    }
+    // 99 of 100 timeouts are cancelled by their acks.
+    for (int i = 0; i < 99; ++i) EXPECT_TRUE(q.cancel(timeouts[static_cast<std::size_t>(i)]));
+    EXPECT_LE(q.heap_entries(), std::max<std::size_t>(64, 2 * q.size()));
+  }
+  EXPECT_EQ(q.size(), 100u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(q.total_scheduled(), 100u * 100u);
+}
+
+TEST(EventQueue, MoveOnlyAndLargeCapturesWork) {
+  // Callbacks beyond the inline buffer fall back to the heap; move-only
+  // captures are fine because the callback type is move-only itself.
+  EventQueue q;
+  auto big = std::make_unique<std::array<int, 64>>();
+  for (int i = 0; i < 64; ++i) (*big)[static_cast<std::size_t>(i)] = i;
+  std::array<char, 128> blob{};
+  blob[0] = 42;
+  blob[127] = 7;
+  int sum = 0;
+  q.push(at_us(1), [big = std::move(big), &sum] { sum += (*big)[63]; });
+  q.push(at_us(2), [blob, &sum] { sum += blob[0] + blob[127]; });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(sum, 63 + 42 + 7);
 }
 
 TEST(EventQueue, StressInterleavedPushCancelPop) {

@@ -1,0 +1,179 @@
+// Determinism contract of the experiment execution layer: a RunResult is a
+// pure function of its ExperimentSpec — rerunning a spec, or running it on
+// a sweep with any thread count, must reproduce bit-identical latency
+// stats and event-count fingerprints.
+#include "run/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qmb::run {
+namespace {
+
+ExperimentSpec quick_spec(Network network = Network::kMyrinetXP, int nodes = 4,
+                          Impl impl = Impl::kNic) {
+  ExperimentSpec s;
+  s.network = network;
+  s.nodes = nodes;
+  s.impl = impl;
+  s.iters = 30;
+  s.warmup = 5;
+  return s;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.mean_picos, b.mean_picos);
+  EXPECT_EQ(a.min_picos, b.min_picos);
+  EXPECT_EQ(a.max_picos, b.max_picos);
+  EXPECT_EQ(a.p99_picos, b.p99_picos);
+  EXPECT_EQ(a.events_scheduled, b.events_scheduled);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(RunExperiment, RerunningSameSpecIsBitIdentical) {
+  const auto spec = quick_spec();
+  expect_identical(run_experiment(spec), run_experiment(spec));
+}
+
+TEST(RunExperiment, RandomPlacementIsSeedDeterministic) {
+  auto spec = quick_spec(Network::kMyrinetXP, 8);
+  spec.random_placement = true;
+  spec.seed = 42;
+  expect_identical(run_experiment(spec), run_experiment(spec));
+}
+
+TEST(RunExperiment, DropRecoveryIsDeterministic) {
+  auto spec = quick_spec(Network::kMyrinetXP, 8);
+  spec.drop_prob = 0.05;
+  spec.seed = 7;
+  const auto a = run_experiment(spec);
+  const auto b = run_experiment(spec);
+  expect_identical(a, b);
+  EXPECT_GT(a.packets_dropped, 0u);
+  EXPECT_GT(a.retransmissions + a.nacks, 0u);
+}
+
+TEST(RunExperiment, QuadricsBarrierImplsRun) {
+  for (const Impl impl : {Impl::kNic, Impl::kGsync, Impl::kHgsync}) {
+    const auto r = run_experiment(quick_spec(Network::kQuadrics, 4, impl));
+    EXPECT_GT(r.mean_picos, 0) << to_string(impl);
+    EXPECT_GT(r.events_fired, 0u) << to_string(impl);
+  }
+}
+
+TEST(RunExperiment, ValueCollectivesRun) {
+  auto spec = quick_spec(Network::kMyrinetXP, 4, Impl::kHost);
+  spec.op = coll::OpKind::kAllreduce;
+  const auto host = run_experiment(spec);
+  EXPECT_GT(host.mean_picos, 0);
+
+  spec = quick_spec(Network::kQuadrics, 4, Impl::kNic);
+  spec.op = coll::OpKind::kBcast;
+  const auto nic = run_experiment(spec);
+  EXPECT_GT(nic.mean_picos, 0);
+}
+
+TEST(RunExperiment, TraceCollectionFillsCsv) {
+  auto spec = quick_spec();
+  spec.iters = 2;
+  spec.warmup = 0;
+  spec.collect_trace = true;
+  EXPECT_FALSE(run_experiment(spec).trace_csv.empty());
+}
+
+TEST(Validate, NamesTheInvalidImplNetworkPair) {
+  const auto check = [](const ExperimentSpec& s, const char* a, const char* b) {
+    const std::string err = validate(s);
+    EXPECT_NE(err.find(a), std::string::npos) << err;
+    EXPECT_NE(err.find(b), std::string::npos) << err;
+  };
+  check(quick_spec(Network::kMyrinetXP, 4, Impl::kGsync), "gsync", "myrinet-xp");
+  check(quick_spec(Network::kMyrinetL9, 4, Impl::kHgsync), "hgsync", "myrinet-l9");
+  check(quick_spec(Network::kQuadrics, 4, Impl::kDirect), "direct", "quadrics");
+
+  auto s = quick_spec(Network::kMyrinetXP, 4, Impl::kDirect);
+  s.op = coll::OpKind::kAllreduce;
+  check(s, "direct", "allreduce");
+
+  s = quick_spec(Network::kQuadrics, 4, Impl::kNic);
+  s.drop_prob = 0.1;
+  EXPECT_NE(validate(s).find("drop-prob"), std::string::npos) << validate(s);
+}
+
+TEST(Validate, RunExperimentThrowsOnInvalidSpec) {
+  EXPECT_THROW((void)run_experiment(quick_spec(Network::kMyrinetXP, 4, Impl::kHgsync)),
+               std::invalid_argument);
+  auto s = quick_spec();
+  s.nodes = 1;
+  EXPECT_THROW((void)run_experiment(s), std::invalid_argument);
+}
+
+TEST(SweepRunner, ResultsAreOrderedBySpecIndex) {
+  std::vector<ExperimentSpec> specs;
+  for (const int n : {2, 4, 8}) specs.push_back(quick_spec(Network::kMyrinetXP, n));
+  const auto results = SweepRunner(4).run(specs);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(results[i].spec.nodes, specs[i].nodes);
+  }
+}
+
+TEST(SweepRunner, OneThreadAndManyThreadsAreBitIdentical) {
+  // The acceptance criterion: per-point results are identical whether the
+  // sweep runs single-threaded or across a pool.
+  std::vector<ExperimentSpec> specs;
+  for (const int n : {2, 4, 8}) specs.push_back(quick_spec(Network::kMyrinetXP, n));
+  specs.push_back(quick_spec(Network::kQuadrics, 4, Impl::kNic));
+  specs.push_back(quick_spec(Network::kQuadrics, 4, Impl::kHgsync));
+  auto dropped = quick_spec(Network::kMyrinetXP, 4);
+  dropped.drop_prob = 0.05;
+  specs.push_back(dropped);
+
+  const auto serial = SweepRunner(1).run(specs);
+  const auto parallel = SweepRunner(4).run(specs);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(SweepRunner, InvalidSpecMidSweepPropagatesAfterDraining) {
+  std::vector<ExperimentSpec> specs = {quick_spec(),
+                                       quick_spec(Network::kMyrinetXP, 4, Impl::kGsync),
+                                       quick_spec()};
+  EXPECT_THROW((void)SweepRunner(2).run(specs), std::invalid_argument);
+}
+
+TEST(SweepRunner, MapPreservesIndexOrder) {
+  const SweepRunner runner(4);
+  const auto out =
+      runner.map<int>(32, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(SeedFor, DeterministicAndDecorrelated) {
+  EXPECT_EQ(seed_for(1, 0), seed_for(1, 0));
+  EXPECT_NE(seed_for(1, 0), seed_for(1, 1));
+  EXPECT_NE(seed_for(1, 0), seed_for(2, 0));
+}
+
+TEST(ToJson, CarriesSpecAndResultFields) {
+  const auto r = run_experiment(quick_spec());
+  const std::string j = to_json(r);
+  for (const char* key :
+       {"\"network\":\"myrinet-xp\"", "\"nodes\":4", "\"impl\":\"nic\"", "\"mean_us\":",
+        "\"events_scheduled\":", "\"fingerprint\":"}) {
+    EXPECT_NE(j.find(key), std::string::npos) << j;
+  }
+}
+
+}  // namespace
+}  // namespace qmb::run

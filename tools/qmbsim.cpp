@@ -2,39 +2,35 @@
 //
 // Runs any barrier or collective configuration and prints latency and
 // protocol statistics, so experiments beyond the committed benchmarks can
-// be run without writing code:
+// be run without writing code. Single runs and sweeps both route through
+// the run:: experiment layer; sweeps execute in parallel across a thread
+// pool with per-point results bit-identical to a single-threaded run.
 //
 //   qmbsim --network myrinet-xp --nodes 8 --impl nic --op barrier
 //   qmbsim --network quadrics --nodes 64 --impl hgsync --iters 1000
 //   qmbsim --network myrinet-l9 --nodes 16 --impl host --algorithm pe
 //   qmbsim --network myrinet-xp --nodes 8 --op allreduce --impl host
 //   qmbsim --network myrinet-xp --nodes 8 --drop-prob 0.01 --trace
+//   qmbsim --network quadrics --impl nic --sweep 2:1024:x2 --json
+//   qmbsim --network myrinet-xp --sweep 2,4,8,16 --threads 4
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <functional>
-#include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
-#include "core/cluster.hpp"
-#include "core/collectives.hpp"
+#include "run/sweep.hpp"
 
 using namespace qmb;
 
 namespace {
 
 struct Options {
-  std::string network = "myrinet-xp";  // myrinet-xp | myrinet-l9 | quadrics
-  int nodes = 8;
-  std::string op = "barrier";    // barrier | bcast | allreduce | allgather | alltoall
-  std::string impl = "nic";      // nic | host | direct | gsync | hgsync
-  std::string algorithm = "ds";  // ds | pe | gb
-  int iters = 1000;
-  int warmup = 100;
-  std::uint64_t seed = 1;
-  bool random_placement = false;
-  double drop_prob = 0.0;
-  bool trace = false;
+  run::ExperimentSpec spec;
+  std::vector<int> sweep_nodes;  // empty = single run at spec.nodes
+  bool json = false;
+  unsigned threads = 0;  // 0 = default_sweep_threads()
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -50,13 +46,69 @@ struct Options {
       "  --iters K --warmup W                       (default 1000 / 100)\n"
       "  --seed S --perm                            random rank placement\n"
       "  --drop-prob P                              Myrinet packet loss\n"
-      "  --trace                                    dump protocol trace CSV\n",
+      "  --trace                                    dump protocol trace CSV\n"
+      "  --sweep LIST                               node-count axis; LIST is\n"
+      "         comma-separated counts and/or ranges: 2,4,8  2:64:x2 (geometric)\n"
+      "         2:16:+2 (arithmetic); runs all points in parallel\n"
+      "  --threads T                                sweep worker threads\n"
+      "                                             (default: all cores,\n"
+      "                                             or $QMB_SWEEP_THREADS)\n"
+      "  --json                                     one JSON object per run\n",
       argv0);
   std::exit(2);
 }
 
+/// Parses one --sweep token: "N", "lo:hi:xK" (geometric), or "lo:hi:+K"
+/// (arithmetic). "lo:hi" doubles. Returns false on malformed input.
+bool parse_sweep_token(const std::string& tok, std::vector<int>& out) {
+  const auto c1 = tok.find(':');
+  if (c1 == std::string::npos) {
+    const int n = std::atoi(tok.c_str());
+    if (n < 2) return false;
+    out.push_back(n);
+    return true;
+  }
+  const auto c2 = tok.find(':', c1 + 1);
+  const int lo = std::atoi(tok.substr(0, c1).c_str());
+  const int hi = std::atoi(tok.substr(c1 + 1, c2 == std::string::npos
+                                                  ? std::string::npos
+                                                  : c2 - c1 - 1)
+                               .c_str());
+  char mode = 'x';
+  int step = 2;
+  if (c2 != std::string::npos) {
+    const std::string s = tok.substr(c2 + 1);
+    if (s.size() < 2 || (s[0] != 'x' && s[0] != '+')) return false;
+    mode = s[0];
+    step = std::atoi(s.c_str() + 1);
+  }
+  if (lo < 2 || hi < lo || step < (mode == 'x' ? 2 : 1)) return false;
+  for (int n = lo; n <= hi; n = mode == 'x' ? n * step : n + step) out.push_back(n);
+  return true;
+}
+
+std::vector<int> parse_sweep(const std::string& list, const char* argv0) {
+  std::vector<int> nodes;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const auto comma = list.find(',', start);
+    const std::string tok =
+        list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!parse_sweep_token(tok, nodes)) {
+      std::fprintf(stderr, "malformed --sweep element '%s' in '%s'\n", tok.c_str(),
+                   list.c_str());
+      usage(argv0);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return nodes;
+}
+
 Options parse(int argc, char** argv) {
   Options o;
+  o.spec.iters = 1000;
+  o.spec.warmup = 100;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -66,186 +118,150 @@ Options parse(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (a == "--network") o.network = next("--network");
-    else if (a == "--nodes") o.nodes = std::atoi(next("--nodes"));
-    else if (a == "--op") o.op = next("--op");
-    else if (a == "--impl") o.impl = next("--impl");
-    else if (a == "--algorithm") o.algorithm = next("--algorithm");
-    else if (a == "--iters") o.iters = std::atoi(next("--iters"));
-    else if (a == "--warmup") o.warmup = std::atoi(next("--warmup"));
-    else if (a == "--seed") o.seed = std::strtoull(next("--seed"), nullptr, 10);
-    else if (a == "--perm") o.random_placement = true;
-    else if (a == "--drop-prob") o.drop_prob = std::atof(next("--drop-prob"));
-    else if (a == "--trace") o.trace = true;
-    else if (a == "--help" || a == "-h") usage(argv[0]);
-    else {
+    if (a == "--network") {
+      const char* v = next("--network");
+      const auto n = run::parse_network(v);
+      if (!n) {
+        std::fprintf(stderr,
+                     "unknown --network '%s' (valid: myrinet-xp, myrinet-l9, quadrics)\n",
+                     v);
+        usage(argv[0]);
+      }
+      o.spec.network = *n;
+    } else if (a == "--nodes") {
+      o.spec.nodes = std::atoi(next("--nodes"));
+    } else if (a == "--op") {
+      const char* v = next("--op");
+      const auto k = run::parse_op(v);
+      if (!k) {
+        std::fprintf(stderr,
+                     "unknown --op '%s' (valid: barrier, bcast, allreduce, allgather, "
+                     "alltoall)\n",
+                     v);
+        usage(argv[0]);
+      }
+      o.spec.op = *k;
+    } else if (a == "--impl") {
+      const char* v = next("--impl");
+      const auto impl = run::parse_impl(v);
+      if (!impl) {
+        std::fprintf(stderr,
+                     "unknown --impl '%s' (valid: nic, host, direct, gsync, hgsync)\n", v);
+        usage(argv[0]);
+      }
+      o.spec.impl = *impl;
+    } else if (a == "--algorithm") {
+      const char* v = next("--algorithm");
+      const auto alg = run::parse_algorithm(v);
+      if (!alg) {
+        std::fprintf(stderr, "unknown --algorithm '%s' (valid: ds, pe, gb)\n", v);
+        usage(argv[0]);
+      }
+      o.spec.algorithm = *alg;
+    } else if (a == "--iters") {
+      o.spec.iters = std::atoi(next("--iters"));
+    } else if (a == "--warmup") {
+      o.spec.warmup = std::atoi(next("--warmup"));
+    } else if (a == "--seed") {
+      o.spec.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (a == "--perm") {
+      o.spec.random_placement = true;
+    } else if (a == "--drop-prob") {
+      o.spec.drop_prob = std::atof(next("--drop-prob"));
+    } else if (a == "--trace") {
+      o.spec.collect_trace = true;
+    } else if (a == "--sweep") {
+      o.sweep_nodes = parse_sweep(next("--sweep"), argv[0]);
+    } else if (a == "--threads") {
+      const int t = std::atoi(next("--threads"));
+      if (t < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        usage(argv[0]);
+      }
+      o.threads = static_cast<unsigned>(t);
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+    } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       usage(argv[0]);
     }
   }
-  if (o.nodes < 2) {
-    std::fprintf(stderr, "--nodes must be >= 2\n");
+  // Validate the spec up front so a bad --impl/--network pair is reported by
+  // name instead of surfacing as a silent exit mid-run. The sweep's node
+  // axis replaces --nodes, so validate with its first point when present.
+  run::ExperimentSpec probe = o.spec;
+  if (!o.sweep_nodes.empty()) probe.nodes = o.sweep_nodes.front();
+  if (const std::string err = run::validate(probe); !err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
     std::exit(2);
   }
   return o;
 }
 
-coll::Algorithm algorithm_of(const Options& o) {
-  if (o.algorithm == "ds") return coll::Algorithm::kDissemination;
-  if (o.algorithm == "pe") return coll::Algorithm::kPairwiseExchange;
-  if (o.algorithm == "gb") return coll::Algorithm::kGatherBroadcast;
-  std::fprintf(stderr, "unknown algorithm '%s'\n", o.algorithm.c_str());
-  std::exit(2);
-}
-
-std::optional<coll::OpKind> value_op_of(const std::string& op) {
-  if (op == "bcast") return coll::OpKind::kBcast;
-  if (op == "allreduce") return coll::OpKind::kAllreduce;
-  if (op == "allgather") return coll::OpKind::kAllgather;
-  if (op == "alltoall") return coll::OpKind::kAlltoall;
-  return std::nullopt;
-}
-
-void print_result(const core::BarrierRunResult& r) {
+void print_result(const run::RunResult& r) {
+  std::printf("%s, %d nodes, %s\n", r.impl_name.c_str(), r.spec.nodes,
+              std::string(run::to_string(r.spec.network)).c_str());
   std::printf("iterations: %llu\n", static_cast<unsigned long long>(r.iterations));
   std::printf("latency: mean %.2f us, min %.2f us, max %.2f us, p99 %.2f us\n",
-              r.mean.micros(), r.per_iteration.min().micros(),
-              r.per_iteration.max().micros(), r.per_iteration.percentile(99).micros());
-}
-
-/// Drives consecutive value collectives with the barrier runner's
-/// methodology.
-core::BarrierRunResult run_collective(sim::Engine& engine, core::Collective& op,
-                                      int warmup, int iters) {
-  const int n = op.size();
-  const int total = warmup + iters;
-  std::vector<int> iter_of(static_cast<std::size_t>(n), 0);
-  std::vector<int> done_in(static_cast<std::size_t>(total), 0);
-  std::vector<sim::SimTime> completed(static_cast<std::size_t>(total));
-  std::function<void(int)> loop = [&](int rank) {
-    const int it = iter_of[static_cast<std::size_t>(rank)];
-    if (it >= total) return;
-    op.enter(rank, rank + 1, [&, rank, it](std::int64_t) {
-      iter_of[static_cast<std::size_t>(rank)] = it + 1;
-      if (++done_in[static_cast<std::size_t>(it)] == n) {
-        completed[static_cast<std::size_t>(it)] = engine.now();
-      }
-      engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
-    });
-  };
-  for (int r = 0; r < n; ++r) loop(r);
-  engine.run_until(engine.now() + sim::seconds(120));
-  core::BarrierRunResult res;
-  res.iterations = static_cast<std::uint64_t>(iters);
-  for (int i = warmup; i < total; ++i) {
-    const sim::SimTime prev =
-        i == 0 ? sim::SimTime::zero() : completed[static_cast<std::size_t>(i - 1)];
-    res.per_iteration.add(completed[static_cast<std::size_t>(i)] - prev);
-  }
-  res.mean = res.per_iteration.mean();
-  return res;
-}
-
-int run_myrinet(const Options& o) {
-  const auto cfg = o.network == "myrinet-l9" ? myri::lanai9_cluster()
-                                             : myri::lanaixp_cluster();
-  sim::Engine engine;
-  sim::Tracer tracer;
-  if (o.trace) tracer.enable();
-  core::MyriCluster cluster(engine, cfg, o.nodes, o.trace ? &tracer : nullptr);
-  if (o.drop_prob > 0) {
-    cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, o.drop_prob,
-                                              o.seed);
-  }
-  sim::Rng rng(o.seed);
-  auto placement = o.random_placement ? core::random_placement(o.nodes, rng)
-                                      : core::identity_placement(o.nodes);
-
-  if (const auto kind = value_op_of(o.op)) {
-    auto op = o.impl == "host"
-                  ? core::make_host_collective(cluster, *kind, 0,
-                                               coll::ReduceOp::kSum, placement)
-                  : core::make_nic_collective(cluster, *kind, 0, coll::ReduceOp::kSum,
-                                              placement);
-    std::printf("%s, %d nodes, %s\n", std::string(op->name()).c_str(), o.nodes,
-                cfg.lanai.clock_mhz > 200 ? "LANai-XP" : "LANai 9.1");
-    print_result(run_collective(engine, *op, o.warmup, o.iters));
-  } else if (o.op == "barrier") {
-    core::MyriBarrierKind kind = core::MyriBarrierKind::kNicCollective;
-    if (o.impl == "host") kind = core::MyriBarrierKind::kHost;
-    else if (o.impl == "direct") kind = core::MyriBarrierKind::kNicDirect;
-    else if (o.impl != "nic") {
-      std::fprintf(stderr, "impl '%s' is not a Myrinet barrier\n", o.impl.c_str());
-      return 2;
-    }
-    auto barrier = cluster.make_barrier(kind, algorithm_of(o), placement);
-    std::printf("%s, %d nodes\n", std::string(barrier->name()).c_str(), o.nodes);
-    print_result(core::run_consecutive_barriers(engine, *barrier, o.warmup, o.iters));
-  } else {
-    std::fprintf(stderr, "unknown op '%s'\n", o.op.c_str());
-    return 2;
-  }
-
+              r.mean_us(), r.min_us(), r.max_us(), r.p99_us());
   std::printf("wire: %llu packets, %llu bytes, %llu dropped\n",
-              static_cast<unsigned long long>(cluster.fabric().packets_sent()),
-              static_cast<unsigned long long>(cluster.fabric().bytes_sent()),
-              static_cast<unsigned long long>(cluster.fabric().faults().dropped()));
-  std::uint64_t nacks = 0, retrans = 0;
-  for (int i = 0; i < o.nodes; ++i) {
-    nacks += cluster.node(i).coll().stats().nacks_sent.value;
-    retrans += cluster.node(i).coll().stats().retransmissions.value +
-               cluster.node(i).mcp().stats().retransmissions.value;
-  }
+              static_cast<unsigned long long>(r.packets_sent),
+              static_cast<unsigned long long>(r.bytes_sent),
+              static_cast<unsigned long long>(r.packets_dropped));
   std::printf("recovery: %llu NACKs, %llu retransmissions\n",
-              static_cast<unsigned long long>(nacks),
-              static_cast<unsigned long long>(retrans));
-  if (o.trace) std::fputs(tracer.to_csv().c_str(), stdout);
+              static_cast<unsigned long long>(r.nacks),
+              static_cast<unsigned long long>(r.retransmissions));
+  if (r.hw_probes > 0) {
+    std::printf("hgsync: %llu probes, %llu failed\n",
+                static_cast<unsigned long long>(r.hw_probes),
+                static_cast<unsigned long long>(r.hw_failed_probes));
+  }
+  std::printf("fingerprint: %016llx\n",
+              static_cast<unsigned long long>(r.fingerprint()));
+  if (!r.trace_csv.empty()) std::fputs(r.trace_csv.c_str(), stdout);
+}
+
+int run_single(const Options& o) {
+  const auto r = run::run_experiment(o.spec);
+  if (o.json) {
+    std::printf("%s\n", run::to_json(r).c_str());
+  } else {
+    print_result(r);
+  }
   return 0;
 }
 
-int run_quadrics(const Options& o) {
-  sim::Engine engine;
-  sim::Tracer tracer;
-  if (o.trace) tracer.enable();
-  core::ElanCluster cluster(engine, elan::elan3_cluster(), o.nodes,
-                            o.trace ? &tracer : nullptr);
-  sim::Rng rng(o.seed);
-  auto placement = o.random_placement ? core::random_placement(o.nodes, rng)
-                                      : core::identity_placement(o.nodes);
-
-  if (const auto kind = value_op_of(o.op)) {
-    auto op = o.impl == "host"
-                  ? core::make_elan_host_collective(cluster, *kind, 0,
-                                                    coll::ReduceOp::kSum, placement)
-                  : core::make_elan_nic_collective(cluster, *kind, 0,
-                                                   coll::ReduceOp::kSum, placement);
-    std::printf("%s, %d nodes\n", std::string(op->name()).c_str(), o.nodes);
-    print_result(run_collective(engine, *op, o.warmup, o.iters));
-  } else if (o.op == "barrier") {
-    core::ElanBarrierKind kind = core::ElanBarrierKind::kNicChained;
-    if (o.impl == "gsync" || o.impl == "host") kind = core::ElanBarrierKind::kGsyncTree;
-    else if (o.impl == "hgsync") kind = core::ElanBarrierKind::kHardware;
-    else if (o.impl != "nic") {
-      std::fprintf(stderr, "impl '%s' is not a Quadrics barrier\n", o.impl.c_str());
-      return 2;
-    }
-    auto barrier = cluster.make_barrier(kind, algorithm_of(o), placement);
-    std::printf("%s, %d nodes\n", std::string(barrier->name()).c_str(), o.nodes);
-    print_result(core::run_consecutive_barriers(engine, *barrier, o.warmup, o.iters));
-    if (kind == core::ElanBarrierKind::kHardware) {
-      std::printf("hgsync: %llu probes, %llu failed\n",
-                  static_cast<unsigned long long>(cluster.hw_barrier().probes_sent()),
-                  static_cast<unsigned long long>(cluster.hw_barrier().failed_probes()));
-    }
-  } else {
-    std::fprintf(stderr, "unknown op '%s'\n", o.op.c_str());
-    return 2;
+int run_sweep(const Options& o) {
+  std::vector<run::ExperimentSpec> specs;
+  specs.reserve(o.sweep_nodes.size());
+  for (std::size_t i = 0; i < o.sweep_nodes.size(); ++i) {
+    run::ExperimentSpec s = o.spec;
+    s.nodes = o.sweep_nodes[i];
+    // Per-point seeds stay deterministic but decorrelated along the axis.
+    s.seed = run::seed_for(o.spec.seed, i);
+    specs.push_back(s);
   }
-
-  std::printf("wire: %llu packets, %llu bytes\n",
-              static_cast<unsigned long long>(cluster.fabric().packets_sent()),
-              static_cast<unsigned long long>(cluster.fabric().bytes_sent()));
-  if (o.trace) std::fputs(tracer.to_csv().c_str(), stdout);
+  const run::SweepRunner runner(o.threads);
+  const auto results = runner.run(specs);
+  if (o.json) {
+    for (const auto& r : results) std::printf("%s\n", run::to_json(r).c_str());
+    return 0;
+  }
+  std::printf("%s sweep, %s/%s, %zu points, %u threads\n",
+              std::string(run::to_string(o.spec.op)).c_str(),
+              std::string(run::to_string(o.spec.network)).c_str(),
+              std::string(run::to_string(o.spec.impl)).c_str(), results.size(),
+              runner.threads());
+  std::printf("%-8s %12s %12s %12s %12s %14s %18s\n", "nodes", "mean(us)", "min(us)",
+              "max(us)", "p99(us)", "packets", "fingerprint");
+  for (const auto& r : results) {
+    std::printf("%-8d %12.2f %12.2f %12.2f %12.2f %14llu   %016llx\n", r.spec.nodes,
+                r.mean_us(), r.min_us(), r.max_us(), r.p99_us(),
+                static_cast<unsigned long long>(r.packets_sent),
+                static_cast<unsigned long long>(r.fingerprint()));
+  }
   return 0;
 }
 
@@ -253,8 +269,10 @@ int run_quadrics(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  if (o.network == "quadrics") return run_quadrics(o);
-  if (o.network == "myrinet-xp" || o.network == "myrinet-l9") return run_myrinet(o);
-  std::fprintf(stderr, "unknown network '%s'\n", o.network.c_str());
-  return 2;
+  try {
+    return o.sweep_nodes.empty() ? run_single(o) : run_sweep(o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 }
