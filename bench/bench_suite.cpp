@@ -1,0 +1,223 @@
+// bench_suite — the whole figure set as one machine-readable artifact.
+//
+// Runs the fig5–fig8 reproduction points plus the Sec. 3/6 ablation grid
+// through run::SweepRunner and writes BENCH_suite.json
+// ("qmb-bench-suite/1"): one point per experiment with a stable key,
+// latency stats, wire counters, and the determinism fingerprint. CI
+// uploads the file and tools/benchdiff compares it against
+// bench/baseline.json; a latency regression or a fingerprint change shows
+// up as a keyed delta instead of a diff of printed tables.
+//
+//   bench_suite                  # full grid, writes BENCH_suite.json
+//   bench_suite --quick          # CI-sized axes (seconds, not minutes)
+//   bench_suite --out suite.json --threads 4
+//
+// The simulation is deterministic, so the latency numbers are exact
+// (wall-clock benchmarking of the simulator itself stays in the
+// google-benchmark binaries).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace qmb;
+using run::Impl;
+using run::Network;
+
+struct SuitePoint {
+  std::string key;
+  run::ExperimentSpec spec;
+};
+
+struct SuiteOptions {
+  bool quick = false;
+  std::string out = "BENCH_suite.json";
+  unsigned threads = 0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--quick] [--out PATH] [--threads T]\n"
+      "  --quick      small node axes and fewer iterations (CI)\n"
+      "  --out PATH   output file (default BENCH_suite.json)\n"
+      "  --threads T  sweep worker threads (default: all cores)\n",
+      argv0);
+  std::exit(2);
+}
+
+std::string impl_slug(Impl i) { return std::string(run::to_string(i)); }
+
+std::string alg_slug(coll::Algorithm a) {
+  switch (a) {
+    case coll::Algorithm::kDissemination: return "ds";
+    case coll::Algorithm::kPairwiseExchange: return "pe";
+    case coll::Algorithm::kGatherBroadcast: return "gb";
+  }
+  return "?";
+}
+
+/// "fig5/myrinet-l9/nic/barrier/ds/n8" — stable across runs and releases;
+/// benchdiff aligns suites on these keys.
+std::string key_for(const char* group, const run::ExperimentSpec& s) {
+  std::string k = group;
+  k += '/';
+  k += std::string(run::to_string(s.network));
+  k += '/';
+  k += impl_slug(s.impl);
+  k += '/';
+  k += std::string(run::to_string(s.op));
+  k += '/';
+  k += alg_slug(s.algorithm);
+  k += "/n";
+  k += std::to_string(s.nodes);
+  return k;
+}
+
+void add_barrier_grid(std::vector<SuitePoint>& out, const char* group, Network net,
+                      const std::vector<Impl>& impls, const std::vector<int>& nodes) {
+  for (const Impl impl : impls) {
+    for (const int n : nodes) {
+      run::ExperimentSpec s =
+          bench::barrier_spec(net, n, impl, coll::Algorithm::kDissemination);
+      out.push_back({key_for(group, s), s});
+    }
+  }
+}
+
+std::vector<SuitePoint> build_points(bool quick) {
+  std::vector<SuitePoint> pts;
+  const std::vector<int> small = quick ? std::vector<int>{2, 8}
+                                       : std::vector<int>{2, 4, 8, 16};
+  const std::vector<int> large = quick ? std::vector<int>{2, 16, 64}
+                                       : std::vector<int>{2, 8, 32, 128, 512};
+
+  // Fig. 5: LANai 9.1 cluster — NIC vs host vs prior direct scheme.
+  add_barrier_grid(pts, "fig5", Network::kMyrinetL9,
+                   {Impl::kNic, Impl::kHost, Impl::kDirect}, small);
+  // Fig. 6: LANai-XP cluster, same comparison.
+  add_barrier_grid(pts, "fig6", Network::kMyrinetXP,
+                   {Impl::kNic, Impl::kHost, Impl::kDirect}, small);
+  // Fig. 7: Quadrics — chained-RDMA NIC barrier vs elan_gsync vs hgsync.
+  add_barrier_grid(pts, "fig7", Network::kQuadrics,
+                   {Impl::kNic, Impl::kGsync, Impl::kHgsync}, small);
+  // Fig. 8: scalability of the NIC barrier on both networks.
+  add_barrier_grid(pts, "fig8", Network::kMyrinetXP, {Impl::kNic}, large);
+  add_barrier_grid(pts, "fig8", Network::kQuadrics, {Impl::kNic}, large);
+
+  // Ablation (Sec. 3/6): each protocol simplification disabled in turn.
+  const int abl_nodes = quick ? 8 : 16;
+  const auto abl = [&pts, abl_nodes](const char* slug, myri::CollFeatures f) {
+    run::ExperimentSpec s = bench::barrier_spec(Network::kMyrinetXP, abl_nodes,
+                                                Impl::kNic,
+                                                coll::Algorithm::kDissemination);
+    s.features = f;
+    pts.push_back({std::string("ablation/") + slug + "/n" +
+                       std::to_string(abl_nodes),
+                   s});
+  };
+  abl("full", myri::CollFeatures{});
+  myri::CollFeatures f{};
+  f.dedicated_queue = false;
+  abl("no-dedicated-queue", f);
+  f = myri::CollFeatures{};
+  f.static_packet = false;
+  abl("no-static-packet", f);
+  f = myri::CollFeatures{};
+  f.bitvector_record = false;
+  abl("no-bitvector-record", f);
+  f = myri::CollFeatures{};
+  f.receiver_driven = false;
+  abl("no-receiver-driven", f);
+
+  // Value collectives through the same NIC protocol (paper Sec. 6).
+  const int coll_nodes = quick ? 4 : 8;
+  for (const coll::OpKind op : {coll::OpKind::kBcast, coll::OpKind::kAllreduce,
+                                coll::OpKind::kAllgather}) {
+    run::ExperimentSpec s = bench::barrier_spec(Network::kMyrinetXP, coll_nodes,
+                                                Impl::kNic,
+                                                coll::Algorithm::kDissemination);
+    s.op = op;
+    pts.push_back({key_for("collectives", s), s});
+  }
+  return pts;
+}
+
+SuiteOptions parse(int argc, char** argv) {
+  SuiteOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      o.quick = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      o.out = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      const int t = std::atoi(argv[++i]);
+      if (t < 1) usage(argv[0]);
+      o.threads = static_cast<unsigned>(t);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SuiteOptions o = parse(argc, argv);
+  auto points = build_points(o.quick);
+  const int iters = o.quick ? 50 : bench::timed_iters();
+  std::vector<run::ExperimentSpec> specs;
+  specs.reserve(points.size());
+  for (auto& p : points) {
+    p.spec.iters = iters;
+    specs.push_back(p.spec);
+  }
+
+  const run::SweepRunner runner(o.threads);
+  const auto results = runner.run(specs);
+
+  obs::JsonValue doc = obs::JsonValue::make_object();
+  doc.set("schema", obs::JsonValue::of("qmb-bench-suite/1"));
+  doc.set("quick", obs::JsonValue::of(o.quick));
+  doc.set("iters", obs::JsonValue::of(static_cast<std::int64_t>(iters)));
+  doc.set("warmup", obs::JsonValue::of(static_cast<std::int64_t>(bench::warmup_iters())));
+  obs::JsonValue arr = obs::JsonValue::make_array();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const run::RunResult& r = results[i];
+    obs::JsonValue p = obs::JsonValue::make_object();
+    p.set("key", obs::JsonValue::of(points[i].key));
+    p.set("impl_name", obs::JsonValue::of(r.impl_name));
+    p.set("mean_us", obs::JsonValue::of(r.mean_us()));
+    p.set("min_us", obs::JsonValue::of(r.min_us()));
+    p.set("max_us", obs::JsonValue::of(r.max_us()));
+    p.set("p99_us", obs::JsonValue::of(r.p99_us()));
+    p.set("packets_sent", obs::JsonValue::of(r.packets_sent));
+    p.set("bytes_sent", obs::JsonValue::of(r.bytes_sent));
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(r.fingerprint()));
+    p.set("fingerprint", obs::JsonValue::of(fp));
+    arr.array.push_back(std::move(p));
+  }
+  doc.set("points", std::move(arr));
+
+  const std::string text = doc.dump();
+  std::FILE* f = std::fopen(o.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", o.out.c_str());
+    return 2;
+  }
+  std::fputs(text.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("%zu points -> %s (%s, %d timed iters, %u threads)\n", results.size(),
+              o.out.c_str(), o.quick ? "quick" : "full", iters, runner.threads());
+  return 0;
+}

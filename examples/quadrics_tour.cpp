@@ -39,7 +39,7 @@ void tour_barriers() {
     std::printf("   %-28s %6.2f us", label, r.mean.micros());
     if (kind == core::ElanBarrierKind::kNicChained) {
       std::printf("   (%llu RDMAs issued on node 0, 0 host events until completion)",
-                  static_cast<unsigned long long>(cluster.node(0).nic().stats().rdma_issued.value));
+                  static_cast<unsigned long long>(cluster.node(0).nic().stats().rdma_issued.value()));
     }
     std::printf("\n");
   }

@@ -41,9 +41,9 @@ void run_with_drop(bool receiver_driven) {
 
   std::uint64_t nacks = 0, retrans = 0, acks = 0;
   for (int i = 0; i < 4; ++i) {
-    nacks += cluster.node(i).coll().stats().nacks_sent.value;
-    retrans += cluster.node(i).coll().stats().retransmissions.value;
-    acks += cluster.node(i).coll().stats().acks_sent.value;
+    nacks += cluster.node(i).coll().stats().nacks_sent.value();
+    retrans += cluster.node(i).coll().stats().retransmissions.value();
+    acks += cluster.node(i).coll().stats().acks_sent.value();
   }
   std::printf("protocol actions: %llu NACKs, %llu retransmissions, %llu collective ACKs\n",
               static_cast<unsigned long long>(nacks),

@@ -6,7 +6,20 @@
 
 namespace qmb::myri {
 
-CollectiveEngine::CollectiveEngine(Nic& nic) : nic_(nic), cfg_(nic.lanai()) {}
+CollectiveEngine::CollectiveEngine(Nic& nic) : nic_(nic), cfg_(nic.lanai()) {
+  auto& reg = nic_.engine().metrics();
+  const int node = nic_.node();
+  stats_.msgs_sent = reg.counter("coll.msgs_sent", node);
+  stats_.msgs_received = reg.counter("coll.msgs_received", node);
+  stats_.duplicates = reg.counter("coll.duplicates", node);
+  stats_.early_buffered = reg.counter("coll.early_buffered", node);
+  stats_.stale_dropped = reg.counter("coll.stale_dropped", node);
+  stats_.nacks_sent = reg.counter("coll.nacks_sent", node);
+  stats_.nacks_received = reg.counter("coll.nacks_received", node);
+  stats_.retransmissions = reg.counter("coll.retransmissions", node);
+  stats_.acks_sent = reg.counter("coll.acks_sent", node);
+  stats_.ops_completed = reg.counter("coll.ops_completed", node);
+}
 
 void CollectiveEngine::create_group(GroupDesc desc) {
   if (groups_.contains(desc.group_id)) {

@@ -33,7 +33,7 @@
 #include "core/schedule.hpp"
 #include "myrinet/nic.hpp"
 #include "myrinet/packets.hpp"
-#include "sim/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace qmb::myri {
 
@@ -63,17 +63,19 @@ struct GroupDesc {
                                         // fall back to pool buffers + host DMA
 };
 
+/// Handles into the engine's MetricRegistry, registered per NIC under
+/// "coll.*" names; RunResult reads the cross-node totals off the registry.
 struct CollStats {
-  sim::Counter msgs_sent;
-  sim::Counter msgs_received;
-  sim::Counter duplicates;       // retransmit already arrived; ignored
-  sim::Counter early_buffered;   // arrived before the host entered the op
-  sim::Counter stale_dropped;    // for an operation already completed
-  sim::Counter nacks_sent;
-  sim::Counter nacks_received;
-  sim::Counter retransmissions;  // NACK- or timeout-triggered resends
-  sim::Counter acks_sent;        // receiver_driven=false ablation only
-  sim::Counter ops_completed;
+  obs::Counter msgs_sent;
+  obs::Counter msgs_received;
+  obs::Counter duplicates;       // retransmit already arrived; ignored
+  obs::Counter early_buffered;   // arrived before the host entered the op
+  obs::Counter stale_dropped;    // for an operation already completed
+  obs::Counter nacks_sent;
+  obs::Counter nacks_received;
+  obs::Counter retransmissions;  // NACK- or timeout-triggered resends
+  obs::Counter acks_sent;        // receiver_driven=false ablation only
+  obs::Counter ops_completed;
 };
 
 class CollectiveEngine {

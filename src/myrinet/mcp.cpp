@@ -8,7 +8,18 @@ namespace qmb::myri {
 Mcp::Mcp(Nic& nic)
     : nic_(nic),
       cfg_(nic.lanai()),
-      pool_available_(static_cast<int>(nic.lanai().send_packet_pool)) {}
+      pool_available_(static_cast<int>(nic.lanai().send_packet_pool)) {
+  auto& reg = nic_.engine().metrics();
+  const int node = nic_.node();
+  stats_.data_packets_sent = reg.counter("mcp.data_packets_sent", node);
+  stats_.acks_sent = reg.counter("mcp.acks_sent", node);
+  stats_.retransmissions = reg.counter("mcp.retransmissions", node);
+  stats_.drops_bad_seq = reg.counter("mcp.drops_bad_seq", node);
+  stats_.dup_acked = reg.counter("mcp.dup_acked", node);
+  stats_.drops_no_token = reg.counter("mcp.drops_no_token", node);
+  stats_.tokens_completed = reg.counter("mcp.tokens_completed", node);
+  stats_.buffer_stalls = reg.counter("mcp.buffer_stalls", node);
+}
 
 void Mcp::host_send_event(int dst_node, std::uint32_t bytes, std::uint32_t tag,
                           sim::EventCallback on_complete, std::int64_t inline_value) {

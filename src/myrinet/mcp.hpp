@@ -26,7 +26,7 @@
 
 #include "myrinet/nic.hpp"
 #include "myrinet/packets.hpp"
-#include "sim/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace qmb::myri {
 
@@ -38,15 +38,17 @@ struct RecvEvent {
   std::int64_t inline_value = 0;
 };
 
+/// Handles into the engine's MetricRegistry, registered per NIC under
+/// "mcp.*" names; RunResult reads the cross-node totals off the registry.
 struct McpStats {
-  sim::Counter data_packets_sent;
-  sim::Counter acks_sent;
-  sim::Counter retransmissions;
-  sim::Counter drops_bad_seq;      // out-of-order, dropped silently
-  sim::Counter dup_acked;          // duplicate in-order packets re-ACKed
-  sim::Counter drops_no_token;     // no preposted receive buffer
-  sim::Counter tokens_completed;
-  sim::Counter buffer_stalls;      // send engine waited for a packet buffer
+  obs::Counter data_packets_sent;
+  obs::Counter acks_sent;
+  obs::Counter retransmissions;
+  obs::Counter drops_bad_seq;      // out-of-order, dropped silently
+  obs::Counter dup_acked;          // duplicate in-order packets re-ACKed
+  obs::Counter drops_no_token;     // no preposted receive buffer
+  obs::Counter tokens_completed;
+  obs::Counter buffer_stalls;      // send engine waited for a packet buffer
 };
 
 class Mcp {

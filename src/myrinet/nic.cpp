@@ -14,6 +14,7 @@ Nic::Nic(sim::Engine& engine, net::Fabric& fabric, PciBus& pci,
       node_(node_index),
       tracer_(tracer),
       cpu_(engine) {
+  if (tracer_) trace_comp_ = tracer_->intern("nic");
   addr_ = fabric_->attach([this](net::Packet&& p) {
     if (!handler_) throw std::logic_error("NIC received a packet before wiring");
     handler_(std::move(p));
@@ -22,7 +23,7 @@ Nic::Nic(sim::Engine& engine, net::Fabric& fabric, PciBus& pci,
 
 void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b) {
   if (tracer_ && tracer_->enabled()) {
-    tracer_->record({engine_->now(), "nic", std::string(event), node_, a, b});
+    tracer_->record(engine_->now(), trace_comp_, tracer_->intern(event), node_, a, b);
   }
 }
 

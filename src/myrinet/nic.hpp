@@ -58,6 +58,7 @@ class Nic {
   const MyrinetConfig* config_;
   int node_;
   sim::Tracer* tracer_;
+  std::uint16_t trace_comp_ = 0;  // interned "nic"
   sim::Resource cpu_;
   net::NicAddr addr_;
   PacketHandler handler_;

@@ -12,6 +12,14 @@ Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topology,
       topology_(std::move(topology)),
       params_(params),
       tracer_(tracer) {
+  auto& reg = engine_.metrics();
+  packets_sent_ = reg.counter("fabric.packets_sent");
+  packets_delivered_ = reg.counter("fabric.packets_delivered");
+  bytes_sent_ = reg.counter("fabric.bytes_sent");
+  packets_dropped_ = reg.counter("fabric.packets_dropped");
+  packet_bytes_ = reg.histogram("fabric.packet_bytes");
+  nics_attached_ = reg.gauge("fabric.nics");
+  if (tracer_) trace_comp_ = tracer_->intern("fabric");
   links_.reserve(topology_->num_links());
   for (std::size_t i = 0; i < topology_->num_links(); ++i) {
     links_.emplace_back(params_.link);
@@ -28,6 +36,7 @@ NicAddr Fabric::attach(DeliverFn deliver) {
     throw std::runtime_error("fabric: all NIC ports in use");
   }
   nics_.push_back(std::move(deliver));
+  nics_attached_.set(static_cast<std::int64_t>(nics_.size()));
   return NicAddr(static_cast<std::int32_t>(nics_.size() - 1));
 }
 
@@ -62,19 +71,23 @@ void Fabric::send(Packet&& p) {
   p.id = next_packet_id_++;
   ++packets_sent_;
   bytes_sent_ += p.wire_bytes;
+  packet_bytes_.record(p.wire_bytes);
 
   const FaultAction action = faults_.decide(p);
   const Route route = topology_->route(p.src, p.dst);
   const sim::SimTime arrival = traverse(route, p.wire_bytes, engine_.now());
 
   if (tracer_ && tracer_->enabled()) {
-    tracer_->record({engine_.now(), "fabric",
-                     action == FaultAction::kDrop ? "drop" : "inject",
-                     p.src.value(), p.dst.value(),
-                     static_cast<std::int64_t>(p.wire_bytes)});
+    tracer_->record(engine_.now(), trace_comp_,
+                    tracer_->intern(action == FaultAction::kDrop ? "drop" : "inject"),
+                    p.src.value(), p.dst.value(),
+                    static_cast<std::int64_t>(p.wire_bytes));
   }
 
-  if (action == FaultAction::kDrop) return;  // lost on the wire
+  if (action == FaultAction::kDrop) {  // lost on the wire
+    ++packets_dropped_;
+    return;
+  }
   if (action == FaultAction::kDuplicate) {
     Packet copy = p.duplicate();
     const sim::SimTime arrival2 = traverse(route, copy.wire_bytes, engine_.now());
@@ -104,6 +117,7 @@ sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
     p.id = next_packet_id_++;
     ++packets_sent_;
     bytes_sent_ += wire_bytes;
+    packet_bytes_.record(wire_bytes);
     const Route route = topology_->broadcast_route(src, dst, top);
     assert(route.links.size() == route.switches.size() + 1);
     sim::SimTime head = engine_.now();
@@ -128,8 +142,8 @@ sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
     schedule_delivery(std::move(p), arrival);
   }
   if (tracer_ && tracer_->enabled()) {
-    tracer_->record({engine_.now(), "fabric", "broadcast", src.value(),
-                     first.value(), last.value()});
+    tracer_->record(engine_.now(), trace_comp_, tracer_->intern("broadcast"), src.value(),
+                    first.value(), last.value());
   }
   return latest;
 }

@@ -20,6 +20,7 @@
 #include "net/packet.hpp"
 #include "net/switch_node.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -62,9 +63,9 @@ class Fabric {
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] std::size_t attached_nics() const { return nics_.size(); }
 
-  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
-  [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_.value(); }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_.value(); }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_.value(); }
 
   [[nodiscard]] Link& link(LinkId id) { return links_[id.index()]; }
   [[nodiscard]] SwitchNode& switch_node(SwitchId id) { return switches_[id.index()]; }
@@ -78,14 +79,19 @@ class Fabric {
   std::unique_ptr<Topology> topology_;
   FabricParams params_;
   sim::Tracer* tracer_;
+  std::uint16_t trace_comp_ = 0;  // interned "fabric"
   std::vector<Link> links_;
   std::vector<SwitchNode> switches_;
   std::vector<DeliverFn> nics_;
   FaultInjector faults_;
   std::uint64_t next_packet_id_ = 1;
-  std::uint64_t packets_sent_ = 0;
-  std::uint64_t packets_delivered_ = 0;
-  std::uint64_t bytes_sent_ = 0;
+  // Registered in the engine's MetricRegistry; RunResult reads the totals.
+  obs::Counter packets_sent_;
+  obs::Counter packets_delivered_;
+  obs::Counter bytes_sent_;
+  obs::Counter packets_dropped_;
+  obs::Histogram packet_bytes_;
+  obs::Gauge nics_attached_;
 };
 
 }  // namespace qmb::net

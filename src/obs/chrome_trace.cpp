@@ -1,0 +1,70 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace qmb::obs {
+
+namespace {
+
+// tid 0 is reserved for fabric-wide events (node == -1); real nodes map to
+// tid = node + 1 so Perfetto sorts them naturally.
+constexpr std::int32_t kFabricTid = 0;
+
+std::int32_t tid_of(const TraceEvent& e) { return e.node < 0 ? kFabricTid : e.node + 1; }
+
+void append_meta(std::string& out, std::int32_t tid, std::string_view name) {
+  char buf[64];
+  out += R"({"ph":"M","pid":1,"tid":)";
+  std::snprintf(buf, sizeof buf, "%d", tid);
+  out += buf;
+  out += R"(,"name":"thread_name","args":{"name":)";
+  out += json_quote(name);
+  out += "}},";
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const TraceBuffer& buf, std::string_view process_name) {
+  const auto events = buf.events();
+  const StringTable& strings = buf.strings();
+
+  std::string out = R"({"displayTimeUnit":"ns","traceEvents":[)";
+  out += R"({"ph":"M","pid":1,"name":"process_name","args":{"name":)";
+  out += json_quote(process_name);
+  out += "}},";
+
+  std::set<std::int32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(tid_of(e));
+  for (const std::int32_t tid : tids) {
+    char name[32];
+    if (tid == kFabricTid) {
+      std::snprintf(name, sizeof name, "fabric");
+    } else {
+      std::snprintf(name, sizeof name, "nic %d", tid - 1);
+    }
+    append_meta(out, tid, name);
+  }
+
+  char buf2[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    // ts is in microseconds; picosecond stamps keep 6 decimals exactly.
+    std::snprintf(buf2, sizeof buf2,
+                  R"({"ph":"i","s":"t","pid":1,"tid":%d,"ts":%.6f,"name":%s,"cat":%s,)"
+                  R"("args":{"a":%)" PRId64 R"(,"b":%)" PRId64 "}}",
+                  tid_of(e), static_cast<double>(e.t_picos) * 1e-6,
+                  json_quote(strings.name(e.event)).c_str(),
+                  json_quote(strings.name(e.component)).c_str(), e.a, e.b);
+    out += buf2;
+    if (i + 1 < events.size()) out += ',';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace qmb::obs

@@ -1,0 +1,22 @@
+// Chrome trace_event exporter.
+//
+// Converts a TraceBuffer into the JSON Array-with-metadata format that
+// chrome://tracing and ui.perfetto.dev open directly: one process for the
+// simulation, one track (tid) per NIC/node, every protocol event as an
+// instant event carrying its operands. Events with node == -1 (fabric-wide)
+// land on a dedicated "fabric" track.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/trace_buffer.hpp"
+
+namespace qmb::obs {
+
+/// Serializes the buffer as a complete Chrome trace_event JSON document.
+/// `process_name` labels the single emitted process.
+[[nodiscard]] std::string to_chrome_trace_json(const TraceBuffer& buf,
+                                               std::string_view process_name = "qmb");
+
+}  // namespace qmb::obs

@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace qmb::obs {
+
+std::string_view to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricRegistry::Slot& MetricRegistry::slot_for(std::string_view name, int node,
+                                               MetricKind kind) {
+  const auto it = index_.find({std::string(name), node});
+  if (it != index_.end()) {
+    Slot& s = slots_[it->second];
+    if (s.kind != kind) {
+      throw std::logic_error("metric '" + std::string(name) + "' re-registered as " +
+                             std::string(to_string(kind)) + " (was " +
+                             std::string(to_string(s.kind)) + ")");
+    }
+    return s;
+  }
+  Slot& s = slots_.emplace_back();
+  s.name = std::string(name);
+  s.node = node;
+  s.kind = kind;
+  if (kind == MetricKind::kHistogram) s.hist = std::make_unique<HistogramData>();
+  index_.emplace(std::make_pair(s.name, node), slots_.size() - 1);
+  return s;
+}
+
+Counter MetricRegistry::counter(std::string_view name, int node) {
+  return Counter(&slot_for(name, node, MetricKind::kCounter).value);
+}
+
+Gauge MetricRegistry::gauge(std::string_view name, int node) {
+  return Gauge(&slot_for(name, node, MetricKind::kGauge).gauge);
+}
+
+Histogram MetricRegistry::histogram(std::string_view name, int node) {
+  return Histogram(slot_for(name, node, MetricKind::kHistogram).hist.get());
+}
+
+std::vector<MetricValue> MetricRegistry::snapshot() const {
+  std::vector<MetricValue> out;
+  std::map<std::string_view, std::size_t> by_name;
+  for (const Slot& s : slots_) {
+    const auto it = by_name.find(s.name);
+    MetricValue* mv;
+    if (it == by_name.end()) {
+      by_name.emplace(s.name, out.size());
+      mv = &out.emplace_back();
+      mv->name = s.name;
+      mv->kind = s.kind;
+    } else {
+      mv = &out[it->second];
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        mv->value += s.value;
+        break;
+      case MetricKind::kGauge:
+        mv->gauge += s.gauge;
+        break;
+      case MetricKind::kHistogram: {
+        mv->value += s.hist->count;
+        mv->sum += s.hist->sum;
+        if (mv->buckets.size() < HistogramData::kBuckets) {
+          mv->buckets.resize(HistogramData::kBuckets, 0);
+        }
+        for (std::size_t i = 0; i < HistogramData::kBuckets; ++i) {
+          mv->buckets[i] += s.hist->buckets[i];
+        }
+        break;
+      }
+    }
+  }
+  // Trim histogram bucket tails so snapshots (and their JSON) stay compact.
+  for (MetricValue& mv : out) {
+    while (!mv.buckets.empty() && mv.buckets.back() == 0) mv.buckets.pop_back();
+  }
+  return out;
+}
+
+std::uint64_t MetricRegistry::total(std::string_view name) const {
+  std::uint64_t sum = 0;
+  for (const Slot& s : slots_) {
+    if (s.kind == MetricKind::kCounter && s.name == name) sum += s.value;
+  }
+  return sum;
+}
+
+}  // namespace qmb::obs

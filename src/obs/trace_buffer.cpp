@@ -1,0 +1,51 @@
+#include "obs/trace_buffer.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace qmb::obs {
+
+std::uint16_t StringTable::intern(std::string_view s) {
+  const auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  if (names_.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::length_error("StringTable: more than 65536 distinct strings");
+  }
+  const auto id = static_cast<std::uint16_t>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void TraceBuffer::push(const TraceEvent& e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  ++overwritten_;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  if (!ring_.empty()) throw std::logic_error("TraceBuffer::set_capacity on non-empty buffer");
+  if (capacity == 0) throw std::invalid_argument("TraceBuffer capacity must be positive");
+  capacity_ = capacity;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  overwritten_ = 0;
+}
+
+}  // namespace qmb::obs

@@ -1,0 +1,75 @@
+// Binary trace ring buffer.
+//
+// A trace event is 40 bytes: timestamp in integer picoseconds, interned
+// component/event ids, node index, two operands. Recording is a ring store
+// plus (for the slow path) two string-table lookups — no per-event
+// allocation. The buffer grows geometrically up to a fixed capacity, then
+// wraps, overwriting the oldest events and counting how many were lost;
+// long soak runs keep the tail of the timeline instead of exhausting
+// memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qmb::obs {
+
+struct TraceEvent {
+  std::int64_t t_picos = 0;
+  std::uint16_t component = 0;  // StringTable id
+  std::uint16_t event = 0;      // StringTable id
+  std::int32_t node = -1;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// Interns strings to dense uint16 ids. Lookup of an already-interned
+/// string allocates nothing (transparent comparator).
+class StringTable {
+ public:
+  [[nodiscard]] std::uint16_t intern(std::string_view s);
+  [[nodiscard]] const std::string& name(std::uint16_t id) const { return names_.at(id); }
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint16_t, std::less<>> ids_;
+};
+
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  void push(const TraceEvent& e);
+
+  /// Events oldest-to-newest (linearized out of the ring).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events overwritten after the ring filled.
+  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
+
+  /// Resets capacity (only while empty) — qmbsim exposes this for long
+  /// traced runs.
+  void set_capacity(std::size_t capacity);
+
+  void clear();
+
+  [[nodiscard]] StringTable& strings() { return strings_; }
+  [[nodiscard]] const StringTable& strings() const { return strings_; }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of the oldest event once wrapped
+  std::uint64_t overwritten_ = 0;
+  StringTable strings_;
+};
+
+}  // namespace qmb::obs

@@ -25,6 +25,8 @@ std::unique_ptr<net::Fabric> make_elan_fabric(sim::Engine& engine,
 HwBarrierController::HwBarrierController(sim::Engine& engine, net::Fabric& fabric,
                                          std::vector<Nic*> nics, const Elan3Config& config)
     : engine_(engine), fabric_(fabric), nics_(std::move(nics)), cfg_(config) {
+  probes_sent_ = engine_.metrics().counter("hw.probes_sent");
+  failed_probes_ = engine_.metrics().counter("hw.failed_probes");
   const auto n = nics_.size();
   assert(n >= 2);
   entered_.resize(n, 0);

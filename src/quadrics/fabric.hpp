@@ -8,9 +8,9 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "quadrics/config.hpp"
 #include "quadrics/nic.hpp"
-#include "sim/stats.hpp"
 
 namespace qmb::elan {
 
@@ -41,8 +41,8 @@ class HwBarrierController {
   /// `done` runs at NIC time when the release event lands on that node.
   void enter(int node, sim::EventCallback done);
 
-  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
-  [[nodiscard]] std::uint64_t failed_probes() const { return failed_probes_; }
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_.value(); }
+  [[nodiscard]] std::uint64_t failed_probes() const { return failed_probes_.value(); }
   [[nodiscard]] std::uint64_t rounds_completed() const { return round_ - 1; }
 
  private:
@@ -68,8 +68,10 @@ class HwBarrierController {
   sim::SimTime last_reply_at_;
   int combine_levels_ = 1;
 
-  std::uint64_t probes_sent_ = 0;
-  std::uint64_t failed_probes_ = 0;
+  // Registered as "hw.probes_sent" / "hw.failed_probes" in the engine's
+  // MetricRegistry.
+  obs::Counter probes_sent_;
+  obs::Counter failed_probes_;
 };
 
 }  // namespace qmb::elan

@@ -15,12 +15,19 @@ Nic::Nic(sim::Engine& engine, net::Fabric& fabric, const Elan3Config& config,
       node_(node_index),
       tracer_(tracer),
       unit_(engine) {
+  if (tracer_) trace_comp_ = tracer_->intern("elan");
+  auto& reg = engine_->metrics();
+  stats_.rdma_issued = reg.counter("elan.rdma_issued", node_);
+  stats_.events_fired = reg.counter("elan.events_fired", node_);
+  stats_.host_notifies = reg.counter("elan.host_notifies", node_);
+  stats_.barrier_ops_completed = reg.counter("elan.barrier_ops_completed", node_);
+  stats_.early_buffered = reg.counter("elan.early_buffered", node_);
   addr_ = fabric_->attach([this](net::Packet&& p) { on_packet(std::move(p)); });
 }
 
 void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b) {
   if (tracer_ && tracer_->enabled()) {
-    tracer_->record({engine_->now(), "elan", std::string(event), node_, a, b});
+    tracer_->record(engine_->now(), trace_comp_, tracer_->intern(event), node_, a, b);
   }
 }
 

@@ -15,10 +15,10 @@
 
 #include "core/schedule.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "quadrics/config.hpp"
 #include "quadrics/packets.hpp"
 #include "sim/resource.hpp"
-#include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
 namespace qmb::elan {
@@ -34,12 +34,14 @@ struct ElanGroupDesc {
                                     // carry any size directly to host memory
 };
 
+/// Handles into the engine's MetricRegistry, registered per NIC under
+/// "elan.*" names; RunResult reads the cross-node totals off the registry.
 struct ElanStats {
-  sim::Counter rdma_issued;
-  sim::Counter events_fired;
-  sim::Counter host_notifies;
-  sim::Counter barrier_ops_completed;
-  sim::Counter early_buffered;
+  obs::Counter rdma_issued;
+  obs::Counter events_fired;
+  obs::Counter host_notifies;
+  obs::Counter barrier_ops_completed;
+  obs::Counter early_buffered;
 };
 
 class Nic {
@@ -137,6 +139,7 @@ class Nic {
   const Elan3Config* config_;
   int node_;
   sim::Tracer* tracer_;
+  std::uint16_t trace_comp_ = 0;  // interned "elan"
   sim::Resource unit_;
   net::NicAddr addr_;
   ElanStats stats_;

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/json.hpp"
+
 namespace qmb::run {
 
 std::string_view to_string(Network n) {
@@ -160,17 +162,34 @@ core::BarrierRunResult run_collective(sim::Engine& engine, core::Collective& op,
   return res;
 }
 
-void fill_latency(RunResult& out, const core::BarrierRunResult& r) {
+void fill_latency(RunResult& out, const core::BarrierRunResult& r, sim::Engine& engine) {
   out.iterations = r.iterations;
   out.mean_picos = r.mean.picos();
   out.min_picos = r.per_iteration.min().picos();
   out.max_picos = r.per_iteration.max().picos();
   out.p99_picos = r.per_iteration.percentile(99).picos();
+  // Registered after the run completes, so it cannot perturb event order.
+  obs::Histogram lat = engine.metrics().histogram("run.latency_picos");
+  for (const sim::SimDuration d : r.per_iteration.samples()) {
+    lat.record(static_cast<std::uint64_t>(d.picos()));
+  }
 }
 
+/// Fills the named legacy counters (fingerprint inputs) from the registry
+/// and snapshots everything else the components registered.
 void fill_engine(RunResult& out, const sim::Engine& engine) {
   out.events_scheduled = engine.events_scheduled();
   out.events_fired = engine.events_fired();
+  const obs::MetricRegistry& reg = engine.metrics();
+  out.packets_sent = reg.total("fabric.packets_sent");
+  out.bytes_sent = reg.total("fabric.bytes_sent");
+  out.packets_dropped = reg.total("fabric.packets_dropped");
+  out.nacks = reg.total("coll.nacks_sent");
+  out.retransmissions =
+      reg.total("coll.retransmissions") + reg.total("mcp.retransmissions");
+  out.hw_probes = reg.total("hw.probes_sent");
+  out.hw_failed_probes = reg.total("hw.failed_probes");
+  out.metrics = reg.snapshot();
 }
 
 std::vector<int> placement_of(const ExperimentSpec& s) {
@@ -184,8 +203,9 @@ RunResult run_myrinet(const ExperimentSpec& s) {
       s.network == Network::kMyrinetL9 ? myri::lanai9_cluster() : myri::lanaixp_cluster();
   sim::Engine engine;
   sim::Tracer tracer;
-  if (s.collect_trace) tracer.enable();
-  core::MyriCluster cluster(engine, cfg, s.nodes, s.collect_trace ? &tracer : nullptr);
+  const bool tracing = s.collect_trace || s.chrome_trace;
+  if (tracing) tracer.enable();
+  core::MyriCluster cluster(engine, cfg, s.nodes, tracing ? &tracer : nullptr);
   if (s.drop_prob > 0) {
     cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, s.drop_prob,
                                               s.seed);
@@ -200,7 +220,8 @@ RunResult run_myrinet(const ExperimentSpec& s) {
     else if (s.impl == Impl::kDirect) kind = core::MyriBarrierKind::kNicDirect;
     auto barrier = cluster.make_barrier(kind, s.algorithm, placement, s.features);
     out.impl_name = std::string(barrier->name());
-    fill_latency(out, core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters));
+    fill_latency(out, core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters),
+                 engine);
   } else {
     auto op = s.impl == Impl::kHost
                   ? core::make_host_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
@@ -208,27 +229,21 @@ RunResult run_myrinet(const ExperimentSpec& s) {
                   : core::make_nic_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
                                               placement);
     out.impl_name = std::string(op->name());
-    fill_latency(out, run_collective(engine, *op, s.warmup, s.iters));
+    fill_latency(out, run_collective(engine, *op, s.warmup, s.iters), engine);
   }
   fill_engine(out, engine);
-  out.packets_sent = cluster.fabric().packets_sent();
-  out.bytes_sent = cluster.fabric().bytes_sent();
-  out.packets_dropped = cluster.fabric().faults().dropped();
-  for (int i = 0; i < s.nodes; ++i) {
-    out.nacks += cluster.node(i).coll().stats().nacks_sent.value;
-    out.retransmissions += cluster.node(i).coll().stats().retransmissions.value +
-                           cluster.node(i).mcp().stats().retransmissions.value;
-  }
   if (s.collect_trace) out.trace_csv = tracer.to_csv();
+  if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
   return out;
 }
 
 RunResult run_quadrics(const ExperimentSpec& s) {
   sim::Engine engine;
   sim::Tracer tracer;
-  if (s.collect_trace) tracer.enable();
+  const bool tracing = s.collect_trace || s.chrome_trace;
+  if (tracing) tracer.enable();
   core::ElanCluster cluster(engine, elan::elan3_cluster(), s.nodes,
-                            s.collect_trace ? &tracer : nullptr);
+                            tracing ? &tracer : nullptr);
   auto placement = placement_of(s);
 
   RunResult out;
@@ -242,11 +257,8 @@ RunResult run_quadrics(const ExperimentSpec& s) {
     }
     auto barrier = cluster.make_barrier(kind, s.algorithm, placement);
     out.impl_name = std::string(barrier->name());
-    fill_latency(out, core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters));
-    if (kind == core::ElanBarrierKind::kHardware) {
-      out.hw_probes = cluster.hw_barrier().probes_sent();
-      out.hw_failed_probes = cluster.hw_barrier().failed_probes();
-    }
+    fill_latency(out, core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters),
+                 engine);
   } else {
     auto op = s.impl == Impl::kHost
                   ? core::make_elan_host_collective(cluster, s.op, 0,
@@ -254,12 +266,11 @@ RunResult run_quadrics(const ExperimentSpec& s) {
                   : core::make_elan_nic_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
                                                    placement);
     out.impl_name = std::string(op->name());
-    fill_latency(out, run_collective(engine, *op, s.warmup, s.iters));
+    fill_latency(out, run_collective(engine, *op, s.warmup, s.iters), engine);
   }
   fill_engine(out, engine);
-  out.packets_sent = cluster.fabric().packets_sent();
-  out.bytes_sent = cluster.fabric().bytes_sent();
   if (s.collect_trace) out.trace_csv = tracer.to_csv();
+  if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
   return out;
 }
 
@@ -302,6 +313,31 @@ std::uint64_t seed_for(std::uint64_t base_seed, std::size_t index) {
   return mix64(base_seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1));
 }
 
+std::string metrics_to_json(const std::vector<obs::MetricValue>& metrics) {
+  obs::JsonValue obj = obs::JsonValue::make_object();
+  for (const obs::MetricValue& m : metrics) {
+    switch (m.kind) {
+      case obs::MetricKind::kCounter:
+        obj.set(m.name, obs::JsonValue::of(m.value));
+        break;
+      case obs::MetricKind::kGauge:
+        obj.set(m.name, obs::JsonValue::of(m.gauge));
+        break;
+      case obs::MetricKind::kHistogram: {
+        obs::JsonValue h = obs::JsonValue::make_object();
+        h.set("count", obs::JsonValue::of(m.value));
+        h.set("sum", obs::JsonValue::of(m.sum));
+        obs::JsonValue buckets = obs::JsonValue::make_array();
+        for (std::uint64_t b : m.buckets) buckets.array.push_back(obs::JsonValue::of(b));
+        h.set("buckets", std::move(buckets));
+        obj.set(m.name, std::move(h));
+        break;
+      }
+    }
+  }
+  return obj.dump();
+}
+
 std::string to_json(const RunResult& r) {
   char buf[256];
   std::string out = "{";
@@ -326,14 +362,17 @@ std::string to_json(const RunResult& r) {
   std::snprintf(buf, sizeof buf,
                 "\"events_scheduled\":%llu,\"events_fired\":%llu,"
                 "\"packets_sent\":%llu,\"bytes_sent\":%llu,\"packets_dropped\":%llu,"
-                "\"nacks\":%llu,\"retransmissions\":%llu,\"fingerprint\":\"%016llx\"}",
+                "\"nacks\":%llu,\"retransmissions\":%llu,",
                 static_cast<unsigned long long>(r.events_scheduled),
                 static_cast<unsigned long long>(r.events_fired),
                 static_cast<unsigned long long>(r.packets_sent),
                 static_cast<unsigned long long>(r.bytes_sent),
                 static_cast<unsigned long long>(r.packets_dropped),
                 static_cast<unsigned long long>(r.nacks),
-                static_cast<unsigned long long>(r.retransmissions),
+                static_cast<unsigned long long>(r.retransmissions));
+  out += buf;
+  out += "\"metrics\":" + metrics_to_json(r.metrics) + ",";
+  std::snprintf(buf, sizeof buf, "\"fingerprint\":\"%016llx\"}",
                 static_cast<unsigned long long>(r.fingerprint()));
   out += buf;
   return out;

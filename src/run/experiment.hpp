@@ -21,9 +21,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/cluster.hpp"
 #include "core/collectives.hpp"
+#include "obs/metrics.hpp"
 
 namespace qmb::run {
 
@@ -55,6 +57,7 @@ struct ExperimentSpec {
   double drop_prob = 0.0;              // Myrinet wire loss (NACK recovery path)
   myri::CollFeatures features{};       // NIC-collective ablation switches
   bool collect_trace = false;          // fills RunResult::trace_csv
+  bool chrome_trace = false;           // fills RunResult::trace_json
 };
 
 /// Empty string when the spec is runnable; otherwise a usage error naming
@@ -83,6 +86,13 @@ struct RunResult {
   std::uint64_t hw_probes = 0;         // Quadrics hgsync only
   std::uint64_t hw_failed_probes = 0;  // Quadrics hgsync only
   std::string trace_csv;               // only when spec.collect_trace
+  std::string trace_json;              // Chrome trace_event doc, spec.chrome_trace
+
+  /// Generic snapshot of every metric the run registered (protocol
+  /// counters, gauges, log2 histograms), aggregated across nodes in
+  /// registration order. The named fields above are lookups into the same
+  /// registry, kept for the fingerprint and existing consumers.
+  std::vector<obs::MetricValue> metrics;
 
   [[nodiscard]] double mean_us() const { return static_cast<double>(mean_picos) * 1e-6; }
   [[nodiscard]] double min_us() const { return static_cast<double>(min_picos) * 1e-6; }
@@ -106,5 +116,10 @@ struct RunResult {
 
 /// Single-line JSON object for one (spec, result) pair.
 [[nodiscard]] std::string to_json(const RunResult& r);
+
+/// Compact JSON object for a metric snapshot: counters/gauges as numbers,
+/// histograms as {count, sum, buckets}. Used inside to_json and by
+/// qmbsim --metrics-json.
+[[nodiscard]] std::string metrics_to_json(const std::vector<obs::MetricValue>& metrics);
 
 }  // namespace qmb::run

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -53,10 +54,17 @@ class Engine {
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
   [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.total_scheduled(); }
 
+  /// The run's metric registry. Per-engine (= per-simulation) so sweep
+  /// threads share nothing; components register their counters here at
+  /// construction and RunResult snapshots it generically.
+  [[nodiscard]] obs::MetricRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricRegistry& metrics() const { return metrics_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t fired_ = 0;
+  obs::MetricRegistry metrics_;
 };
 
 }  // namespace qmb::sim

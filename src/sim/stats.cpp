@@ -1,23 +1,30 @@
 #include "sim/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace qmb::sim {
 
+void LatencySeries::require_nonempty(const char* what) const {
+  if (samples_.empty()) {
+    throw std::logic_error(std::string("LatencySeries::") + what + " on an empty series");
+  }
+}
+
 SimDuration LatencySeries::min() const {
-  assert(!samples_.empty());
+  require_nonempty("min");
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 SimDuration LatencySeries::max() const {
-  assert(!samples_.empty());
+  require_nonempty("max");
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 SimDuration LatencySeries::mean() const {
-  assert(!samples_.empty());
+  require_nonempty("mean");
   // Sum in 128 bits: 10k samples of up to ~2^63 ps would overflow int64.
   __int128 sum = 0;
   for (SimDuration s : samples_) sum += s.picos();
@@ -25,7 +32,7 @@ SimDuration LatencySeries::mean() const {
 }
 
 double LatencySeries::stddev_picos() const {
-  assert(!samples_.empty());
+  require_nonempty("stddev_picos");
   const double m = static_cast<double>(mean().picos());
   double acc = 0;
   for (SimDuration s : samples_) {
@@ -36,8 +43,11 @@ double LatencySeries::stddev_picos() const {
 }
 
 SimDuration LatencySeries::percentile(double p) const {
-  assert(!samples_.empty());
-  assert(p >= 0.0 && p <= 100.0);
+  require_nonempty("percentile");
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("LatencySeries::percentile: p must be in [0, 100], got " +
+                                std::to_string(p));
+  }
   std::vector<SimDuration> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();

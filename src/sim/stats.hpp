@@ -3,6 +3,10 @@
 // The paper's methodology (Sec. 8): 100 warm-up iterations, then the mean of
 // the next 10,000 barriers. LatencySeries stores the raw samples so tests
 // and benches can also report min/max/percentiles and variance.
+//
+// Querying an empty series is a defined error: every accessor throws
+// std::logic_error instead of relying on an assert that NDEBUG compiles out
+// (which used to dereference an empty vector in release builds).
 #pragma once
 
 #include <cstddef>
@@ -20,27 +24,22 @@ class LatencySeries {
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
 
+  /// All statistics throw std::logic_error on an empty series.
   [[nodiscard]] SimDuration min() const;
   [[nodiscard]] SimDuration max() const;
   [[nodiscard]] SimDuration mean() const;
   /// Population standard deviation, in picoseconds (double-precision).
   [[nodiscard]] double stddev_picos() const;
-  /// Linear-interpolated percentile, p in [0, 100].
+  /// Linear-interpolated percentile; throws std::invalid_argument unless
+  /// p is in [0, 100].
   [[nodiscard]] SimDuration percentile(double p) const;
 
   [[nodiscard]] const std::vector<SimDuration>& samples() const { return samples_; }
 
  private:
-  std::vector<SimDuration> samples_;
-};
+  void require_nonempty(const char* what) const;
 
-/// Running counter bundle a component exposes for observability (packets
-/// sent, retransmissions, ...). Plain struct: callers name their counters.
-struct Counter {
-  std::uint64_t value = 0;
-  Counter& operator++() { ++value; return *this; }
-  Counter& operator+=(std::uint64_t d) { value += d; return *this; }
-  operator std::uint64_t() const { return value; }  // NOLINT(google-explicit-constructor)
+  std::vector<SimDuration> samples_;
 };
 
 }  // namespace qmb::sim

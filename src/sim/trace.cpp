@@ -2,12 +2,26 @@
 
 #include <sstream>
 
+#include "obs/chrome_trace.hpp"
+
 namespace qmb::sim {
 
+std::vector<TraceRecord> Tracer::records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(buf_.size());
+  const auto& strings = buf_.strings();
+  for (const obs::TraceEvent& e : buf_.events()) {
+    out.push_back({SimTime(e.t_picos), strings.name(e.component), strings.name(e.event),
+                   e.node, e.a, e.b});
+  }
+  return out;
+}
+
 std::size_t Tracer::count(std::string_view component, std::string_view event) const {
+  const auto& strings = buf_.strings();
   std::size_t n = 0;
-  for (const TraceRecord& r : records_) {
-    if (r.component == component && r.event == event) ++n;
+  for (const obs::TraceEvent& e : buf_.events()) {
+    if (strings.name(e.component) == component && strings.name(e.event) == event) ++n;
   }
   return n;
 }
@@ -15,11 +29,14 @@ std::size_t Tracer::count(std::string_view component, std::string_view event) co
 std::string Tracer::to_csv() const {
   std::ostringstream os;
   os << "time_us,component,event,node,a,b\n";
-  for (const TraceRecord& r : records_) {
-    os << r.at.micros() << ',' << r.component << ',' << r.event << ','
-       << r.node << ',' << r.a << ',' << r.b << '\n';
+  const auto& strings = buf_.strings();
+  for (const obs::TraceEvent& e : buf_.events()) {
+    os << SimTime(e.t_picos).micros() << ',' << strings.name(e.component) << ','
+       << strings.name(e.event) << ',' << e.node << ',' << e.a << ',' << e.b << '\n';
   }
   return os.str();
 }
+
+std::string Tracer::to_chrome_json() const { return obs::to_chrome_trace_json(buf_); }
 
 }  // namespace qmb::sim

@@ -1,19 +1,27 @@
 // Structured event tracing.
 //
-// Components emit TraceRecords ("packet injected", "barrier msg triggered",
-// "NACK sent") tagged with sim time, component and node. The examples use a
-// CSV sink to let users inspect protocol timelines; tests use the in-memory
-// sink to assert on protocol behaviour (e.g. "exactly one NACK was sent").
+// Components emit trace events ("packet injected", "barrier msg triggered",
+// "NACK sent") tagged with sim time, component and node. Storage is a
+// binary ring buffer (obs::TraceBuffer): 40 bytes per event, interned
+// component/event ids, no per-record allocation — cheap enough to leave on
+// for soak runs. The examples use the CSV export to inspect protocol
+// timelines, qmbsim's --chrome-trace exports the same buffer as Chrome
+// trace_event JSON for chrome://tracing / Perfetto, and tests assert on
+// materialized records (e.g. "exactly one NACK was sent").
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/trace_buffer.hpp"
 #include "sim/time.hpp"
 
 namespace qmb::sim {
 
+/// Materialized (string-carrying) view of one trace event; also the slow
+/// but convenient recording type.
 struct TraceRecord {
   SimTime at;
   std::string component;  // e.g. "mcp", "coll", "elan"
@@ -32,12 +40,30 @@ class Tracer {
   void disable() { enabled_ = false; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
-  void record(TraceRecord r) {
-    if (enabled_) records_.push_back(std::move(r));
+  /// Convenience path: interns the record's strings and stores it binary.
+  void record(const TraceRecord& r) {
+    if (!enabled_) return;
+    buf_.push({r.at.picos(), buf_.strings().intern(r.component),
+               buf_.strings().intern(r.event), static_cast<std::int32_t>(r.node), r.a,
+               r.b});
   }
 
-  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  /// Hot path: ids from intern() (cache the component id at construction;
+  /// event-name interning of an existing string allocates nothing).
+  void record(SimTime at, std::uint16_t component, std::uint16_t event, std::int64_t node,
+              std::int64_t a = 0, std::int64_t b = 0) {
+    if (!enabled_) return;
+    buf_.push({at.picos(), component, event, static_cast<std::int32_t>(node), a, b});
+  }
+
+  [[nodiscard]] std::uint16_t intern(std::string_view s) {
+    return buf_.strings().intern(s);
+  }
+
+  /// Materializes the buffered events oldest-to-newest.
+  [[nodiscard]] std::vector<TraceRecord> records() const;
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
 
   /// Number of records whose component and event both match.
   [[nodiscard]] std::size_t count(std::string_view component, std::string_view event) const;
@@ -45,9 +71,17 @@ class Tracer {
   /// Serializes all records as CSV (header + rows).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Serializes as a Chrome trace_event JSON document (chrome://tracing,
+  /// Perfetto): one track per NIC, instant events with operands.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  [[nodiscard]] const obs::TraceBuffer& buffer() const { return buf_; }
+  /// Ring capacity for long traced runs; only callable before recording.
+  void set_capacity(std::size_t events) { buf_.set_capacity(events); }
+
  private:
   bool enabled_ = false;
-  std::vector<TraceRecord> records_;
+  obs::TraceBuffer buf_;
 };
 
 }  // namespace qmb::sim

@@ -72,7 +72,7 @@ TEST(CollectiveEngine, BarrierCompletesAllRanks) {
   const auto done = h.run_barrier(1);
   for (bool d : done) EXPECT_TRUE(d);
   for (int r = 0; r < 8; ++r) {
-    EXPECT_EQ(h.coll(r).stats().ops_completed.value, 1u) << r;
+    EXPECT_EQ(h.coll(r).stats().ops_completed.value(), 1u) << r;
   }
 }
 
@@ -82,8 +82,8 @@ TEST(CollectiveEngine, NoAcksInReceiverDrivenMode) {
   h.run_barrier(1);
   std::uint64_t acks = 0, msgs = 0;
   for (int r = 0; r < 8; ++r) {
-    acks += h.coll(r).stats().acks_sent.value;
-    msgs += h.coll(r).stats().msgs_sent.value;
+    acks += h.coll(r).stats().acks_sent.value();
+    msgs += h.coll(r).stats().msgs_sent.value();
   }
   EXPECT_EQ(acks, 0u);
   EXPECT_EQ(msgs, 8u * 3u);  // N * log2(N) barrier messages, nothing else
@@ -97,7 +97,7 @@ TEST(CollectiveEngine, AblationAcksDoublePacketCount) {
   h.make_group(1, coll::Algorithm::kDissemination, f);
   h.run_barrier(1);
   std::uint64_t acks = 0;
-  for (int r = 0; r < 8; ++r) acks += h.coll(r).stats().acks_sent.value;
+  for (int r = 0; r < 8; ++r) acks += h.coll(r).stats().acks_sent.value();
   EXPECT_EQ(acks, 24u);  // one ACK per barrier message
   EXPECT_EQ(h.fabric->packets_sent(), 48u);
 }
@@ -111,7 +111,7 @@ TEST(CollectiveEngine, SkewedEntryStillCompletes) {
   for (bool d : done) EXPECT_TRUE(d);
   // Late host entry means messages arrived before activation.
   std::uint64_t early = 0;
-  for (int r = 0; r < 5; ++r) early += h.coll(r).stats().early_buffered.value;
+  for (int r = 0; r < 5; ++r) early += h.coll(r).stats().early_buffered.value();
   EXPECT_GE(early, 1u);
 }
 
@@ -144,8 +144,8 @@ TEST(CollectiveEngine, DroppedBarrierMessageRecoveredByNack) {
   for (bool d : done) EXPECT_TRUE(d);
   std::uint64_t nacks_sent = 0, retrans = 0;
   for (int r = 0; r < 4; ++r) {
-    nacks_sent += h.coll(r).stats().nacks_sent.value;
-    retrans += h.coll(r).stats().retransmissions.value;
+    nacks_sent += h.coll(r).stats().nacks_sent.value();
+    retrans += h.coll(r).stats().retransmissions.value();
   }
   EXPECT_GE(nacks_sent, 1u);
   EXPECT_GE(retrans, 1u);
@@ -171,7 +171,7 @@ TEST(CollectiveEngine, DuplicateDeliveryIgnored) {
   const auto done = h.run_barrier(1);
   for (bool d : done) EXPECT_TRUE(d);
   std::uint64_t dups = 0;
-  for (int r = 0; r < 4; ++r) dups += h.coll(r).stats().duplicates.value;
+  for (int r = 0; r < 4; ++r) dups += h.coll(r).stats().duplicates.value();
   EXPECT_GE(dups, 1u);
 }
 
@@ -192,7 +192,7 @@ TEST(CollectiveEngine, ConsecutiveBarriersReuseWindowSlots) {
   h.engine.run();
   EXPECT_EQ(completions, 40);
   for (int r = 0; r < 4; ++r) {
-    EXPECT_EQ(h.coll(r).stats().ops_completed.value, 10u);
+    EXPECT_EQ(h.coll(r).stats().ops_completed.value(), 10u);
   }
 }
 

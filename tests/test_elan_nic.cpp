@@ -66,9 +66,9 @@ TEST(ElanNic, RdmaPutFiresRemoteHostEvent) {
   h.nics[0]->rdma_put(1, 8, std::move(body));
   h.engine.run();
   EXPECT_EQ(notified, 1);
-  EXPECT_EQ(h.nics[0]->stats().rdma_issued.value, 1u);
-  EXPECT_EQ(h.nics[1]->stats().events_fired.value, 1u);
-  EXPECT_EQ(h.nics[1]->stats().host_notifies.value, 1u);
+  EXPECT_EQ(h.nics[0]->stats().rdma_issued.value(), 1u);
+  EXPECT_EQ(h.nics[1]->stats().events_fired.value(), 1u);
+  EXPECT_EQ(h.nics[1]->stats().host_notifies.value(), 1u);
 }
 
 TEST(ElanNic, RdmaTimingIncludesIssueWireAndEvent) {
@@ -122,7 +122,7 @@ TEST(ElanNic, EarlyArrivalBufferedUntilHostEnters) {
   h.nics[0]->barrier_enter(1, [&] { done0 = true; });
   h.engine.run();
   EXPECT_FALSE(done0);  // peer has not entered
-  EXPECT_GE(h.nics[1]->stats().early_buffered.value, 1u);
+  EXPECT_GE(h.nics[1]->stats().early_buffered.value(), 1u);
   h.nics[1]->barrier_enter(1, [&] { done1 = true; });
   h.engine.run();
   EXPECT_TRUE(done0);
@@ -145,7 +145,7 @@ TEST(ElanNic, ConsecutiveOpsRecycleWindowSlots) {
   for (int r = 0; r < 4; ++r) loop(r, 8);
   h.engine.run();
   EXPECT_EQ(completions, 32);
-  EXPECT_EQ(h.nics[0]->stats().barrier_ops_completed.value, 8u);
+  EXPECT_EQ(h.nics[0]->stats().barrier_ops_completed.value(), 8u);
 }
 
 TEST(ElanNic, DuplicateGroupRejected) {

@@ -54,7 +54,7 @@ TEST(Mcp, SendCompletionReportedAfterAck) {
   h.node(0).mcp().host_send_event(1, 64, 1, [&] { sent = true; });
   h.engine.run();
   EXPECT_TRUE(sent);
-  EXPECT_EQ(h.node(0).mcp().stats().tokens_completed.value, 1u);
+  EXPECT_EQ(h.node(0).mcp().stats().tokens_completed.value(), 1u);
   EXPECT_EQ(h.node(0).mcp().free_send_buffers(),
             static_cast<int>(h.cfg.lanai.send_packet_pool));
 }
@@ -69,8 +69,8 @@ TEST(Mcp, LargeMessageFragmentsAndReassembles) {
   h.engine.run();
   ASSERT_EQ(events.size(), 1u);  // one event for the whole message
   EXPECT_EQ(events[0].bytes, bytes);
-  EXPECT_EQ(h.node(0).mcp().stats().data_packets_sent.value, 4u);
-  EXPECT_EQ(h.node(1).mcp().stats().acks_sent.value, 4u);
+  EXPECT_EQ(h.node(0).mcp().stats().data_packets_sent.value(), 4u);
+  EXPECT_EQ(h.node(1).mcp().stats().acks_sent.value(), 4u);
 }
 
 TEST(Mcp, InOrderDeliveryOfBackToBackSends) {
@@ -97,7 +97,7 @@ TEST(Mcp, DataDropRecoveredBySenderTimeout) {
   h.engine.run();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_TRUE(sent);
-  EXPECT_GE(h.node(0).mcp().stats().retransmissions.value, 1u);
+  EXPECT_GE(h.node(0).mcp().stats().retransmissions.value(), 1u);
   // Recovery costs at least one ACK timeout.
   EXPECT_GE(h.engine.now().picos(), h.cfg.lanai.ack_timeout.picos());
 }
@@ -112,8 +112,8 @@ TEST(Mcp, AckDropTriggersDuplicateReAck) {
   h.node(0).mcp().host_send_event(1, 64, 3, [&] { sent = true; });
   h.engine.run();
   EXPECT_TRUE(sent);
-  EXPECT_GE(h.node(0).mcp().stats().retransmissions.value, 1u);
-  EXPECT_GE(h.node(1).mcp().stats().dup_acked.value, 1u);
+  EXPECT_GE(h.node(0).mcp().stats().retransmissions.value(), 1u);
+  EXPECT_GE(h.node(1).mcp().stats().dup_acked.value(), 1u);
 }
 
 TEST(Mcp, NoReceiveBufferDropsThenRecovers) {
@@ -125,8 +125,8 @@ TEST(Mcp, NoReceiveBufferDropsThenRecovers) {
   h.engine.schedule(50_us, [&] { h.node(1).mcp().provide_receive_buffers(1); });
   h.engine.run();
   ASSERT_EQ(events.size(), 1u);
-  EXPECT_GE(h.node(1).mcp().stats().drops_no_token.value, 1u);
-  EXPECT_GE(h.node(0).mcp().stats().retransmissions.value, 1u);
+  EXPECT_GE(h.node(1).mcp().stats().drops_no_token.value(), 1u);
+  EXPECT_GE(h.node(0).mcp().stats().retransmissions.value(), 1u);
 }
 
 TEST(Mcp, DuplicatedPacketConsumedOnce) {
@@ -139,7 +139,7 @@ TEST(Mcp, DuplicatedPacketConsumedOnce) {
   h.node(0).mcp().host_send_event(1, 64, 5, nullptr);
   h.engine.run();
   EXPECT_EQ(events.size(), 1u);
-  EXPECT_GE(h.node(1).mcp().stats().dup_acked.value, 1u);
+  EXPECT_GE(h.node(1).mcp().stats().dup_acked.value(), 1u);
 }
 
 TEST(Mcp, PoolExhaustionStallsThenDrains) {
@@ -158,7 +158,7 @@ TEST(Mcp, PoolExhaustionStallsThenDrains) {
   }
   h.engine.run();
   EXPECT_EQ(events.size(), static_cast<std::size_t>(msgs));
-  EXPECT_GE(h.node(0).mcp().stats().buffer_stalls.value, 1u);
+  EXPECT_GE(h.node(0).mcp().stats().buffer_stalls.value(), 1u);
   EXPECT_EQ(h.node(0).mcp().free_send_buffers(),
             static_cast<int>(h.cfg.lanai.send_packet_pool));
 }
@@ -192,7 +192,7 @@ TEST(Mcp, NicSendBypassesHostAndFeedsConsumer) {
   // NIC-sourced messages never touch the host DMA path.
   EXPECT_EQ(h.node(1).pci().dmas(), 0u);
   // But they are still ACKed: the direct scheme keeps p2p reliability.
-  EXPECT_EQ(h.node(1).mcp().stats().acks_sent.value, 1u);
+  EXPECT_EQ(h.node(1).mcp().stats().acks_sent.value(), 1u);
 }
 
 TEST(Mcp, NicSendDropRecovered) {
@@ -203,7 +203,7 @@ TEST(Mcp, NicSendDropRecovered) {
   h.node(0).mcp().nic_send(1, 5, 0);
   h.engine.run();
   EXPECT_EQ(consumed.size(), 1u);
-  EXPECT_GE(h.node(0).mcp().stats().retransmissions.value, 1u);
+  EXPECT_GE(h.node(0).mcp().stats().retransmissions.value(), 1u);
 }
 
 TEST(Mcp, HostSendPaysPciDataCrossings) {

@@ -46,7 +46,7 @@ TEST_P(FragmentationBoundary, DeliversExactByteCount) {
   EXPECT_EQ(events[0].bytes, bytes);
   const std::uint32_t mtu = h.cfg.lanai.mtu_bytes;
   const std::uint32_t expected_frags = bytes == 0 ? 1 : (bytes + mtu - 1) / mtu;
-  EXPECT_EQ(h.node(0).mcp().stats().data_packets_sent.value, expected_frags);
+  EXPECT_EQ(h.node(0).mcp().stats().data_packets_sent.value(), expected_frags);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, FragmentationBoundary,
@@ -134,7 +134,7 @@ TEST(McpStress, BlackoutHealsAndTrafficResumes) {
   }
   // Recovery happened after the blackout lifted.
   EXPECT_GT(h.engine.now().picos(), 900'000'000);
-  EXPECT_GT(h.node(0).mcp().stats().retransmissions.value, 0u);
+  EXPECT_GT(h.node(0).mcp().stats().retransmissions.value(), 0u);
 }
 
 TEST(McpStress, FanOutFanInUnderLoss) {

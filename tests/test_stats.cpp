@@ -88,11 +88,27 @@ TEST(LatencySeries, MeanLargeValuesNoOverflow) {
   EXPECT_EQ(s.mean().picos(), 4'000'000'000'000'000'000LL / 50);
 }
 
-TEST(Counter, IncrementAndAdd) {
-  Counter c;
-  ++c;
-  c += 5;
-  EXPECT_EQ(static_cast<std::uint64_t>(c), 6u);
+TEST(LatencySeries, EmptySeriesThrowsOnEveryAccessor) {
+  LatencySeries s;
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.max(), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.stddev_picos(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(LatencySeries, EmptyAfterClearStillThrows) {
+  LatencySeries s;
+  s.add(1_us);
+  s.clear();
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+}
+
+TEST(LatencySeries, PercentileRejectsOutOfRangeP) {
+  LatencySeries s;
+  s.add(1_us);
+  EXPECT_THROW((void)s.percentile(-0.5), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(100.5), std::invalid_argument);
 }
 
 }  // namespace

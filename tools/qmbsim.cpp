@@ -31,6 +31,9 @@ struct Options {
   std::vector<int> sweep_nodes;  // empty = single run at spec.nodes
   bool json = false;
   unsigned threads = 0;  // 0 = default_sweep_threads()
+  std::string trace_file;    // --trace CSV destination ("" = stdout/stderr)
+  std::string metrics_json;  // metric snapshot destination
+  std::string chrome_trace;  // Chrome trace_event JSON destination
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -47,6 +50,14 @@ struct Options {
       "  --seed S --perm                            random rank placement\n"
       "  --drop-prob P                              Myrinet packet loss\n"
       "  --trace                                    dump protocol trace CSV\n"
+      "  --trace-file PATH                          write the trace CSV to PATH\n"
+      "         (without it, --trace goes to stdout, or to stderr when --json\n"
+      "         is set so the JSON stream stays parseable)\n"
+      "  --metrics-json PATH                        write the metric snapshot\n"
+      "         (counters, gauges, log2 histograms) as JSON to PATH\n"
+      "  --chrome-trace PATH                        write a Chrome trace_event\n"
+      "         JSON timeline to PATH (open in chrome://tracing or Perfetto;\n"
+      "         single runs only)\n"
       "  --sweep LIST                               node-count axis; LIST is\n"
       "         comma-separated counts and/or ranges: 2,4,8  2:64:x2 (geometric)\n"
       "         2:16:+2 (arithmetic); runs all points in parallel\n"
@@ -170,6 +181,14 @@ Options parse(int argc, char** argv) {
       o.spec.drop_prob = std::atof(next("--drop-prob"));
     } else if (a == "--trace") {
       o.spec.collect_trace = true;
+    } else if (a == "--trace-file") {
+      o.trace_file = next("--trace-file");
+      o.spec.collect_trace = true;
+    } else if (a == "--metrics-json") {
+      o.metrics_json = next("--metrics-json");
+    } else if (a == "--chrome-trace") {
+      o.chrome_trace = next("--chrome-trace");
+      o.spec.chrome_trace = true;
     } else if (a == "--sweep") {
       o.sweep_nodes = parse_sweep(next("--sweep"), argv[0]);
     } else if (a == "--threads") {
@@ -197,7 +216,24 @@ Options parse(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", err.c_str());
     std::exit(2);
   }
+  if (!o.sweep_nodes.empty() && !o.chrome_trace.empty()) {
+    std::fprintf(stderr, "--chrome-trace applies to single runs only, not --sweep\n");
+    std::exit(2);
+  }
   return o;
+}
+
+/// Writes `text` (plus a trailing newline) to `path`; exits 2 on failure so
+/// a bad --trace-file/--metrics-json/--chrome-trace path is loud.
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(2);
+  }
+  std::fputs(text.c_str(), f);
+  if (text.empty() || text.back() != '\n') std::fputc('\n', f);
+  std::fclose(f);
 }
 
 void print_result(const run::RunResult& r) {
@@ -220,7 +256,6 @@ void print_result(const run::RunResult& r) {
   }
   std::printf("fingerprint: %016llx\n",
               static_cast<unsigned long long>(r.fingerprint()));
-  if (!r.trace_csv.empty()) std::fputs(r.trace_csv.c_str(), stdout);
 }
 
 int run_single(const Options& o) {
@@ -230,6 +265,17 @@ int run_single(const Options& o) {
   } else {
     print_result(r);
   }
+  if (o.spec.collect_trace) {
+    // The CSV goes to its own file when asked; under --json it goes to
+    // stderr so the stdout JSON stream stays parseable line-by-line.
+    if (!o.trace_file.empty()) {
+      write_file(o.trace_file, r.trace_csv);
+    } else {
+      std::fputs(r.trace_csv.c_str(), o.json ? stderr : stdout);
+    }
+  }
+  if (!o.metrics_json.empty()) write_file(o.metrics_json, run::metrics_to_json(r.metrics));
+  if (!o.chrome_trace.empty()) write_file(o.chrome_trace, r.trace_json);
   return 0;
 }
 
@@ -245,6 +291,17 @@ int run_sweep(const Options& o) {
   }
   const run::SweepRunner runner(o.threads);
   const auto results = runner.run(specs);
+  if (!o.metrics_json.empty()) {
+    // One array element per sweep point, keyed by node count.
+    std::string doc = "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) doc += ',';
+      doc += "{\"nodes\":" + std::to_string(results[i].spec.nodes) +
+             ",\"metrics\":" + run::metrics_to_json(results[i].metrics) + "}";
+    }
+    doc += "]";
+    write_file(o.metrics_json, doc);
+  }
   if (o.json) {
     for (const auto& r : results) std::printf("%s\n", run::to_json(r).c_str());
     return 0;
