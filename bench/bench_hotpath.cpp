@@ -1,0 +1,198 @@
+// bench_hotpath — simulator-throughput tier: how many events per host
+// second does the engine sustain on the packet hot path?
+//
+// Two workloads, both deterministic in simulated time (same fingerprints
+// every run) but measured in wall-clock:
+//
+//   saturated-fabric: every NIC of a crossbar re-injects a packet at each
+//     delivery, keeping the fabric at 100% duty cycle. Exercises route
+//     lookup, payload transport, link reservation, and delivery callbacks
+//     with nothing else in the loop — the purest packet-path measurement.
+//
+//   nack-storm: a lossy Myrinet NIC-barrier run (drop_prob high enough
+//     that receiver-driven NACKs and retransmissions dominate). Exercises
+//     the retransmit-record capture and fault-injector paths.
+//
+// Host time is noisy: results are advisory, for eyeballing and for the CI
+// job log — the blocking regression gate stays on simulated latency and
+// fingerprints (tools/benchdiff).
+//
+//   bench_hotpath [--packets N] [--iters N] [--out PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "obs/json.hpp"
+#include "run/experiment.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace qmb;
+using namespace qmb::sim::literals;
+
+struct HotpathOptions {
+  // ~1.6M deliveries on the saturated fabric; a few seconds on one core.
+  int packets_per_nic = 100'000;
+  int storm_iters = 400;
+  std::string out = "BENCH_hotpath.json";
+};
+
+struct WorkloadResult {
+  std::string name;
+  std::uint64_t events_fired = 0;
+  std::uint64_t packets = 0;
+  double host_seconds = 0.0;
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return host_seconds > 0.0 ? static_cast<double>(events_fired) / host_seconds : 0.0;
+  }
+};
+
+struct PingBody {
+  std::uint64_t round = 0;
+};
+
+/// Every NIC holds exactly one packet in flight at all times: on delivery
+/// it fires a packet at the next destination (rotating), until it has
+/// re-injected `packets_per_nic` times. 16 NICs * per-NIC budget packets,
+/// zero idle time on the fabric.
+WorkloadResult run_saturated_fabric(int packets_per_nic) {
+  constexpr int kNics = 16;
+  sim::Engine engine;
+  net::Fabric fabric(engine, std::make_unique<net::SingleCrossbar>(kNics),
+                     net::FabricParams{net::LinkParams{300_ns, 2.0e9},
+                                       net::SwitchParams{300_ns}});
+  std::vector<int> remaining(kNics, packets_per_nic);
+  for (int i = 0; i < kNics; ++i) {
+    fabric.attach([&fabric, &remaining, i](net::Packet&& p) {
+      auto& left = remaining[static_cast<std::size_t>(i)];
+      if (left == 0) return;
+      --left;
+      // Rotate destinations so every (src, dst) pair stays hot.
+      const auto* ping = net::body_as<PingBody>(p);
+      const std::uint64_t round = ping != nullptr ? ping->round + 1 : 0;
+      int dst = static_cast<int>((static_cast<std::uint64_t>(i) + round) %
+                                 static_cast<std::uint64_t>(kNics));
+      if (dst == i) dst = (dst + 1) % kNics;
+      fabric.send(net::Packet(net::NicAddr(i), net::NicAddr(dst), 64,
+                              PingBody{round}));
+    });
+  }
+  // Seed: every NIC fires once; the delivery storm self-sustains.
+  for (int i = 0; i < kNics; ++i) {
+    fabric.send(net::Packet(net::NicAddr(i), net::NicAddr((i + 1) % kNics), 64,
+                            PingBody{}));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  engine.run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  WorkloadResult r;
+  r.name = "saturated-fabric";
+  r.events_fired = engine.events_fired();
+  r.packets = fabric.packets_delivered();
+  r.host_seconds = secs;
+  // Determinism digest: simulated end time + exact delivery count.
+  r.fingerprint = static_cast<std::uint64_t>(engine.now().picos()) ^
+                  (r.packets << 1) ^ (r.events_fired << 17);
+  return r;
+}
+
+/// Lossy NIC barrier: heavy enough drop probability that the receiver-
+/// driven NACK + retransmission machinery carries real load.
+WorkloadResult run_nack_storm(int iters) {
+  run::ExperimentSpec spec;
+  spec.network = run::Network::kMyrinetXP;
+  spec.nodes = 16;
+  spec.impl = run::Impl::kNic;
+  spec.iters = iters;
+  spec.warmup = 10;
+  spec.drop_prob = 0.05;
+  spec.seed = 12345;
+  const run::RunResult res = run::run_experiment(spec);
+
+  WorkloadResult r;
+  r.name = "nack-storm";
+  r.events_fired = res.events_fired;
+  r.packets = res.packets_sent;
+  r.host_seconds = res.host_seconds;
+  r.fingerprint = res.fingerprint();
+  return r;
+}
+
+HotpathOptions parse(int argc, char** argv) {
+  HotpathOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--packets" && i + 1 < argc) {
+      o.packets_per_nic = std::atoi(argv[++i]);
+    } else if (a == "--iters" && i + 1 < argc) {
+      o.storm_iters = std::atoi(argv[++i]);
+    } else if (a == "--out" && i + 1 < argc) {
+      o.out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--packets N] [--iters N] [--out PATH]\n"
+                   "  --packets N  per-NIC packet budget, saturated fabric "
+                   "(default 100000)\n"
+                   "  --iters N    timed barrier iterations, nack storm "
+                   "(default 400)\n"
+                   "  --out PATH   JSON output (default BENCH_hotpath.json)\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (o.packets_per_nic < 1 || o.storm_iters < 1) std::exit(2);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const HotpathOptions o = parse(argc, argv);
+
+  const WorkloadResult results[] = {
+      run_saturated_fabric(o.packets_per_nic),
+      run_nack_storm(o.storm_iters),
+  };
+
+  obs::JsonValue doc = obs::JsonValue::make_object();
+  doc.set("schema", obs::JsonValue::of("qmb-bench-hotpath/1"));
+  obs::JsonValue arr = obs::JsonValue::make_array();
+  for (const WorkloadResult& r : results) {
+    std::printf("%-18s %12llu events  %10llu packets  %8.3fs host  %12.0f events/sec\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.events_fired),
+                static_cast<unsigned long long>(r.packets), r.host_seconds,
+                r.events_per_sec());
+    obs::JsonValue p = obs::JsonValue::make_object();
+    p.set("workload", obs::JsonValue::of(r.name));
+    p.set("events_fired", obs::JsonValue::of(r.events_fired));
+    p.set("packets", obs::JsonValue::of(r.packets));
+    p.set("host_seconds", obs::JsonValue::of(r.host_seconds));
+    p.set("events_per_sec", obs::JsonValue::of(r.events_per_sec()));
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "%016llx", static_cast<unsigned long long>(r.fingerprint));
+    p.set("fingerprint", obs::JsonValue::of(fp));
+    arr.array.push_back(std::move(p));
+  }
+  doc.set("workloads", std::move(arr));
+
+  std::FILE* f = std::fopen(o.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", o.out.c_str());
+    return 2;
+  }
+  const std::string text = doc.dump();
+  std::fputs(text.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("-> %s\n", o.out.c_str());
+  return 0;
+}

@@ -200,6 +200,11 @@ int main(int argc, char** argv) {
     p.set("p99_us", obs::JsonValue::of(r.p99_us()));
     p.set("packets_sent", obs::JsonValue::of(r.packets_sent));
     p.set("bytes_sent", obs::JsonValue::of(r.bytes_sent));
+    // Host-side throughput observability: wall-clock per point and the
+    // simulator's events/sec. Noisy and machine-dependent — benchdiff
+    // treats these advisorily, never as a gate.
+    p.set("host_ms", obs::JsonValue::of(r.host_seconds * 1e3));
+    p.set("events_per_sec", obs::JsonValue::of(r.events_per_sec()));
     char fp[32];
     std::snprintf(fp, sizeof fp, "%016llx",
                   static_cast<unsigned long long>(r.fingerprint()));
@@ -219,5 +224,14 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("%zu points -> %s (%s, %d timed iters, %u threads)\n", results.size(),
               o.out.c_str(), o.quick ? "quick" : "full", iters, runner.threads());
+  double total_events = 0.0;
+  double total_host = 0.0;
+  for (const run::RunResult& r : results) {
+    total_events += static_cast<double>(r.events_fired);
+    total_host += r.host_seconds;
+  }
+  std::printf("throughput: %.0f events in %.2fs host time = %.0f events/sec\n",
+              total_events, total_host,
+              total_host > 0.0 ? total_events / total_host : 0.0);
   return 0;
 }

@@ -200,20 +200,20 @@ void CollectiveEngine::send_msg(Group& g, std::uint32_t seq, const coll::Edge& e
   const CollOpKind kind = g.desc.op_kind;
 
   nic_.exec(cyc, [this, group_id, seq, tag, my_rank, dst_node, value, wire, kind] {
-    auto body = std::make_unique<CollPacket>();
+    CollPacket body;
     switch (kind) {
-      case CollOpKind::kBarrier: body->kind = CollPacket::Kind::kBarrier; break;
-      case CollOpKind::kBcast: body->kind = CollPacket::Kind::kBcast; break;
-      case CollOpKind::kAllreduce: body->kind = CollPacket::Kind::kReduce; break;
-      case CollOpKind::kAllgather: body->kind = CollPacket::Kind::kGather; break;
-      case CollOpKind::kAlltoall: body->kind = CollPacket::Kind::kAlltoall; break;
+      case CollOpKind::kBarrier: body.kind = CollPacket::Kind::kBarrier; break;
+      case CollOpKind::kBcast: body.kind = CollPacket::Kind::kBcast; break;
+      case CollOpKind::kAllreduce: body.kind = CollPacket::Kind::kReduce; break;
+      case CollOpKind::kAllgather: body.kind = CollPacket::Kind::kGather; break;
+      case CollOpKind::kAlltoall: body.kind = CollPacket::Kind::kAlltoall; break;
     }
-    body->group = group_id;
-    body->barrier_seq = seq;
-    body->tag = tag;
-    body->src_rank = static_cast<std::uint32_t>(my_rank);
-    body->value = value;
-    nic_.inject(net::Packet(nic_.addr(), net::NicAddr(dst_node), wire, std::move(body)));
+    body.group = group_id;
+    body.barrier_seq = seq;
+    body.tag = tag;
+    body.src_rank = static_cast<std::uint32_t>(my_rank);
+    body.value = value;
+    nic_.inject(net::Packet(nic_.addr(), net::NicAddr(dst_node), wire, body));
     ++stats_.msgs_sent;
     nic_.trace("coll_send", dst_node, tag);
   });
@@ -286,13 +286,13 @@ void CollectiveEngine::arm_nack_timer(Group& g, Op& op) {
       const int my_rank = gp->desc.my_rank;
       const std::uint32_t tag = miss.tag;
       nic_.exec(cfg_.cyc_coll_nack, [this, group_id, armed_seq, tag, my_rank, peer_node] {
-        auto body = std::make_unique<CollNack>();
-        body->group = group_id;
-        body->barrier_seq = armed_seq;
-        body->tag = tag;
-        body->dst_rank = static_cast<std::uint32_t>(my_rank);
+        CollNack body;
+        body.group = group_id;
+        body.barrier_seq = armed_seq;
+        body.tag = tag;
+        body.dst_rank = static_cast<std::uint32_t>(my_rank);
         nic_.inject(net::Packet(nic_.addr(), net::NicAddr(peer_node),
-                                coll_wire_bytes(cfg_.header_bytes), std::move(body)));
+                                coll_wire_bytes(cfg_.header_bytes), body));
         ++stats_.nacks_sent;
         nic_.trace("coll_nack", peer_node, tag);
       });
@@ -318,15 +318,15 @@ bool CollectiveEngine::on_packet(net::Packet&& p) {
       if (!g.desc.features.receiver_driven) {
         // Ablation: acknowledge every collective message.
         nic_.exec(cfg_.cyc_make_ack, [this, body, &g] {
-          auto ack = std::make_unique<CollAck>();
-          ack->group = body.group;
-          ack->barrier_seq = body.barrier_seq;
-          ack->tag = body.tag;
-          ack->acker_rank = static_cast<std::uint32_t>(g.desc.my_rank);
+          CollAck ack;
+          ack.group = body.group;
+          ack.barrier_seq = body.barrier_seq;
+          ack.tag = body.tag;
+          ack.acker_rank = static_cast<std::uint32_t>(g.desc.my_rank);
           const int src_node =
               g.desc.rank_to_node.at(static_cast<std::size_t>(body.src_rank));
           nic_.inject(net::Packet(nic_.addr(), net::NicAddr(src_node),
-                                  ack_wire_bytes(cfg_.header_bytes), std::move(ack)));
+                                  ack_wire_bytes(cfg_.header_bytes), ack));
           ++stats_.acks_sent;
         });
       }

@@ -101,30 +101,30 @@ void Mcp::finish_fragment(std::uint32_t frag_bytes) {
     assert(!q.empty());
     SendToken& tok = q.front();
 
-    auto body = std::make_unique<DataPacket>();
-    body->seqno = next_tx_seq_[dst]++;
-    body->msg_id = tok.msg_id;
-    body->offset = tok.injected_bytes;
-    body->payload_bytes = frag_bytes;
-    body->total_bytes = tok.total_bytes;
-    body->tag = tok.tag;
-    body->nic_sourced = tok.nic_sourced;
-    body->inline_value = tok.inline_value;
+    DataPacket body;
+    body.seqno = next_tx_seq_[dst]++;
+    body.msg_id = tok.msg_id;
+    body.offset = tok.injected_bytes;
+    body.payload_bytes = frag_bytes;
+    body.total_bytes = tok.total_bytes;
+    body.tag = tok.tag;
+    body.nic_sourced = tok.nic_sourced;
+    body.inline_value = tok.inline_value;
 
     const net::NicAddr dst_addr(dst);
     const std::uint32_t wire = cfg_.header_bytes + frag_bytes;
-    const std::uint64_t key = record_key(dst_addr, body->seqno);
+    const std::uint64_t key = record_key(dst_addr, body.seqno);
     SendRecord rec;
     rec.dst = dst_addr;
-    rec.seqno = body->seqno;
+    rec.seqno = body.seqno;
     rec.wire_bytes = wire;
-    rec.body = body->clone();
+    rec.body = body;
     rec.token_msg_id = tok.msg_id;
     rec.token_dst = dst;
     send_records_.emplace(key, std::move(rec));
     arm_retransmit(key);
 
-    nic_.inject(net::Packet(nic_.addr(), dst_addr, wire, std::move(body)));
+    nic_.inject(net::Packet(nic_.addr(), dst_addr, wire, body));
     ++stats_.data_packets_sent;
     nic_.trace("mcp_send", dst, tok.tag);
 
@@ -157,7 +157,7 @@ void Mcp::arm_retransmit(std::uint64_t key) {
       auto rit = send_records_.find(key);
       if (rit == send_records_.end()) return;
       const SendRecord& rec = rit->second;
-      nic_.inject(net::Packet(nic_.addr(), rec.dst, rec.wire_bytes, rec.body->clone()));
+      nic_.inject(net::Packet(nic_.addr(), rec.dst, rec.wire_bytes, rec.body));
       nic_.trace("mcp_retransmit", rec.dst.value(), rec.seqno);
       arm_retransmit(key);
     });
@@ -246,10 +246,8 @@ void Mcp::handle_data(const net::Packet& p, const DataPacket& d) {
 void Mcp::send_ack(net::NicAddr to, std::uint32_t seqno) {
   // ACKs use the per-peer static packet: no pool claim, minimal cost.
   nic_.exec(cfg_.cyc_make_ack, [this, to, seqno] {
-    auto body = std::make_unique<AckPacket>();
-    body->seqno = seqno;
     nic_.inject(net::Packet(nic_.addr(), to, ack_wire_bytes(cfg_.header_bytes),
-                            std::move(body)));
+                            AckPacket{seqno}));
     ++stats_.acks_sent;
   });
 }

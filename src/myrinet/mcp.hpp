@@ -111,7 +111,7 @@ class Mcp {
     net::NicAddr dst;
     std::uint32_t seqno = 0;
     std::uint32_t wire_bytes = 0;
-    std::unique_ptr<net::PacketBody> body;  // clone source for retransmission
+    DataPacket body;  // retransmission source, stored by value
     sim::EventId timer;
     std::uint64_t token_msg_id = 0;
     int token_dst = -1;

@@ -11,7 +11,8 @@ Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topology,
     : engine_(engine),
       topology_(std::move(topology)),
       params_(params),
-      tracer_(tracer) {
+      tracer_(tracer),
+      routes_(*topology_) {
   auto& reg = engine_.metrics();
   packets_sent_ = reg.counter("fabric.packets_sent");
   packets_delivered_ = reg.counter("fabric.packets_delivered");
@@ -28,6 +29,7 @@ Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topology,
   for (std::size_t i = 0; i < topology_->num_switches(); ++i) {
     switches_.emplace_back(SwitchId(static_cast<std::int32_t>(i)), params_.sw);
   }
+  bcast_head_scratch_.assign(topology_->num_links(), {0, sim::SimTime{}});
   faults_.set_clock(&engine_);
 }
 
@@ -40,7 +42,7 @@ NicAddr Fabric::attach(DeliverFn deliver) {
   return NicAddr(static_cast<std::int32_t>(nics_.size() - 1));
 }
 
-sim::SimTime Fabric::traverse(const Route& route, std::uint32_t bytes, sim::SimTime start) {
+sim::SimTime Fabric::traverse(RouteView route, std::uint32_t bytes, sim::SimTime start) {
   assert(route.links.size() == route.switches.size() + 1);
   sim::SimTime head = start;
   for (std::size_t i = 0; i < route.links.size(); ++i) {
@@ -57,10 +59,11 @@ sim::SimTime Fabric::traverse(const Route& route, std::uint32_t bytes, sim::SimT
 }
 
 void Fabric::schedule_delivery(Packet&& p, sim::SimTime at) {
-  auto shared = std::make_shared<Packet>(std::move(p));
-  engine_.schedule_at(at, [this, shared]() mutable {
+  // The Packet (inline payload included) rides in the callback's inline
+  // storage — no shared_ptr, no heap.
+  engine_.schedule_at(at, [this, p = std::move(p)]() mutable {
     ++packets_delivered_;
-    nics_[shared->dst.index()](std::move(*shared));
+    nics_[p.dst.index()](std::move(p));
   });
 }
 
@@ -74,7 +77,7 @@ void Fabric::send(Packet&& p) {
   packet_bytes_.record(p.wire_bytes);
 
   const FaultAction action = faults_.decide(p);
-  const Route route = topology_->route(p.src, p.dst);
+  const RouteView route = routes_.unicast(p.src, p.dst);
   const sim::SimTime arrival = traverse(route, p.wire_bytes, engine_.now());
 
   if (tracer_ && tracer_->enabled()) {
@@ -89,6 +92,8 @@ void Fabric::send(Packet&& p) {
     return;
   }
   if (action == FaultAction::kDuplicate) {
+    // The duplicate rides the same cached route; it still traverses the
+    // links again (a second wire occupancy), which is the modeled behavior.
     Packet copy = p.duplicate();
     const sim::SimTime arrival2 = traverse(route, copy.wire_bytes, engine_.now());
     schedule_delivery(std::move(copy), arrival2);
@@ -97,7 +102,7 @@ void Fabric::send(Packet&& p) {
 }
 
 sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
-                               std::uint32_t wire_bytes, std::unique_ptr<PacketBody> body,
+                               std::uint32_t wire_bytes, PacketPayload body,
                                int min_top_level) {
   assert(first.value() <= last.value());
   assert(last.index() < nics_.size());
@@ -107,24 +112,26 @@ sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
     top = std::max(top, topology_->merge_level(src, NicAddr(d)));
   }
   // Each physical link carries the broadcast exactly once; the switches
-  // fork the copies. Cache the head time after each traversed link (plus
-  // its following switch) so shared prefixes ride the same transmission.
-  std::unordered_map<std::int32_t, sim::SimTime> head_after;
+  // fork the copies. Remember the head time after each traversed link
+  // (plus its following switch) so shared prefixes ride the same
+  // transmission. The scratch vector is epoch-stamped: entries from
+  // earlier broadcasts are stale by epoch mismatch, so no per-call clear.
+  const std::uint64_t epoch = ++bcast_epoch_;
   sim::SimTime latest = engine_.now();
   for (std::int32_t d = first.value(); d <= last.value(); ++d) {
     const NicAddr dst(d);
-    Packet p(src, dst, wire_bytes, body ? body->clone() : nullptr);
+    Packet p(src, dst, wire_bytes, body.clone());
     p.id = next_packet_id_++;
     ++packets_sent_;
     bytes_sent_ += wire_bytes;
     packet_bytes_.record(wire_bytes);
-    const Route route = topology_->broadcast_route(src, dst, top);
+    const RouteView route = routes_.broadcast(src, dst, top);
     assert(route.links.size() == route.switches.size() + 1);
     sim::SimTime head = engine_.now();
     for (std::size_t i = 0; i < route.links.size(); ++i) {
-      const std::int32_t link_id = route.links[i].value();
-      if (const auto it = head_after.find(link_id); it != head_after.end()) {
-        head = it->second;
+      auto& [seen_epoch, head_after] = bcast_head_scratch_[route.links[i].index()];
+      if (seen_epoch == epoch) {
+        head = head_after;
         continue;
       }
       Link& l = links_[route.links[i].index()];
@@ -134,7 +141,8 @@ sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
         s.note_forwarded(wire_bytes);
         head += s.routing_delay();
       }
-      head_after.emplace(link_id, head);
+      seen_epoch = epoch;
+      head_after = head;
     }
     const sim::SimTime arrival =
         head + links_[route.links.back().index()].serialization(wire_bytes);
@@ -150,7 +158,7 @@ sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
 
 sim::SimDuration Fabric::unloaded_latency(NicAddr src, NicAddr dst,
                                           std::uint32_t bytes) const {
-  const Route route = topology_->route(src, dst);
+  const RouteView route = routes_.unicast(src, dst);
   const Link probe(params_.link);
   sim::SimDuration total = probe.serialization(bytes);
   total += params_.link.latency * static_cast<std::int64_t>(route.links.size());

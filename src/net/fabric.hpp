@@ -8,16 +8,25 @@
 // route is occupied for one serialization time starting when the head
 // reaches it, which is what creates contention between packets sharing a
 // link.
+//
+// Hot-path discipline: routes come from a RouteCache (memoized spans, no
+// virtual dispatch or vector allocation after first use), packet bodies are
+// inline PacketPayloads, delivery callbacks capture the Packet by value
+// inside the engine's inline callback storage, and broadcast's shared-link
+// bookkeeping uses an epoch-stamped scratch vector. Steady-state transit
+// performs zero heap allocations.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/fault.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "net/route_cache.hpp"
 #include "net/switch_node.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
@@ -52,7 +61,7 @@ class Fabric {
   /// replication — the copies ride one transmission until the switches fork
   /// them. Returns the latest delivery time.
   sim::SimTime broadcast(NicAddr src, NicAddr first, NicAddr last, std::uint32_t wire_bytes,
-                         std::unique_ptr<PacketBody> body, int min_top_level = 0);
+                         PacketPayload body, int min_top_level = 0);
 
   /// Pure timing query: unloaded latency of a `bytes` packet src->dst.
   [[nodiscard]] sim::SimDuration unloaded_latency(NicAddr src, NicAddr dst,
@@ -63,6 +72,9 @@ class Fabric {
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] std::size_t attached_nics() const { return nics_.size(); }
 
+  /// Host-side cache statistics (hits/misses/entries); not simulated state.
+  [[nodiscard]] const RouteCache& route_cache() const { return routes_; }
+
   [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_.value(); }
   [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_.value(); }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_.value(); }
@@ -72,7 +84,7 @@ class Fabric {
 
  private:
   /// Walks a route, reserving links; returns tail-arrival time at dst.
-  sim::SimTime traverse(const Route& route, std::uint32_t bytes, sim::SimTime start);
+  sim::SimTime traverse(RouteView route, std::uint32_t bytes, sim::SimTime start);
   void schedule_delivery(Packet&& p, sim::SimTime at);
 
   sim::Engine& engine_;
@@ -84,6 +96,12 @@ class Fabric {
   std::vector<SwitchNode> switches_;
   std::vector<DeliverFn> nics_;
   FaultInjector faults_;
+  // mutable: unloaded_latency is a const timing query but still memoizes.
+  mutable RouteCache routes_;
+  // Per-broadcast shared-link scratch: head time after each link, stamped
+  // with the broadcast's epoch so clearing between calls is O(0).
+  std::vector<std::pair<std::uint64_t, sim::SimTime>> bcast_head_scratch_;
+  std::uint64_t bcast_epoch_ = 0;
   std::uint64_t next_packet_id_ = 1;
   // Registered in the engine's MetricRegistry; RunResult reads the totals.
   obs::Counter packets_sent_;

@@ -1,60 +1,217 @@
 // Wire packets exchanged between NICs through a Fabric.
 //
 // The fabric models only the header fields it needs for timing (size, src,
-// dst); the protocol payload is a polymorphic body the receiving NIC
-// downcasts by its own packet-type tag. Bodies are cloneable so the fault
-// injector can duplicate packets.
+// dst); the protocol payload is an opaque PacketPayload the receiving NIC
+// narrows by type tag. Payloads are small-buffer optimized: the barrier,
+// ACK/NACK, and RDMA bodies are tiny PODs stored inline in the packet, so
+// injection, retransmit-record capture, and fault duplication never touch
+// the heap on the steady-state path. Oversized payloads spill to a single
+// heap allocation, preserving value semantics.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 
 #include "net/types.hpp"
 
 namespace qmb::net {
 
-class PacketBody {
- public:
-  virtual ~PacketBody() = default;
-  [[nodiscard]] virtual std::unique_ptr<PacketBody> clone() const = 0;
+/// Identity of a payload type: the address of a per-type anchor, unique
+/// across translation units (inline variables are merged by the linker).
+/// Tags never enter simulated state, so address non-determinism is fine.
+using PayloadTag = const void*;
 
- protected:
-  PacketBody() = default;
-  PacketBody(const PacketBody&) = default;
-  PacketBody& operator=(const PacketBody&) = default;
-};
+namespace detail {
+template <class T>
+inline constexpr std::byte payload_tag_anchor{};
+}  // namespace detail
 
-/// CRTP helper implementing clone() for concrete bodies.
-template <class Derived>
-class PacketBodyBase : public PacketBody {
+template <class T>
+[[nodiscard]] constexpr PayloadTag payload_tag() {
+  return &detail::payload_tag_anchor<T>;
+}
+
+/// Move-only, small-buffer-optimized packet body (same SBO pattern as
+/// sim::Callback). Any copy-constructible type can ride in a payload;
+/// narrowing back is a tag compare, not a dynamic_cast. clone() is the
+/// explicit copy used by retransmission records and the fault injector's
+/// duplicate action — for inline payloads it is a plain copy construction.
+class PacketPayload {
  public:
-  [[nodiscard]] std::unique_ptr<PacketBody> clone() const final {
-    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  /// Inline budget. 40 bytes fits every protocol body in the tree (the
+  /// largest, myri::DataPacket, is exactly 40 after field ordering); a
+  /// bigger body spills to one heap allocation and still clones correctly.
+  static constexpr std::size_t kInlineCapacity = 40;
+  /// Inline alignment budget. Kept at 8 (not max_align_t) so the whole
+  /// Packet stays 72 bytes and a [this, Packet] delivery capture fits the
+  /// engine callback's inline storage; over-aligned bodies spill to heap.
+  static constexpr std::size_t kInlineAlign = 8;
+
+  PacketPayload() noexcept = default;
+
+  template <class T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, PacketPayload> &&
+             std::is_copy_constructible_v<std::remove_cvref_t<T>>)
+  PacketPayload(T&& v) {  // NOLINT(google-explicit-constructor)
+    using Body = std::remove_cvref_t<T>;
+    if constexpr (fits_inline<Body>) {
+      ::new (static_cast<void*>(buf_)) Body(std::forward<T>(v));
+      ops_ = &kInlineOps<Body>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Body*(new Body(std::forward<T>(v)));
+      ops_ = &kHeapOps<Body>;
+    }
   }
+
+  PacketPayload(PacketPayload&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  PacketPayload& operator=(PacketPayload&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  PacketPayload(const PacketPayload&) = delete;
+  PacketPayload& operator=(const PacketPayload&) = delete;
+
+  ~PacketPayload() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+  [[nodiscard]] bool empty() const noexcept { return ops_ == nullptr; }
+
+  /// Tag of the stored body type, or nullptr when empty.
+  [[nodiscard]] PayloadTag tag() const noexcept {
+    return ops_ != nullptr ? ops_->tag : nullptr;
+  }
+
+  /// Narrowing accessor: the body as T*, or nullptr on tag mismatch.
+  template <class T>
+  [[nodiscard]] const T* as() const noexcept {
+    if (ops_ == nullptr || ops_->tag != payload_tag<T>()) return nullptr;
+    return static_cast<const T*>(ops_->get(buf_));
+  }
+
+  /// Value copy of the payload (empty clones to empty). Inline payloads
+  /// copy-construct in place; only spilled payloads allocate.
+  [[nodiscard]] PacketPayload clone() const {
+    PacketPayload out;
+    if (ops_ != nullptr) ops_->clone(buf_, out);
+    return out;
+  }
+
+ private:
+  struct Ops {
+    PayloadTag tag;
+    const void* (*get)(const std::byte* buf) noexcept;
+    void (*relocate)(std::byte* from, std::byte* to) noexcept;
+    void (*destroy)(std::byte* buf) noexcept;
+    void (*clone)(const std::byte* buf, PacketPayload& dst);
+  };
+
+  // Inline storage requires nothrow relocation: payloads move through the
+  // event queue inside delivery callbacks under noexcept move assignment.
+  template <class Body>
+  static constexpr bool fits_inline = sizeof(Body) <= kInlineCapacity &&
+                                      alignof(Body) <= kInlineAlign &&
+                                      std::is_nothrow_move_constructible_v<Body>;
+
+  template <class Body>
+  static Body* at(std::byte* p) noexcept {
+    return std::launder(reinterpret_cast<Body*>(p));
+  }
+  template <class Body>
+  static const Body* at(const std::byte* p) noexcept {
+    return std::launder(reinterpret_cast<const Body*>(p));
+  }
+
+  // Named helpers rather than lambdas: the clone ops must write the private
+  // buf_/ops_ of the destination payload.
+  template <class Body>
+  static void clone_inline(const std::byte* buf, PacketPayload& dst) {
+    ::new (static_cast<void*>(dst.buf_)) Body(*at<Body>(buf));
+    dst.ops_ = &kInlineOps<Body>;
+  }
+  template <class Body>
+  static void clone_heap(const std::byte* buf, PacketPayload& dst) {
+    ::new (static_cast<void*>(dst.buf_)) Body*(new Body(**at<Body*>(buf)));
+    dst.ops_ = &kHeapOps<Body>;
+  }
+
+  template <class Body>
+  static constexpr Ops kInlineOps{
+      payload_tag<Body>(),
+      [](const std::byte* buf) noexcept -> const void* { return at<Body>(buf); },
+      [](std::byte* from, std::byte* to) noexcept {
+        Body* b = at<Body>(from);
+        ::new (static_cast<void*>(to)) Body(std::move(*b));
+        b->~Body();
+      },
+      [](std::byte* buf) noexcept { at<Body>(buf)->~Body(); },
+      &clone_inline<Body>,
+  };
+
+  template <class Body>
+  static constexpr Ops kHeapOps{
+      payload_tag<Body>(),
+      [](const std::byte* buf) noexcept -> const void* { return *at<Body*>(buf); },
+      [](std::byte* from, std::byte* to) noexcept {
+        ::new (static_cast<void*>(to)) Body*(*at<Body*>(from));
+      },
+      [](std::byte* buf) noexcept { delete *at<Body*>(buf); },
+      &clone_heap<Body>,
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) std::byte buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
 };
+static_assert(sizeof(PacketPayload) == 48);
 
 struct Packet {
   NicAddr src;
   NicAddr dst;
   std::uint32_t wire_bytes = 0;  // total on-the-wire size including headers
   std::uint64_t id = 0;          // fabric-assigned, unique per injection
-  std::unique_ptr<PacketBody> body;
+  PacketPayload body;
 
   Packet() = default;
-  Packet(NicAddr s, NicAddr d, std::uint32_t bytes, std::unique_ptr<PacketBody> b)
+  Packet(NicAddr s, NicAddr d, std::uint32_t bytes, PacketPayload b)
       : src(s), dst(d), wire_bytes(bytes), body(std::move(b)) {}
 
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+
   [[nodiscard]] Packet duplicate() const {
-    Packet p(src, dst, wire_bytes, body ? body->clone() : nullptr);
+    Packet p(src, dst, wire_bytes, body.clone());
     p.id = id;
     return p;
   }
 };
 
-/// Narrowing helper: returns the body as T* or nullptr.
+/// Narrowing helper: returns the body as T* or nullptr (tag compare).
 template <class T>
 [[nodiscard]] const T* body_as(const Packet& p) {
-  return dynamic_cast<const T*>(p.body.get());
+  return p.body.as<T>();
 }
 
 }  // namespace qmb::net

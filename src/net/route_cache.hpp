@@ -1,0 +1,117 @@
+// Lazy route memoization for the fabric hot path.
+//
+// Topology::route is a virtual call that builds a fresh Route (two heap
+// vectors) on every invocation. Topologies are immutable after
+// construction, so the Fabric can instead memoize each (src, dst) — and
+// each (src, dst, top_level) broadcast variant — the first time it is
+// asked for, and hand out span-based RouteViews into a stable arena from
+// then on. Steady-state sends and broadcasts therefore perform no
+// allocation and no virtual dispatch.
+//
+// Storage discipline: link/switch ids live in chunked arenas
+// (vector<unique_ptr<T[]>>), so previously handed-out views are never
+// invalidated by later inserts. There is no eviction and no invalidation
+// hook — the cache's correctness rests on topology immutability, which is
+// asserted by the exhaustive equivalence tests in test_route_cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+
+namespace qmb::net {
+
+/// Non-owning view of a cached route. Valid for the cache's lifetime.
+struct RouteView {
+  std::span<const LinkId> links;       // size == switches.size() + 1
+  std::span<const SwitchId> switches;
+};
+
+class RouteCache {
+ public:
+  explicit RouteCache(const Topology& topology);
+
+  RouteCache(const RouteCache&) = delete;
+  RouteCache& operator=(const RouteCache&) = delete;
+
+  /// Memoized Topology::route(src, dst). Precondition: src != dst, both
+  /// within max_nics() — same contract as the underlying virtual.
+  [[nodiscard]] RouteView unicast(NicAddr src, NicAddr dst);
+
+  /// Memoized Topology::broadcast_route(src, dst, top).
+  [[nodiscard]] RouteView broadcast(NicAddr src, NicAddr dst, int top);
+
+  /// Host-side instrumentation for tests and benchmarks; never part of
+  /// simulated state or fingerprints.
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t entries() const { return entries_.size(); }
+
+ private:
+  // Chunked append-only arena: grows without relocating prior elements.
+  template <class T>
+  class Arena {
+   public:
+    [[nodiscard]] T* allocate(std::size_t count) {
+      if (count == 0) return nullptr;
+      if (count > kChunk) {  // oversize route gets a dedicated chunk
+        chunks_.push_back(std::make_unique<T[]>(count));
+        return chunks_.back().get();
+      }
+      if (chunks_.empty() || used_ + count > kChunk) {
+        chunks_.push_back(std::make_unique<T[]>(kChunk));
+        used_ = 0;
+      }
+      T* out = chunks_.back().get() + used_;
+      used_ += count;
+      return out;
+    }
+
+   private:
+    static constexpr std::size_t kChunk = 1024;
+    std::vector<std::unique_ptr<T[]>> chunks_;
+    std::size_t used_ = kChunk;
+  };
+
+  struct CachedRoute {
+    const LinkId* links = nullptr;
+    const SwitchId* switches = nullptr;
+    std::uint32_t num_links = 0;
+    std::uint32_t num_switches = 0;
+  };
+
+  [[nodiscard]] RouteView view_of(const CachedRoute& r) const {
+    return {std::span<const LinkId>(r.links, r.num_links),
+            std::span<const SwitchId>(r.switches, r.num_switches)};
+  }
+
+  /// Copies a freshly computed Route into the arenas; returns its slot.
+  std::uint32_t intern(const Route& route);
+
+  const Topology& topology_;
+  std::size_t num_nics_;
+
+  // Unicast: dense n*n slot table when affordable, hash map otherwise.
+  // Slot value 0 means empty (entries_ index is stored +1).
+  bool dense_ = false;
+  std::vector<std::uint32_t> dense_slots_;
+  std::unordered_map<std::uint64_t, std::uint32_t> sparse_slots_;
+  // Broadcast routes are keyed (src, dst, top) and always hashed; there
+  // are few distinct tops in practice.
+  std::unordered_map<std::uint64_t, std::uint32_t> bcast_slots_;
+
+  std::vector<CachedRoute> entries_;
+  Arena<LinkId> link_arena_;
+  Arena<SwitchId> switch_arena_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace qmb::net

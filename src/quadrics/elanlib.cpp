@@ -16,13 +16,13 @@ void ElanNode::put(int dst_node, std::uint32_t bytes, std::uint32_t tag,
                    std::int64_t value) {
   host_cpu_.exec(cfg_.host_event_setup + cfg_.host_doorbell,
                  [this, dst_node, bytes, tag, value] {
-    auto body = std::make_unique<ElanRdma>();
-    body->ev_class = ElanRdma::EventClass::kHostMsg;
-    body->tag = tag;
-    body->src_rank = static_cast<std::uint32_t>(index_);
-    body->payload_bytes = bytes;
-    body->value = value;
-    nic_.rdma_put(dst_node, bytes, std::move(body));
+    ElanRdma body;
+    body.ev_class = ElanRdma::EventClass::kHostMsg;
+    body.tag = tag;
+    body.src_rank = static_cast<std::uint32_t>(index_);
+    body.payload_bytes = bytes;
+    body.value = value;
+    nic_.rdma_put(dst_node, bytes, body);
   });
 }
 

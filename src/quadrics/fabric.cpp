@@ -62,11 +62,9 @@ void HwBarrierController::launch_probe() {
   all_ok_ = true;
   last_reply_at_ = engine_.now();
   ++probes_sent_;
-  auto body = std::make_unique<TsetProbe>();
-  body->round = round_;
   fabric_.broadcast(nics_[0]->addr(), net::NicAddr(0),
                     net::NicAddr(static_cast<std::int32_t>(nics_.size() - 1)),
-                    cfg_.header_bytes, std::move(body), combine_levels_);
+                    cfg_.header_bytes, TsetProbe{round_}, combine_levels_);
 }
 
 void HwBarrierController::on_probe_reply(int /*node*/, std::uint64_t round, bool ok,
@@ -96,12 +94,11 @@ void HwBarrierController::finish_probe() {
     });
     return;
   }
-  auto body = std::make_unique<TsetGo>();
-  body->round = round_;
+  const TsetGo body{round_};
   ++round_;
   fabric_.broadcast(nics_[0]->addr(), net::NicAddr(0),
                     net::NicAddr(static_cast<std::int32_t>(nics_.size() - 1)),
-                    cfg_.header_bytes, std::move(body), combine_levels_);
+                    cfg_.header_bytes, body, combine_levels_);
 }
 
 void HwBarrierController::on_go(int node, const TsetGo& go) {

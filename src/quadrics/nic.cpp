@@ -31,12 +31,11 @@ void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b) {
   }
 }
 
-void Nic::rdma_put(int dst_node, std::uint32_t bytes, std::unique_ptr<ElanRdma> body) {
-  unit_.exec(config_->rdma_issue, [this, dst_node, bytes, b = body.release()]() mutable {
-    std::unique_ptr<ElanRdma> body(b);
+void Nic::rdma_put(int dst_node, std::uint32_t bytes, ElanRdma body) {
+  unit_.exec(config_->rdma_issue, [this, dst_node, bytes, body] {
     ++stats_.rdma_issued;
     fabric_->send(net::Packet(addr_, net::NicAddr(dst_node),
-                              config_->header_bytes + bytes, std::move(body)));
+                              config_->header_bytes + bytes, body));
   });
 }
 
@@ -170,21 +169,21 @@ void Nic::barrier_send(Group& g, std::uint32_t seq, const coll::Edge& e,
   // chained event (paper Sec. 7: "RDMA operations with no data transfer
   // can be utilized to fire a remote event"); value collectives put their
   // payload words through the same descriptor.
-  auto body = std::make_unique<ElanRdma>();
-  body->ev_class = ElanRdma::EventClass::kBarrier;
-  body->group = g.desc.group_id;
-  body->seq = seq;
-  body->tag = e.tag;
-  body->src_rank = static_cast<std::uint32_t>(g.desc.my_rank);
-  body->value = value;
+  ElanRdma body;
+  body.ev_class = ElanRdma::EventClass::kBarrier;
+  body.group = g.desc.group_id;
+  body.seq = seq;
+  body.tag = e.tag;
+  body.src_rank = static_cast<std::uint32_t>(g.desc.my_rank);
+  body.value = value;
   const std::uint32_t payload =
       g.desc.op_kind == coll::OpKind::kBarrier
           ? 0u
           : g.desc.payload_bytes * static_cast<std::uint32_t>(coll::edge_payload_words(
                                        g.desc.op_kind, e.tag, value));
-  body->payload_bytes = payload;
+  body.payload_bytes = payload;
   const int dst_node = g.desc.rank_to_node.at(static_cast<std::size_t>(e.peer));
-  rdma_put(dst_node, payload, std::move(body));
+  rdma_put(dst_node, payload, body);
 }
 
 void Nic::handle_barrier_event(const ElanRdma& r) {

@@ -53,7 +53,7 @@ class Nic {
 
   /// Issues an RDMA put of `bytes` towards `dst_node`, firing the remote
   /// event described by `body`. Called at NIC time (post-doorbell).
-  void rdma_put(int dst_node, std::uint32_t bytes, std::unique_ptr<ElanRdma> body);
+  void rdma_put(int dst_node, std::uint32_t bytes, ElanRdma body);
 
   /// Handler for host-level tagged puts landing on this NIC; invoked at NIC
   /// time after the event word reaches host memory (host poll cost is the

@@ -1,4 +1,5 @@
-// Elan wire transactions.
+// Elan wire transactions. Plain structs carried inline in
+// net::PacketPayload (tag dispatch, no vtables).
 #pragma once
 
 #include <cstdint>
@@ -9,7 +10,7 @@ namespace qmb::elan {
 
 /// One RDMA put. A zero-byte put that only fires a remote event is the
 /// building block of the chained-RDMA barrier (paper Sec. 7).
-struct ElanRdma final : net::PacketBodyBase<ElanRdma> {
+struct ElanRdma {
   enum class EventClass : std::uint8_t {
     kBarrier,   // chained-barrier remote event
     kHostMsg,   // host-level tagged put (elan_put)
@@ -26,12 +27,12 @@ struct ElanRdma final : net::PacketBodyBase<ElanRdma> {
 /// Hardware-barrier probe: "is your barrier flag for `round` set?". Sent as
 /// a hardware broadcast; replies combine in the switches (modeled
 /// analytically by HwBarrierController).
-struct TsetProbe final : net::PacketBodyBase<TsetProbe> {
+struct TsetProbe {
   std::uint64_t round = 0;
 };
 
 /// Hardware-barrier release, broadcast after a successful probe.
-struct TsetGo final : net::PacketBodyBase<TsetGo> {
+struct TsetGo {
   std::uint64_t round = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "run/experiment.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <stdexcept>
@@ -306,7 +307,13 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   if (const std::string err = validate(spec); !err.empty()) {
     throw std::invalid_argument(err);
   }
-  return spec.network == Network::kQuadrics ? run_quadrics(spec) : run_myrinet(spec);
+  const auto host_start = std::chrono::steady_clock::now();
+  RunResult out =
+      spec.network == Network::kQuadrics ? run_quadrics(spec) : run_myrinet(spec);
+  out.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start)
+          .count();
+  return out;
 }
 
 std::uint64_t seed_for(std::uint64_t base_seed, std::size_t index) {
@@ -372,6 +379,10 @@ std::string to_json(const RunResult& r) {
                 static_cast<unsigned long long>(r.retransmissions));
   out += buf;
   out += "\"metrics\":" + metrics_to_json(r.metrics) + ",";
+  // Host-time observability fields; excluded from the fingerprint.
+  std::snprintf(buf, sizeof buf, "\"host_seconds\":%.6f,\"events_per_sec\":%.0f,",
+                r.host_seconds, r.events_per_sec());
+  out += buf;
   std::snprintf(buf, sizeof buf, "\"fingerprint\":\"%016llx\"}",
                 static_cast<unsigned long long>(r.fingerprint()));
   out += buf;

@@ -94,6 +94,19 @@ struct RunResult {
   /// registry, kept for the fingerprint and existing consumers.
   std::vector<obs::MetricValue> metrics;
 
+  /// Wall-clock duration of the whole run (warmup + timed iterations),
+  /// measured on steady_clock around the engine loop. Host-side throughput
+  /// observability only: noisy, machine-dependent, and deliberately NOT
+  /// part of fingerprint() — two runs with equal fingerprints may differ
+  /// arbitrarily here.
+  double host_seconds = 0.0;
+
+  /// Simulator throughput: events fired per host second (0 when the run
+  /// was too fast for the clock to resolve).
+  [[nodiscard]] double events_per_sec() const {
+    return host_seconds > 0.0 ? static_cast<double>(events_fired) / host_seconds : 0.0;
+  }
+
   [[nodiscard]] double mean_us() const { return static_cast<double>(mean_picos) * 1e-6; }
   [[nodiscard]] double min_us() const { return static_cast<double>(min_picos) * 1e-6; }
   [[nodiscard]] double max_us() const { return static_cast<double>(max_picos) * 1e-6; }

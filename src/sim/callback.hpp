@@ -20,10 +20,12 @@ namespace qmb::sim {
 
 class Callback {
  public:
-  /// Inline capture budget. 64 bytes holds eight pointers — larger than any
-  /// schedule-site lambda on the barrier hot paths (checked by the packet
-  /// delivery and MCP timer call sites, the two biggest captures).
-  static constexpr std::size_t kInlineCapacity = 64;
+  /// Inline capture budget. 96 bytes holds the fabric's delivery lambda —
+  /// a [this, Packet] capture, 80 bytes with the packet's inline payload —
+  /// which is the largest hot-path capture (the MCP timer lambdas are
+  /// smaller). Keeping it inline is what makes packet delivery itself
+  /// allocation-free, not just packet construction.
+  static constexpr std::size_t kInlineCapacity = 96;
 
   Callback() noexcept = default;
   Callback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)

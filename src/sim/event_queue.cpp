@@ -14,8 +14,10 @@ EventId EventQueue::push(SimTime at, EventCallback cb) {
   } else {
     slot = static_cast<std::uint32_t>(slot_gen_.size());
     slot_gen_.push_back(0);
+    slot_cb_.emplace_back();
   }
-  heap_.push_back(Entry{at, seq, slot, slot_gen_[slot], std::move(cb)});
+  slot_cb_[slot] = std::move(cb);
+  heap_.push_back(Entry{at, seq, slot, slot_gen_[slot]});
   std::push_heap(heap_.begin(), heap_.end());
   ++live_;
   return EventId(slot, slot_gen_[slot]);
@@ -23,6 +25,7 @@ EventId EventQueue::push(SimTime at, EventCallback cb) {
 
 void EventQueue::release_slot(std::uint32_t slot) {
   ++slot_gen_[slot];  // orphans the heap entry and invalidates outstanding ids
+  slot_cb_[slot] = EventCallback{};  // cancelled callbacks release captures now
   free_slots_.push_back(slot);
 }
 
@@ -66,11 +69,12 @@ EventQueue::Fired EventQueue::pop() {
   }
   assert(!heap_.empty() && "pop() on empty EventQueue");
   std::pop_heap(heap_.begin(), heap_.end());
-  Entry e = std::move(heap_.back());
+  const Entry e = heap_.back();
   heap_.pop_back();
+  EventCallback cb = std::move(slot_cb_[e.slot]);
   release_slot(e.slot);
   --live_;
-  return Fired{e.at, std::move(e.cb)};
+  return Fired{e.at, std::move(cb)};
 }
 
 }  // namespace qmb::sim

@@ -74,12 +74,14 @@ class EventQueue {
   [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
  private:
+  // Heap entries are small PODs; the callback itself lives in the slot
+  // table (stable storage, one move per event) so sift swaps are plain
+  // memberwise copies instead of SBO relocations of a 100-byte callback.
   struct Entry {
     SimTime at;
     std::uint64_t seq = 0;
     std::uint32_t slot = 0;
     std::uint32_t gen = 0;
-    EventCallback cb;
 
     // Min-heap: std::push_heap etc. build a max-heap on operator<, so invert.
     friend bool operator<(const Entry& a, const Entry& b) {
@@ -98,6 +100,7 @@ class EventQueue {
 
   std::vector<Entry> heap_;
   std::vector<std::uint32_t> slot_gen_;    // slot -> generation of its current owner
+  std::vector<EventCallback> slot_cb_;     // slot -> the pending callback
   std::vector<std::uint32_t> free_slots_;  // recycled slot indices
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;

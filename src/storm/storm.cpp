@@ -19,6 +19,11 @@ ResourceManager::ResourceManager(core::MyriCluster& cluster, Backend backend,
                                             : core::MyriBarrierKind::kHost,
                                         coll::Algorithm::kDissemination);
   node_status_.assign(static_cast<std::size_t>(cluster_.size()), 1);
+  auto& reg = cluster_.engine().metrics();
+  launches_ = reg.counter("storm.launches");
+  syncs_ = reg.counter("storm.syncs");
+  heartbeats_ = reg.counter("storm.heartbeats");
+  heartbeats_missed_ = reg.counter("storm.heartbeats_missed");
 }
 
 void ResourceManager::submit(JobSpec spec, std::function<void(const JobResult&)> done) {
@@ -30,6 +35,7 @@ void ResourceManager::start_next_job() {
   assert(!job_running_);
   if (queue_.empty()) return;
   job_running_ = true;
+  ++launches_;
   auto job = std::make_shared<PendingJob>(std::move(queue_.front()));
   queue_.pop_front();
 
@@ -80,6 +86,7 @@ void ResourceManager::start_next_job() {
 }
 
 void ResourceManager::global_sync(sim::EventCallback done) {
+  ++syncs_;
   const int n = cluster_.size();
   for (int node = 0; node < n; ++node) {
     sync_barrier_->enter(node, node == 0 ? std::move(done) : sim::EventCallback{});
@@ -87,12 +94,15 @@ void ResourceManager::global_sync(sim::EventCallback done) {
 }
 
 void ResourceManager::heartbeat(std::function<void(bool)> done) {
+  ++heartbeats_;
   const int n = cluster_.size();
   for (int node = 0; node < n; ++node) {
     heartbeat_reduce_->enter(
         node, node_status_[static_cast<std::size_t>(node)],
-        [node, done](std::int64_t min_status) {
-          if (node == 0 && done) done(min_status >= 1);
+        [this, node, done](std::int64_t min_status) {
+          if (node != 0) return;
+          if (min_status < 1) ++heartbeats_missed_;
+          if (done) done(min_status >= 1);
         });
   }
 }

@@ -26,6 +26,7 @@
 
 #include "core/cluster.hpp"
 #include "core/collectives.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 
 namespace qmb::storm {
@@ -95,6 +96,13 @@ class ResourceManager {
   std::deque<PendingJob> queue_;
   bool job_running_ = false;
   std::uint64_t jobs_completed_ = 0;
+  // Registered in the engine's MetricRegistry under "storm.*" so the
+  // integration example reads management-layer activity off the same
+  // snapshot as the protocol counters.
+  obs::Counter launches_;
+  obs::Counter syncs_;
+  obs::Counter heartbeats_;
+  obs::Counter heartbeats_missed_;
 };
 
 }  // namespace qmb::storm

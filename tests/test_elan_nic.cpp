@@ -59,11 +59,11 @@ TEST(ElanNic, RdmaPutFiresRemoteHostEvent) {
     EXPECT_EQ(r.value, 1234);
     ++notified;
   });
-  auto body = std::make_unique<ElanRdma>();
-  body->ev_class = ElanRdma::EventClass::kHostMsg;
-  body->tag = 9;
-  body->value = 1234;
-  h.nics[0]->rdma_put(1, 8, std::move(body));
+  ElanRdma body;
+  body.ev_class = ElanRdma::EventClass::kHostMsg;
+  body.tag = 9;
+  body.value = 1234;
+  h.nics[0]->rdma_put(1, 8, body);
   h.engine.run();
   EXPECT_EQ(notified, 1);
   EXPECT_EQ(h.nics[0]->stats().rdma_issued.value(), 1u);
@@ -75,9 +75,9 @@ TEST(ElanNic, RdmaTimingIncludesIssueWireAndEvent) {
   Harness h(2);
   SimTime arrived;
   h.nics[1]->set_host_msg_handler([&](const ElanRdma&) { arrived = h.engine.now(); });
-  auto body = std::make_unique<ElanRdma>();
-  body->ev_class = ElanRdma::EventClass::kHostMsg;
-  h.nics[0]->rdma_put(1, 0, std::move(body));
+  ElanRdma body;
+  body.ev_class = ElanRdma::EventClass::kHostMsg;
+  h.nics[0]->rdma_put(1, 0, body);
   h.engine.run();
   const auto floor = h.cfg.rdma_issue + h.cfg.event_fire + h.cfg.host_notify_dma;
   EXPECT_GT(arrived.picos(), floor.picos());
@@ -94,9 +94,9 @@ TEST(ElanNic, BarrierOpsSerializeOnTheUnit) {
         [&](const ElanRdma&) { arrivals.push_back(h.engine.now()); });
   }
   for (int dst = 1; dst <= 2; ++dst) {
-    auto body = std::make_unique<ElanRdma>();
-    body->ev_class = ElanRdma::EventClass::kHostMsg;
-    h.nics[0]->rdma_put(dst, 0, std::move(body));
+    ElanRdma body;
+    body.ev_class = ElanRdma::EventClass::kHostMsg;
+    h.nics[0]->rdma_put(dst, 0, body);
   }
   h.engine.run();
   ASSERT_EQ(arrivals.size(), 2u);

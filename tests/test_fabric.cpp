@@ -15,7 +15,7 @@ using namespace qmb::sim::literals;
 using sim::Engine;
 using sim::SimTime;
 
-struct ProbeBody final : PacketBodyBase<ProbeBody> {
+struct ProbeBody {
   int value = 0;
 };
 
@@ -36,9 +36,7 @@ struct Harness {
   }
 
   void send(int src, int dst, std::uint32_t bytes, int value = 0) {
-    auto body = std::make_unique<ProbeBody>();
-    body->value = value;
-    fabric->send(Packet(NicAddr(src), NicAddr(dst), bytes, std::move(body)));
+    fabric->send(Packet(NicAddr(src), NicAddr(dst), bytes, ProbeBody{value}));
   }
 };
 
@@ -123,8 +121,7 @@ TEST(Fabric, BroadcastReachesWholeRange) {
   for (int i = 0; i < 8; ++i) {
     f.attach([&hits, i](Packet&&) { hits[static_cast<std::size_t>(i)]++; });
   }
-  auto body = std::make_unique<ProbeBody>();
-  f.broadcast(NicAddr(0), NicAddr(0), NicAddr(7), 24, std::move(body));
+  f.broadcast(NicAddr(0), NicAddr(0), NicAddr(7), 24, ProbeBody{});
   e.run();
   for (int i = 0; i < 8; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << i;
 }
@@ -137,7 +134,7 @@ TEST(Fabric, BroadcastArrivalSkewIsSwitchLevelNotSerial) {
   for (int i = 0; i < 64; ++i) {
     f.attach([&arrival, i, &e](Packet&&) { arrival[static_cast<std::size_t>(i)] = e.now(); });
   }
-  f.broadcast(NicAddr(0), NicAddr(0), NicAddr(63), 24, std::make_unique<ProbeBody>());
+  f.broadcast(NicAddr(0), NicAddr(0), NicAddr(63), 24, ProbeBody{});
   e.run();
   SimTime first = arrival[0], last = arrival[0];
   for (const SimTime t : arrival) {
@@ -157,7 +154,7 @@ TEST(Fabric, TracerRecordsInjections) {
            FabricParams{LinkParams{300_ns, 2.0e9}, SwitchParams{300_ns}}, &tracer);
   f.attach([](Packet&&) {});
   f.attach([](Packet&&) {});
-  f.send(Packet(NicAddr(0), NicAddr(1), 64, std::make_unique<ProbeBody>()));
+  f.send(Packet(NicAddr(0), NicAddr(1), 64, ProbeBody{}));
   e.run();
   EXPECT_EQ(tracer.count("fabric", "inject"), 1u);
 }

@@ -13,14 +13,12 @@ namespace {
 using namespace qmb::sim::literals;
 using sim::Engine;
 
-struct ProbeBody final : PacketBodyBase<ProbeBody> {
+struct ProbeBody {
   int value = 0;
 };
 
 Packet make_packet(int src, int dst, int value = 0) {
-  auto body = std::make_unique<ProbeBody>();
-  body->value = value;
-  return Packet(NicAddr(src), NicAddr(dst), 64, std::move(body));
+  return Packet(NicAddr(src), NicAddr(dst), 64, ProbeBody{value});
 }
 
 TEST(FaultInjector, NoRulesDeliversEverything) {

@@ -1,0 +1,178 @@
+// Zero-allocation assertion for the fabric packet hot path.
+//
+// The whole test binary's operator new/delete are replaced with counting
+// versions (every variant, including sized/aligned/nothrow, so the count is
+// exact regardless of which overloads the toolchain picks). After a warmup
+// sweep that populates the route cache, grows the event queue to its peak,
+// and touches every (src, dst) pair, an identical steady-state sweep —
+// injection, traversal, delivery, payload transport — must perform exactly
+// zero heap allocations. This is the load-bearing claim behind the route
+// cache, the inline PacketPayload, and the enlarged sim::Callback inline
+// storage: regressing any of them makes this count non-zero.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+void note_alloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* checked(void* p) {
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* raw_alloc(std::size_t size) {
+  note_alloc();
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* raw_aligned_alloc(std::size_t size, std::size_t align) {
+  note_alloc();
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : align) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return checked(raw_alloc(size)); }
+void* operator new[](std::size_t size) { return checked(raw_alloc(size)); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return raw_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return raw_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return checked(raw_aligned_alloc(size, static_cast<std::size_t>(align)));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return checked(raw_aligned_alloc(size, static_cast<std::size_t>(align)));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return raw_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return raw_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace qmb::net {
+namespace {
+
+using namespace qmb::sim::literals;
+
+struct PingBody {
+  std::uint64_t round = 0;
+};
+
+constexpr int kNics = 8;
+
+/// One self-sustaining delivery sweep: every NIC re-injects to a rotating
+/// destination until its budget runs out. Mirrors a steady-state barrier
+/// round's fabric load (every NIC both sending and receiving each step).
+void run_sweep(sim::Engine& engine, Fabric& fabric, std::vector<int>& remaining,
+               int packets_per_nic) {
+  for (int i = 0; i < kNics; ++i) remaining[static_cast<std::size_t>(i)] = packets_per_nic;
+  for (int i = 0; i < kNics; ++i) {
+    fabric.send(Packet(NicAddr(i), NicAddr((i + 1) % kNics), 64, PingBody{}));
+  }
+  engine.run();
+}
+
+TEST(HotpathAlloc, SteadyStateSweepPerformsZeroAllocations) {
+  sim::Engine engine;
+  Fabric fabric(engine, std::make_unique<SingleCrossbar>(kNics),
+                FabricParams{LinkParams{300_ns, 2.0e9}, SwitchParams{300_ns}});
+  std::vector<int> remaining(kNics, 0);
+  for (int i = 0; i < kNics; ++i) {
+    fabric.attach([&fabric, &remaining, i](Packet&& p) {
+      auto& left = remaining[static_cast<std::size_t>(i)];
+      if (left == 0) return;
+      --left;
+      const auto* ping = body_as<PingBody>(p);
+      const std::uint64_t round = ping != nullptr ? ping->round + 1 : 0;
+      int dst = static_cast<int>((static_cast<std::uint64_t>(i) + round) %
+                                 static_cast<std::uint64_t>(kNics));
+      if (dst == i) dst = (dst + 1) % kNics;
+      fabric.send(Packet(NicAddr(i), NicAddr(dst), 64, PingBody{round}));
+    });
+  }
+
+  // Warm every (src, dst) route slot explicitly, then run a full sweep so
+  // the event queue reaches its steady-state capacity.
+  for (int s = 0; s < kNics; ++s) {
+    for (int d = 0; d < kNics; ++d) {
+      if (s == d) continue;
+      fabric.send(Packet(NicAddr(s), NicAddr(d), 64, PingBody{}));
+    }
+  }
+  engine.run();
+  run_sweep(engine, fabric, remaining, 200);
+  const std::uint64_t delivered_warm = fabric.packets_delivered();
+  ASSERT_GT(delivered_warm, 0u);
+  EXPECT_EQ(fabric.route_cache().entries(),
+            static_cast<std::size_t>(kNics) * (kNics - 1));
+
+  // Sanity: the counter itself works. Direct operator-new calls cannot be
+  // elided the way a new-expression can.
+  g_allocs.store(0);
+  g_counting.store(true);
+  ::operator delete(::operator new(sizeof(int)));
+  g_counting.store(false);
+  ASSERT_EQ(g_allocs.load(), 1u);
+
+  // The measured, identical sweep: zero allocations allowed.
+  g_allocs.store(0);
+  g_counting.store(true);
+  run_sweep(engine, fabric, remaining, 200);
+  g_counting.store(false);
+  const std::uint64_t allocs = g_allocs.load();
+  const std::uint64_t delivered = fabric.packets_delivered() - delivered_warm;
+
+  EXPECT_GT(delivered, static_cast<std::uint64_t>(kNics) * 200u - 1u);
+  EXPECT_EQ(allocs, 0u) << "steady-state packet path allocated " << allocs
+                        << " times over " << delivered << " deliveries";
+  EXPECT_EQ(fabric.route_cache().entries(),
+            static_cast<std::size_t>(kNics) * (kNics - 1))
+      << "measured sweep should not discover new routes";
+}
+
+}  // namespace
+}  // namespace qmb::net

@@ -17,12 +17,12 @@ using namespace qmb::sim::literals;
 using sim::Engine;
 using sim::SimTime;
 
-struct MarkBody final : PacketBodyBase<MarkBody> {
+struct MarkBody {
   int value = 0;
 };
 
 Packet make_packet(int src, int dst, std::uint32_t bytes) {
-  return Packet(NicAddr(src), NicAddr(dst), bytes, std::make_unique<MarkBody>());
+  return Packet(NicAddr(src), NicAddr(dst), bytes, MarkBody{});
 }
 
 TEST(NetProperties, TwoFlowsSharingALinkHalveThroughput) {
@@ -82,7 +82,7 @@ TEST(NetProperties, BroadcastUsesEachLinkOnce) {
   Fabric f(e, std::make_unique<FatTree>(4, 2, 16),
            FabricParams{LinkParams{250_ns, 3.4e8}, SwitchParams{200_ns}});
   for (int i = 0; i < 16; ++i) f.attach([](Packet&&) {});
-  f.broadcast(NicAddr(0), NicAddr(0), NicAddr(15), 24, std::make_unique<MarkBody>());
+  f.broadcast(NicAddr(0), NicAddr(0), NicAddr(15), 24, MarkBody{});
   e.run();
   // The source's up-link carried exactly one copy despite 16 destinations.
   EXPECT_EQ(f.link(LinkId(0)).packets_carried(), 1u);
@@ -98,7 +98,7 @@ TEST(NetProperties, BroadcastFasterThanSerialUnicasts) {
     Fabric f(e, std::make_unique<FatTree>(4, 3, 64),
              FabricParams{LinkParams{250_ns, 3.4e8}, SwitchParams{200_ns}});
     for (int i = 0; i < 64; ++i) f.attach([](Packet&&) {});
-    f.broadcast(NicAddr(0), NicAddr(0), NicAddr(63), 256, std::make_unique<MarkBody>());
+    f.broadcast(NicAddr(0), NicAddr(0), NicAddr(63), 256, MarkBody{});
     e.run();
     return e.now().picos();
   };

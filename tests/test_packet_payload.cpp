@@ -1,0 +1,167 @@
+// PacketPayload SBO semantics: inline vs spilled storage, move, clone, and
+// tag-based narrowing. These are the invariants the zero-allocation packet
+// hot path rests on (see test_hotpath_alloc for the allocation count itself).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "net/packet.hpp"
+
+namespace qmb::net {
+namespace {
+
+struct SmallBody {
+  std::uint64_t a = 0;
+  std::uint32_t b = 0;
+};
+static_assert(sizeof(SmallBody) <= PacketPayload::kInlineCapacity);
+
+struct OtherBody {
+  int x = 0;
+};
+
+// Deliberately larger than the inline budget: must spill to heap and still
+// behave identically through as<T>/clone/move.
+struct BigBody {
+  std::array<std::uint64_t, 16> words{};
+};
+static_assert(sizeof(BigBody) > PacketPayload::kInlineCapacity);
+
+// Counts live instances so we can observe destruction and deep cloning.
+struct Tracked {
+  static int live;
+  int value;
+  explicit Tracked(int v) : value(v) { ++live; }
+  Tracked(const Tracked& o) : value(o.value) { ++live; }
+  Tracked(Tracked&& o) noexcept : value(o.value) { ++live; }
+  ~Tracked() { --live; }
+};
+int Tracked::live = 0;
+
+TEST(PacketPayload, EmptyByDefault) {
+  PacketPayload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(static_cast<bool>(p));
+  EXPECT_EQ(p.tag(), nullptr);
+  EXPECT_EQ(p.as<SmallBody>(), nullptr);
+  PacketPayload c = p.clone();
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(PacketPayload, InlineRoundTrip) {
+  PacketPayload p = SmallBody{.a = 7, .b = 9};
+  ASSERT_FALSE(p.empty());
+  EXPECT_EQ(p.tag(), payload_tag<SmallBody>());
+  const SmallBody* s = p.as<SmallBody>();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->a, 7u);
+  EXPECT_EQ(s->b, 9u);
+}
+
+TEST(PacketPayload, TagMismatchReturnsNull) {
+  PacketPayload p = SmallBody{.a = 1, .b = 2};
+  EXPECT_EQ(p.as<OtherBody>(), nullptr);
+  EXPECT_EQ(p.as<BigBody>(), nullptr);
+  EXPECT_NE(p.tag(), payload_tag<OtherBody>());
+}
+
+TEST(PacketPayload, SpilledRoundTrip) {
+  BigBody big;
+  for (std::size_t i = 0; i < big.words.size(); ++i) big.words[i] = i * i;
+  PacketPayload p = big;
+  EXPECT_EQ(p.tag(), payload_tag<BigBody>());
+  const BigBody* got = p.as<BigBody>();
+  ASSERT_NE(got, nullptr);
+  for (std::size_t i = 0; i < got->words.size(); ++i) EXPECT_EQ(got->words[i], i * i);
+}
+
+TEST(PacketPayload, MoveTransfersAndEmptiesSource) {
+  PacketPayload a = SmallBody{.a = 42, .b = 0};
+  PacketPayload b = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): asserting the contract
+  ASSERT_NE(b.as<SmallBody>(), nullptr);
+  EXPECT_EQ(b.as<SmallBody>()->a, 42u);
+
+  // Move-assign over an existing payload destroys the old body.
+  PacketPayload c = OtherBody{.x = 5};
+  c = std::move(b);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(c.as<OtherBody>(), nullptr);
+  ASSERT_NE(c.as<SmallBody>(), nullptr);
+  EXPECT_EQ(c.as<SmallBody>()->a, 42u);
+}
+
+TEST(PacketPayload, SpilledMoveStealsPointer) {
+  BigBody big;
+  big.words[3] = 99;
+  PacketPayload a = big;
+  const BigBody* before = a.as<BigBody>();
+  PacketPayload b = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  // Heap-spilled bodies relocate by pointer steal: same object, no copy.
+  EXPECT_EQ(b.as<BigBody>(), before);
+  EXPECT_EQ(b.as<BigBody>()->words[3], 99u);
+}
+
+TEST(PacketPayload, CloneIsDeepAndIndependent) {
+  {
+    PacketPayload p = Tracked(11);
+    EXPECT_EQ(Tracked::live, 1);
+    PacketPayload c = p.clone();
+    EXPECT_EQ(Tracked::live, 2);
+    ASSERT_NE(c.as<Tracked>(), nullptr);
+    EXPECT_EQ(c.as<Tracked>()->value, 11);
+    EXPECT_NE(c.as<Tracked>(), p.as<Tracked>());
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(PacketPayload, SpilledCloneIsDeep) {
+  BigBody big;
+  big.words[0] = 1;
+  PacketPayload p = big;
+  PacketPayload c = p.clone();
+  ASSERT_NE(c.as<BigBody>(), nullptr);
+  EXPECT_NE(c.as<BigBody>(), p.as<BigBody>());
+  EXPECT_EQ(c.as<BigBody>()->words[0], 1u);
+}
+
+TEST(PacketPayload, DestructionRunsBodyDestructor) {
+  {
+    PacketPayload p = Tracked(3);
+    EXPECT_EQ(Tracked::live, 1);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(Packet, DuplicatePreservesHeaderAndBody) {
+  Packet p(NicAddr(2), NicAddr(5), 64, SmallBody{.a = 8, .b = 1});
+  p.id = 77;
+  Packet d = p.duplicate();
+  EXPECT_EQ(d.src, p.src);
+  EXPECT_EQ(d.dst, p.dst);
+  EXPECT_EQ(d.wire_bytes, 64u);
+  EXPECT_EQ(d.id, 77u);
+  const SmallBody* body = body_as<SmallBody>(d);
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->a, 8u);
+}
+
+TEST(Packet, BodyAsNullOnWrongType) {
+  Packet p(NicAddr(0), NicAddr(1), 16, OtherBody{.x = -1});
+  EXPECT_EQ(body_as<SmallBody>(p), nullptr);
+  ASSERT_NE(body_as<OtherBody>(p), nullptr);
+  EXPECT_EQ(body_as<OtherBody>(p)->x, -1);
+}
+
+TEST(PacketPayload, TagIsStablePerType) {
+  PacketPayload a = SmallBody{};
+  PacketPayload b = SmallBody{.a = 123, .b = 4};
+  EXPECT_EQ(a.tag(), b.tag());
+  EXPECT_EQ(a.tag(), payload_tag<SmallBody>());
+}
+
+}  // namespace
+}  // namespace qmb::net

@@ -1,0 +1,125 @@
+// RouteCache correctness: for every (src, dst) pair — and every broadcast
+// top level — the cached RouteView must be element-for-element identical to
+// a fresh Topology::route / broadcast_route call. This exhaustive
+// equivalence is what licenses the Fabric's memoization (topologies are
+// immutable after construction, so first-call results are forever-valid).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/fat_tree.hpp"
+#include "net/route_cache.hpp"
+#include "net/topology.hpp"
+
+namespace qmb::net {
+namespace {
+
+void expect_view_equals_route(const RouteView& view, const Route& fresh, NicAddr src,
+                              NicAddr dst) {
+  ASSERT_EQ(view.links.size(), fresh.links.size())
+      << "src=" << src.value() << " dst=" << dst.value();
+  ASSERT_EQ(view.switches.size(), fresh.switches.size())
+      << "src=" << src.value() << " dst=" << dst.value();
+  for (std::size_t i = 0; i < fresh.links.size(); ++i) {
+    EXPECT_EQ(view.links[i], fresh.links[i])
+        << "link " << i << " src=" << src.value() << " dst=" << dst.value();
+  }
+  for (std::size_t i = 0; i < fresh.switches.size(); ++i) {
+    EXPECT_EQ(view.switches[i], fresh.switches[i])
+        << "switch " << i << " src=" << src.value() << " dst=" << dst.value();
+  }
+}
+
+void check_exhaustive(const Topology& topo) {
+  RouteCache cache(topo);
+  const auto n = static_cast<std::int32_t>(topo.max_nics());
+
+  // Two passes: the first populates (all misses), the second must hit and
+  // return the identical routes — including views captured in pass one,
+  // which must survive all later arena inserts unchanged.
+  struct Captured {
+    NicAddr src, dst;
+    RouteView view;
+  };
+  std::vector<Captured> captured;
+  for (std::int32_t s = 0; s < n; ++s) {
+    for (std::int32_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const NicAddr src(s), dst(d);
+      RouteView view = cache.unicast(src, dst);
+      expect_view_equals_route(view, topo.route(src, dst), src, dst);
+      captured.push_back({src, dst, view});
+    }
+  }
+  const std::uint64_t misses_after_fill = cache.misses();
+  EXPECT_EQ(misses_after_fill, static_cast<std::uint64_t>(n) * (n - 1));
+  EXPECT_EQ(cache.hits(), 0u);
+
+  for (const Captured& c : captured) {
+    expect_view_equals_route(c.view, topo.route(c.src, c.dst), c.src, c.dst);
+    RouteView again = cache.unicast(c.src, c.dst);
+    EXPECT_EQ(again.links.data(), c.view.links.data());  // same arena storage
+    expect_view_equals_route(again, topo.route(c.src, c.dst), c.src, c.dst);
+  }
+  EXPECT_EQ(cache.misses(), misses_after_fill);  // second pass: all hits
+  EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(captured.size()) * 1u);
+
+  // Broadcast variants at every level the topology can be asked for.
+  for (int top = 0; top <= topo.top_level(); ++top) {
+    for (std::int32_t s = 0; s < n; ++s) {
+      for (std::int32_t d = 0; d < n; ++d) {
+        if (s == d) continue;
+        const NicAddr src(s), dst(d);
+        RouteView view = cache.broadcast(src, dst, top);
+        expect_view_equals_route(view, topo.broadcast_route(src, dst, top), src, dst);
+        RouteView again = cache.broadcast(src, dst, top);
+        EXPECT_EQ(again.links.data(), view.links.data());
+      }
+    }
+  }
+}
+
+TEST(RouteCache, ExhaustiveCrossbar16) { check_exhaustive(SingleCrossbar(16)); }
+
+TEST(RouteCache, ExhaustiveCrossbar3) { check_exhaustive(SingleCrossbar(3)); }
+
+TEST(RouteCache, ExhaustiveQuaternaryFatTree) {
+  // Quaternary 2-level tree, 16 NICs — the QsNet Elite-16 shape.
+  check_exhaustive(FatTree(4, 2, 16));
+}
+
+TEST(RouteCache, ExhaustiveBinaryFatTreePartiallyPopulated) {
+  // 3 levels of arity 2 with only 6 of 8 slots wired up.
+  check_exhaustive(FatTree(2, 3, 6));
+}
+
+TEST(RouteCache, ExhaustiveFatTreeFitting) {
+  check_exhaustive(FatTree::fitting(4, 32));
+}
+
+TEST(RouteCache, CountsAndEntries) {
+  SingleCrossbar topo(4);
+  RouteCache cache(topo);
+  EXPECT_EQ(cache.entries(), 0u);
+  (void)cache.unicast(NicAddr(0), NicAddr(1));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.entries(), 1u);
+  (void)cache.unicast(NicAddr(0), NicAddr(1));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  // Reverse direction is a distinct key.
+  (void)cache.unicast(NicAddr(1), NicAddr(0));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.entries(), 2u);
+  // Broadcast entries are keyed separately from unicast.
+  (void)cache.broadcast(NicAddr(0), NicAddr(1), 0);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.entries(), 3u);
+}
+
+}  // namespace
+}  // namespace qmb::net
