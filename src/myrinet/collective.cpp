@@ -213,9 +213,12 @@ void CollectiveEngine::send_msg(Group& g, std::uint32_t seq, const coll::Edge& e
     body.tag = tag;
     body.src_rank = static_cast<std::uint32_t>(my_rank);
     body.value = value;
-    nic_.inject(net::Packet(nic_.addr(), net::NicAddr(dst_node), wire, body));
+    const std::uint64_t flow =
+        nic_.inject(net::Packet(nic_.addr(), net::NicAddr(dst_node), wire, body));
     ++stats_.msgs_sent;
-    nic_.trace("coll_send", dst_node, tag);
+    // Operands: destination node and schedule-edge tag (the barrier round
+    // for plain exchange steps); flow ties this trigger to its fabric hop.
+    nic_.trace("coll_send", dst_node, tag, static_cast<std::int64_t>(flow));
   });
 
   if (is_retransmit) {
@@ -291,10 +294,11 @@ void CollectiveEngine::arm_nack_timer(Group& g, Op& op) {
         body.barrier_seq = armed_seq;
         body.tag = tag;
         body.dst_rank = static_cast<std::uint32_t>(my_rank);
-        nic_.inject(net::Packet(nic_.addr(), net::NicAddr(peer_node),
-                                coll_wire_bytes(cfg_.header_bytes), body));
+        const std::uint64_t flow =
+            nic_.inject(net::Packet(nic_.addr(), net::NicAddr(peer_node),
+                                    coll_wire_bytes(cfg_.header_bytes), body));
         ++stats_.nacks_sent;
-        nic_.trace("coll_nack", peer_node, tag);
+        nic_.trace("coll_nack", peer_node, tag, static_cast<std::int64_t>(flow));
       });
     }
     arm_nack_timer(*gp, *opp);
@@ -304,13 +308,16 @@ void CollectiveEngine::arm_nack_timer(Group& g, Op& op) {
 bool CollectiveEngine::on_packet(net::Packet&& p) {
   if (const auto* c = net::body_as<CollPacket>(p)) {
     const CollPacket body = *c;
-    nic_.exec(cfg_.cyc_coll_recv, [this, body] {
+    const std::uint64_t flow = p.id;
+    nic_.exec(cfg_.cyc_coll_recv, [this, body, flow] {
       auto git = groups_.find(body.group);
       if (git == groups_.end()) {
         ++stats_.stale_dropped;
         return;
       }
       Group& g = git->second;
+      nic_.trace("coll_recv", static_cast<std::int64_t>(body.src_rank), body.tag,
+                 static_cast<std::int64_t>(flow));
       if (!g.desc.features.bitvector_record) {
         nic_.cpu().occupy(cfg_.cycles(cfg_.cyc_record_per_msg));
       }
@@ -337,7 +344,8 @@ bool CollectiveEngine::on_packet(net::Packet&& p) {
   }
   if (const auto* n = net::body_as<CollNack>(p)) {
     const CollNack body = *n;
-    nic_.exec(cfg_.cyc_coll_nack, [this, body] { handle_nack(body); });
+    const std::uint64_t flow = p.id;
+    nic_.exec(cfg_.cyc_coll_nack, [this, body, flow] { handle_nack(body, flow); });
     return true;
   }
   if (const auto* a = net::body_as<CollAck>(p)) {
@@ -377,12 +385,12 @@ void CollectiveEngine::deliver_arrival(Group& g, std::uint32_t seq, int peer_ran
   op.early.push_back({peer_rank, tag, value});
 }
 
-void CollectiveEngine::handle_nack(const CollNack& n) {
+void CollectiveEngine::handle_nack(const CollNack& n, std::uint64_t flow) {
   auto git = groups_.find(n.group);
   if (git == groups_.end()) return;
   Group& g = git->second;
   ++stats_.nacks_received;
-  nic_.trace("coll_nack_rx", n.dst_rank, n.tag);
+  nic_.trace("coll_nack_rx", n.dst_rank, n.tag, static_cast<std::int64_t>(flow));
   const coll::Edge edge{static_cast<int>(n.dst_rank), n.tag};
   Op& slot = g.slots[n.barrier_seq & 1];
   if (slot.in_use && slot.seq == n.barrier_seq && slot.exec) {

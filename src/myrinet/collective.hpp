@@ -154,7 +154,7 @@ class CollectiveEngine {
                                              std::int64_t value) const;
   void finish_op(Group& g, Op& op);
   void arm_nack_timer(Group& g, Op& op);
-  void handle_nack(const CollNack& n);
+  void handle_nack(const CollNack& n, std::uint64_t flow);
   void handle_ack(const CollAck& a);
   void arm_msg_timer(Group* gp, std::uint64_t key, std::uint32_t seq);
   [[nodiscard]] std::uint32_t send_cycles(const CollFeatures& f) const;

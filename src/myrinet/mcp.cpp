@@ -124,9 +124,9 @@ void Mcp::finish_fragment(std::uint32_t frag_bytes) {
     send_records_.emplace(key, std::move(rec));
     arm_retransmit(key);
 
-    nic_.inject(net::Packet(nic_.addr(), dst_addr, wire, body));
+    const std::uint64_t flow = nic_.inject(net::Packet(nic_.addr(), dst_addr, wire, body));
     ++stats_.data_packets_sent;
-    nic_.trace("mcp_send", dst, tok.tag);
+    nic_.trace("mcp_send", dst, tok.tag, static_cast<std::int64_t>(flow));
 
     tok.injected_bytes += frag_bytes;
     ++tok.frags_unacked;
@@ -157,8 +157,10 @@ void Mcp::arm_retransmit(std::uint64_t key) {
       auto rit = send_records_.find(key);
       if (rit == send_records_.end()) return;
       const SendRecord& rec = rit->second;
-      nic_.inject(net::Packet(nic_.addr(), rec.dst, rec.wire_bytes, rec.body));
-      nic_.trace("mcp_retransmit", rec.dst.value(), rec.seqno);
+      const std::uint64_t flow =
+          nic_.inject(net::Packet(nic_.addr(), rec.dst, rec.wire_bytes, rec.body));
+      nic_.trace("mcp_retransmit", rec.dst.value(), rec.seqno,
+                 static_cast<std::int64_t>(flow));
       arm_retransmit(key);
     });
   });

@@ -21,9 +21,11 @@ Nic::Nic(sim::Engine& engine, net::Fabric& fabric, PciBus& pci,
   });
 }
 
-void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b) {
+void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b,
+                std::int64_t flow) {
   if (tracer_ && tracer_->enabled()) {
-    tracer_->record(engine_->now(), trace_comp_, tracer_->intern(event), node_, a, b);
+    tracer_->record(engine_->now(), trace_comp_, tracer_->intern(event), node_, a, b,
+                    flow);
   }
 }
 

@@ -32,8 +32,9 @@ class Nic {
     cpu_.exec(config_->lanai.cycles(cyc), std::move(fn));
   }
 
-  /// Injects a packet into the fabric (wire timing handled by the fabric).
-  void inject(net::Packet&& p) { fabric_->send(std::move(p)); }
+  /// Injects a packet into the fabric (wire timing handled by the fabric);
+  /// returns the fabric-assigned flow id for trace correlation.
+  std::uint64_t inject(net::Packet&& p) { return fabric_->send(std::move(p)); }
 
   /// Installs the packet dispatcher (one per NIC; typically set by the node
   /// wiring to fan out between MCP and the collective engine).
@@ -49,7 +50,10 @@ class Nic {
   [[nodiscard]] sim::Tracer* tracer() { return tracer_; }
   [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
 
-  void trace(std::string_view event, std::int64_t a = 0, std::int64_t b = 0);
+  /// Records a protocol trace event; `flow` (when non-zero) correlates it
+  /// with the fabric packet carrying this protocol step.
+  void trace(std::string_view event, std::int64_t a = 0, std::int64_t b = 0,
+             std::int64_t flow = 0);
 
  private:
   sim::Engine* engine_;

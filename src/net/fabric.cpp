@@ -20,7 +20,13 @@ Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topology,
   packets_dropped_ = reg.counter("fabric.packets_dropped");
   packet_bytes_ = reg.histogram("fabric.packet_bytes");
   nics_attached_ = reg.gauge("fabric.nics");
-  if (tracer_) trace_comp_ = tracer_->intern("fabric");
+  if (tracer_) {
+    trace_comp_ = tracer_->intern("fabric");
+    trace_ev_inject_ = tracer_->intern("inject");
+    trace_ev_deliver_ = tracer_->intern("deliver");
+    trace_ev_drop_ = tracer_->intern("drop");
+    trace_ev_bcast_ = tracer_->intern("broadcast");
+  }
   links_.reserve(topology_->num_links());
   for (std::size_t i = 0; i < topology_->num_links(); ++i) {
     links_.emplace_back(params_.link);
@@ -63,15 +69,23 @@ void Fabric::schedule_delivery(Packet&& p, sim::SimTime at) {
   // storage — no shared_ptr, no heap.
   engine_.schedule_at(at, [this, p = std::move(p)]() mutable {
     ++packets_delivered_;
+    if (tracer_ && tracer_->enabled()) {
+      // Flow finish on the destination track: pairs with the injection's
+      // flow start through the shared packet id.
+      tracer_->record(engine_.now(), trace_comp_, trace_ev_deliver_, p.dst.value(),
+                      p.src.value(), static_cast<std::int64_t>(p.wire_bytes),
+                      static_cast<std::int64_t>(p.id), obs::FlowPhase::kFinish);
+    }
     nics_[p.dst.index()](std::move(p));
   });
 }
 
-void Fabric::send(Packet&& p) {
+std::uint64_t Fabric::send(Packet&& p) {
   assert(p.src.valid() && p.src.index() < nics_.size() && "send from unattached NIC");
   assert(p.dst.valid() && p.dst.index() < nics_.size() && "send to unattached NIC");
   assert(p.src != p.dst && "fabric does not loop back");
   p.id = next_packet_id_++;
+  const std::uint64_t flow = p.id;
   ++packets_sent_;
   bytes_sent_ += p.wire_bytes;
   packet_bytes_.record(p.wire_bytes);
@@ -81,15 +95,19 @@ void Fabric::send(Packet&& p) {
   const sim::SimTime arrival = traverse(route, p.wire_bytes, engine_.now());
 
   if (tracer_ && tracer_->enabled()) {
+    // A dropped packet never delivers, so it gets no flow start — a start
+    // without a finish would render as a dangling arrow.
+    const bool dropped = action == FaultAction::kDrop;
     tracer_->record(engine_.now(), trace_comp_,
-                    tracer_->intern(action == FaultAction::kDrop ? "drop" : "inject"),
-                    p.src.value(), p.dst.value(),
-                    static_cast<std::int64_t>(p.wire_bytes));
+                    dropped ? trace_ev_drop_ : trace_ev_inject_, p.src.value(),
+                    p.dst.value(), static_cast<std::int64_t>(p.wire_bytes),
+                    static_cast<std::int64_t>(flow),
+                    dropped ? obs::FlowPhase::kNone : obs::FlowPhase::kStart);
   }
 
   if (action == FaultAction::kDrop) {  // lost on the wire
     ++packets_dropped_;
-    return;
+    return flow;
   }
   if (action == FaultAction::kDuplicate) {
     // The duplicate rides the same cached route; it still traverses the
@@ -99,6 +117,7 @@ void Fabric::send(Packet&& p) {
     schedule_delivery(std::move(copy), arrival2);
   }
   schedule_delivery(std::move(p), arrival);
+  return flow;
 }
 
 sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
@@ -122,6 +141,13 @@ sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
     const NicAddr dst(d);
     Packet p(src, dst, wire_bytes, body.clone());
     p.id = next_packet_id_++;
+    if (tracer_ && tracer_->enabled()) {
+      // One flow start per replica: each copy draws its own arrow from the
+      // source track even though shared links carry one transmission.
+      tracer_->record(engine_.now(), trace_comp_, trace_ev_inject_, src.value(),
+                      dst.value(), static_cast<std::int64_t>(wire_bytes),
+                      static_cast<std::int64_t>(p.id), obs::FlowPhase::kStart);
+    }
     ++packets_sent_;
     bytes_sent_ += wire_bytes;
     packet_bytes_.record(wire_bytes);
@@ -150,7 +176,7 @@ sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
     schedule_delivery(std::move(p), arrival);
   }
   if (tracer_ && tracer_->enabled()) {
-    tracer_->record(engine_.now(), trace_comp_, tracer_->intern("broadcast"), src.value(),
+    tracer_->record(engine_.now(), trace_comp_, trace_ev_bcast_, src.value(),
                     first.value(), last.value());
   }
   return latest;

@@ -51,8 +51,12 @@ class Fabric {
   /// a packet addressed to it arrives.
   NicAddr attach(DeliverFn deliver);
 
-  /// Injects a packet. The source NIC must have been attached.
-  void send(Packet&& p);
+  /// Injects a packet; returns its fabric-assigned flow id (== Packet::id,
+  /// monotonically increasing across injections). The source NIC must have
+  /// been attached. With tracing on, injection records a flow-start event
+  /// on the source NIC's track and delivery a flow-finish on the
+  /// destination's, so the hop renders as an arrow in Perfetto.
+  std::uint64_t send(Packet&& p);
 
   /// Hardware multicast: replicates a packet from `src` to every attached
   /// NIC in [first, last] (inclusive, possibly including src). Climbs to at
@@ -91,7 +95,11 @@ class Fabric {
   std::unique_ptr<Topology> topology_;
   FabricParams params_;
   sim::Tracer* tracer_;
-  std::uint16_t trace_comp_ = 0;  // interned "fabric"
+  std::uint16_t trace_comp_ = 0;        // interned "fabric"
+  std::uint16_t trace_ev_inject_ = 0;   // interned event names (hot path)
+  std::uint16_t trace_ev_deliver_ = 0;
+  std::uint16_t trace_ev_drop_ = 0;
+  std::uint16_t trace_ev_bcast_ = 0;
   std::vector<Link> links_;
   std::vector<SwitchNode> switches_;
   std::vector<DeliverFn> nics_;

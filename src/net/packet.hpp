@@ -191,7 +191,13 @@ struct Packet {
   NicAddr src;
   NicAddr dst;
   std::uint32_t wire_bytes = 0;  // total on-the-wire size including headers
-  std::uint64_t id = 0;          // fabric-assigned, unique per injection
+  /// Fabric-assigned flow id: monotonically increasing, unique per
+  /// injection (broadcast replicas each get their own). Trace events use it
+  /// to pair a packet's injection with its delivery (Chrome `ph:"s"/"f"`
+  /// flow arrows) and to correlate protocol-level trigger/recv events with
+  /// the wire hop that carried them. A fault-injected duplicate keeps the
+  /// original's id — both arrivals belong to one logical flow.
+  std::uint64_t id = 0;
   PacketPayload body;
 
   Packet() = default;

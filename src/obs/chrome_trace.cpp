@@ -1,9 +1,8 @@
 #include "obs/chrome_trace.hpp"
 
 #include <algorithm>
-#include <cinttypes>
-#include <cstdio>
 #include <set>
+#include <string>
 
 #include "obs/json.hpp"
 
@@ -15,16 +14,31 @@ namespace {
 // tid = node + 1 so Perfetto sorts them naturally.
 constexpr std::int32_t kFabricTid = 0;
 
+// Flow events bind by (cat, name, id): every packet flow shares one
+// name/category and is distinguished by its fabric-assigned flow id.
+constexpr std::string_view kFlowName = "pkt";
+constexpr std::string_view kFlowCat = "flow";
+
 std::int32_t tid_of(const TraceEvent& e) { return e.node < 0 ? kFabricTid : e.node + 1; }
 
-void append_meta(std::string& out, std::int32_t tid, std::string_view name) {
-  char buf[64];
-  out += R"({"ph":"M","pid":1,"tid":)";
-  std::snprintf(buf, sizeof buf, "%d", tid);
-  out += buf;
-  out += R"(,"name":"thread_name","args":{"name":)";
-  out += json_quote(name);
-  out += "}},";
+/// Common skeleton of every record: phase and pid. Records are built as
+/// JsonValue objects (not a fixed-size stack buffer) so arbitrarily long
+/// interned names serialize without truncation.
+JsonValue record(std::string_view ph) {
+  JsonValue r = JsonValue::make_object();
+  r.set("ph", JsonValue::of(ph));
+  r.set("pid", JsonValue::of(1.0));
+  return r;
+}
+
+JsonValue meta_record(std::string_view name, std::string_view args_key,
+                      JsonValue args_value) {
+  JsonValue r = record("M");
+  r.set("name", JsonValue::of(name));
+  JsonValue args = JsonValue::make_object();
+  args.set(args_key, std::move(args_value));
+  r.set("args", std::move(args));
+  return r;
 }
 
 }  // namespace
@@ -34,34 +48,63 @@ std::string to_chrome_trace_json(const TraceBuffer& buf, std::string_view proces
   const StringTable& strings = buf.strings();
 
   std::string out = R"({"displayTimeUnit":"ns","traceEvents":[)";
-  out += R"({"ph":"M","pid":1,"name":"process_name","args":{"name":)";
-  out += json_quote(process_name);
-  out += "}},";
+  bool first = true;
+  const auto append = [&out, &first](const JsonValue& r) {
+    if (!first) out += ',';
+    first = false;
+    out += r.dump();
+  };
+
+  append(meta_record("process_name", "name", JsonValue::of(process_name)));
+  if (buf.overwritten() > 0) {
+    // The ring wrapped: the oldest events were overwritten and this export
+    // is the tail of the timeline, not the whole run. Consumers
+    // (trace_report.py, qmbsim) surface the count.
+    append(meta_record("qmb_trace_truncated", "dropped_events",
+                       JsonValue::of(static_cast<double>(buf.overwritten()))));
+  }
 
   std::set<std::int32_t> tids;
   for (const TraceEvent& e : events) tids.insert(tid_of(e));
   for (const std::int32_t tid : tids) {
-    char name[32];
-    if (tid == kFabricTid) {
-      std::snprintf(name, sizeof name, "fabric");
-    } else {
-      std::snprintf(name, sizeof name, "nic %d", tid - 1);
-    }
-    append_meta(out, tid, name);
+    JsonValue r = meta_record("thread_name", "name",
+                              JsonValue::of(tid == kFabricTid
+                                                ? std::string("fabric")
+                                                : "nic " + std::to_string(tid - 1)));
+    r.set("tid", JsonValue::of(static_cast<double>(tid)));
+    append(r);
   }
 
-  char buf2[256];
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
+  for (const TraceEvent& e : events) {
+    const std::int32_t tid = tid_of(e);
     // ts is in microseconds; picosecond stamps keep 6 decimals exactly.
-    std::snprintf(buf2, sizeof buf2,
-                  R"({"ph":"i","s":"t","pid":1,"tid":%d,"ts":%.6f,"name":%s,"cat":%s,)"
-                  R"("args":{"a":%)" PRId64 R"(,"b":%)" PRId64 "}}",
-                  tid_of(e), static_cast<double>(e.t_picos) * 1e-6,
-                  json_quote(strings.name(e.event)).c_str(),
-                  json_quote(strings.name(e.component)).c_str(), e.a, e.b);
-    out += buf2;
-    if (i + 1 < events.size()) out += ',';
+    const double ts = static_cast<double>(e.t_picos) * 1e-6;
+    JsonValue r = record("i");
+    r.set("s", JsonValue::of("t"));
+    r.set("tid", JsonValue::of(static_cast<double>(tid)));
+    r.set("ts", JsonValue::of(ts));
+    r.set("name", JsonValue::of(strings.name(e.event)));
+    r.set("cat", JsonValue::of(strings.name(e.component)));
+    JsonValue args = JsonValue::make_object();
+    args.set("a", JsonValue::of(static_cast<double>(e.a)));
+    args.set("b", JsonValue::of(static_cast<double>(e.b)));
+    if (e.flow != 0) args.set("flow", JsonValue::of(static_cast<double>(e.flow)));
+    r.set("args", std::move(args));
+    append(r);
+
+    // Injection/delivery events additionally carry a flow start/finish so
+    // Perfetto draws an arrow from the source NIC track to the destination.
+    if (e.flow != 0 && e.flow_phase != FlowPhase::kNone) {
+      const bool start = e.flow_phase == FlowPhase::kStart;
+      JsonValue f = record(start ? "s" : "f");
+      if (!start) f.set("bp", JsonValue::of("e"));  // bind to the enclosing ts
+      f.set("tid", JsonValue::of(static_cast<double>(tid)));
+      f.set("ts", JsonValue::of(ts));
+      f.set("id", JsonValue::of(static_cast<double>(e.flow)));
+      f.set("name", JsonValue::of(kFlowName));
+      f.set("cat", JsonValue::of(kFlowCat));
+      append(f);
+    }
   }
   out += "]}";
   return out;

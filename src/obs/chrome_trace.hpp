@@ -4,7 +4,12 @@
 // chrome://tracing and ui.perfetto.dev open directly: one process for the
 // simulation, one track (tid) per NIC/node, every protocol event as an
 // instant event carrying its operands. Events with node == -1 (fabric-wide)
-// land on a dedicated "fabric" track.
+// land on a dedicated "fabric" track. Events stamped with a flow id and a
+// FlowPhase additionally emit Chrome `ph:"s"`/`ph:"f"` flow events (name
+// "pkt", cat "flow", id = flow), so a packet renders as an arrow from its
+// injection on the source NIC track to its delivery on the destination. A
+// wrapped ring is announced by a `qmb_trace_truncated` metadata record
+// carrying the dropped-event count.
 #pragma once
 
 #include <string>

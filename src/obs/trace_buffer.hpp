@@ -1,12 +1,13 @@
 // Binary trace ring buffer.
 //
-// A trace event is 40 bytes: timestamp in integer picoseconds, interned
-// component/event ids, node index, two operands. Recording is a ring store
-// plus (for the slow path) two string-table lookups — no per-event
-// allocation. The buffer grows geometrically up to a fixed capacity, then
-// wraps, overwriting the oldest events and counting how many were lost;
-// long soak runs keep the tail of the timeline instead of exhausting
-// memory.
+// A trace event is 48 bytes: timestamp in integer picoseconds, interned
+// component/event ids, node index, two operands, and an optional flow id
+// linking a packet's injection record to its delivery record. Recording is
+// a ring store plus (for the slow path) two string-table lookups — no
+// per-event allocation. The buffer grows geometrically up to a fixed
+// capacity, then wraps, overwriting the oldest events and counting how many
+// were lost; long soak runs keep the tail of the timeline instead of
+// exhausting memory.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +18,13 @@
 
 namespace qmb::obs {
 
+/// Role of an event in a message flow: a kStart event marks a packet's
+/// injection on the source track, a kFinish event its delivery on the
+/// destination track. The Chrome exporter turns a start/finish pair with a
+/// shared flow id into `ph:"s"`/`ph:"f"` flow arrows; kNone events carry
+/// the flow id only as an operand (protocol-level correlation).
+enum class FlowPhase : std::uint8_t { kNone = 0, kStart = 1, kFinish = 2 };
+
 struct TraceEvent {
   std::int64_t t_picos = 0;
   std::uint16_t component = 0;  // StringTable id
@@ -24,6 +32,8 @@ struct TraceEvent {
   std::int32_t node = -1;
   std::int64_t a = 0;
   std::int64_t b = 0;
+  std::int64_t flow = 0;  // fabric-assigned packet flow id; 0 = no flow
+  FlowPhase flow_phase = FlowPhase::kNone;
 };
 
 /// Interns strings to dense uint16 ids. Lookup of an already-interned

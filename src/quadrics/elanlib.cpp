@@ -22,6 +22,9 @@ void ElanNode::put(int dst_node, std::uint32_t bytes, std::uint32_t tag,
     body.src_rank = static_cast<std::uint32_t>(index_);
     body.payload_bytes = bytes;
     body.value = value;
+    // Host-side doorbell; the flow id is assigned (and traced) when the
+    // RDMA unit injects the packet in rdma_put.
+    nic_.trace("elan_put", dst_node, tag);
     nic_.rdma_put(dst_node, bytes, body);
   });
 }

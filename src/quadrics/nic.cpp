@@ -25,26 +25,34 @@ Nic::Nic(sim::Engine& engine, net::Fabric& fabric, const Elan3Config& config,
   addr_ = fabric_->attach([this](net::Packet&& p) { on_packet(std::move(p)); });
 }
 
-void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b) {
+void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b,
+                std::int64_t flow) {
   if (tracer_ && tracer_->enabled()) {
-    tracer_->record(engine_->now(), trace_comp_, tracer_->intern(event), node_, a, b);
+    tracer_->record(engine_->now(), trace_comp_, tracer_->intern(event), node_, a, b,
+                    flow);
   }
 }
 
 void Nic::rdma_put(int dst_node, std::uint32_t bytes, ElanRdma body) {
   unit_.exec(config_->rdma_issue, [this, dst_node, bytes, body] {
     ++stats_.rdma_issued;
-    fabric_->send(net::Packet(addr_, net::NicAddr(dst_node),
-                              config_->header_bytes + bytes, body));
+    const std::uint64_t flow = fabric_->send(net::Packet(
+        addr_, net::NicAddr(dst_node), config_->header_bytes + bytes, body));
+    // The RDMA-chain trigger: operands are the destination and the
+    // schedule-edge tag (the barrier round); flow ties it to the wire hop.
+    trace("rdma_trigger", dst_node, body.tag, static_cast<std::int64_t>(flow));
   });
 }
 
 void Nic::on_packet(net::Packet&& p) {
   if (const auto* r = net::body_as<ElanRdma>(p)) {
     const ElanRdma body = *r;
+    const std::uint64_t flow = p.id;
     // The event unit fires the remote event attached to the put.
-    unit_.exec(config_->event_fire, [this, body] {
+    unit_.exec(config_->event_fire, [this, body, flow] {
       ++stats_.events_fired;
+      trace("event_fire", static_cast<std::int64_t>(body.src_rank), body.tag,
+            static_cast<std::int64_t>(flow));
       switch (body.ev_class) {
         case ElanRdma::EventClass::kBarrier:
           handle_barrier_event(body);
@@ -63,14 +71,20 @@ void Nic::on_packet(net::Packet&& p) {
   }
   if (const auto* probe = net::body_as<TsetProbe>(p)) {
     const TsetProbe body = *probe;
-    unit_.exec(config_->tset_probe, [this, body] {
+    const std::uint64_t flow = p.id;
+    unit_.exec(config_->tset_probe, [this, body, flow] {
+      trace("tset_probe", static_cast<std::int64_t>(body.round), 0,
+            static_cast<std::int64_t>(flow));
       if (probe_handler_) probe_handler_(body);
     });
     return;
   }
   if (const auto* go = net::body_as<TsetGo>(p)) {
     const TsetGo body = *go;
-    unit_.exec(config_->event_fire, [this, body] {
+    const std::uint64_t flow = p.id;
+    unit_.exec(config_->event_fire, [this, body, flow] {
+      trace("tset_go", static_cast<std::int64_t>(body.round), 0,
+            static_cast<std::int64_t>(flow));
       if (go_handler_) go_handler_(body);
     });
     return;

@@ -99,7 +99,10 @@ class Nic {
   [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] const ElanStats& stats() const { return stats_; }
 
-  void trace(std::string_view event, std::int64_t a = 0, std::int64_t b = 0);
+  /// Records a protocol trace event; `flow` (when non-zero) correlates it
+  /// with the fabric packet carrying this RDMA/event-chain step.
+  void trace(std::string_view event, std::int64_t a = 0, std::int64_t b = 0,
+             std::int64_t flow = 0);
 
  private:
   struct EarlyArrival {

@@ -235,6 +235,7 @@ RunResult run_myrinet(const ExperimentSpec& s) {
   fill_engine(out, engine);
   if (s.collect_trace) out.trace_csv = tracer.to_csv();
   if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
+  if (tracing) out.trace_dropped = tracer.overwritten();
   return out;
 }
 
@@ -272,6 +273,7 @@ RunResult run_quadrics(const ExperimentSpec& s) {
   fill_engine(out, engine);
   if (s.collect_trace) out.trace_csv = tracer.to_csv();
   if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
+  if (tracing) out.trace_dropped = tracer.overwritten();
   return out;
 }
 

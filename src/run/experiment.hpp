@@ -87,6 +87,10 @@ struct RunResult {
   std::uint64_t hw_failed_probes = 0;  // Quadrics hgsync only
   std::string trace_csv;               // only when spec.collect_trace
   std::string trace_json;              // Chrome trace_event doc, spec.chrome_trace
+  // Events lost to trace-ring wrap-around during a traced run; the exports
+  // above are the tail of the timeline when this is non-zero. Host-side
+  // observability only — never part of fingerprint().
+  std::uint64_t trace_dropped = 0;
 
   /// Generic snapshot of every metric the run registered (protocol
   /// counters, gauges, log2 histograms), aggregated across nodes in

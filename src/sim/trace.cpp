@@ -12,7 +12,7 @@ std::vector<TraceRecord> Tracer::records() const {
   const auto& strings = buf_.strings();
   for (const obs::TraceEvent& e : buf_.events()) {
     out.push_back({SimTime(e.t_picos), strings.name(e.component), strings.name(e.event),
-                   e.node, e.a, e.b});
+                   e.node, e.a, e.b, e.flow, e.flow_phase});
   }
   return out;
 }
@@ -28,11 +28,16 @@ std::size_t Tracer::count(std::string_view component, std::string_view event) co
 
 std::string Tracer::to_csv() const {
   std::ostringstream os;
-  os << "time_us,component,event,node,a,b\n";
+  if (buf_.overwritten() > 0) {
+    os << "# trace truncated: ring wrapped, " << buf_.overwritten()
+       << " oldest events dropped\n";
+  }
+  os << "time_us,component,event,node,a,b,flow\n";
   const auto& strings = buf_.strings();
   for (const obs::TraceEvent& e : buf_.events()) {
     os << SimTime(e.t_picos).micros() << ',' << strings.name(e.component) << ','
-       << strings.name(e.event) << ',' << e.node << ',' << e.a << ',' << e.b << '\n';
+       << strings.name(e.event) << ',' << e.node << ',' << e.a << ',' << e.b << ','
+       << e.flow << '\n';
   }
   return os.str();
 }

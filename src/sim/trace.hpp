@@ -2,7 +2,7 @@
 //
 // Components emit trace events ("packet injected", "barrier msg triggered",
 // "NACK sent") tagged with sim time, component and node. Storage is a
-// binary ring buffer (obs::TraceBuffer): 40 bytes per event, interned
+// binary ring buffer (obs::TraceBuffer): 48 bytes per event, interned
 // component/event ids, no per-record allocation — cheap enough to leave on
 // for soak runs. The examples use the CSV export to inspect protocol
 // timelines, qmbsim's --chrome-trace exports the same buffer as Chrome
@@ -10,7 +10,9 @@
 // materialized records (e.g. "exactly one NACK was sent").
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +31,8 @@ struct TraceRecord {
   std::int64_t node = -1; // node/NIC index, -1 when not applicable
   std::int64_t a = 0;     // event-specific operands (peer, seqno, round, ...)
   std::int64_t b = 0;
+  std::int64_t flow = 0;  // fabric packet flow id; 0 = not tied to a packet
+  obs::FlowPhase flow_phase = obs::FlowPhase::kNone;
 };
 
 class Tracer {
@@ -44,16 +48,17 @@ class Tracer {
   void record(const TraceRecord& r) {
     if (!enabled_) return;
     buf_.push({r.at.picos(), buf_.strings().intern(r.component),
-               buf_.strings().intern(r.event), static_cast<std::int32_t>(r.node), r.a,
-               r.b});
+               buf_.strings().intern(r.event), narrow_node(r.node), r.a, r.b, r.flow,
+               r.flow_phase});
   }
 
   /// Hot path: ids from intern() (cache the component id at construction;
   /// event-name interning of an existing string allocates nothing).
   void record(SimTime at, std::uint16_t component, std::uint16_t event, std::int64_t node,
-              std::int64_t a = 0, std::int64_t b = 0) {
+              std::int64_t a = 0, std::int64_t b = 0, std::int64_t flow = 0,
+              obs::FlowPhase phase = obs::FlowPhase::kNone) {
     if (!enabled_) return;
-    buf_.push({at.picos(), component, event, static_cast<std::int32_t>(node), a, b});
+    buf_.push({at.picos(), component, event, narrow_node(node), a, b, flow, phase});
   }
 
   [[nodiscard]] std::uint16_t intern(std::string_view s) {
@@ -76,10 +81,21 @@ class Tracer {
   [[nodiscard]] std::string to_chrome_json() const;
 
   [[nodiscard]] const obs::TraceBuffer& buffer() const { return buf_; }
+  /// Events lost to ring wrap-around (oldest overwritten by newest).
+  [[nodiscard]] std::uint64_t overwritten() const { return buf_.overwritten(); }
   /// Ring capacity for long traced runs; only callable before recording.
   void set_capacity(std::size_t events) { buf_.set_capacity(events); }
 
  private:
+  /// TraceRecord carries node as int64 but the binary event stores int32; a
+  /// corrupt/oversized id must not silently wrap into a wrong track.
+  [[nodiscard]] static std::int32_t narrow_node(std::int64_t node) {
+    constexpr std::int64_t lo = std::numeric_limits<std::int32_t>::min();
+    constexpr std::int64_t hi = std::numeric_limits<std::int32_t>::max();
+    assert(node >= lo && node <= hi && "trace node id outside int32 range");
+    return static_cast<std::int32_t>(node < lo ? lo : node > hi ? hi : node);
+  }
+
   bool enabled_ = false;
   obs::TraceBuffer buf_;
 };

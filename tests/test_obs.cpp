@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_buffer.hpp"
+#include "run/experiment.hpp"
 #include "run/sweep.hpp"
 
 namespace qmb {
@@ -166,6 +168,24 @@ TEST(TraceBuffer, WrapsAtCapacityKeepingNewest) {
   }
 }
 
+TEST(TraceBuffer, WrapOrderingSurvivesMultipleLaps) {
+  // Wrap the ring several times over: events() must still linearize
+  // oldest-to-newest with the head in the middle of the storage vector.
+  obs::TraceBuffer buf;
+  buf.set_capacity(8);
+  for (std::int64_t i = 0; i < 35; ++i) {
+    buf.push({i, 0, 0, 0, i * 10, 0});
+  }
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.overwritten(), 27u);
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 8u);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].t_picos, static_cast<std::int64_t>(27 + i));
+    EXPECT_EQ(evs[i].a, static_cast<std::int64_t>(27 + i) * 10);
+  }
+}
+
 TEST(TraceBuffer, StringTableInternsStably) {
   obs::StringTable tab;
   const std::uint16_t a = tab.intern("fabric");
@@ -174,6 +194,23 @@ TEST(TraceBuffer, StringTableInternsStably) {
   EXPECT_NE(a, b);
   EXPECT_EQ(tab.name(a), "fabric");
   EXPECT_EQ(tab.name(b), "nic");
+}
+
+TEST(TraceBuffer, StringTableInternIdSpaceBoundary) {
+  // Ids are uint16: 65536 distinct strings fill ids 0..65535; the next
+  // distinct string must throw instead of silently aliasing id 0.
+  obs::StringTable tab;
+  std::uint16_t last = 0;
+  for (int i = 0; i < 65536; ++i) {
+    last = tab.intern("s" + std::to_string(i));
+  }
+  EXPECT_EQ(tab.size(), 65536u);
+  EXPECT_EQ(last, 65535u);
+  // Re-interning existing strings at the boundary is still fine...
+  EXPECT_EQ(tab.intern("s0"), 0u);
+  EXPECT_EQ(tab.intern("s65535"), 65535u);
+  // ...but a 65537th distinct string cannot be represented.
+  EXPECT_THROW((void)tab.intern("one-too-many"), std::length_error);
 }
 
 // ----------------------------------------------------------- chrome export
@@ -216,6 +253,150 @@ TEST(ChromeTrace, ExportIsWellFormedJsonWithPerNicTracks) {
                                         return e.string_or("ph", "") == "i";
                                       });
   EXPECT_DOUBLE_EQ(first_i.number_or("ts", 0), 1.0);
+}
+
+TEST(ChromeTrace, EmptyBufferExportsValidJson) {
+  // Regression: the old exporter left a trailing comma after the metadata
+  // records when the buffer held no events.
+  obs::TraceBuffer buf;
+  const obs::JsonValue j = obs::JsonValue::parse(obs::to_chrome_trace_json(buf));
+  const obs::JsonValue* evs = j.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_TRUE(evs->is_array());
+  ASSERT_EQ(evs->array.size(), 1u);  // just the process_name metadata
+  EXPECT_EQ(evs->array[0].string_or("ph", ""), "M");
+}
+
+TEST(ChromeTrace, WrappedBufferEmitsTruncationMetadata) {
+  obs::TraceBuffer buf;
+  buf.set_capacity(4);
+  const std::uint16_t comp = buf.strings().intern("nic");
+  const std::uint16_t ev = buf.strings().intern("send");
+  for (std::int64_t i = 0; i < 10; ++i) {
+    buf.push({i * 1'000'000, comp, ev, 0, i, 0});
+  }
+  const obs::JsonValue j = obs::JsonValue::parse(obs::to_chrome_trace_json(buf));
+  const obs::JsonValue* evs = j.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  const obs::JsonValue* meta = nullptr;
+  for (const auto& e : evs->array) {
+    if (e.string_or("ph", "") == "M" &&
+        e.string_or("name", "") == "qmb_trace_truncated") {
+      meta = &e;
+    }
+  }
+  ASSERT_NE(meta, nullptr) << "wrapped export must carry a truncation record";
+  const obs::JsonValue* args = meta->find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->number_or("dropped_events", -1), 6.0);
+
+  // An unwrapped buffer must NOT carry the record.
+  obs::TraceBuffer small;
+  const obs::JsonValue k = obs::JsonValue::parse(obs::to_chrome_trace_json(small));
+  for (const auto& e : k.find("traceEvents")->array) {
+    EXPECT_NE(e.string_or("name", ""), "qmb_trace_truncated");
+  }
+}
+
+TEST(ChromeTrace, LongInternedNamesSerializeUntruncated) {
+  // Regression: records used to be formatted into a fixed 256-byte stack
+  // buffer, so a long event/category name truncated mid-string and broke
+  // the document.
+  obs::TraceBuffer buf;
+  const std::string long_event(600, 'e');
+  const std::string long_comp = "comp-" + std::string(400, 'c');
+  buf.push({1'000'000, buf.strings().intern(long_comp),
+            buf.strings().intern(long_event), 0, 1, 2});
+  const std::string doc = obs::to_chrome_trace_json(buf);
+  const obs::JsonValue j = obs::JsonValue::parse(doc);  // throws if malformed
+  bool found = false;
+  for (const auto& e : j.find("traceEvents")->array) {
+    if (e.string_or("ph", "") != "i") continue;
+    found = true;
+    EXPECT_EQ(e.string_or("name", ""), long_event);
+    EXPECT_EQ(e.string_or("cat", ""), long_comp);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChromeTrace, FlowPhasesEmitPairedStartFinishRecords) {
+  obs::TraceBuffer buf;
+  const std::uint16_t comp = buf.strings().intern("fabric");
+  const std::uint16_t inj = buf.strings().intern("inject");
+  const std::uint16_t del = buf.strings().intern("deliver");
+  buf.push({1'000'000, comp, inj, 0, 3, 64, 42, obs::FlowPhase::kStart});
+  buf.push({2'000'000, comp, del, 3, 0, 64, 42, obs::FlowPhase::kFinish});
+  const obs::JsonValue j = obs::JsonValue::parse(obs::to_chrome_trace_json(buf));
+
+  const obs::JsonValue *start = nullptr, *finish = nullptr;
+  for (const auto& e : j.find("traceEvents")->array) {
+    const std::string_view ph = e.string_or("ph", "");
+    if (ph == "s") start = &e;
+    if (ph == "f") finish = &e;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  // Flow events bind by (cat, name, id); tid places the arrow's endpoints
+  // on the source and destination NIC tracks.
+  EXPECT_DOUBLE_EQ(start->number_or("id", -1), 42.0);
+  EXPECT_DOUBLE_EQ(finish->number_or("id", -1), 42.0);
+  EXPECT_EQ(start->string_or("cat", ""), "flow");
+  EXPECT_EQ(finish->string_or("cat", ""), "flow");
+  EXPECT_EQ(start->string_or("name", ""), finish->string_or("name", ""));
+  EXPECT_DOUBLE_EQ(start->number_or("tid", -1), 1.0);   // node 0
+  EXPECT_DOUBLE_EQ(finish->number_or("tid", -1), 4.0);  // node 3
+  EXPECT_EQ(finish->string_or("bp", ""), "e");  // bind finish to enclosing ts
+  // Instant events carry the flow id as an operand too.
+  for (const auto& e : j.find("traceEvents")->array) {
+    if (e.string_or("ph", "") != "i") continue;
+    const obs::JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_DOUBLE_EQ(args->number_or("flow", -1), 42.0);
+  }
+}
+
+TEST(ChromeTrace, TracedBarrierPairsEveryCollSendByFlowId) {
+  // Acceptance: a traced 16-node dissemination barrier exports a document
+  // where every NIC-level COLL send's flow id has exactly one flow start
+  // and one flow finish (lossless run), i.e. every protocol trigger is tied
+  // to a complete fabric hop.
+  run::ExperimentSpec s;
+  s.network = run::Network::kMyrinetXP;
+  s.nodes = 16;
+  s.impl = run::Impl::kNic;
+  s.algorithm = coll::Algorithm::kDissemination;
+  s.iters = 3;
+  s.warmup = 1;
+  s.seed = 1;
+  s.chrome_trace = true;
+  const run::RunResult r = run::run_experiment(s);
+  EXPECT_EQ(r.trace_dropped, 0u);
+
+  const obs::JsonValue j = obs::JsonValue::parse(r.trace_json);
+  std::vector<double> coll_flows;
+  std::map<double, int> starts, finishes;
+  for (const auto& e : j.find("traceEvents")->array) {
+    const std::string_view ph = e.string_or("ph", "");
+    if (ph == "s") ++starts[e.number_or("id", -1)];
+    if (ph == "f") ++finishes[e.number_or("id", -1)];
+    if (ph == "i" && e.string_or("name", "") == "coll_send") {
+      const obs::JsonValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      const double flow = args->number_or("flow", 0);
+      EXPECT_GT(flow, 0) << "coll_send without a flow id";
+      coll_flows.push_back(flow);
+    }
+  }
+  // 16 nodes x log2(16) rounds x (3 timed + 1 warmup) iterations.
+  ASSERT_EQ(coll_flows.size(), 16u * 4u * 4u);
+  for (const double flow : coll_flows) {
+    EXPECT_EQ(starts[flow], 1) << "flow " << flow;
+    EXPECT_EQ(finishes[flow], 1) << "flow " << flow;
+  }
+  // And globally: a lossless run has no dangling arrows at all.
+  for (const auto& [id, n] : starts) {
+    EXPECT_EQ(finishes[id], n) << "flow " << id;
+  }
 }
 
 // ------------------------------------------------------------- determinism

@@ -57,7 +57,9 @@ struct Options {
       "         (counters, gauges, log2 histograms) as JSON to PATH\n"
       "  --chrome-trace PATH                        write a Chrome trace_event\n"
       "         JSON timeline to PATH (open in chrome://tracing or Perfetto;\n"
-      "         single runs only)\n"
+      "         single runs only). Packet hops render as flow arrows between\n"
+      "         NIC tracks; summarize per-round latency with:\n"
+      "           python3 tools/trace_report.py PATH\n"
       "  --sweep LIST                               node-count axis; LIST is\n"
       "         comma-separated counts and/or ranges: 2,4,8  2:64:x2 (geometric)\n"
       "         2:16:+2 (arithmetic); runs all points in parallel\n"
@@ -264,6 +266,12 @@ int run_single(const Options& o) {
     std::printf("%s\n", run::to_json(r).c_str());
   } else {
     print_result(r);
+  }
+  if (r.trace_dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: trace ring wrapped, %llu oldest events dropped; exports "
+                 "are the tail of the timeline\n",
+                 static_cast<unsigned long long>(r.trace_dropped));
   }
   if (o.spec.collect_trace) {
     // The CSV goes to its own file when asked; under --json it goes to

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Per-round latency report over a qmbsim --chrome-trace export.
+
+Consumes the Chrome trace_event JSON written by `qmbsim --chrome-trace PATH`
+(or run::RunResult::trace_json) and prints a per-round breakdown of the
+barrier/collective's wire traffic:
+
+  round | hops | hop latency min/med/max | trigger gap min/med/max | nacks | retx
+
+Definitions:
+  * A *hop* is one packet's fabric traversal, paired injection->delivery via
+    the exporter's Chrome flow events (ph "s"/"f" sharing a flow id).
+  * A hop belongs to a *round* when a protocol-level trigger event
+    (myri coll_send or elan rdma_trigger) carries the same flow id; the
+    trigger's `b` operand is the schedule-edge tag, i.e. the round for plain
+    exchange steps. Sentinel tags decode to the pairwise-exchange pre/post
+    and gather-broadcast up/down phases. Hops with no trigger (GM data
+    fragments, NACK wires, tset probes) land in the "other" row.
+  * The *trigger gap* is the spread between consecutive trigger timestamps
+    inside one round -- the skew with which the round's sends were issued.
+  * nacks counts coll_nack sends tagged with the round; retx counts
+    coll_nack_rx (each NACK received triggers at most one protocol
+    retransmission). GM-level mcp_retransmit events are totalled separately
+    since they carry a sequence number, not a round.
+
+All timestamps in the export are microseconds; the table prints microseconds.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# Sentinel schedule-edge tags (src/core/coll_tag.hpp / core/schedule.hpp).
+SENTINEL_TAGS = {
+    0x100: "pre",    # pairwise exchange: high rank registers with partner
+    0x101: "post",   # pairwise exchange: partner releases high rank
+    0x200: "up",     # gather-broadcast: combine toward the root
+    0x201: "down",   # gather-broadcast: release from the root
+}
+
+TRIGGER_EVENTS = ("coll_send", "rdma_trigger")
+OTHER_ROUND = "other"
+
+
+BARRIER_TAG_BASE = 0x80000000  # core::BarrierTag: [31] base, [0..11] edge tag
+
+
+def round_label(tag):
+    if tag is None:
+        return OTHER_ROUND
+    tag = int(tag)
+    if tag & BARRIER_TAG_BASE:
+        # Host-level executors encode group/seq/edge into one GM tag
+        # (core/coll_tag.hpp); the schedule edge lives in the low 12 bits.
+        tag &= 0xFFF
+    if tag in SENTINEL_TAGS:
+        return SENTINEL_TAGS[tag]
+    return str(tag)
+
+
+def round_sort_key(label):
+    # Numeric rounds first in order, then the named phases, then "other".
+    try:
+        return (0, int(label), "")
+    except ValueError:
+        order = {"pre": 0, "up": 1, "down": 2, "post": 3, OTHER_ROUND: 4}
+        return (1, order.get(label, 5), label)
+
+
+def fmt_us(v):
+    return "-" if v is None else f"{v:.3f}"
+
+
+def spread(values):
+    """(min, median, max) of a sequence, or (None, None, None) when empty."""
+    if not values:
+        return (None, None, None)
+    return (min(values), statistics.median(values), max(values))
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        return doc.get("traceEvents", [])
+    return doc  # bare-array form is also valid Chrome trace JSON
+
+
+def build_report(events):
+    flow_start = {}     # flow id -> injection ts
+    flow_finish = {}    # flow id -> earliest delivery ts (dups keep first)
+    flow_round = {}     # flow id -> round label
+    triggers = {}       # round label -> [trigger ts]
+    nacks = {}          # round label -> count
+    retx = {}           # round label -> count
+    mcp_retransmits = 0
+    dropped = 0
+
+    for e in events:
+        ph = e.get("ph")
+        name = e.get("name", "")
+        if ph == "M":
+            if name == "qmb_trace_truncated":
+                dropped = int(e.get("args", {}).get("dropped_events", 0))
+            continue
+        if ph == "s" and e.get("cat") == "flow":
+            flow_start.setdefault(e["id"], e["ts"])
+            continue
+        if ph == "f" and e.get("cat") == "flow":
+            flow_finish.setdefault(e["id"], e["ts"])
+            continue
+        if ph != "i":
+            continue
+        args = e.get("args", {})
+        if name in TRIGGER_EVENTS:
+            label = round_label(args.get("b"))
+            triggers.setdefault(label, []).append(e["ts"])
+            if "flow" in args:
+                flow_round[args["flow"]] = label
+        elif name == "coll_nack":
+            label = round_label(args.get("b"))
+            nacks[label] = nacks.get(label, 0) + 1
+        elif name == "coll_nack_rx":
+            label = round_label(args.get("b"))
+            retx[label] = retx.get(label, 0) + 1
+        elif name == "mcp_retransmit":
+            mcp_retransmits += 1
+
+    hops = {}  # round label -> [hop latency us]
+    dangling = 0
+    for fid, t0 in flow_start.items():
+        t1 = flow_finish.get(fid)
+        if t1 is None:
+            dangling += 1  # injected but not delivered inside the trace tail
+            continue
+        label = flow_round.get(fid, OTHER_ROUND)
+        hops.setdefault(label, []).append(t1 - t0)
+
+    rounds = sorted(
+        set(hops) | set(triggers) | set(nacks) | set(retx), key=round_sort_key
+    )
+    rows = []
+    for label in rounds:
+        lat = spread(hops.get(label, []))
+        ts = sorted(triggers.get(label, []))
+        gaps = [b - a for a, b in zip(ts, ts[1:])]
+        gap = spread(gaps)
+        rows.append(
+            {
+                "round": label,
+                "hops": len(hops.get(label, [])),
+                "lat": lat,
+                "gap": gap,
+                "nacks": nacks.get(label, 0),
+                "retx": retx.get(label, 0),
+            }
+        )
+    return {
+        "rows": rows,
+        "flows": len(flow_start),
+        "paired": len(flow_start) - dangling,
+        "dangling": dangling,
+        "mcp_retransmits": mcp_retransmits,
+        "dropped": dropped,
+    }
+
+
+def print_report(rep, out=sys.stdout):
+    if rep["dropped"]:
+        print(
+            f"warning: trace ring wrapped, {rep['dropped']} oldest events "
+            "dropped; this report covers the tail of the timeline",
+            file=sys.stderr,
+        )
+    print(
+        f"flows: {rep['flows']} injected, {rep['paired']} paired, "
+        f"{rep['dangling']} dangling",
+        file=out,
+    )
+    if rep["mcp_retransmits"]:
+        print(f"gm-level retransmits (mcp_retransmit): {rep['mcp_retransmits']}",
+              file=out)
+    header = (
+        f"{'round':>6} {'hops':>5} "
+        f"{'hop min':>9} {'hop med':>9} {'hop max':>9} "
+        f"{'gap min':>9} {'gap med':>9} {'gap max':>9} "
+        f"{'nacks':>5} {'retx':>4}"
+    )
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for r in rep["rows"]:
+        print(
+            f"{r['round']:>6} {r['hops']:>5} "
+            f"{fmt_us(r['lat'][0]):>9} {fmt_us(r['lat'][1]):>9} "
+            f"{fmt_us(r['lat'][2]):>9} "
+            f"{fmt_us(r['gap'][0]):>9} {fmt_us(r['gap'][1]):>9} "
+            f"{fmt_us(r['gap'][2]):>9} "
+            f"{r['nacks']:>5} {r['retx']:>4}",
+            file=out,
+        )
+    if not rep["rows"]:
+        print("(no flow or trigger events in trace)", file=out)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Per-round latency breakdown of a qmbsim Chrome trace "
+        "(units: microseconds)."
+    )
+    ap.add_argument("trace", help="path to a qmbsim --chrome-trace JSON export")
+    args = ap.parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read trace: {err}", file=sys.stderr)
+        return 1
+    print_report(build_report(events))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
