@@ -6,12 +6,18 @@
 // map — each point builds its own engine and cluster, so all points run
 // concurrently and print in axis order.
 //
-//   $ ./storm_launcher [nodes]
+//   $ ./storm_launcher [--max-nodes N] [--threads T] [--fault SPEC]...
+//
+// --fault uses the shared qmbsim/qmbfuzz grammar (see tools/cli.hpp) and
+// installs the rules into every cluster fabric, so the launcher doubles as
+// a chaos demo: management collectives must ride out the injected faults
+// on the protocol's recovery machinery.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "obs/metrics.hpp"
 #include "run/sweep.hpp"
 #include "storm/storm.hpp"
@@ -20,14 +26,65 @@ using namespace qmb;
 
 namespace {
 
+struct Options {
+  int max_nodes = 64;
+  unsigned threads = 0;
+  std::vector<net::FaultSpec> faults;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--max-nodes N] [--threads T] [--fault SPEC]...\n"
+      "  --fault SPEC   fault rule in the shared grammar, e.g. drop:p=0.01,seed=7\n"
+      "                 (repeatable; installed into every simulated fabric)\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--max-nodes") {
+      o.max_nodes = std::atoi(cli::require_value(argc, argv, i, "--max-nodes"));
+    } else if (a == "--threads") {
+      o.threads = static_cast<unsigned>(
+          std::atoi(cli::require_value(argc, argv, i, "--threads")));
+    } else if (a == "--fault") {
+      net::FaultSpec f;
+      if (const std::string err =
+              cli::parse_fault(cli::require_value(argc, argv, i, "--fault"), f);
+          !err.empty()) {
+        std::fprintf(stderr, "--fault: %s\n", err.c_str());
+        usage(argv[0]);
+      }
+      o.faults.push_back(f);
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+    } else if (i == 1 && a[0] != '-') {
+      o.max_nodes = std::atoi(a.c_str());  // legacy positional [nodes]
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (o.max_nodes < 4) {
+    std::fprintf(stderr, "--max-nodes must be >= 4\n");
+    std::exit(2);
+  }
+  return o;
+}
+
 struct Numbers {
   double launch_us = 0;
   double total_us = 0;
 };
 
-Numbers run_backend(storm::Backend backend, int nodes) {
+Numbers run_backend(storm::Backend backend, int nodes,
+                    const std::vector<net::FaultSpec>& faults) {
   sim::Engine engine;
   core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
+  cluster.fabric().faults().install(faults);
   storm::ResourceManager rm(cluster, backend);
   storm::JobSpec spec;
   spec.job_id = 1;
@@ -50,7 +107,8 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 64;
+  const Options opts = parse(argc, argv);
+  const int max_nodes = opts.max_nodes;
   std::printf("STORM-lite gang launch (500 us job, 10%% imbalance)\n");
   std::printf("%8s %22s %22s %10s\n", "nodes", "host launch (us)", "NIC launch (us)",
               "speedup");
@@ -58,10 +116,10 @@ int main(int argc, char** argv) {
   std::vector<int> node_counts;
   for (int n = 4; n <= max_nodes; n *= 2) node_counts.push_back(n);
 
-  const run::SweepRunner runner;
+  const run::SweepRunner runner(opts.threads);
   const auto rows = runner.map<Row>(node_counts.size(), [&](std::size_t i) {
-    return Row{run_backend(storm::Backend::kHostBased, node_counts[i]),
-               run_backend(storm::Backend::kNicOffloaded, node_counts[i])};
+    return Row{run_backend(storm::Backend::kHostBased, node_counts[i], opts.faults),
+               run_backend(storm::Backend::kNicOffloaded, node_counts[i], opts.faults)};
   });
 
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -78,6 +136,7 @@ int main(int argc, char** argv) {
   {
     sim::Engine engine;
     core::MyriCluster cluster(engine, myri::lanaixp_cluster(), 8);
+    cluster.fabric().faults().install(opts.faults);
     storm::ResourceManager rm(cluster, storm::Backend::kNicOffloaded);
     storm::JobSpec spec;
     spec.job_id = 1;
@@ -100,7 +159,10 @@ int main(int argc, char** argv) {
 
     std::printf("\nstorm.* metric snapshot:\n");
     for (const obs::MetricValue& m : engine.metrics().snapshot()) {
-      if (m.name.rfind("storm.", 0) != 0) continue;
+      const bool storm_metric = m.name.rfind("storm.", 0) == 0;
+      const bool fault_metric =
+          !opts.faults.empty() && m.name.rfind("fault.", 0) == 0;
+      if (!storm_metric && !fault_metric) continue;
       std::printf("  %-28s %lld\n", m.name.c_str(),
                   static_cast<long long>(m.value));
     }

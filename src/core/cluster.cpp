@@ -102,7 +102,10 @@ std::vector<int> random_placement(int n, sim::Rng& rng) {
 }
 
 BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
-                                          int warmup, int iters) {
+                                          int warmup, int iters,
+                                          sim::SimDuration max_skew,
+                                          std::uint64_t skew_seed,
+                                          sim::SimDuration horizon) {
   const int n = barrier.size();
   const int total = warmup + iters;
   assert(total > 0);
@@ -110,25 +113,38 @@ BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
   std::vector<int> rank_iter(static_cast<std::size_t>(n), 0);
   std::vector<int> done_in_iter(static_cast<std::size_t>(total), 0);
   std::vector<sim::SimTime> iter_complete(static_cast<std::size_t>(total));
+  sim::Rng skew_rng(skew_seed);
 
   std::function<void(int)> enter_next = [&](int rank) {
     const int it = rank_iter[static_cast<std::size_t>(rank)];
     if (it >= total) return;
-    barrier.enter(rank, [&, rank, it] {
-      rank_iter[static_cast<std::size_t>(rank)] = it + 1;
-      if (++done_in_iter[static_cast<std::size_t>(it)] == n) {
-        iter_complete[static_cast<std::size_t>(it)] = engine.now();
-      }
-      // Decouple re-entry from the completion callback so trivially-
-      // completing barriers cannot recurse the host stack.
-      engine.schedule(sim::SimDuration::zero(), [&enter_next, rank] { enter_next(rank); });
-    });
+    const auto enter = [&, rank, it] {
+      barrier.enter(rank, [&, rank, it] {
+        rank_iter[static_cast<std::size_t>(rank)] = it + 1;
+        if (++done_in_iter[static_cast<std::size_t>(it)] == n) {
+          iter_complete[static_cast<std::size_t>(it)] = engine.now();
+        }
+        // Decouple re-entry from the completion callback so trivially-
+        // completing barriers cannot recurse the host stack.
+        engine.schedule(sim::SimDuration::zero(),
+                        [&enter_next, rank] { enter_next(rank); });
+      });
+    };
+    if (max_skew > sim::SimDuration::zero()) {
+      const auto jitter = sim::SimDuration(static_cast<std::int64_t>(
+          skew_rng.next_below(static_cast<std::uint64_t>(max_skew.picos()) + 1)));
+      engine.schedule(jitter, enter);
+    } else {
+      // No extra event: the skew-free path stays bit-identical to specs
+      // that predate entry skew.
+      enter();
+    }
   };
   for (int r = 0; r < n; ++r) enter_next(r);
   // Watchdog: a protocol bug that retransmits forever would otherwise spin
   // the engine indefinitely. No legitimate run needs minutes of simulated
   // time per 10k barriers.
-  engine.run_until(engine.now() + sim::seconds(120));
+  engine.run_until(engine.now() + horizon);
 
   for (int r = 0; r < n; ++r) {
     if (rank_iter[static_cast<std::size_t>(r)] != total) {

@@ -108,8 +108,14 @@ struct BarrierRunResult {
 };
 
 /// Runs `warmup + iters` consecutive barriers: every rank re-enters as soon
-/// as its previous completion is delivered. Drives the engine to completion.
-BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
-                                          int warmup, int iters);
+/// as its previous completion is delivered — or, when `max_skew` is
+/// non-zero, after a per-entry uniform delay in [0, max_skew] drawn from an
+/// RNG seeded with `skew_seed` (deterministic chaos, as the fuzzer drives).
+/// Drives the engine until every rank finished or `horizon` of simulated
+/// time elapsed, and throws std::runtime_error in the latter case.
+BarrierRunResult run_consecutive_barriers(
+    sim::Engine& engine, Barrier& barrier, int warmup, int iters,
+    sim::SimDuration max_skew = sim::SimDuration::zero(), std::uint64_t skew_seed = 0,
+    sim::SimDuration horizon = sim::seconds(120));
 
 }  // namespace qmb::core

@@ -1,0 +1,302 @@
+#include "fuzz/case.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+#include "sim/rng.hpp"
+
+namespace qmb::fuzz {
+
+namespace {
+
+/// Picks an element with uniform probability. Draw order is part of the
+/// derivation contract: reordering draws changes every derived case, which
+/// is allowed (repro artifacts carry full specs, not seeds) but noisy.
+template <typename T, std::size_t N>
+T pick(sim::Rng& rng, const T (&options)[N]) {
+  return options[rng.next_below(N)];
+}
+
+net::FaultSpec derive_fault(sim::Rng& rng, int nodes) {
+  net::FaultSpec f;
+  f.src = rng.next_bool(0.5) ? -1 : static_cast<std::int32_t>(rng.next_below(
+                                        static_cast<std::uint64_t>(nodes)));
+  f.dst = rng.next_bool(0.5) ? -1 : static_cast<std::int32_t>(rng.next_below(
+                                        static_cast<std::uint64_t>(nodes)));
+  constexpr net::FaultAction kActions[] = {
+      net::FaultAction::kDrop, net::FaultAction::kDuplicate,
+      net::FaultAction::kCorrupt, net::FaultAction::kReorder};
+  f.action = pick(rng, kActions);
+  if (f.action == net::FaultAction::kReorder) {
+    f.delay_ps = sim::microseconds(static_cast<std::int64_t>(1 + rng.next_below(30))).picos();
+  }
+  switch (rng.next_below(3)) {
+    case 0:  // targeted: the nth matching packet
+      f.nth = 1 + rng.next_below(60);
+      break;
+    case 1:  // soak: low per-packet probability, its own seed
+      f.prob = static_cast<double>(1 + rng.next_below(100)) / 1000.0;  // 0.1%..10%
+      f.seed = rng.next_u64();
+      break;
+    default: {  // blackout-style time window early in the run
+      const std::int64_t from_us = static_cast<std::int64_t>(rng.next_below(200));
+      const std::int64_t len_us = static_cast<std::int64_t>(1 + rng.next_below(100));
+      f.from_ps = sim::microseconds(from_us).picos();
+      f.until_ps = sim::microseconds(from_us + len_us).picos();
+      break;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
+  sim::Rng rng(seed);
+  run::ExperimentSpec s;
+  s.seed = rng.next_u64();  // feeds placement + skew, decorrelated from draws below
+  s.horizon_ms = opts.horizon_ms;
+
+  constexpr run::Network kNets[] = {run::Network::kMyrinetXP, run::Network::kMyrinetXP,
+                                    run::Network::kMyrinetL9, run::Network::kQuadrics};
+  s.network = pick(rng, kNets);
+  const bool myrinet = s.network != run::Network::kQuadrics;
+
+  constexpr coll::OpKind kOps[] = {coll::OpKind::kBarrier, coll::OpKind::kBcast,
+                                   coll::OpKind::kAllreduce, coll::OpKind::kAllgather,
+                                   coll::OpKind::kAlltoall};
+  s.op = pick(rng, kOps);
+
+  if (s.op == coll::OpKind::kBarrier) {
+    if (myrinet) {
+      constexpr run::Impl kImpls[] = {run::Impl::kNic, run::Impl::kNic, run::Impl::kHost,
+                                      run::Impl::kDirect};
+      s.impl = pick(rng, kImpls);
+    } else {
+      constexpr run::Impl kImpls[] = {run::Impl::kNic, run::Impl::kNic, run::Impl::kHost,
+                                      run::Impl::kGsync, run::Impl::kHgsync};
+      s.impl = pick(rng, kImpls);
+    }
+  } else {
+    s.impl = rng.next_bool(0.25) ? run::Impl::kHost : run::Impl::kNic;
+  }
+
+  constexpr coll::Algorithm kAlgos[] = {coll::Algorithm::kDissemination,
+                                        coll::Algorithm::kPairwiseExchange,
+                                        coll::Algorithm::kGatherBroadcast};
+  s.algorithm = pick(rng, kAlgos);
+
+  s.nodes = static_cast<int>(2 + rng.next_below(static_cast<std::uint64_t>(
+                                     opts.max_nodes > 2 ? opts.max_nodes - 1 : 1)));
+  s.iters = static_cast<int>(
+      1 + rng.next_below(static_cast<std::uint64_t>(opts.max_iters > 0 ? opts.max_iters : 1)));
+  s.warmup = static_cast<int>(rng.next_below(3));
+  s.random_placement = rng.next_bool(0.5);
+
+  // Ablation switches: mostly on (the production config), each off a
+  // quarter of the time so their interactions get exercised too.
+  s.features.dedicated_queue = rng.next_bool(0.75);
+  s.features.static_packet = rng.next_bool(0.75);
+  s.features.receiver_driven = rng.next_bool(0.75);
+  s.features.bitvector_record = rng.next_bool(0.75);
+
+  // Entry skew: a third of cases keep the tight re-entry loop, the rest
+  // smear entries over up to 20 us.
+  s.skew_max_us = rng.next_below(3) == 0
+                      ? 0.0
+                      : static_cast<double>(rng.next_below(20'001)) / 1000.0;
+
+  if (myrinet) {
+    const std::uint64_t rules = rng.next_below(4);  // 0..3 rules
+    for (std::uint64_t i = 0; i < rules; ++i) {
+      s.faults.push_back(derive_fault(rng, s.nodes));
+    }
+    if (opts.inject_bug && s.impl == run::Impl::kNic) {
+      s.features.debug_skip_retransmit = true;
+    }
+  }
+  return s;
+}
+
+namespace {
+
+obs::JsonValue u64_json(std::uint64_t v) { return obs::JsonValue::of(std::to_string(v)); }
+
+std::uint64_t u64_field(const obs::JsonValue& obj, std::string_view key,
+                        std::uint64_t fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->type == obs::JsonValue::Type::kString) {
+    return std::strtoull(v->string.c_str(), nullptr, 10);
+  }
+  if (v->type == obs::JsonValue::Type::kNumber) {
+    return static_cast<std::uint64_t>(v->number);
+  }
+  throw std::invalid_argument("spec field '" + std::string(key) +
+                              "' must be a string or number");
+}
+
+std::int64_t i64_field(const obs::JsonValue& obj, std::string_view key,
+                       std::int64_t fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != obs::JsonValue::Type::kNumber) {
+    throw std::invalid_argument("spec field '" + std::string(key) + "' must be a number");
+  }
+  return static_cast<std::int64_t>(v->number);
+}
+
+double double_field(const obs::JsonValue& obj, std::string_view key, double fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != obs::JsonValue::Type::kNumber) {
+    throw std::invalid_argument("spec field '" + std::string(key) + "' must be a number");
+  }
+  return v->number;
+}
+
+bool bool_field(const obs::JsonValue& obj, std::string_view key, bool fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != obs::JsonValue::Type::kBool) {
+    throw std::invalid_argument("spec field '" + std::string(key) + "' must be a bool");
+  }
+  return v->boolean;
+}
+
+}  // namespace
+
+std::string spec_to_json(const run::ExperimentSpec& s) {
+  obs::JsonValue o = obs::JsonValue::make_object();
+  o.set("network", obs::JsonValue::of(run::to_string(s.network)));
+  o.set("nodes", obs::JsonValue::of(static_cast<std::int64_t>(s.nodes)));
+  o.set("op", obs::JsonValue::of(run::to_string(s.op)));
+  o.set("impl", obs::JsonValue::of(run::to_string(s.impl)));
+  o.set("algorithm", obs::JsonValue::of(coll::to_string(s.algorithm)));
+  o.set("iters", obs::JsonValue::of(static_cast<std::int64_t>(s.iters)));
+  o.set("warmup", obs::JsonValue::of(static_cast<std::int64_t>(s.warmup)));
+  o.set("seed", u64_json(s.seed));
+  o.set("random_placement", obs::JsonValue::of(s.random_placement));
+  o.set("drop_prob", obs::JsonValue::of(s.drop_prob));
+  o.set("skew_max_us", obs::JsonValue::of(s.skew_max_us));
+  o.set("horizon_ms", obs::JsonValue::of(static_cast<std::int64_t>(s.horizon_ms)));
+
+  obs::JsonValue features = obs::JsonValue::make_object();
+  features.set("dedicated_queue", obs::JsonValue::of(s.features.dedicated_queue));
+  features.set("static_packet", obs::JsonValue::of(s.features.static_packet));
+  features.set("receiver_driven", obs::JsonValue::of(s.features.receiver_driven));
+  features.set("bitvector_record", obs::JsonValue::of(s.features.bitvector_record));
+  features.set("debug_skip_retransmit",
+               obs::JsonValue::of(s.features.debug_skip_retransmit));
+  o.set("features", std::move(features));
+
+  obs::JsonValue faults = obs::JsonValue::make_array();
+  for (const net::FaultSpec& f : s.faults) {
+    obs::JsonValue r = obs::JsonValue::make_object();
+    r.set("src", obs::JsonValue::of(static_cast<std::int64_t>(f.src)));
+    r.set("dst", obs::JsonValue::of(static_cast<std::int64_t>(f.dst)));
+    r.set("action", obs::JsonValue::of(net::to_string(f.action)));
+    if (f.nth != 0) r.set("nth", u64_json(f.nth));
+    if (f.prob != 0.0) {
+      r.set("prob", obs::JsonValue::of(f.prob));
+      r.set("seed", u64_json(f.seed));
+    }
+    if (f.until_ps > f.from_ps) {
+      r.set("from_ps", obs::JsonValue::of(f.from_ps));
+      r.set("until_ps", obs::JsonValue::of(f.until_ps));
+    }
+    if (f.delay_ps != 0) r.set("delay_ps", obs::JsonValue::of(f.delay_ps));
+    faults.array.push_back(std::move(r));
+  }
+  o.set("faults", std::move(faults));
+  return o.dump();
+}
+
+run::ExperimentSpec spec_from_json(std::string_view json) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::JsonValue::parse(json);
+  } catch (const obs::JsonError& e) {
+    throw std::invalid_argument(std::string("spec JSON: ") + e.what());
+  }
+  if (!doc.is_object()) throw std::invalid_argument("spec JSON must be an object");
+
+  run::ExperimentSpec s;
+  if (const obs::JsonValue* v = doc.find("network")) {
+    const auto n = run::parse_network(v->string);
+    if (!n) throw std::invalid_argument("unknown network '" + v->string + "'");
+    s.network = *n;
+  }
+  if (const obs::JsonValue* v = doc.find("op")) {
+    const auto k = run::parse_op(v->string);
+    if (!k) throw std::invalid_argument("unknown op '" + v->string + "'");
+    s.op = *k;
+  }
+  if (const obs::JsonValue* v = doc.find("impl")) {
+    const auto i = run::parse_impl(v->string);
+    if (!i) throw std::invalid_argument("unknown impl '" + v->string + "'");
+    s.impl = *i;
+  }
+  if (const obs::JsonValue* v = doc.find("algorithm")) {
+    // Accept both the CLI short form (ds/pe/gb) and coll::to_string()'s
+    // long form, which is what spec_to_json writes.
+    auto a = run::parse_algorithm(v->string);
+    if (!a) {
+      for (const coll::Algorithm cand :
+           {coll::Algorithm::kDissemination, coll::Algorithm::kPairwiseExchange,
+            coll::Algorithm::kGatherBroadcast}) {
+        if (v->string == coll::to_string(cand)) a = cand;
+      }
+    }
+    if (!a) throw std::invalid_argument("unknown algorithm '" + v->string + "'");
+    s.algorithm = *a;
+  }
+  s.nodes = static_cast<int>(i64_field(doc, "nodes", s.nodes));
+  s.iters = static_cast<int>(i64_field(doc, "iters", s.iters));
+  s.warmup = static_cast<int>(i64_field(doc, "warmup", s.warmup));
+  s.seed = u64_field(doc, "seed", s.seed);
+  s.random_placement = bool_field(doc, "random_placement", s.random_placement);
+  s.drop_prob = double_field(doc, "drop_prob", s.drop_prob);
+  s.skew_max_us = double_field(doc, "skew_max_us", s.skew_max_us);
+  s.horizon_ms = i64_field(doc, "horizon_ms", s.horizon_ms);
+
+  if (const obs::JsonValue* f = doc.find("features")) {
+    if (!f->is_object()) throw std::invalid_argument("'features' must be an object");
+    s.features.dedicated_queue =
+        bool_field(*f, "dedicated_queue", s.features.dedicated_queue);
+    s.features.static_packet = bool_field(*f, "static_packet", s.features.static_packet);
+    s.features.receiver_driven =
+        bool_field(*f, "receiver_driven", s.features.receiver_driven);
+    s.features.bitvector_record =
+        bool_field(*f, "bitvector_record", s.features.bitvector_record);
+    s.features.debug_skip_retransmit =
+        bool_field(*f, "debug_skip_retransmit", s.features.debug_skip_retransmit);
+  }
+
+  if (const obs::JsonValue* arr = doc.find("faults")) {
+    if (!arr->is_array()) throw std::invalid_argument("'faults' must be an array");
+    for (const obs::JsonValue& r : arr->array) {
+      if (!r.is_object()) throw std::invalid_argument("fault rule must be an object");
+      net::FaultSpec f;
+      f.src = static_cast<std::int32_t>(i64_field(r, "src", -1));
+      f.dst = static_cast<std::int32_t>(i64_field(r, "dst", -1));
+      if (const obs::JsonValue* a = r.find("action")) {
+        const auto act = net::parse_fault_action(a->string);
+        if (!act) throw std::invalid_argument("unknown fault action '" + a->string + "'");
+        f.action = *act;
+      }
+      f.nth = u64_field(r, "nth", 0);
+      f.prob = double_field(r, "prob", 0.0);
+      f.seed = u64_field(r, "seed", 0);
+      f.from_ps = i64_field(r, "from_ps", 0);
+      f.until_ps = i64_field(r, "until_ps", 0);
+      f.delay_ps = i64_field(r, "delay_ps", 0);
+      s.faults.push_back(f);
+    }
+  }
+  return s;
+}
+
+}  // namespace qmb::fuzz

@@ -1,0 +1,228 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "run/sweep.hpp"
+
+namespace qmb::fuzz {
+
+namespace {
+
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fold_str(std::uint64_t h, std::string_view s) {
+  for (const char c : s) h = mix64(h ^ static_cast<std::uint8_t>(c));
+  return h;
+}
+
+}  // namespace
+
+CaseResult run_case(const run::ExperimentSpec& spec) {
+  CaseResult c;
+  c.spec = spec;
+  try {
+    const run::RunResult r = run::run_experiment(spec);
+    c.fingerprint = r.fingerprint();
+    c.violations = check_invariants(r);
+  } catch (const std::exception& e) {
+    // A hang at the horizon or a deadlock surfaces as the runner's
+    // "did not complete" exception; fold it into the invariant taxonomy.
+    c.error = e.what();
+    c.violations.push_back({"completion", c.error});
+  }
+  return c;
+}
+
+ShrinkOutcome shrink(const run::ExperimentSpec& failing, int budget) {
+  ShrinkOutcome out;
+  out.minimal = failing;
+  const CaseResult base = run_case(failing);
+  ++out.attempts;
+  out.violations = base.violations;
+  if (!base.failed()) return out;  // caller broke the precondition; keep as-is
+
+  const auto try_adopt = [&](run::ExperimentSpec cand) {
+    if (out.attempts >= budget) return false;
+    if (!run::validate(cand).empty()) return false;  // e.g. fault refers to a cut node
+    ++out.attempts;
+    CaseResult c = run_case(cand);
+    if (!c.failed()) return false;
+    out.minimal = std::move(cand);
+    out.violations = std::move(c.violations);
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && out.attempts < budget) {
+    improved = false;
+    ++out.rounds;
+
+    // Fault rules: remove one at a time; on success re-test the same index
+    // (the next rule shifted into it).
+    for (std::size_t i = 0; i < out.minimal.faults.size();) {
+      run::ExperimentSpec cand = out.minimal;
+      cand.faults.erase(cand.faults.begin() + static_cast<std::ptrdiff_t>(i));
+      if (try_adopt(std::move(cand))) {
+        improved = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Iterations: jump straight to 1, else halve.
+    if (out.minimal.iters > 1) {
+      run::ExperimentSpec cand = out.minimal;
+      cand.iters = 1;
+      if (try_adopt(std::move(cand))) {
+        improved = true;
+      } else {
+        cand = out.minimal;
+        cand.iters = out.minimal.iters / 2;
+        if (try_adopt(std::move(cand))) improved = true;
+      }
+    }
+    if (out.minimal.warmup > 0) {
+      run::ExperimentSpec cand = out.minimal;
+      cand.warmup = 0;
+      if (try_adopt(std::move(cand))) improved = true;
+    }
+
+    // Nodes: jump to the floor, else halve, else decrement. Candidates
+    // whose fault rules name a now-nonexistent node fail validate() inside
+    // try_adopt and are skipped.
+    if (out.minimal.nodes > 2) {
+      bool cut = false;
+      for (const int target :
+           {2, out.minimal.nodes / 2, out.minimal.nodes - 1}) {
+        if (target < 2 || target >= out.minimal.nodes) continue;
+        run::ExperimentSpec cand = out.minimal;
+        cand.nodes = target;
+        if (try_adopt(std::move(cand))) {
+          cut = true;
+          break;
+        }
+      }
+      if (cut) improved = true;
+    }
+
+    // Chaos knobs that may be irrelevant to the failure.
+    if (out.minimal.skew_max_us > 0.0) {
+      run::ExperimentSpec cand = out.minimal;
+      cand.skew_max_us = 0.0;
+      if (try_adopt(std::move(cand))) improved = true;
+    }
+    if (out.minimal.random_placement) {
+      run::ExperimentSpec cand = out.minimal;
+      cand.random_placement = false;
+      if (try_adopt(std::move(cand))) improved = true;
+    }
+    if (out.minimal.drop_prob > 0.0) {
+      run::ExperimentSpec cand = out.minimal;
+      cand.drop_prob = 0.0;
+      if (try_adopt(std::move(cand))) improved = true;
+    }
+
+    // Ablation switches: move each back to the production default (true) so
+    // the repro names only the switches that matter. debug_skip_retransmit
+    // is the planted bug itself and is never shrunk away.
+    const myri::CollFeatures f = out.minimal.features;
+    const bool flags[] = {f.dedicated_queue, f.static_packet, f.receiver_driven,
+                          f.bitvector_record};
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (flags[i]) continue;
+      run::ExperimentSpec cand = out.minimal;
+      switch (i) {
+        case 0: cand.features.dedicated_queue = true; break;
+        case 1: cand.features.static_packet = true; break;
+        case 2: cand.features.receiver_driven = true; break;
+        default: cand.features.bitvector_record = true; break;
+      }
+      if (try_adopt(std::move(cand))) improved = true;
+    }
+  }
+  return out;
+}
+
+FuzzReport fuzz_range(std::uint64_t base_seed, std::size_t runs, unsigned threads,
+                      const FuzzOptions& opts, int shrink_budget) {
+  FuzzReport rep;
+  rep.runs = runs;
+  const run::SweepRunner pool(threads);
+  const std::vector<CaseResult> cases =
+      pool.map<CaseResult>(runs, [&](std::size_t i) {
+        const std::uint64_t seed = run::seed_for(base_seed, i);
+        CaseResult c = run_case(derive_case(seed, opts));
+        c.seed = seed;
+        return c;
+      });
+
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const CaseResult& c : cases) {
+    h = mix64(h ^ c.seed);
+    h = mix64(h ^ (c.failed() ? 1 : 0));
+    h = mix64(h ^ c.fingerprint);
+    for (const Violation& v : c.violations) h = fold_str(h, v.invariant);
+  }
+  rep.verdict_digest = h;
+
+  for (const CaseResult& c : cases) {
+    if (!c.failed()) continue;
+    ++rep.failed;
+    rep.failures.push_back(c);
+    if (shrink_budget > 0) {
+      rep.shrunk.push_back(shrink(c.spec, shrink_budget));
+    } else {
+      ShrinkOutcome raw;
+      raw.minimal = c.spec;
+      raw.violations = c.violations;
+      rep.shrunk.push_back(std::move(raw));
+    }
+  }
+  return rep;
+}
+
+std::string repro_to_json(const CaseResult& found, const ShrinkOutcome& shrunk,
+                          std::string_view artifact_path) {
+  obs::JsonValue o = obs::JsonValue::make_object();
+  o.set("found_seed", obs::JsonValue::of(std::to_string(found.seed)));
+  o.set("found_spec", obs::JsonValue::parse(spec_to_json(found.spec)));
+  o.set("spec", obs::JsonValue::parse(spec_to_json(shrunk.minimal)));
+  obs::JsonValue viol = obs::JsonValue::make_array();
+  for (const Violation& v : shrunk.violations) {
+    obs::JsonValue e = obs::JsonValue::make_object();
+    e.set("invariant", obs::JsonValue::of(v.invariant));
+    e.set("detail", obs::JsonValue::of(v.detail));
+    viol.array.push_back(std::move(e));
+  }
+  o.set("violations", std::move(viol));
+  o.set("shrink_attempts", obs::JsonValue::of(static_cast<std::int64_t>(shrunk.attempts)));
+  o.set("shrink_rounds", obs::JsonValue::of(static_cast<std::int64_t>(shrunk.rounds)));
+  std::string cmd = "qmbfuzz --replay ";
+  cmd += artifact_path;
+  o.set("replay", obs::JsonValue::of(cmd));
+  return o.dump();
+}
+
+run::ExperimentSpec replay_spec_from_json(std::string_view json) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::JsonValue::parse(json);
+  } catch (const obs::JsonError& e) {
+    throw std::invalid_argument(std::string("replay JSON: ") + e.what());
+  }
+  if (!doc.is_object()) throw std::invalid_argument("replay JSON must be an object");
+  // A repro artifact nests the minimal spec under "spec"; a bare spec
+  // object replays as-is.
+  if (const obs::JsonValue* spec = doc.find("spec"); spec != nullptr && spec->is_object()) {
+    return spec_from_json(spec->dump());
+  }
+  return spec_from_json(json);
+}
+
+}  // namespace qmb::fuzz

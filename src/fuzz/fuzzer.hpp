@@ -1,0 +1,79 @@
+// The fuzzer proper: run one case, shrink a failure, or fan a seed range
+// across SweepRunner threads.
+//
+// Determinism contract (mirrors the sweep layer's): a FuzzReport for
+// (base_seed, runs, opts) is bit-identical across reruns and thread
+// counts. Case i derives from seed_for(base_seed, i); shrinking is a
+// sequential, greedy pure function of the failing spec; verdict_digest
+// folds every per-case verdict in index order so one integer witnesses
+// the whole report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/case.hpp"
+#include "fuzz/invariants.hpp"
+
+namespace qmb::fuzz {
+
+/// Outcome of one executed case. A run that threw (did not complete, or
+/// rejected its spec) records the exception text in `error` and carries a
+/// "completion" violation, so failed() covers both hangs and bad counters.
+struct CaseResult {
+  std::uint64_t seed = 0;  // fuzz-stream seed (0 for replays of explicit specs)
+  run::ExperimentSpec spec;
+  std::vector<Violation> violations;
+  std::uint64_t fingerprint = 0;  // RunResult digest; 0 when the run threw
+  std::string error;
+  [[nodiscard]] bool failed() const { return !violations.empty(); }
+};
+
+/// Executes a spec and checks every invariant. Never throws on protocol
+/// failure — exceptions become violations — so fuzz loops and shrink
+/// candidates treat "hung" and "wrong counters" uniformly.
+[[nodiscard]] CaseResult run_case(const run::ExperimentSpec& spec);
+
+/// Result of delta-debugging one failure down to a minimal reproducer.
+struct ShrinkOutcome {
+  run::ExperimentSpec minimal;        // still failing, nothing left to remove
+  std::vector<Violation> violations;  // of `minimal`
+  int attempts = 0;                   // candidate runs consumed (incl. the seed run)
+  int rounds = 0;                     // greedy passes until fixpoint
+};
+
+/// Greedy delta-debugging: repeatedly tries removing fault rules and
+/// shrinking iterations, warmup, node count, skew, placement, and feature
+/// ablations, keeping any candidate that still fails, until a full pass
+/// makes no progress or `budget` runs are spent. Pure function of
+/// (failing, budget). Precondition: run_case(failing).failed().
+[[nodiscard]] ShrinkOutcome shrink(const run::ExperimentSpec& failing, int budget = 200);
+
+/// One fuzz campaign over seeds seed_for(base_seed, 0..runs-1).
+struct FuzzReport {
+  std::size_t runs = 0;
+  std::size_t failed = 0;
+  std::vector<CaseResult> failures;     // as found, index order
+  std::vector<ShrinkOutcome> shrunk;    // parallel to `failures`
+  std::uint64_t verdict_digest = 0;     // order-stable digest of every verdict
+};
+
+/// Runs the campaign: cases execute across `threads` SweepRunner workers
+/// (0 = default), failures then shrink sequentially in index order.
+/// `shrink_budget` caps candidate runs per failure (0 disables shrinking).
+[[nodiscard]] FuzzReport fuzz_range(std::uint64_t base_seed, std::size_t runs,
+                                    unsigned threads, const FuzzOptions& opts = {},
+                                    int shrink_budget = 200);
+
+/// Replayable repro artifact: the minimal spec, its violations, the
+/// original finding, and the exact replay command line.
+[[nodiscard]] std::string repro_to_json(const CaseResult& found,
+                                        const ShrinkOutcome& shrunk,
+                                        std::string_view artifact_path);
+
+/// Extracts the spec from a repro artifact (or from a bare spec object, so
+/// hand-written specs replay too).
+[[nodiscard]] run::ExperimentSpec replay_spec_from_json(std::string_view json);
+
+}  // namespace qmb::fuzz

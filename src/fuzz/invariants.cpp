@@ -1,0 +1,91 @@
+#include "fuzz/invariants.hpp"
+
+namespace qmb::fuzz {
+
+std::uint64_t metric_total(const run::RunResult& r, std::string_view name) {
+  for (const obs::MetricValue& m : r.metrics) {
+    if (m.name == name && m.kind == obs::MetricKind::kCounter) return m.value;
+  }
+  return 0;
+}
+
+namespace {
+
+std::string nums(std::uint64_t got, std::uint64_t want) {
+  return "got " + std::to_string(got) + ", expected " + std::to_string(want);
+}
+
+}  // namespace
+
+std::vector<Violation> check_invariants(const run::RunResult& r) {
+  std::vector<Violation> out;
+
+  if (r.ops_done != r.ops_expected) {
+    out.push_back({"completion",
+                   "per-rank operation completions: " + nums(r.ops_done, r.ops_expected)});
+  }
+  if (r.value_errors != 0) {
+    out.push_back({"values-exact", std::to_string(r.value_errors) +
+                                       " collective results differed from the exact "
+                                       "expected value"});
+  }
+
+  const std::uint64_t sent = metric_total(r, "fabric.packets_sent");
+  const std::uint64_t delivered = metric_total(r, "fabric.packets_delivered");
+  const std::uint64_t wire_dropped = metric_total(r, "fabric.packets_dropped");
+  const std::uint64_t fault_dropped = metric_total(r, "fault.dropped");
+  const std::uint64_t fault_duplicated = metric_total(r, "fault.duplicated");
+  const std::uint64_t fault_corrupted = metric_total(r, "fault.corrupted");
+  const std::uint64_t crc_dropped = metric_total(r, "nic.crc_dropped");
+
+  // Every injected packet either delivers or was dropped by a fault rule;
+  // duplicates deliver twice. (The run drains its event queue before the
+  // runner returns, so nothing is legitimately "in flight" here.)
+  if (delivered != sent - fault_dropped + fault_duplicated) {
+    out.push_back(
+        {"fabric-conservation",
+         "delivered: " + nums(delivered, sent - fault_dropped + fault_duplicated) +
+             " (sent " + std::to_string(sent) + ", fault.dropped " +
+             std::to_string(fault_dropped) + ", fault.duplicated " +
+             std::to_string(fault_duplicated) + ")"});
+  }
+  // The wire only ever loses packets the injector told it to lose.
+  if (wire_dropped != fault_dropped) {
+    out.push_back({"drop-accounting",
+                   "fabric.packets_dropped: " + nums(wire_dropped, fault_dropped)});
+  }
+  // Every corrupt decision surfaces as exactly one CRC discard at the
+  // receiving NIC, and nothing else ever fails CRC.
+  if (crc_dropped != fault_corrupted) {
+    out.push_back(
+        {"crc-accounting", "nic.crc_dropped: " + nums(crc_dropped, fault_corrupted)});
+  }
+
+  // The Myrinet NIC collective engine completes each operation exactly once
+  // per rank — stale/duplicate suppression must neither double-complete nor
+  // swallow an operation.
+  const bool myrinet_nic_engine =
+      r.spec.network != run::Network::kQuadrics && r.spec.impl == run::Impl::kNic;
+  if (myrinet_nic_engine) {
+    const std::uint64_t want = static_cast<std::uint64_t>(r.spec.nodes) *
+                               static_cast<std::uint64_t>(r.spec.warmup + r.spec.iters);
+    const std::uint64_t done = metric_total(r, "coll.ops_completed");
+    if (done != want) {
+      out.push_back({"ops-counter-algebra", "coll.ops_completed: " + nums(done, want)});
+    }
+  }
+  return out;
+}
+
+std::string describe(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v.invariant;
+    out += ": ";
+    out += v.detail;
+  }
+  return out;
+}
+
+}  // namespace qmb::fuzz

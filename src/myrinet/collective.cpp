@@ -396,6 +396,7 @@ void CollectiveEngine::handle_nack(const CollNack& n, std::uint64_t flow) {
   if (slot.in_use && slot.seq == n.barrier_seq && slot.exec) {
     const std::uint64_t key = msg_key(n.group, n.barrier_seq, n.tag, edge.peer);
     if (slot.exec->has_sent(edge.peer, edge.tag)) {
+      if (g.desc.features.debug_skip_retransmit) return;  // fuzzer's planted bug
       send_msg(g, n.barrier_seq, edge, true, slot.sent_values.at(key));
     }
     // Not sent yet: we are behind; the normal send will cover it.

@@ -42,6 +42,11 @@ struct CollFeatures {
   bool static_packet = true;
   bool receiver_driven = true;
   bool bitvector_record = true;
+  /// Deliberate protocol bug behind a debug flag: ignore NACKs that would
+  /// retransmit an already-sent message. Exists so the fuzzer's invariants
+  /// can be demonstrated to catch (and shrink) a real loss-recovery break;
+  /// never enabled by any production preset or ablation sweep.
+  bool debug_skip_retransmit = false;
 };
 
 /// What a group's operations compute. Barrier is the paper's case study;

@@ -15,7 +15,13 @@ Nic::Nic(sim::Engine& engine, net::Fabric& fabric, PciBus& pci,
       tracer_(tracer),
       cpu_(engine) {
   if (tracer_) trace_comp_ = tracer_->intern("nic");
+  crc_dropped_ = engine.metrics().counter("nic.crc_dropped", node_);
   addr_ = fabric_->attach([this](net::Packet&& p) {
+    if (p.corrupted) {  // inbound CRC check: discard, never reaches firmware
+      ++crc_dropped_;
+      trace("crc_drop", p.src.value(), 0, static_cast<std::int64_t>(p.id));
+      return;
+    }
     if (!handler_) throw std::logic_error("NIC received a packet before wiring");
     handler_(std::move(p));
   });

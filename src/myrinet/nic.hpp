@@ -14,6 +14,7 @@
 #include "myrinet/config.hpp"
 #include "myrinet/pci_bus.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "sim/resource.hpp"
 #include "sim/trace.hpp"
 
@@ -66,6 +67,10 @@ class Nic {
   sim::Resource cpu_;
   net::NicAddr addr_;
   PacketHandler handler_;
+  // Packets discarded by the inbound CRC check (fault-injected corruption);
+  // registered as "nic.crc_dropped" so runs can account for every corrupt
+  // action the injector fired.
+  obs::Counter crc_dropped_;
 };
 
 }  // namespace qmb::myri

@@ -37,6 +37,7 @@ Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topology,
   }
   bcast_head_scratch_.assign(topology_->num_links(), {0, sim::SimTime{}});
   faults_.set_clock(&engine_);
+  faults_.register_metrics(reg);
 }
 
 NicAddr Fabric::attach(DeliverFn deliver) {
@@ -92,7 +93,17 @@ std::uint64_t Fabric::send(Packet&& p) {
 
   const FaultAction action = faults_.decide(p);
   const RouteView route = routes_.unicast(p.src, p.dst);
-  const sim::SimTime arrival = traverse(route, p.wire_bytes, engine_.now());
+  sim::SimTime arrival = traverse(route, p.wire_bytes, engine_.now());
+  if (action == FaultAction::kReorder) {
+    // The packet still occupies the wire normally; it is merely held back
+    // past later traffic, so it arrives out of order at the destination.
+    arrival += faults_.last_reorder_delay();
+  }
+  if (action == FaultAction::kCorrupt) {
+    // Corruption is invisible to the wire: full traversal and delivery,
+    // discarded by the destination NIC's CRC check.
+    p.corrupted = true;
+  }
 
   if (tracer_ && tracer_->enabled()) {
     // A dropped packet never delivers, so it gets no flow start — a start

@@ -191,6 +191,11 @@ struct Packet {
   NicAddr src;
   NicAddr dst;
   std::uint32_t wire_bytes = 0;  // total on-the-wire size including headers
+  /// Set by the fault injector's corrupt action: the packet traverses the
+  /// wire normally but fails the CRC check at the receiving NIC, which
+  /// discards it (and counts it) without ever handing it to the protocol.
+  /// Occupies padding, so the Packet stays 72 bytes.
+  bool corrupted = false;
   /// Fabric-assigned flow id: monotonically increasing, unique per
   /// injection (broadcast replicas each get their own). Trace events use it
   /// to pair a packet's injection with its delivery (Chrome `ph:"s"/"f"`
@@ -210,9 +215,11 @@ struct Packet {
   [[nodiscard]] Packet duplicate() const {
     Packet p(src, dst, wire_bytes, body.clone());
     p.id = id;
+    p.corrupted = corrupted;
     return p;
   }
 };
+static_assert(sizeof(Packet) == 72, "delivery captures must stay inline");
 
 /// Narrowing helper: returns the body as T* or nullptr (tag compare).
 template <class T>

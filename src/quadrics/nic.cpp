@@ -22,7 +22,15 @@ Nic::Nic(sim::Engine& engine, net::Fabric& fabric, const Elan3Config& config,
   stats_.host_notifies = reg.counter("elan.host_notifies", node_);
   stats_.barrier_ops_completed = reg.counter("elan.barrier_ops_completed", node_);
   stats_.early_buffered = reg.counter("elan.early_buffered", node_);
-  addr_ = fabric_->attach([this](net::Packet&& p) { on_packet(std::move(p)); });
+  stats_.crc_dropped = reg.counter("nic.crc_dropped", node_);
+  addr_ = fabric_->attach([this](net::Packet&& p) {
+    if (p.corrupted) {  // inbound CRC check: discard before the event unit
+      ++stats_.crc_dropped;
+      trace("crc_drop", p.src.value(), 0, static_cast<std::int64_t>(p.id));
+      return;
+    }
+    on_packet(std::move(p));
+  });
 }
 
 void Nic::trace(std::string_view event, std::int64_t a, std::int64_t b,

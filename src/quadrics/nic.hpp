@@ -42,6 +42,7 @@ struct ElanStats {
   obs::Counter host_notifies;
   obs::Counter barrier_ops_completed;
   obs::Counter early_buffered;
+  obs::Counter crc_dropped;  // inbound CRC discards (fault-injected corruption)
 };
 
 class Nic {

@@ -102,10 +102,30 @@ std::string validate(const ExperimentSpec& s) {
   if (s.drop_prob < 0.0 || s.drop_prob >= 1.0) {
     return "--drop-prob must be in [0, 1) (got " + std::to_string(s.drop_prob) + ")";
   }
+  if (s.skew_max_us < 0.0) {
+    return "--skew must be >= 0 microseconds (got " + std::to_string(s.skew_max_us) + ")";
+  }
+  if (s.horizon_ms < 1) {
+    return "--horizon must be >= 1 ms (got " + std::to_string(s.horizon_ms) + ")";
+  }
   const bool myrinet = s.network != Network::kQuadrics;
   if (!myrinet && s.drop_prob > 0.0) {
     return "--drop-prob is Myrinet-only (the Quadrics models have no loss recovery "
            "path); remove it or use --network myrinet-xp/myrinet-l9";
+  }
+  if (!myrinet && !s.faults.empty()) {
+    return "--fault rules are Myrinet-only (the Quadrics models have no loss recovery "
+           "path); remove them or use --network myrinet-xp/myrinet-l9";
+  }
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    const net::FaultSpec& f = s.faults[i];
+    if (const std::string err = net::validate(f); !err.empty()) {
+      return "--fault rule " + std::to_string(i) + ": " + err;
+    }
+    if (f.src >= s.nodes || f.dst >= s.nodes) {
+      return "--fault rule " + std::to_string(i) + ": src/dst node out of range for --nodes " +
+             std::to_string(s.nodes);
+    }
   }
   if (s.op == coll::OpKind::kBarrier) {
     if (myrinet) {
@@ -129,29 +149,97 @@ std::string validate(const ExperimentSpec& s) {
 
 namespace {
 
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Per-entry skew budget: zero reproduces the historical tight re-entry
+/// loop bit-for-bit; non-zero delays every (re-)entry by a seeded uniform
+/// draw in [0, max].
+struct SkewPlan {
+  sim::SimDuration max = sim::SimDuration::zero();
+  std::uint64_t seed = 0;
+};
+
+SkewPlan skew_plan(const ExperimentSpec& s) {
+  SkewPlan p;
+  if (s.skew_max_us > 0.0) {
+    p.max = sim::microseconds(s.skew_max_us);
+    // Decorrelate from placement/fault draws that also consume spec.seed.
+    p.seed = mix64(s.seed ^ 0x534B4557ULL);  // "SKEW"
+  }
+  return p;
+}
+
+/// The exact result every rank must observe when run_experiment enters rank
+/// r with value r+1 (root 0 for bcast; sum-reduce; allgather/alltoall union
+/// contribution masks).
+std::int64_t expected_value(coll::OpKind kind, int n) {
+  switch (kind) {
+    case coll::OpKind::kBarrier:
+      return 0;
+    case coll::OpKind::kBcast:
+      return 1;  // root is rank 0, which enters 0 + 1
+    case coll::OpKind::kAllreduce: {
+      const std::int64_t m = n;
+      return m * (m + 1) / 2;
+    }
+    case coll::OpKind::kAllgather:
+    case coll::OpKind::kAlltoall: {
+      std::int64_t acc = 0;
+      for (int r = 0; r < n; ++r) acc |= (r + 1);
+      return acc;
+    }
+  }
+  return 0;
+}
+
 /// Drives consecutive value collectives with the barrier runner's
 /// methodology: every rank re-enters as soon as its completion delivers;
-/// iteration latency is completion-to-completion of the whole group.
+/// iteration latency is completion-to-completion of the whole group. Every
+/// delivered result is checked against the op's exact expected value;
+/// mismatches count into `value_errors`.
 core::BarrierRunResult run_collective(sim::Engine& engine, core::Collective& op,
-                                      int warmup, int iters) {
+                                      coll::OpKind kind, int warmup, int iters,
+                                      const SkewPlan& skew, sim::SimDuration horizon,
+                                      std::uint64_t& value_errors) {
   const int n = op.size();
   const int total = warmup + iters;
+  const std::int64_t expected = expected_value(kind, n);
   std::vector<int> iter_of(static_cast<std::size_t>(n), 0);
   std::vector<int> done_in(static_cast<std::size_t>(total), 0);
   std::vector<sim::SimTime> completed(static_cast<std::size_t>(total));
+  sim::Rng skew_rng(skew.seed);
   std::function<void(int)> loop = [&](int rank) {
     const int it = iter_of[static_cast<std::size_t>(rank)];
     if (it >= total) return;
-    op.enter(rank, rank + 1, [&, rank, it](std::int64_t) {
-      iter_of[static_cast<std::size_t>(rank)] = it + 1;
-      if (++done_in[static_cast<std::size_t>(it)] == n) {
-        completed[static_cast<std::size_t>(it)] = engine.now();
-      }
-      engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
-    });
+    const auto enter = [&, rank, it] {
+      op.enter(rank, rank + 1, [&, rank, it](std::int64_t result) {
+        if (result != expected) ++value_errors;
+        iter_of[static_cast<std::size_t>(rank)] = it + 1;
+        if (++done_in[static_cast<std::size_t>(it)] == n) {
+          completed[static_cast<std::size_t>(it)] = engine.now();
+        }
+        engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
+      });
+    };
+    if (skew.max > sim::SimDuration::zero()) {
+      const auto jitter = sim::SimDuration(static_cast<std::int64_t>(
+          skew_rng.next_below(static_cast<std::uint64_t>(skew.max.picos()) + 1)));
+      engine.schedule(jitter, enter);
+    } else {
+      enter();
+    }
   };
   for (int r = 0; r < n; ++r) loop(r);
-  engine.run_until(engine.now() + sim::seconds(120));
+  engine.run_until(engine.now() + horizon);
+  for (int r = 0; r < n; ++r) {
+    if (iter_of[static_cast<std::size_t>(r)] != total) {
+      throw std::runtime_error("collective run did not complete (deadlock in protocol?)");
+    }
+  }
   core::BarrierRunResult res;
   res.iterations = static_cast<std::uint64_t>(iters);
   for (int i = warmup; i < total; ++i) {
@@ -190,6 +278,7 @@ void fill_engine(RunResult& out, const sim::Engine& engine) {
       reg.total("coll.retransmissions") + reg.total("mcp.retransmissions");
   out.hw_probes = reg.total("hw.probes_sent");
   out.hw_failed_probes = reg.total("hw.failed_probes");
+  out.crc_dropped = reg.total("nic.crc_dropped");
   out.metrics = reg.snapshot();
 }
 
@@ -211,17 +300,26 @@ RunResult run_myrinet(const ExperimentSpec& s) {
     cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, s.drop_prob,
                                               s.seed);
   }
+  // The fault plan installs after the drop_prob rule: spec rule order is
+  // injector match order.
+  cluster.fabric().faults().install(s.faults);
   auto placement = placement_of(s);
+  const SkewPlan skew = skew_plan(s);
+  const auto horizon = sim::milliseconds(s.horizon_ms);
 
   RunResult out;
   out.spec = s;
+  out.ops_expected = static_cast<std::uint64_t>(s.nodes) *
+                     static_cast<std::uint64_t>(s.warmup + s.iters);
   if (s.op == coll::OpKind::kBarrier) {
     core::MyriBarrierKind kind = core::MyriBarrierKind::kNicCollective;
     if (s.impl == Impl::kHost) kind = core::MyriBarrierKind::kHost;
     else if (s.impl == Impl::kDirect) kind = core::MyriBarrierKind::kNicDirect;
     auto barrier = cluster.make_barrier(kind, s.algorithm, placement, s.features);
     out.impl_name = std::string(barrier->name());
-    fill_latency(out, core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters),
+    fill_latency(out,
+                 core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters,
+                                                skew.max, skew.seed, horizon),
                  engine);
   } else {
     auto op = s.impl == Impl::kHost
@@ -230,8 +328,12 @@ RunResult run_myrinet(const ExperimentSpec& s) {
                   : core::make_nic_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
                                               placement);
     out.impl_name = std::string(op->name());
-    fill_latency(out, run_collective(engine, *op, s.warmup, s.iters), engine);
+    fill_latency(out,
+                 run_collective(engine, *op, s.op, s.warmup, s.iters, skew, horizon,
+                                out.value_errors),
+                 engine);
   }
+  out.ops_done = out.ops_expected;  // the runners throw before reaching here otherwise
   fill_engine(out, engine);
   if (s.collect_trace) out.trace_csv = tracer.to_csv();
   if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
@@ -247,9 +349,13 @@ RunResult run_quadrics(const ExperimentSpec& s) {
   core::ElanCluster cluster(engine, elan::elan3_cluster(), s.nodes,
                             tracing ? &tracer : nullptr);
   auto placement = placement_of(s);
+  const SkewPlan skew = skew_plan(s);
+  const auto horizon = sim::milliseconds(s.horizon_ms);
 
   RunResult out;
   out.spec = s;
+  out.ops_expected = static_cast<std::uint64_t>(s.nodes) *
+                     static_cast<std::uint64_t>(s.warmup + s.iters);
   if (s.op == coll::OpKind::kBarrier) {
     core::ElanBarrierKind kind = core::ElanBarrierKind::kNicChained;
     if (s.impl == Impl::kGsync || s.impl == Impl::kHost) {
@@ -259,7 +365,9 @@ RunResult run_quadrics(const ExperimentSpec& s) {
     }
     auto barrier = cluster.make_barrier(kind, s.algorithm, placement);
     out.impl_name = std::string(barrier->name());
-    fill_latency(out, core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters),
+    fill_latency(out,
+                 core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters,
+                                                skew.max, skew.seed, horizon),
                  engine);
   } else {
     auto op = s.impl == Impl::kHost
@@ -268,19 +376,17 @@ RunResult run_quadrics(const ExperimentSpec& s) {
                   : core::make_elan_nic_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
                                                    placement);
     out.impl_name = std::string(op->name());
-    fill_latency(out, run_collective(engine, *op, s.warmup, s.iters), engine);
+    fill_latency(out,
+                 run_collective(engine, *op, s.op, s.warmup, s.iters, skew, horizon,
+                                out.value_errors),
+                 engine);
   }
+  out.ops_done = out.ops_expected;
   fill_engine(out, engine);
   if (s.collect_trace) out.trace_csv = tracer.to_csv();
   if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
   if (tracing) out.trace_dropped = tracer.overwritten();
   return out;
-}
-
-constexpr std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
 }
 
 }  // namespace
@@ -379,6 +485,14 @@ std::string to_json(const RunResult& r) {
                 static_cast<unsigned long long>(r.packets_dropped),
                 static_cast<unsigned long long>(r.nacks),
                 static_cast<unsigned long long>(r.retransmissions));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"crc_dropped\":%llu,\"value_errors\":%llu,\"ops_done\":%llu,"
+                "\"ops_expected\":%llu,",
+                static_cast<unsigned long long>(r.crc_dropped),
+                static_cast<unsigned long long>(r.value_errors),
+                static_cast<unsigned long long>(r.ops_done),
+                static_cast<unsigned long long>(r.ops_expected));
   out += buf;
   out += "\"metrics\":" + metrics_to_json(r.metrics) + ",";
   // Host-time observability fields; excluded from the fingerprint.

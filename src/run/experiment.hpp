@@ -25,6 +25,7 @@
 
 #include "core/cluster.hpp"
 #include "core/collectives.hpp"
+#include "net/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace qmb::run {
@@ -58,6 +59,24 @@ struct ExperimentSpec {
   myri::CollFeatures features{};       // NIC-collective ablation switches
   bool collect_trace = false;          // fills RunResult::trace_csv
   bool chrome_trace = false;           // fills RunResult::trace_json
+
+  /// Fault plan installed into the fabric before the run (rule order is
+  /// match order). Myrinet-only, like drop_prob: the Quadrics models have
+  /// no loss-recovery path. Deterministic: probabilistic rules carry their
+  /// own seeds.
+  std::vector<net::FaultSpec> faults;
+
+  /// Max per-entry skew in microseconds: each rank's every (re-)entry is
+  /// delayed by a uniform draw in [0, skew_max_us], from an RNG derived
+  /// from `seed`. 0 = the historical tight re-entry loop (bit-identical to
+  /// specs that predate this field).
+  double skew_max_us = 0.0;
+
+  /// Simulated-time watchdog for the whole run. A protocol bug that
+  /// retransmits forever (or deadlocks) surfaces as a "did not complete"
+  /// error at this horizon instead of spinning the engine; the fuzzer runs
+  /// with a tight horizon so shrink iterations stay fast.
+  std::int64_t horizon_ms = 120'000;
 };
 
 /// Empty string when the spec is runnable; otherwise a usage error naming
@@ -85,6 +104,20 @@ struct RunResult {
   std::uint64_t retransmissions = 0;
   std::uint64_t hw_probes = 0;         // Quadrics hgsync only
   std::uint64_t hw_failed_probes = 0;  // Quadrics hgsync only
+  /// Inbound CRC discards at the NICs (fault-injected corruption).
+  std::uint64_t crc_dropped = 0;
+  /// Value-collective results that differed from the exact expected value
+  /// (run_experiment enters rank r with value r+1 and knows each op kind's
+  /// right answer). Always 0 for barriers; any non-zero value is a protocol
+  /// correctness bug, not noise. Not part of fingerprint() — the fuzzer's
+  /// invariants consume it directly.
+  std::uint64_t value_errors = 0;
+  /// Per-rank operation completions observed / expected (nodes x total
+  /// iterations). run_experiment throws when they diverge at the horizon,
+  /// so results you can read always have them equal; the fields exist for
+  /// reporting symmetry in repro artifacts.
+  std::uint64_t ops_done = 0;
+  std::uint64_t ops_expected = 0;
   std::string trace_csv;               // only when spec.collect_trace
   std::string trace_json;              // Chrome trace_event doc, spec.chrome_trace
   // Events lost to trace-ring wrap-around during a traced run; the exports

@@ -28,12 +28,14 @@ TEST_P(BarrierChaos, SurvivesEverythingAtOnce) {
   Engine engine;
   MyriCluster cluster(engine, myri::lanaixp_cluster(), 7);
   auto& faults = cluster.fabric().faults();
-  faults.add_random_rule(std::nullopt, std::nullopt, 0.03, p.seed);
-  faults.add_random_rule(std::nullopt, std::nullopt, 0.02, p.seed + 1,
-                         net::FaultAction::kDuplicate);
+  faults.rule().prob(0.03, p.seed).drop();
+  faults.rule().prob(0.02, p.seed + 1).duplicate();
   // A 300us blackout of one directed channel early in the run.
-  faults.add_blackout(net::NicAddr(2), net::NicAddr(4), sim::SimTime(50'000'000),
-                      sim::SimTime(350'000'000));
+  faults.rule()
+      .src(2)
+      .dst(4)
+      .window(sim::SimTime(50'000'000), sim::SimTime(350'000'000))
+      .drop();
 
   sim::Rng rng(p.seed + 2);
   auto barrier = cluster.make_barrier(p.kind, coll::Algorithm::kDissemination,
@@ -88,9 +90,8 @@ TEST_P(CollectiveChaos, AllreduceValuesStayCorrectUnderChaos) {
   const std::uint64_t seed = GetParam();
   Engine engine;
   MyriCluster cluster(engine, myri::lanaixp_cluster(), 6);
-  cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, 0.03, seed);
-  cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, 0.02, seed + 7,
-                                            net::FaultAction::kDuplicate);
+  cluster.fabric().faults().rule().prob(0.03, seed).drop();
+  cluster.fabric().faults().rule().prob(0.02, seed + 7).duplicate();
   auto op = make_nic_collective(cluster, coll::OpKind::kAllreduce, 0,
                                 coll::ReduceOp::kSum);
   sim::Rng rng(seed + 13);

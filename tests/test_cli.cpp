@@ -1,0 +1,102 @@
+// The shared tools/cli.hpp helpers: duration literals and the one --fault
+// grammar every fault-injecting binary (qmbsim, qmbfuzz, storm_launcher)
+// speaks.
+#include "cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qmb::cli {
+namespace {
+
+std::int64_t picos(std::string_view s) {
+  const auto d = parse_duration(s);
+  return d ? d->picos() : -1;
+}
+
+TEST(ParseDuration, AcceptsEveryUnit) {
+  EXPECT_EQ(picos("500ps"), 500);
+  EXPECT_EQ(picos("10ns"), 10'000);
+  EXPECT_EQ(picos("50us"), 50'000'000);
+  EXPECT_EQ(picos("2ms"), 2'000'000'000);
+  EXPECT_EQ(picos("1s"), 1'000'000'000'000);
+  EXPECT_EQ(picos("123"), 123);  // bare numbers are picoseconds
+  EXPECT_EQ(picos("1.5us"), 1'500'000);
+}
+
+TEST(ParseDuration, RejectsGarbage) {
+  EXPECT_FALSE(parse_duration("").has_value());
+  EXPECT_FALSE(parse_duration("fast").has_value());
+  EXPECT_FALSE(parse_duration("10lightyears").has_value());
+  EXPECT_FALSE(parse_duration("-5us").has_value());
+}
+
+TEST(ParseFault, NthDropWithFilters) {
+  net::FaultSpec f;
+  ASSERT_EQ(parse_fault("drop:nth=3,src=2,dst=4", f), "");
+  EXPECT_EQ(f.action, net::FaultAction::kDrop);
+  EXPECT_EQ(f.nth, 3u);
+  EXPECT_EQ(f.src, 2);
+  EXPECT_EQ(f.dst, 4);
+}
+
+TEST(ParseFault, ProbabilisticDuplicate) {
+  net::FaultSpec f;
+  ASSERT_EQ(parse_fault("dup:p=0.01,seed=7", f), "");
+  EXPECT_EQ(f.action, net::FaultAction::kDuplicate);
+  EXPECT_DOUBLE_EQ(f.prob, 0.01);
+  EXPECT_EQ(f.seed, 7u);
+  // "duplicate" and the "prob=" spelling parse identically.
+  net::FaultSpec g;
+  ASSERT_EQ(parse_fault("duplicate:prob=0.01,seed=7", g), "");
+  EXPECT_EQ(f, g);
+}
+
+TEST(ParseFault, ReorderWithDelay) {
+  net::FaultSpec f;
+  ASSERT_EQ(parse_fault("reorder:nth=2,delay=10us", f), "");
+  EXPECT_EQ(f.action, net::FaultAction::kReorder);
+  EXPECT_EQ(f.nth, 2u);
+  EXPECT_EQ(f.delay_ps, 10'000'000);
+}
+
+TEST(ParseFault, CorruptNth) {
+  net::FaultSpec f;
+  ASSERT_EQ(parse_fault("corrupt:nth=1", f), "");
+  EXPECT_EQ(f.action, net::FaultAction::kCorrupt);
+}
+
+TEST(ParseFault, BlackoutIsDropWithWindow) {
+  net::FaultSpec f;
+  ASSERT_EQ(parse_fault("blackout:from=100us,until=250us", f), "");
+  EXPECT_EQ(f.action, net::FaultAction::kDrop);
+  EXPECT_EQ(f.from_ps, 100'000'000);
+  EXPECT_EQ(f.until_ps, 250'000'000);
+}
+
+TEST(ParseFault, ReportsGrammarErrors) {
+  net::FaultSpec f;
+  EXPECT_NE(parse_fault("explode:nth=1", f), "");        // unknown action
+  EXPECT_NE(parse_fault("drop:nth", f), "");             // key without value
+  EXPECT_NE(parse_fault("drop:color=red", f), "");       // unknown key
+  EXPECT_NE(parse_fault("reorder:nth=1,delay=10lightyears", f), "");  // bad time
+  EXPECT_NE(parse_fault("blackout:from=100us", f), "");  // missing until
+  EXPECT_NE(parse_fault("blackout:from=200us,until=100us", f), "");  // inverted
+}
+
+TEST(ParseFault, ReportsSemanticErrorsFromValidate) {
+  net::FaultSpec f;
+  EXPECT_NE(parse_fault("drop", f), "");                 // no firing mode
+  EXPECT_NE(parse_fault("drop:p=1.5,seed=1", f), "");    // prob out of range
+  EXPECT_NE(parse_fault("reorder:nth=1", f), "");        // reorder needs delay
+  EXPECT_NE(parse_fault("drop:nth=1,p=0.5,seed=1", f), "");  // two modes
+}
+
+TEST(ParseFault, ErrorLeavesOutputUntouched) {
+  net::FaultSpec f;
+  f.nth = 42;
+  EXPECT_NE(parse_fault("explode:nth=1", f), "");
+  EXPECT_EQ(f.nth, 42u);
+}
+
+}  // namespace
+}  // namespace qmb::cli

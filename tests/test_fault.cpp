@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
@@ -31,7 +32,7 @@ TEST(FaultInjector, NoRulesDeliversEverything) {
 
 TEST(FaultInjector, NthRuleDropsExactlyThatMatch) {
   FaultInjector fi;
-  fi.add_nth_rule(NicAddr(0), NicAddr(1), 3);
+  fi.rule().src(0).dst(1).nth(3).drop();
   int dropped = 0;
   for (int i = 0; i < 10; ++i) {
     if (fi.decide(make_packet(0, 1)) == FaultAction::kDrop) ++dropped;
@@ -42,7 +43,7 @@ TEST(FaultInjector, NthRuleDropsExactlyThatMatch) {
 
 TEST(FaultInjector, FiltersBySrcAndDst) {
   FaultInjector fi;
-  fi.add_nth_rule(NicAddr(0), NicAddr(1), 1);
+  fi.rule().src(0).dst(1).nth(1).drop();
   EXPECT_EQ(fi.decide(make_packet(2, 1)), FaultAction::kDeliver);
   EXPECT_EQ(fi.decide(make_packet(0, 2)), FaultAction::kDeliver);
   EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDrop);
@@ -50,23 +51,39 @@ TEST(FaultInjector, FiltersBySrcAndDst) {
 
 TEST(FaultInjector, WildcardFilters) {
   FaultInjector fi;
-  fi.add_nth_rule(std::nullopt, NicAddr(3), 1);
+  fi.rule().dst(3).nth(1).drop();
   EXPECT_EQ(fi.decide(make_packet(7, 2)), FaultAction::kDeliver);
   EXPECT_EQ(fi.decide(make_packet(7, 3)), FaultAction::kDrop);
 }
 
 TEST(FaultInjector, DuplicateAction) {
   FaultInjector fi;
-  fi.add_nth_rule(std::nullopt, std::nullopt, 2, FaultAction::kDuplicate);
+  fi.rule().nth(2).duplicate();
   EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDeliver);
   EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDuplicate);
   EXPECT_EQ(fi.duplicated(), 1u);
 }
 
+TEST(FaultInjector, CorruptAction) {
+  FaultInjector fi;
+  fi.rule().nth(2).corrupt();
+  EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDeliver);
+  EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kCorrupt);
+  EXPECT_EQ(fi.corrupted(), 1u);
+}
+
+TEST(FaultInjector, ReorderActionReportsDelay) {
+  FaultInjector fi;
+  fi.rule().nth(1).reorder(sim::microseconds(10));
+  EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kReorder);
+  EXPECT_EQ(fi.last_reorder_delay(), sim::microseconds(10));
+  EXPECT_EQ(fi.reordered(), 1u);
+}
+
 TEST(FaultInjector, RandomRuleIsDeterministicPerSeed) {
   auto run = [] {
     FaultInjector fi;
-    fi.add_random_rule(std::nullopt, std::nullopt, 0.3, 99);
+    fi.rule().prob(0.3, 99).drop();
     std::vector<int> outcomes;
     for (int i = 0; i < 50; ++i) {
       outcomes.push_back(fi.decide(make_packet(0, 1)) == FaultAction::kDrop ? 1 : 0);
@@ -78,7 +95,7 @@ TEST(FaultInjector, RandomRuleIsDeterministicPerSeed) {
 
 TEST(FaultInjector, RandomRuleRateApproximatesP) {
   FaultInjector fi;
-  fi.add_random_rule(std::nullopt, std::nullopt, 0.2, 7);
+  fi.rule().prob(0.2, 7).drop();
   int dropped = 0;
   for (int i = 0; i < 10000; ++i) {
     if (fi.decide(make_packet(0, 1)) == FaultAction::kDrop) ++dropped;
@@ -88,16 +105,80 @@ TEST(FaultInjector, RandomRuleRateApproximatesP) {
 
 TEST(FaultInjector, FirstMatchingRuleWins) {
   FaultInjector fi;
-  fi.add_nth_rule(NicAddr(0), std::nullopt, 1, FaultAction::kDrop);
-  fi.add_nth_rule(NicAddr(0), std::nullopt, 1, FaultAction::kDuplicate);
+  fi.rule().src(0).nth(1).drop();
+  fi.rule().src(0).nth(1).duplicate();
   EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDrop);
 }
 
 TEST(FaultInjector, ClearRemovesRules) {
   FaultInjector fi;
-  fi.add_nth_rule(std::nullopt, std::nullopt, 1);
+  fi.rule().nth(1).drop();
   fi.clear();
   EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDeliver);
+}
+
+TEST(FaultInjector, LegacyWrappersMatchBuilder) {
+  // The historical entry points must keep behaving exactly like the
+  // equivalent fluent rules.
+  FaultInjector legacy;
+  legacy.add_nth_rule(NicAddr(0), NicAddr(1), 2, FaultAction::kDuplicate);
+  legacy.add_random_rule(std::nullopt, std::nullopt, 0.25, 42);
+
+  FaultInjector fluent;
+  fluent.rule().src(0).dst(1).nth(2).duplicate();
+  fluent.rule().prob(0.25, 42).drop();
+
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(legacy.decide(make_packet(0, 1)), fluent.decide(make_packet(0, 1)))
+        << "packet " << i;
+  }
+}
+
+TEST(FaultInjector, InstallRejectsMalformedSpecs) {
+  FaultInjector fi;
+  FaultSpec no_mode;  // neither nth, prob, nor a window
+  EXPECT_FALSE(validate(no_mode).empty());
+  EXPECT_THROW(fi.install(no_mode), std::invalid_argument);
+
+  FaultSpec two_modes;
+  two_modes.nth = 1;
+  two_modes.prob = 0.5;
+  EXPECT_THROW(fi.install(two_modes), std::invalid_argument);
+
+  FaultSpec deliver;
+  deliver.nth = 1;
+  deliver.action = FaultAction::kDeliver;
+  EXPECT_THROW(fi.install(deliver), std::invalid_argument);
+
+  FaultSpec reorder_no_delay;
+  reorder_no_delay.nth = 1;
+  reorder_no_delay.action = FaultAction::kReorder;
+  EXPECT_THROW(fi.install(reorder_no_delay), std::invalid_argument);
+
+  EXPECT_EQ(fi.rule_count(), 0u);
+}
+
+TEST(FaultInjector, InstallAcceptsValidPlanInOrder) {
+  FaultInjector fi;
+  FaultSpec first;
+  first.nth = 1;
+  first.action = FaultAction::kDrop;
+  FaultSpec second;
+  second.nth = 1;
+  second.action = FaultAction::kDuplicate;
+  fi.install(std::vector<FaultSpec>{first, second});
+  EXPECT_EQ(fi.rule_count(), 2u);
+  // First installed rule wins the shared first match.
+  EXPECT_EQ(fi.decide(make_packet(0, 1)), FaultAction::kDrop);
+}
+
+TEST(FaultInjector, ParseFaultActionRoundTrips) {
+  for (const auto a : {FaultAction::kDrop, FaultAction::kDuplicate,
+                       FaultAction::kReorder, FaultAction::kCorrupt}) {
+    EXPECT_EQ(parse_fault_action(to_string(a)), a);
+  }
+  EXPECT_EQ(parse_fault_action("dup"), FaultAction::kDuplicate);
+  EXPECT_FALSE(parse_fault_action("explode").has_value());
 }
 
 TEST(FabricFault, DroppedPacketNeverDelivered) {
@@ -107,7 +188,7 @@ TEST(FabricFault, DroppedPacketNeverDelivered) {
   int delivered = 0;
   f.attach([&](Packet&&) { ++delivered; });
   f.attach([&](Packet&&) { ++delivered; });
-  f.faults().add_nth_rule(NicAddr(0), NicAddr(1), 1);
+  f.faults().rule().src(0).dst(1).nth(1).drop();
   f.send(make_packet(0, 1));
   f.send(make_packet(0, 1));
   e.run();
@@ -126,10 +207,76 @@ TEST(FabricFault, DuplicatedPacketDeliveredTwice) {
     ++delivered;
     EXPECT_NE(body_as<ProbeBody>(p), nullptr);  // clone carries the body
   });
-  f.faults().add_nth_rule(NicAddr(0), NicAddr(1), 1, FaultAction::kDuplicate);
+  f.faults().rule().src(0).dst(1).nth(1).duplicate();
   f.send(make_packet(0, 1, 5));
   e.run();
   EXPECT_EQ(delivered, 2);
+}
+
+TEST(FabricFault, CorruptedPacketArrivesMarked) {
+  Engine e;
+  Fabric f(e, std::make_unique<SingleCrossbar>(2),
+           FabricParams{LinkParams{300_ns, 2.0e9}, SwitchParams{300_ns}});
+  int delivered = 0;
+  int corrupted = 0;
+  f.attach([&](Packet&&) { ++delivered; });
+  f.attach([&](Packet&& p) {
+    ++delivered;
+    if (p.corrupted) ++corrupted;
+  });
+  f.faults().rule().src(0).dst(1).nth(2).corrupt();
+  f.send(make_packet(0, 1));
+  f.send(make_packet(0, 1));
+  e.run();
+  // Corruption is not loss at the fabric level: the packet still arrives,
+  // flagged, and the receiving NIC's CRC check discards it.
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(corrupted, 1);
+  EXPECT_EQ(f.faults().corrupted(), 1u);
+}
+
+TEST(FabricFault, ReorderedPacketArrivesAfterLaterTraffic) {
+  Engine e;
+  Fabric f(e, std::make_unique<SingleCrossbar>(2),
+           FabricParams{LinkParams{300_ns, 2.0e9}, SwitchParams{300_ns}});
+  std::vector<int> order;
+  f.attach([&](Packet&&) {});
+  f.attach([&](Packet&& p) {
+    const auto* body = body_as<ProbeBody>(p);
+    ASSERT_NE(body, nullptr);
+    order.push_back(body->value);
+  });
+  f.faults().rule().src(0).dst(1).nth(1).reorder(sim::microseconds(50));
+  f.send(make_packet(0, 1, 1));  // delayed past the second packet
+  f.send(make_packet(0, 1, 2));
+  e.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(f.faults().reordered(), 1u);
+}
+
+TEST(FabricFault, TalliesSurfaceAsMetrics) {
+  Engine e;
+  Fabric f(e, std::make_unique<SingleCrossbar>(2),
+           FabricParams{LinkParams{300_ns, 2.0e9}, SwitchParams{300_ns}});
+  f.attach([](Packet&&) {});
+  f.attach([](Packet&&) {});
+  f.faults().rule().nth(1).drop();
+  f.faults().rule().nth(1).duplicate();  // fires on the 2nd send (1st match)
+  f.send(make_packet(0, 1));
+  f.send(make_packet(0, 1));
+  e.run();
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  for (const obs::MetricValue& m : e.metrics().snapshot()) {
+    if (m.name == "fault.dropped") dropped = static_cast<std::uint64_t>(m.value);
+    if (m.name == "fault.duplicated") duplicated = static_cast<std::uint64_t>(m.value);
+  }
+  EXPECT_EQ(dropped, f.faults().dropped());
+  EXPECT_EQ(duplicated, f.faults().duplicated());
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(duplicated, 1u);
 }
 
 }  // namespace

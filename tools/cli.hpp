@@ -1,0 +1,139 @@
+// Shared command-line helpers for the repo's tools (qmbsim, qmbfuzz,
+// storm_launcher): duration literals and the one --fault rule grammar, so
+// every binary that injects faults speaks the same language.
+//
+// Fault grammar:   ACTION[:KEY=VALUE[,KEY=VALUE...]]
+//
+//   actions  drop | dup | duplicate | corrupt | reorder | blackout
+//            (blackout = drop with a required time window)
+//   keys     src=N dst=N        node filters (default: any)
+//            nth=N              fire on the Nth matching packet
+//            p=P seed=S         fire per-match with probability P
+//            from=T until=T     fire within the [from, until) window
+//            delay=T            reorder's extra delivery delay
+//   times    numbers with a unit suffix: 500ps 10ns 50us 2ms 1s
+//            (bare numbers are picoseconds)
+//
+//   --fault drop:nth=3,src=2,dst=4
+//   --fault dup:p=0.01,seed=7
+//   --fault reorder:nth=2,delay=10us
+//   --fault blackout:from=100us,until=250us
+//
+// Header-only so tools and tests include it without another library.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/fault.hpp"
+#include "sim/time.hpp"
+
+namespace qmb::cli {
+
+/// Parses "50us"-style duration literals (units ps/ns/us/ms/s; bare number
+/// = picoseconds). Rejects empty input, garbage, and unknown suffixes.
+inline std::optional<sim::SimDuration> parse_duration(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  const std::string text(s);
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return std::nullopt;
+  const std::string_view unit(end);
+  double mult = 1.0;  // picoseconds
+  if (unit == "ns") {
+    mult = 1e3;
+  } else if (unit == "us") {
+    mult = 1e6;
+  } else if (unit == "ms") {
+    mult = 1e9;
+  } else if (unit == "s") {
+    mult = 1e12;
+  } else if (!unit.empty() && unit != "ps") {
+    return std::nullopt;
+  }
+  if (v < 0) return std::nullopt;
+  return sim::SimDuration(static_cast<std::int64_t>(v * mult + 0.5));
+}
+
+/// Parses one --fault value into `out`. Returns an empty string on success,
+/// else a printable error (which includes net::validate()'s verdict, so a
+/// grammatically valid but semantically broken rule is also caught here).
+inline std::string parse_fault(std::string_view text, net::FaultSpec& out) {
+  net::FaultSpec f;
+  const auto colon = text.find(':');
+  const std::string_view action =
+      text.substr(0, colon == std::string_view::npos ? text.size() : colon);
+  const bool blackout = action == "blackout";
+  if (blackout) {
+    f.action = net::FaultAction::kDrop;
+  } else if (const auto a = net::parse_fault_action(action)) {
+    f.action = *a;
+  } else {
+    return "unknown fault action '" + std::string(action) +
+           "' (valid: drop, dup, corrupt, reorder, blackout)";
+  }
+
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{} : text.substr(colon + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view kv =
+        rest.substr(0, comma == std::string_view::npos ? rest.size() : comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    const auto eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      return "fault key '" + std::string(kv) + "' needs a value (key=value)";
+    }
+    const std::string_view key = kv.substr(0, eq);
+    const std::string value(kv.substr(eq + 1));
+    if (key == "src") {
+      f.src = std::atoi(value.c_str());
+    } else if (key == "dst") {
+      f.dst = std::atoi(value.c_str());
+    } else if (key == "nth") {
+      f.nth = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "p" || key == "prob") {
+      f.prob = std::atof(value.c_str());
+    } else if (key == "seed") {
+      f.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "from" || key == "until" || key == "delay") {
+      const auto d = parse_duration(value);
+      if (!d) {
+        return "bad duration '" + value + "' for fault key '" + std::string(key) +
+               "' (use e.g. 50us, 2ms)";
+      }
+      if (key == "from") {
+        f.from_ps = d->picos();
+      } else if (key == "until") {
+        f.until_ps = d->picos();
+      } else {
+        f.delay_ps = d->picos();
+      }
+    } else {
+      return "unknown fault key '" + std::string(key) +
+             "' (valid: src, dst, nth, p, seed, from, until, delay)";
+    }
+  }
+
+  if (blackout && f.until_ps <= f.from_ps) {
+    return "blackout needs from=<time>,until=<time> with until > from";
+  }
+  if (std::string err = net::validate(f); !err.empty()) return err;
+  out = f;
+  return {};
+}
+
+/// Fetches the value token following argv[i] or exits with a usage error —
+/// the shared shape of every tool's flag loop.
+inline const char* require_value(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+}  // namespace qmb::cli

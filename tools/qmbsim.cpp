@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "run/sweep.hpp"
 
 using namespace qmb;
@@ -49,6 +50,13 @@ struct Options {
       "  --iters K --warmup W                       (default 1000 / 100)\n"
       "  --seed S --perm                            random rank placement\n"
       "  --drop-prob P                              Myrinet packet loss\n"
+      "  --fault SPEC                               install a fault rule (repeatable,\n"
+      "         Myrinet only; rule order = match order). SPEC grammar:\n"
+      "           drop:nth=3,src=2,dst=4    dup:p=0.01,seed=7\n"
+      "           reorder:nth=2,delay=10us  blackout:from=100us,until=250us\n"
+      "  --skew US                                  max per-entry skew in us\n"
+      "         (each rank's every entry delays by a seeded uniform draw)\n"
+      "  --horizon-ms H                             simulated-time watchdog\n"
       "  --trace                                    dump protocol trace CSV\n"
       "  --trace-file PATH                          write the trace CSV to PATH\n"
       "         (without it, --trace goes to stdout, or to stderr when --json\n"
@@ -181,6 +189,17 @@ Options parse(int argc, char** argv) {
       o.spec.random_placement = true;
     } else if (a == "--drop-prob") {
       o.spec.drop_prob = std::atof(next("--drop-prob"));
+    } else if (a == "--fault") {
+      net::FaultSpec f;
+      if (const std::string err = cli::parse_fault(next("--fault"), f); !err.empty()) {
+        std::fprintf(stderr, "--fault: %s\n", err.c_str());
+        usage(argv[0]);
+      }
+      o.spec.faults.push_back(f);
+    } else if (a == "--skew") {
+      o.spec.skew_max_us = std::atof(next("--skew"));
+    } else if (a == "--horizon-ms") {
+      o.spec.horizon_ms = std::atol(next("--horizon-ms"));
     } else if (a == "--trace") {
       o.spec.collect_trace = true;
     } else if (a == "--trace-file") {
@@ -251,6 +270,10 @@ void print_result(const run::RunResult& r) {
   std::printf("recovery: %llu NACKs, %llu retransmissions\n",
               static_cast<unsigned long long>(r.nacks),
               static_cast<unsigned long long>(r.retransmissions));
+  if (r.crc_dropped > 0) {
+    std::printf("crc: %llu corrupted packets discarded at the NICs\n",
+                static_cast<unsigned long long>(r.crc_dropped));
+  }
   if (r.hw_probes > 0) {
     std::printf("hgsync: %llu probes, %llu failed\n",
                 static_cast<unsigned long long>(r.hw_probes),
