@@ -110,6 +110,13 @@ std::vector<SuitePoint> build_points(bool quick) {
   add_barrier_grid(pts, "fig8", Network::kMyrinetXP, {Impl::kNic}, large);
   add_barrier_grid(pts, "fig8", Network::kQuadrics, {Impl::kNic}, large);
 
+  // Sec. 9 generalization tier: the NIC collective protocol ported to the
+  // IB verbs substrate — RC-transport NIC barrier vs host baseline, plus
+  // the NIC barrier's scalability curve on its own key group.
+  add_barrier_grid(pts, "ib-barrier", Network::kInfiniBand,
+                   {Impl::kNic, Impl::kHost}, small);
+  add_barrier_grid(pts, "ib-scale", Network::kInfiniBand, {Impl::kNic}, large);
+
   // Ablation (Sec. 3/6): each protocol simplification disabled in turn.
   const int abl_nodes = quick ? 8 : 16;
   const auto abl = [&pts, abl_nodes](const char* slug, myri::CollFeatures f) {

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/ib_barriers.hpp"
 #include "core/myri_barriers.hpp"
 #include "core/quadrics_barriers.hpp"
 #include "net/fat_tree.hpp"
@@ -86,6 +87,42 @@ std::unique_ptr<Barrier> ElanCluster::make_barrier(ElanBarrierKind kind,
     }
   }
   throw std::invalid_argument("unknown Quadrics barrier kind");
+}
+
+IbCluster::IbCluster(sim::Engine& engine, const ib::IbConfig& config, int nodes,
+                     sim::Tracer* tracer, bool skip_retransmit)
+    : engine_(engine), config_(config) {
+  if (nodes < 2) throw std::invalid_argument("cluster needs >= 2 nodes");
+  std::unique_ptr<net::Topology> topo;
+  if (static_cast<std::size_t>(nodes) <= config_.radix) {
+    topo = std::make_unique<net::SingleCrossbar>(static_cast<std::size_t>(nodes));
+  } else {
+    topo = std::make_unique<net::FatTree>(
+        net::FatTree::fitting(config_.radix, static_cast<std::size_t>(nodes)));
+  }
+  fabric_ = std::make_unique<net::Fabric>(engine_, std::move(topo),
+                                          net::FabricParams{config_.link, config_.sw},
+                                          tracer);
+  nodes_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    nodes_.push_back(std::make_unique<ib::IbNode>(engine_, *fabric_, config_, i, tracer,
+                                                  skip_retransmit));
+  }
+}
+
+std::unique_ptr<Barrier> IbCluster::make_barrier(IbBarrierKind kind,
+                                                 coll::Algorithm algorithm,
+                                                 std::vector<int> rank_to_node) {
+  if (rank_to_node.empty()) rank_to_node = identity_placement(size());
+  const auto schedule =
+      coll::make_barrier_schedule(algorithm, static_cast<int>(rank_to_node.size()));
+  switch (kind) {
+    case IbBarrierKind::kHost:
+      return std::make_unique<IbHostBarrier>(*this, schedule, std::move(rank_to_node));
+    case IbBarrierKind::kNicCollective:
+      return std::make_unique<IbNicBarrier>(*this, schedule, std::move(rank_to_node));
+  }
+  throw std::invalid_argument("unknown IB barrier kind");
 }
 
 std::vector<int> identity_placement(int n) {

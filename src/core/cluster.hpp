@@ -15,6 +15,7 @@
 
 #include "core/barrier.hpp"
 #include "core/schedule.hpp"
+#include "ib/node.hpp"
 #include "myrinet/gm.hpp"
 #include "quadrics/elanlib.hpp"
 #include "sim/rng.hpp"
@@ -33,6 +34,11 @@ enum class ElanBarrierKind {
   kGsyncTree,   // elan_gsync(): host-level gather-broadcast tree
   kHardware,    // elan_hgsync(): hardware broadcast + test-and-set
   kNicChained,  // the paper: chained-RDMA NIC barrier
+};
+
+enum class IbBarrierKind {
+  kHost,           // host-level over tagged writes (baseline)
+  kNicCollective,  // the paper's protocol on RC verbs
 };
 
 /// A simulated Myrinet cluster: N nodes on a crossbar (<= 16 nodes, as in
@@ -90,6 +96,34 @@ class ElanCluster {
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<elan::ElanNode>> nodes_;
   std::unique_ptr<elan::HwBarrierController> hw_;
+  std::uint32_t next_group_id_ = 1;
+};
+
+/// A simulated InfiniBand cluster: N nodes on one crossbar switch (small
+/// fabrics) or a fat tree of `radix`-port switches, with RC queue pairs
+/// between every node pair. `skip_retransmit` threads the fuzzer's
+/// planted-bug flag into every HCA.
+class IbCluster {
+ public:
+  IbCluster(sim::Engine& engine, const ib::IbConfig& config, int nodes,
+            sim::Tracer* tracer = nullptr, bool skip_retransmit = false);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] ib::IbNode& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const ib::IbConfig& config() const { return config_; }
+
+  std::unique_ptr<Barrier> make_barrier(IbBarrierKind kind, coll::Algorithm algorithm,
+                                        std::vector<int> rank_to_node = {});
+
+  [[nodiscard]] std::uint32_t next_group_id() { return next_group_id_++; }
+
+ private:
+  sim::Engine& engine_;
+  ib::IbConfig config_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<ib::IbNode>> nodes_;
   std::uint32_t next_group_id_ = 1;
 };
 

@@ -228,6 +228,100 @@ void ElanHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
   });
 }
 
+IbNicCollective::IbNicCollective(IbCluster& cluster, coll::OpKind kind, int root,
+                                 coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                                 std::uint32_t payload_bytes)
+    : cluster_(cluster),
+      kind_(kind),
+      rank_to_node_(std::move(rank_to_node)),
+      group_id_(cluster.next_group_id()) {
+  const int n = static_cast<int>(rank_to_node_.size());
+  const auto schedule = make_collective_schedule(kind, n, root);
+  name_ = std::string("ib-nic-") + std::string(kind_name(kind));
+
+  for (int r = 0; r < n; ++r) {
+    ib::IbGroupDesc desc;
+    desc.group_id = group_id_;
+    desc.my_rank = r;
+    desc.rank_to_node = rank_to_node_;
+    desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
+    desc.op_kind = kind;
+    desc.reduce_op = reduce;
+    desc.payload_bytes = payload_bytes;
+    cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]).create_group(std::move(desc));
+  }
+}
+
+void IbNicCollective::enter(int rank, std::int64_t value, DoneFn done) {
+  const int node = rank_to_node_.at(static_cast<std::size_t>(rank));
+  cluster_.node(node).collective_enter(group_id_, value, std::move(done));
+}
+
+IbHostCollective::IbHostCollective(IbCluster& cluster, coll::OpKind kind, int root,
+                                   coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                                   std::uint32_t payload_bytes)
+    : cluster_(cluster),
+      kind_(kind),
+      rank_to_node_(std::move(rank_to_node)),
+      group_id_(cluster.next_group_id() & 0x7Fu),
+      payload_bytes_(payload_bytes) {
+  const int n = static_cast<int>(rank_to_node_.size());
+  schedule_ = make_collective_schedule(kind, n, root);
+  name_ = std::string("ib-host-") + std::string(kind_name(kind));
+
+  node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
+  for (int r = 0; r < n; ++r) {
+    node_to_rank_.at(static_cast<std::size_t>(rank_to_node_[static_cast<std::size_t>(r)])) = r;
+  }
+
+  ranks_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    RankCtx& ctx = ranks_[static_cast<std::size_t>(r)];
+    ctx.node = &cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]);
+    ctx.window = std::make_unique<OpWindow>(
+        schedule_.ranks[static_cast<std::size_t>(r)],
+        [this, r](std::uint32_t seq, const coll::Edge& e, std::int64_t value) {
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          const int dst_node = rank_to_node_[static_cast<std::size_t>(e.peer)];
+          const auto bytes =
+              payload_bytes_ * static_cast<std::uint32_t>(
+                                   coll::edge_payload_words(kind_, e.tag, value));
+          c.node->post(dst_node, bytes, BarrierTag::encode(group_id_, seq, e.tag), value);
+        },
+        [this, r](std::uint32_t seq, std::int64_t result) {
+          (void)seq;
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          auto cb = std::move(c.done);
+          c.done = nullptr;
+          if (cb) cb(result);
+        },
+        kind, reduce);
+
+    // Like the Elan host layer, IbNode has one receive handler per node, so
+    // filter by group id.
+    ctx.node->set_receive_handler(
+        [this, r](int src_node, std::uint32_t tag, std::int64_t value) {
+          if (!BarrierTag::is_barrier(tag)) return;
+          if (BarrierTag::group(tag) != group_id_) return;
+          RankCtx& c = ranks_[static_cast<std::size_t>(r)];
+          const int src_rank = node_to_rank_.at(static_cast<std::size_t>(src_node));
+          assert(src_rank >= 0);
+          const std::uint32_t seq =
+              BarrierTag::widen_seq(BarrierTag::seq_low(tag), c.window->next_seq());
+          c.window->on_arrival(seq, src_rank, BarrierTag::edge_tag(tag), value);
+        });
+  }
+}
+
+void IbHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
+  RankCtx& ctx = ranks_.at(static_cast<std::size_t>(rank));
+  assert(!ctx.done && "rank re-entered before completion");
+  ctx.done = std::move(done);
+  ctx.node->host_cpu().exec(ctx.node->config().host_setup, [this, rank, value] {
+    ranks_[static_cast<std::size_t>(rank)].window->start(value);
+  });
+}
+
 std::unique_ptr<Collective> make_nic_collective(MyriCluster& cluster, coll::OpKind kind,
                                                 int root, coll::ReduceOp reduce,
                                                 std::vector<int> rank_to_node,
@@ -264,6 +358,24 @@ std::unique_ptr<Collective> make_elan_host_collective(ElanCluster& cluster,
   if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
   return std::make_unique<ElanHostCollective>(cluster, kind, root, reduce,
                                               std::move(rank_to_node), payload_bytes);
+}
+
+std::unique_ptr<Collective> make_ib_nic_collective(IbCluster& cluster, coll::OpKind kind,
+                                                   int root, coll::ReduceOp reduce,
+                                                   std::vector<int> rank_to_node,
+                                                   std::uint32_t payload_bytes) {
+  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
+  return std::make_unique<IbNicCollective>(cluster, kind, root, reduce,
+                                           std::move(rank_to_node), payload_bytes);
+}
+
+std::unique_ptr<Collective> make_ib_host_collective(IbCluster& cluster, coll::OpKind kind,
+                                                    int root, coll::ReduceOp reduce,
+                                                    std::vector<int> rank_to_node,
+                                                    std::uint32_t payload_bytes) {
+  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
+  return std::make_unique<IbHostCollective>(cluster, kind, root, reduce,
+                                            std::move(rank_to_node), payload_bytes);
 }
 
 }  // namespace qmb::core

@@ -21,6 +21,7 @@
 
 #include "core/op_window.hpp"
 #include "core/schedule.hpp"
+#include "ib/node.hpp"
 #include "myrinet/gm.hpp"
 #include "quadrics/elanlib.hpp"
 
@@ -28,6 +29,7 @@ namespace qmb::core {
 
 class MyriCluster;
 class ElanCluster;
+class IbCluster;
 
 /// A cluster-wide value collective. Ranks enter with a contribution and
 /// receive the operation's result in their completion callback.
@@ -153,6 +155,59 @@ class ElanHostCollective final : public Collective {
   std::string name_;
 };
 
+/// IB NIC-resident implementation: the collective group engine runs on the
+/// HCA over sequenced RDMA writes-with-immediate — one doorbell in, one
+/// CQE out, like the Myrinet and Elan NIC engines.
+class IbNicCollective final : public Collective {
+ public:
+  IbNicCollective(IbCluster& cluster, coll::OpKind kind, int root,
+                  coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                  std::uint32_t payload_bytes = 8);
+
+  void enter(int rank, std::int64_t value, DoneFn done) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] int size() const override { return static_cast<int>(rank_to_node_.size()); }
+  [[nodiscard]] coll::OpKind kind() const override { return kind_; }
+
+ private:
+  IbCluster& cluster_;
+  coll::OpKind kind_;
+  std::vector<int> rank_to_node_;
+  std::uint32_t group_id_;
+  std::string name_;
+};
+
+/// Host-level IB implementation over tagged writes: every schedule edge
+/// pays WQE build + doorbell + CQ polling on the hosts.
+class IbHostCollective final : public Collective {
+ public:
+  IbHostCollective(IbCluster& cluster, coll::OpKind kind, int root,
+                   coll::ReduceOp reduce, std::vector<int> rank_to_node,
+                   std::uint32_t payload_bytes = 8);
+
+  void enter(int rank, std::int64_t value, DoneFn done) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] int size() const override { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] coll::OpKind kind() const override { return kind_; }
+
+ private:
+  struct RankCtx {
+    ib::IbNode* node = nullptr;
+    std::unique_ptr<OpWindow> window;
+    DoneFn done;
+  };
+
+  IbCluster& cluster_;
+  coll::OpKind kind_;
+  coll::GroupSchedule schedule_;
+  std::vector<int> rank_to_node_;
+  std::vector<int> node_to_rank_;
+  std::vector<RankCtx> ranks_;
+  std::uint32_t group_id_ = 0;
+  std::uint32_t payload_bytes_ = 8;
+  std::string name_;
+};
+
 /// Builds the schedule for an operation kind (root applies to bcast).
 [[nodiscard]] coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n,
                                                            int root);
@@ -172,6 +227,14 @@ std::unique_ptr<Collective> make_elan_nic_collective(
     std::uint32_t payload_bytes = 8);
 std::unique_ptr<Collective> make_elan_host_collective(
     ElanCluster& cluster, coll::OpKind kind, int root = 0,
+    coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
+    std::uint32_t payload_bytes = 8);
+std::unique_ptr<Collective> make_ib_nic_collective(
+    IbCluster& cluster, coll::OpKind kind, int root = 0,
+    coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
+    std::uint32_t payload_bytes = 8);
+std::unique_ptr<Collective> make_ib_host_collective(
+    IbCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
     std::uint32_t payload_bytes = 8);
 

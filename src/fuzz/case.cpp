@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "run/substrate.hpp"
 #include "sim/rng.hpp"
 
 namespace qmb::fuzz {
@@ -17,6 +18,11 @@ namespace {
 template <typename T, std::size_t N>
 T pick(sim::Rng& rng, const T (&options)[N]) {
   return options[rng.next_below(N)];
+}
+
+template <typename T>
+T pick(sim::Rng& rng, const std::vector<T>& options) {
+  return options[rng.next_below(options.size())];
 }
 
 net::FaultSpec derive_fault(sim::Rng& rng, int nodes) {
@@ -60,9 +66,10 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
   s.horizon_ms = opts.horizon_ms;
 
   constexpr run::Network kNets[] = {run::Network::kMyrinetXP, run::Network::kMyrinetXP,
-                                    run::Network::kMyrinetL9, run::Network::kQuadrics};
+                                    run::Network::kMyrinetL9, run::Network::kQuadrics,
+                                    run::Network::kInfiniBand};
   s.network = pick(rng, kNets);
-  const bool myrinet = s.network != run::Network::kQuadrics;
+  const run::SubstrateCaps& caps = run::substrate_for(s.network).caps();
 
   constexpr coll::OpKind kOps[] = {coll::OpKind::kBarrier, coll::OpKind::kBcast,
                                    coll::OpKind::kAllreduce, coll::OpKind::kAllgather,
@@ -70,15 +77,11 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
   s.op = pick(rng, kOps);
 
   if (s.op == coll::OpKind::kBarrier) {
-    if (myrinet) {
-      constexpr run::Impl kImpls[] = {run::Impl::kNic, run::Impl::kNic, run::Impl::kHost,
-                                      run::Impl::kDirect};
-      s.impl = pick(rng, kImpls);
-    } else {
-      constexpr run::Impl kImpls[] = {run::Impl::kNic, run::Impl::kNic, run::Impl::kHost,
-                                      run::Impl::kGsync, run::Impl::kHgsync};
-      s.impl = pick(rng, kImpls);
-    }
+    // The legal list comes from the substrate's capability flags; kNic is
+    // weighted double (the paper's protocol is the fuzzing target).
+    std::vector<run::Impl> impls = {run::Impl::kNic};
+    impls.insert(impls.end(), caps.barrier_impls.begin(), caps.barrier_impls.end());
+    s.impl = pick(rng, impls);
   } else {
     s.impl = rng.next_bool(0.25) ? run::Impl::kHost : run::Impl::kNic;
   }
@@ -96,11 +99,14 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
   s.random_placement = rng.next_bool(0.5);
 
   // Ablation switches: mostly on (the production config), each off a
-  // quarter of the time so their interactions get exercised too.
-  s.features.dedicated_queue = rng.next_bool(0.75);
-  s.features.static_packet = rng.next_bool(0.75);
-  s.features.receiver_driven = rng.next_bool(0.75);
-  s.features.bitvector_record = rng.next_bool(0.75);
+  // quarter of the time so their interactions get exercised too. Only
+  // drawn where the substrate implements them.
+  if (caps.ablations) {
+    s.features.dedicated_queue = rng.next_bool(0.75);
+    s.features.static_packet = rng.next_bool(0.75);
+    s.features.receiver_driven = rng.next_bool(0.75);
+    s.features.bitvector_record = rng.next_bool(0.75);
+  }
 
   // Entry skew: a third of cases keep the tight re-entry loop, the rest
   // smear entries over up to 20 us.
@@ -108,7 +114,7 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
                       ? 0.0
                       : static_cast<double>(rng.next_below(20'001)) / 1000.0;
 
-  if (myrinet) {
+  if (caps.faults) {
     const std::uint64_t rules = rng.next_below(4);  // 0..3 rules
     for (std::uint64_t i = 0; i < rules; ++i) {
       s.faults.push_back(derive_fault(rng, s.nodes));

@@ -61,17 +61,27 @@ std::vector<Violation> check_invariants(const run::RunResult& r) {
         {"crc-accounting", "nic.crc_dropped: " + nums(crc_dropped, fault_corrupted)});
   }
 
-  // The Myrinet NIC collective engine completes each operation exactly once
-  // per rank — stale/duplicate suppression must neither double-complete nor
-  // swallow an operation.
-  const bool myrinet_nic_engine =
-      r.spec.network != run::Network::kQuadrics && r.spec.impl == run::Impl::kNic;
+  // The NIC collective engines complete each operation exactly once per
+  // rank — stale/duplicate suppression must neither double-complete nor
+  // swallow an operation. Each substrate's engine counts under its own
+  // metric name.
+  const std::uint64_t nic_ops_want = static_cast<std::uint64_t>(r.spec.nodes) *
+                                     static_cast<std::uint64_t>(r.spec.warmup + r.spec.iters);
+  const bool myrinet_nic_engine = (r.spec.network == run::Network::kMyrinetXP ||
+                                   r.spec.network == run::Network::kMyrinetL9) &&
+                                  r.spec.impl == run::Impl::kNic;
   if (myrinet_nic_engine) {
-    const std::uint64_t want = static_cast<std::uint64_t>(r.spec.nodes) *
-                               static_cast<std::uint64_t>(r.spec.warmup + r.spec.iters);
     const std::uint64_t done = metric_total(r, "coll.ops_completed");
-    if (done != want) {
-      out.push_back({"ops-counter-algebra", "coll.ops_completed: " + nums(done, want)});
+    if (done != nic_ops_want) {
+      out.push_back(
+          {"ops-counter-algebra", "coll.ops_completed: " + nums(done, nic_ops_want)});
+    }
+  }
+  if (r.spec.network == run::Network::kInfiniBand && r.spec.impl == run::Impl::kNic) {
+    const std::uint64_t done = metric_total(r, "ib.ops_completed");
+    if (done != nic_ops_want) {
+      out.push_back(
+          {"ops-counter-algebra", "ib.ops_completed: " + nums(done, nic_ops_want)});
     }
   }
   return out;

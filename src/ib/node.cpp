@@ -1,0 +1,86 @@
+#include "ib/node.hpp"
+
+#include <utility>
+
+namespace qmb::ib {
+
+IbNode::IbNode(sim::Engine& engine, net::Fabric& fabric, const IbConfig& config,
+               int index, sim::Tracer* tracer, bool skip_retransmit)
+    : index_(index),
+      cfg_(config),
+      host_cpu_(engine),
+      hca_(engine, fabric, config, index, tracer, skip_retransmit) {}
+
+void IbNode::post(int dst_node, std::uint32_t bytes, std::uint32_t tag,
+                  std::int64_t value) {
+  host_cpu_.exec(cfg_.host_wqe_build + cfg_.host_doorbell,
+                 [this, dst_node, bytes, tag, value] {
+    IbWrite body;
+    body.op = IbWrite::Op::kWriteImm;
+    body.imm_class = IbWrite::ImmClass::kHostMsg;
+    body.tag = tag;
+    body.src_rank = static_cast<std::uint32_t>(index_);
+    body.payload_bytes = bytes;
+    body.value = value;
+    hca_.trace("ib_post", dst_node, tag);
+    hca_.post_write(dst_node, body, bytes);
+  });
+}
+
+void IbNode::set_receive_handler(ReceiveHandler fn) {
+  hca_.set_host_msg_handler([this, fn = std::move(fn)](const IbWrite& w) {
+    host_cpu_.exec(cfg_.host_cq_poll,
+                   [fn, src = static_cast<int>(w.src_rank), tag = w.tag,
+                    value = w.value] { fn(src, tag, value); });
+  });
+}
+
+void IbNode::barrier_enter(std::uint32_t group, sim::EventCallback done) {
+  host_cpu_.exec(cfg_.host_doorbell, [this, group, done = std::move(done)]() mutable {
+    hca_.barrier_enter(group, [this, done = std::move(done)]() mutable {
+      host_cpu_.exec(cfg_.host_cq_poll, std::move(done));
+    });
+  });
+}
+
+void IbNode::collective_enter(std::uint32_t group, std::int64_t value,
+                              std::function<void(std::int64_t)> done) {
+  host_cpu_.exec(cfg_.host_doorbell, [this, group, value, done = std::move(done)]() mutable {
+    hca_.collective_enter(group, value,
+                          [this, done = std::move(done)](std::int64_t result) mutable {
+                            host_cpu_.exec(cfg_.host_cq_poll,
+                                           [done = std::move(done), result]() mutable {
+                                             done(result);
+                                           });
+                          });
+  });
+}
+
+void IbNode::remote_fetch_add(int dst_node, std::uint32_t slot, std::int64_t addend,
+                              std::function<void(std::int64_t)> done) {
+  host_cpu_.exec(cfg_.host_wqe_build + cfg_.host_doorbell,
+                 [this, dst_node, slot, addend, done = std::move(done)]() mutable {
+    hca_.fetch_add(dst_node, slot, addend,
+                   [this, done = std::move(done)](std::int64_t old) mutable {
+                     host_cpu_.exec(cfg_.host_cq_poll,
+                                    [done = std::move(done), old]() mutable { done(old); });
+                   });
+  });
+}
+
+void IbNode::remote_compare_swap(int dst_node, std::uint32_t slot, std::int64_t compare,
+                                 std::int64_t swap,
+                                 std::function<void(std::int64_t)> done) {
+  host_cpu_.exec(cfg_.host_wqe_build + cfg_.host_doorbell,
+                 [this, dst_node, slot, compare, swap, done = std::move(done)]() mutable {
+    hca_.compare_swap(dst_node, slot, compare, swap,
+                      [this, done = std::move(done)](std::int64_t old) mutable {
+                        host_cpu_.exec(cfg_.host_cq_poll,
+                                       [done = std::move(done), old]() mutable {
+                                         done(old);
+                                       });
+                      });
+  });
+}
+
+}  // namespace qmb::ib

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "run/substrate.hpp"
 
 namespace qmb::run {
 
@@ -16,6 +17,7 @@ std::string_view to_string(Network n) {
     case Network::kMyrinetXP: return "myrinet-xp";
     case Network::kMyrinetL9: return "myrinet-l9";
     case Network::kQuadrics: return "quadrics";
+    case Network::kInfiniBand: return "ib";
   }
   return "?";
 }
@@ -43,9 +45,7 @@ std::string_view to_string(coll::OpKind k) {
 }
 
 std::optional<Network> parse_network(std::string_view s) {
-  if (s == "myrinet-xp") return Network::kMyrinetXP;
-  if (s == "myrinet-l9") return Network::kMyrinetL9;
-  if (s == "quadrics") return Network::kQuadrics;
+  if (const Substrate* sub = find_substrate(s)) return sub->network();
   return std::nullopt;
 }
 
@@ -76,7 +76,8 @@ std::optional<coll::OpKind> parse_op(std::string_view s) {
 
 namespace {
 
-std::string pair_error(const ExperimentSpec& s, const char* why, const char* valid) {
+std::string pair_error(const ExperimentSpec& s, const std::string& why,
+                       const std::string& valid) {
   std::string msg = "invalid combination: --impl ";
   msg += to_string(s.impl);
   msg += " with --network ";
@@ -90,6 +91,35 @@ std::string pair_error(const ExperimentSpec& s, const char* why, const char* val
   msg += "; valid: ";
   msg += valid;
   msg += ")";
+  return msg;
+}
+
+/// Why a rejected impl is rejected, for the usage text. Membership itself
+/// comes from the substrate's capability flags; these notes only explain.
+std::string impl_note(const ExperimentSpec& s) {
+  if (s.op != coll::OpKind::kBarrier) {
+    return "value collectives only have NIC and host engines";
+  }
+  if (s.impl == Impl::kGsync || s.impl == Impl::kHgsync) {
+    return "gsync/hgsync are Quadrics barriers";
+  }
+  if (s.impl == Impl::kDirect) {
+    return "direct is the Myrinet prior-work NIC scheme";
+  }
+  return std::string("not a ") + std::string(to_string(s.network)) + " implementation";
+}
+
+std::string loss_error(const ExperimentSpec& s, const SubstrateCaps& caps,
+                       const char* what, const char* remove) {
+  std::string msg = what;
+  msg += " not supported on --network ";
+  msg += to_string(s.network);
+  msg += " (";
+  msg += caps.loss_note;
+  msg += "); ";
+  msg += remove;
+  msg += " or use --network ";
+  msg += loss_capable_names();
   return msg;
 }
 
@@ -108,14 +138,12 @@ std::string validate(const ExperimentSpec& s) {
   if (s.horizon_ms < 1) {
     return "--horizon must be >= 1 ms (got " + std::to_string(s.horizon_ms) + ")";
   }
-  const bool myrinet = s.network != Network::kQuadrics;
-  if (!myrinet && s.drop_prob > 0.0) {
-    return "--drop-prob is Myrinet-only (the Quadrics models have no loss recovery "
-           "path); remove it or use --network myrinet-xp/myrinet-l9";
+  const SubstrateCaps& caps = substrate_for(s.network).caps();
+  if (!caps.drop_prob && s.drop_prob > 0.0) {
+    return loss_error(s, caps, "--drop-prob is", "remove it");
   }
-  if (!myrinet && !s.faults.empty()) {
-    return "--fault rules are Myrinet-only (the Quadrics models have no loss recovery "
-           "path); remove them or use --network myrinet-xp/myrinet-l9";
+  if (!caps.faults && !s.faults.empty()) {
+    return loss_error(s, caps, "--fault rules are", "remove them");
   }
   for (std::size_t i = 0; i < s.faults.size(); ++i) {
     const net::FaultSpec& f = s.faults[i];
@@ -127,22 +155,8 @@ std::string validate(const ExperimentSpec& s) {
              std::to_string(s.nodes);
     }
   }
-  if (s.op == coll::OpKind::kBarrier) {
-    if (myrinet) {
-      if (s.impl == Impl::kGsync || s.impl == Impl::kHgsync) {
-        return pair_error(s, "gsync/hgsync are Quadrics barriers", "nic, host, direct");
-      }
-    } else {
-      if (s.impl == Impl::kDirect) {
-        return pair_error(s, "direct is the Myrinet prior-work NIC scheme",
-                          "nic, host, gsync, hgsync");
-      }
-    }
-  } else {
-    if (s.impl != Impl::kNic && s.impl != Impl::kHost) {
-      return pair_error(s, "value collectives only have NIC and host engines",
-                        "nic, host");
-    }
+  if (!caps_allow(caps, s.op, s.impl)) {
+    return pair_error(s, impl_note(s), caps_impl_list(caps, s.op));
   }
   return {};
 }
@@ -273,9 +287,12 @@ void fill_engine(RunResult& out, const sim::Engine& engine) {
   out.packets_sent = reg.total("fabric.packets_sent");
   out.bytes_sent = reg.total("fabric.bytes_sent");
   out.packets_dropped = reg.total("fabric.packets_dropped");
-  out.nacks = reg.total("coll.nacks_sent");
-  out.retransmissions =
-      reg.total("coll.retransmissions") + reg.total("mcp.retransmissions");
+  // Unregistered names total to 0, so substrates only pay for counters
+  // their components registered.
+  out.nacks = reg.total("coll.nacks_sent") + reg.total("ib.naks_sent");
+  out.retransmissions = reg.total("coll.retransmissions") +
+                        reg.total("mcp.retransmissions") +
+                        reg.total("ib.retransmissions");
   out.hw_probes = reg.total("hw.probes_sent");
   out.hw_failed_probes = reg.total("hw.failed_probes");
   out.crc_dropped = reg.total("nic.crc_dropped");
@@ -288,21 +305,21 @@ std::vector<int> placement_of(const ExperimentSpec& s) {
   return core::random_placement(s.nodes, rng);
 }
 
-RunResult run_myrinet(const ExperimentSpec& s) {
-  const auto cfg =
-      s.network == Network::kMyrinetL9 ? myri::lanai9_cluster() : myri::lanaixp_cluster();
+/// The one experiment driver, generic over substrates. Operation order is
+/// load-bearing for the determinism fingerprints: cluster construction,
+/// then the drop_prob rule (only when set), then the fault plan (spec rule
+/// order is injector match order), then placement and the run.
+RunResult run_on(const Substrate& sub, const ExperimentSpec& s) {
   sim::Engine engine;
   sim::Tracer tracer;
   const bool tracing = s.collect_trace || s.chrome_trace;
   if (tracing) tracer.enable();
-  core::MyriCluster cluster(engine, cfg, s.nodes, tracing ? &tracer : nullptr);
+  auto cluster = sub.build_cluster(engine, s, tracing ? &tracer : nullptr);
   if (s.drop_prob > 0) {
-    cluster.fabric().faults().add_random_rule(std::nullopt, std::nullopt, s.drop_prob,
-                                              s.seed);
+    cluster->fabric().faults().add_random_rule(std::nullopt, std::nullopt, s.drop_prob,
+                                               s.seed);
   }
-  // The fault plan installs after the drop_prob rule: spec rule order is
-  // injector match order.
-  cluster.fabric().faults().install(s.faults);
+  cluster->fabric().faults().install(s.faults);
   auto placement = placement_of(s);
   const SkewPlan skew = skew_plan(s);
   const auto horizon = sim::milliseconds(s.horizon_ms);
@@ -312,21 +329,14 @@ RunResult run_myrinet(const ExperimentSpec& s) {
   out.ops_expected = static_cast<std::uint64_t>(s.nodes) *
                      static_cast<std::uint64_t>(s.warmup + s.iters);
   if (s.op == coll::OpKind::kBarrier) {
-    core::MyriBarrierKind kind = core::MyriBarrierKind::kNicCollective;
-    if (s.impl == Impl::kHost) kind = core::MyriBarrierKind::kHost;
-    else if (s.impl == Impl::kDirect) kind = core::MyriBarrierKind::kNicDirect;
-    auto barrier = cluster.make_barrier(kind, s.algorithm, placement, s.features);
+    auto barrier = cluster->make_barrier(s, std::move(placement));
     out.impl_name = std::string(barrier->name());
     fill_latency(out,
                  core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters,
                                                 skew.max, skew.seed, horizon),
                  engine);
   } else {
-    auto op = s.impl == Impl::kHost
-                  ? core::make_host_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
-                                               placement)
-                  : core::make_nic_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
-                                              placement);
+    auto op = cluster->make_collective(s, std::move(placement));
     out.impl_name = std::string(op->name());
     fill_latency(out,
                  run_collective(engine, *op, s.op, s.warmup, s.iters, skew, horizon,
@@ -334,54 +344,6 @@ RunResult run_myrinet(const ExperimentSpec& s) {
                  engine);
   }
   out.ops_done = out.ops_expected;  // the runners throw before reaching here otherwise
-  fill_engine(out, engine);
-  if (s.collect_trace) out.trace_csv = tracer.to_csv();
-  if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
-  if (tracing) out.trace_dropped = tracer.overwritten();
-  return out;
-}
-
-RunResult run_quadrics(const ExperimentSpec& s) {
-  sim::Engine engine;
-  sim::Tracer tracer;
-  const bool tracing = s.collect_trace || s.chrome_trace;
-  if (tracing) tracer.enable();
-  core::ElanCluster cluster(engine, elan::elan3_cluster(), s.nodes,
-                            tracing ? &tracer : nullptr);
-  auto placement = placement_of(s);
-  const SkewPlan skew = skew_plan(s);
-  const auto horizon = sim::milliseconds(s.horizon_ms);
-
-  RunResult out;
-  out.spec = s;
-  out.ops_expected = static_cast<std::uint64_t>(s.nodes) *
-                     static_cast<std::uint64_t>(s.warmup + s.iters);
-  if (s.op == coll::OpKind::kBarrier) {
-    core::ElanBarrierKind kind = core::ElanBarrierKind::kNicChained;
-    if (s.impl == Impl::kGsync || s.impl == Impl::kHost) {
-      kind = core::ElanBarrierKind::kGsyncTree;
-    } else if (s.impl == Impl::kHgsync) {
-      kind = core::ElanBarrierKind::kHardware;
-    }
-    auto barrier = cluster.make_barrier(kind, s.algorithm, placement);
-    out.impl_name = std::string(barrier->name());
-    fill_latency(out,
-                 core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters,
-                                                skew.max, skew.seed, horizon),
-                 engine);
-  } else {
-    auto op = s.impl == Impl::kHost
-                  ? core::make_elan_host_collective(cluster, s.op, 0,
-                                                    coll::ReduceOp::kSum, placement)
-                  : core::make_elan_nic_collective(cluster, s.op, 0, coll::ReduceOp::kSum,
-                                                   placement);
-    out.impl_name = std::string(op->name());
-    fill_latency(out,
-                 run_collective(engine, *op, s.op, s.warmup, s.iters, skew, horizon,
-                                out.value_errors),
-                 engine);
-  }
-  out.ops_done = out.ops_expected;
   fill_engine(out, engine);
   if (s.collect_trace) out.trace_csv = tracer.to_csv();
   if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
@@ -416,8 +378,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     throw std::invalid_argument(err);
   }
   const auto host_start = std::chrono::steady_clock::now();
-  RunResult out =
-      spec.network == Network::kQuadrics ? run_quadrics(spec) : run_myrinet(spec);
+  RunResult out = run_on(substrate_for(spec.network), spec);
   out.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start)
           .count();

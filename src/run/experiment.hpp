@@ -30,7 +30,7 @@
 
 namespace qmb::run {
 
-enum class Network { kMyrinetXP, kMyrinetL9, kQuadrics };
+enum class Network { kMyrinetXP, kMyrinetL9, kQuadrics, kInfiniBand };
 
 /// Barrier/collective implementation selector, across both networks.
 /// nic/host exist everywhere; direct is the Myrinet prior-work NIC scheme;
@@ -55,15 +55,15 @@ struct ExperimentSpec {
   int warmup = 20;
   std::uint64_t seed = 1;
   bool random_placement = false;
-  double drop_prob = 0.0;              // Myrinet wire loss (NACK recovery path)
+  double drop_prob = 0.0;              // wire loss (loss-capable substrates only)
   myri::CollFeatures features{};       // NIC-collective ablation switches
   bool collect_trace = false;          // fills RunResult::trace_csv
   bool chrome_trace = false;           // fills RunResult::trace_json
 
   /// Fault plan installed into the fabric before the run (rule order is
-  /// match order). Myrinet-only, like drop_prob: the Quadrics models have
-  /// no loss-recovery path. Deterministic: probabilistic rules carry their
-  /// own seeds.
+  /// match order). Only legal on substrates whose capability flags report
+  /// a loss-recovery path (like drop_prob); validate() enforces it.
+  /// Deterministic: probabilistic rules carry their own seeds.
   std::vector<net::FaultSpec> faults;
 
   /// Max per-entry skew in microseconds: each rank's every (re-)entry is

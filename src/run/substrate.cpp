@@ -1,0 +1,72 @@
+#include "run/substrate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "run/substrate_internal.hpp"
+
+namespace qmb::run {
+
+const std::vector<const Substrate*>& substrates() {
+  // Explicit registration in a fixed order — no static-initialization or
+  // dead-stripping surprises, and the order is the one users see.
+  static const std::vector<const Substrate*> all = {
+      &detail::myrinet_xp_substrate(),
+      &detail::myrinet_l9_substrate(),
+      &detail::quadrics_substrate(),
+      &detail::ib_substrate(),
+  };
+  return all;
+}
+
+const Substrate& substrate_for(Network n) {
+  for (const Substrate* s : substrates()) {
+    if (s->network() == n) return *s;
+  }
+  throw std::logic_error("network enumerator has no registered substrate");
+}
+
+const Substrate* find_substrate(std::string_view name) {
+  for (const Substrate* s : substrates()) {
+    if (s->name() == name) return s;
+  }
+  return nullptr;
+}
+
+std::string substrate_names(std::string_view sep) {
+  std::string out;
+  for (const Substrate* s : substrates()) {
+    if (!out.empty()) out += sep;
+    out += s->name();
+  }
+  return out;
+}
+
+std::string loss_capable_names(std::string_view sep) {
+  std::string out;
+  for (const Substrate* s : substrates()) {
+    if (!s->caps().faults && !s->caps().drop_prob) continue;
+    if (!out.empty()) out += sep;
+    out += s->name();
+  }
+  return out;
+}
+
+bool caps_allow(const SubstrateCaps& caps, coll::OpKind op, Impl impl) {
+  const std::vector<Impl>& legal =
+      op == coll::OpKind::kBarrier ? caps.barrier_impls : caps.collective_impls;
+  return std::find(legal.begin(), legal.end(), impl) != legal.end();
+}
+
+std::string caps_impl_list(const SubstrateCaps& caps, coll::OpKind op) {
+  const std::vector<Impl>& legal =
+      op == coll::OpKind::kBarrier ? caps.barrier_impls : caps.collective_impls;
+  std::string out;
+  for (const Impl i : legal) {
+    if (!out.empty()) out += ", ";
+    out += to_string(i);
+  }
+  return out;
+}
+
+}  // namespace qmb::run

@@ -1,0 +1,86 @@
+// The substrate registry: every network the simulator models is one
+// Substrate descriptor — a name, a set of capability flags, and a cluster
+// builder — and the run layer dispatches through it instead of
+// special-casing networks. Adding a substrate means adding one adapter TU
+// (see substrate_myrinet.cpp / substrate_quadrics.cpp / substrate_ib.cpp)
+// and registering it in substrate.cpp; validate(), the CLI name lists, the
+// fuzzer's case derivation, and the bench suite all pick it up from here.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "run/experiment.hpp"
+
+namespace qmb::run {
+
+/// What a substrate supports, as data. validate() turns these flags into
+/// usage errors, derive_case respects them when drawing fault plans, and
+/// the CLI lists legal values from them — no hand-rolled per-network
+/// strings anywhere else.
+struct SubstrateCaps {
+  bool faults = false;     // net::FaultSpec plans are recoverable here
+  bool drop_prob = false;  // random wire loss is recoverable here
+  bool ablations = false;  // myri::CollFeatures ablation switches apply
+  /// Why loss injection is unsupported (empty when faults/drop_prob are
+  /// on); spliced verbatim into validate()'s error text.
+  std::string_view loss_note = "";
+  std::vector<Impl> barrier_impls;     // legal --impl values for barriers
+  std::vector<Impl> collective_impls;  // legal --impl values for value ops
+};
+
+/// A built cluster behind a uniform face: the generic experiment driver
+/// only needs the fabric (for fault installation) and the two executor
+/// factories.
+class SubstrateCluster {
+ public:
+  virtual ~SubstrateCluster() = default;
+  [[nodiscard]] virtual net::Fabric& fabric() = 0;
+  /// Builds the spec's barrier over `placement` (rank -> node).
+  [[nodiscard]] virtual std::unique_ptr<core::Barrier> make_barrier(
+      const ExperimentSpec& spec, std::vector<int> placement) = 0;
+  /// Builds the spec's value collective over `placement`.
+  [[nodiscard]] virtual std::unique_ptr<core::Collective> make_collective(
+      const ExperimentSpec& spec, std::vector<int> placement) = 0;
+};
+
+/// One registered network model.
+class Substrate {
+ public:
+  virtual ~Substrate() = default;
+  [[nodiscard]] virtual Network network() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual const SubstrateCaps& caps() const = 0;
+  /// Builds the cluster for `spec` on a private engine. The spec is
+  /// pre-validated; builders may read nodes, features, and seed.
+  [[nodiscard]] virtual std::unique_ptr<SubstrateCluster> build_cluster(
+      sim::Engine& engine, const ExperimentSpec& spec, sim::Tracer* tracer) const = 0;
+};
+
+/// All registered substrates, in registration order (stable: the order the
+/// CLI lists them and derive_case indexes them).
+[[nodiscard]] const std::vector<const Substrate*>& substrates();
+
+/// The substrate for a Network enumerator (every enumerator is registered).
+[[nodiscard]] const Substrate& substrate_for(Network n);
+
+/// Lookup by CLI name; nullptr when unknown.
+[[nodiscard]] const Substrate* find_substrate(std::string_view name);
+
+/// "myrinet-xp, myrinet-l9, quadrics, ib" (with `sep` between names) — for
+/// usage text and parse errors.
+[[nodiscard]] std::string substrate_names(std::string_view sep = ", ");
+
+/// Names of the substrates whose caps allow loss injection, for the
+/// validate() error text ("myrinet-xp/myrinet-l9/ib").
+[[nodiscard]] std::string loss_capable_names(std::string_view sep = "/");
+
+/// Whether `impl` is legal for `op` under `caps`.
+[[nodiscard]] bool caps_allow(const SubstrateCaps& caps, coll::OpKind op, Impl impl);
+
+/// The legal --impl list for `op` under `caps`, e.g. "nic, host, direct".
+[[nodiscard]] std::string caps_impl_list(const SubstrateCaps& caps, coll::OpKind op);
+
+}  // namespace qmb::run

@@ -1,0 +1,73 @@
+// InfiniBand-style RC verbs substrate adapter: the RC transport recovers
+// from loss, duplication and corruption, so the full fault-injection
+// surface is enabled; the Myrinet-specific ablation switches are not.
+#include <utility>
+
+#include "run/substrate_internal.hpp"
+
+namespace qmb::run {
+namespace {
+
+class IbSubstrateCluster final : public SubstrateCluster {
+ public:
+  IbSubstrateCluster(sim::Engine& engine, const ExperimentSpec& spec, sim::Tracer* tracer)
+      : cluster_(engine, ib::ib_cluster(), spec.nodes, tracer,
+                 spec.features.debug_skip_retransmit) {}
+
+  net::Fabric& fabric() override { return cluster_.fabric(); }
+
+  std::unique_ptr<core::Barrier> make_barrier(const ExperimentSpec& s,
+                                              std::vector<int> placement) override {
+    const core::IbBarrierKind kind = s.impl == Impl::kHost
+                                         ? core::IbBarrierKind::kHost
+                                         : core::IbBarrierKind::kNicCollective;
+    return cluster_.make_barrier(kind, s.algorithm, std::move(placement));
+  }
+
+  std::unique_ptr<core::Collective> make_collective(const ExperimentSpec& s,
+                                                    std::vector<int> placement) override {
+    return s.impl == Impl::kHost
+               ? core::make_ib_host_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
+                                               std::move(placement))
+               : core::make_ib_nic_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
+                                              std::move(placement));
+  }
+
+ private:
+  core::IbCluster cluster_;
+};
+
+class IbSubstrate final : public Substrate {
+ public:
+  IbSubstrate() {
+    caps_.faults = true;
+    caps_.drop_prob = true;
+    caps_.barrier_impls = {Impl::kNic, Impl::kHost};
+    caps_.collective_impls = {Impl::kNic, Impl::kHost};
+  }
+
+  Network network() const override { return Network::kInfiniBand; }
+  std::string_view name() const override { return "ib"; }
+  const SubstrateCaps& caps() const override { return caps_; }
+
+  std::unique_ptr<SubstrateCluster> build_cluster(sim::Engine& engine,
+                                                  const ExperimentSpec& spec,
+                                                  sim::Tracer* tracer) const override {
+    return std::make_unique<IbSubstrateCluster>(engine, spec, tracer);
+  }
+
+ private:
+  SubstrateCaps caps_;
+};
+
+}  // namespace
+
+namespace detail {
+
+const Substrate& ib_substrate() {
+  static const IbSubstrate s;
+  return s;
+}
+
+}  // namespace detail
+}  // namespace qmb::run

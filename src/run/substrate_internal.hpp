@@ -1,0 +1,14 @@
+// Per-substrate factory hooks, one per adapter TU. substrate.cpp calls
+// them in registration order; nothing else should.
+#pragma once
+
+#include "run/substrate.hpp"
+
+namespace qmb::run::detail {
+
+[[nodiscard]] const Substrate& myrinet_xp_substrate();
+[[nodiscard]] const Substrate& myrinet_l9_substrate();
+[[nodiscard]] const Substrate& quadrics_substrate();
+[[nodiscard]] const Substrate& ib_substrate();
+
+}  // namespace qmb::run::detail

@@ -1,0 +1,82 @@
+// Myrinet substrate adapters (LANai XP and LANai 9 presets share one
+// cluster type; they register as two named substrates).
+#include <utility>
+
+#include "run/substrate_internal.hpp"
+
+namespace qmb::run {
+namespace {
+
+class MyrinetCluster final : public SubstrateCluster {
+ public:
+  MyrinetCluster(sim::Engine& engine, const myri::MyrinetConfig& cfg,
+                 const ExperimentSpec& spec, sim::Tracer* tracer)
+      : cluster_(engine, cfg, spec.nodes, tracer) {}
+
+  net::Fabric& fabric() override { return cluster_.fabric(); }
+
+  std::unique_ptr<core::Barrier> make_barrier(const ExperimentSpec& s,
+                                              std::vector<int> placement) override {
+    core::MyriBarrierKind kind = core::MyriBarrierKind::kNicCollective;
+    if (s.impl == Impl::kHost) kind = core::MyriBarrierKind::kHost;
+    else if (s.impl == Impl::kDirect) kind = core::MyriBarrierKind::kNicDirect;
+    return cluster_.make_barrier(kind, s.algorithm, std::move(placement), s.features);
+  }
+
+  std::unique_ptr<core::Collective> make_collective(const ExperimentSpec& s,
+                                                    std::vector<int> placement) override {
+    return s.impl == Impl::kHost
+               ? core::make_host_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
+                                            std::move(placement))
+               : core::make_nic_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
+                                           std::move(placement));
+  }
+
+ private:
+  core::MyriCluster cluster_;
+};
+
+class MyrinetSubstrate final : public Substrate {
+ public:
+  MyrinetSubstrate(Network network, std::string_view name) : network_(network), name_(name) {
+    caps_.faults = true;
+    caps_.drop_prob = true;
+    caps_.ablations = true;
+    caps_.barrier_impls = {Impl::kNic, Impl::kHost, Impl::kDirect};
+    caps_.collective_impls = {Impl::kNic, Impl::kHost};
+  }
+
+  Network network() const override { return network_; }
+  std::string_view name() const override { return name_; }
+  const SubstrateCaps& caps() const override { return caps_; }
+
+  std::unique_ptr<SubstrateCluster> build_cluster(sim::Engine& engine,
+                                                  const ExperimentSpec& spec,
+                                                  sim::Tracer* tracer) const override {
+    const auto cfg = network_ == Network::kMyrinetL9 ? myri::lanai9_cluster()
+                                                     : myri::lanaixp_cluster();
+    return std::make_unique<MyrinetCluster>(engine, cfg, spec, tracer);
+  }
+
+ private:
+  Network network_;
+  std::string_view name_;
+  SubstrateCaps caps_;
+};
+
+}  // namespace
+
+namespace detail {
+
+const Substrate& myrinet_xp_substrate() {
+  static const MyrinetSubstrate s(Network::kMyrinetXP, "myrinet-xp");
+  return s;
+}
+
+const Substrate& myrinet_l9_substrate() {
+  static const MyrinetSubstrate s(Network::kMyrinetL9, "myrinet-l9");
+  return s;
+}
+
+}  // namespace detail
+}  // namespace qmb::run

@@ -1,0 +1,74 @@
+// Quadrics substrate adapter. The Elan models have no loss-recovery path,
+// so the capability flags keep every fault-injection knob off; validate()
+// renders that into its usage errors.
+#include <utility>
+
+#include "run/substrate_internal.hpp"
+
+namespace qmb::run {
+namespace {
+
+class QuadricsCluster final : public SubstrateCluster {
+ public:
+  QuadricsCluster(sim::Engine& engine, const ExperimentSpec& spec, sim::Tracer* tracer)
+      : cluster_(engine, elan::elan3_cluster(), spec.nodes, tracer) {}
+
+  net::Fabric& fabric() override { return cluster_.fabric(); }
+
+  std::unique_ptr<core::Barrier> make_barrier(const ExperimentSpec& s,
+                                              std::vector<int> placement) override {
+    core::ElanBarrierKind kind = core::ElanBarrierKind::kNicChained;
+    if (s.impl == Impl::kGsync || s.impl == Impl::kHost) {
+      kind = core::ElanBarrierKind::kGsyncTree;
+    } else if (s.impl == Impl::kHgsync) {
+      kind = core::ElanBarrierKind::kHardware;
+    }
+    return cluster_.make_barrier(kind, s.algorithm, std::move(placement));
+  }
+
+  std::unique_ptr<core::Collective> make_collective(const ExperimentSpec& s,
+                                                    std::vector<int> placement) override {
+    return s.impl == Impl::kHost
+               ? core::make_elan_host_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
+                                                 std::move(placement))
+               : core::make_elan_nic_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
+                                                std::move(placement));
+  }
+
+ private:
+  core::ElanCluster cluster_;
+};
+
+class QuadricsSubstrate final : public Substrate {
+ public:
+  QuadricsSubstrate() {
+    caps_.loss_note = "the Quadrics models have no loss recovery path";
+    caps_.barrier_impls = {Impl::kNic, Impl::kHost, Impl::kGsync, Impl::kHgsync};
+    caps_.collective_impls = {Impl::kNic, Impl::kHost};
+  }
+
+  Network network() const override { return Network::kQuadrics; }
+  std::string_view name() const override { return "quadrics"; }
+  const SubstrateCaps& caps() const override { return caps_; }
+
+  std::unique_ptr<SubstrateCluster> build_cluster(sim::Engine& engine,
+                                                  const ExperimentSpec& spec,
+                                                  sim::Tracer* tracer) const override {
+    return std::make_unique<QuadricsCluster>(engine, spec, tracer);
+  }
+
+ private:
+  SubstrateCaps caps_;
+};
+
+}  // namespace
+
+namespace detail {
+
+const Substrate& quadrics_substrate() {
+  static const QuadricsSubstrate s;
+  return s;
+}
+
+}  // namespace detail
+}  // namespace qmb::run

@@ -1,9 +1,15 @@
 // The shared tools/cli.hpp helpers: duration literals and the one --fault
 // grammar every fault-injecting binary (qmbsim, qmbfuzz, storm_launcher)
-// speaks.
+// speaks — plus the substrate-registry-driven --network vocabulary the
+// tools print in their usage and error text.
 #include "cli.hpp"
 
 #include <gtest/gtest.h>
+
+#include <string>
+
+#include "run/experiment.hpp"
+#include "run/substrate.hpp"
 
 namespace qmb::cli {
 namespace {
@@ -96,6 +102,44 @@ TEST(ParseFault, ErrorLeavesOutputUntouched) {
   f.nth = 42;
   EXPECT_NE(parse_fault("explode:nth=1", f), "");
   EXPECT_EQ(f.nth, 42u);
+}
+
+TEST(ParseNetwork, AcceptsEveryRegisteredSubstrate) {
+  // The tools accept exactly the substrate registry's vocabulary: every
+  // registered name parses, and parses back to a substrate with that name.
+  for (const run::Substrate* sub : run::substrates()) {
+    const auto n = run::parse_network(sub->name());
+    ASSERT_TRUE(n.has_value()) << sub->name();
+    EXPECT_EQ(*n, sub->network()) << sub->name();
+    EXPECT_EQ(run::to_string(*n), sub->name());
+  }
+  EXPECT_FALSE(run::parse_network("token-ring").has_value());
+}
+
+TEST(ParseNetwork, ErrorVocabularyListsEveryRegisteredName) {
+  // substrate_names() is what qmbsim prints for an unknown --network; a
+  // newly registered substrate must show up there without editing the tool.
+  const std::string names = run::substrate_names();
+  for (const run::Substrate* sub : run::substrates()) {
+    EXPECT_NE(names.find(sub->name()), std::string::npos) << names;
+  }
+  EXPECT_NE(names.find("ib"), std::string::npos) << names;
+}
+
+TEST(ParseNetwork, IbRunsEndToEnd) {
+  // `--network ib` all the way through: parse the flag's string form, run
+  // the experiment, and get a NIC-based dissemination barrier out.
+  run::ExperimentSpec spec;
+  const auto n = run::parse_network("ib");
+  ASSERT_TRUE(n.has_value());
+  spec.network = *n;
+  spec.nodes = 8;
+  spec.iters = 20;
+  spec.warmup = 2;
+  ASSERT_EQ(run::validate(spec), "");
+  const auto r = run::run_experiment(spec);
+  EXPECT_GT(r.mean_picos, 0);
+  EXPECT_GT(r.packets_sent, 0u);
 }
 
 }  // namespace

@@ -146,7 +146,7 @@ TEST(FuzzCase, DerivationCoversTheSpace) {
     any_faults |= !s.faults.empty();
     any_skew |= s.skew_max_us > 0.0;
   }
-  EXPECT_EQ(networks.size(), 3u);  // XP, L9, Quadrics all reachable
+  EXPECT_EQ(networks.size(), 4u);  // XP, L9, Quadrics, IB all reachable
   EXPECT_EQ(ops.size(), 5u);
   EXPECT_TRUE(any_faults);
   EXPECT_TRUE(any_skew);

@@ -67,6 +67,26 @@ TEST(RunExperiment, QuadricsBarrierImplsRun) {
   }
 }
 
+TEST(RunExperiment, IbBarrierImplsRun) {
+  for (const Impl impl : {Impl::kNic, Impl::kHost}) {
+    const auto r = run_experiment(quick_spec(Network::kInfiniBand, 8, impl));
+    EXPECT_GT(r.mean_picos, 0) << to_string(impl);
+    EXPECT_GT(r.events_fired, 0u) << to_string(impl);
+  }
+}
+
+TEST(RunExperiment, IbDropRecoveryIsDeterministic) {
+  auto spec = quick_spec(Network::kInfiniBand, 8);
+  spec.drop_prob = 0.05;
+  spec.seed = 7;
+  const auto a = run_experiment(spec);
+  const auto b = run_experiment(spec);
+  expect_identical(a, b);
+  EXPECT_GT(a.packets_dropped, 0u);
+  // Loss surfaces through the RC transport: NAKs and/or RTO retransmits.
+  EXPECT_GT(a.retransmissions + a.nacks, 0u);
+}
+
 TEST(RunExperiment, ValueCollectivesRun) {
   auto spec = quick_spec(Network::kMyrinetXP, 4, Impl::kHost);
   spec.op = coll::OpKind::kAllreduce;
@@ -96,6 +116,8 @@ TEST(Validate, NamesTheInvalidImplNetworkPair) {
   check(quick_spec(Network::kMyrinetXP, 4, Impl::kGsync), "gsync", "myrinet-xp");
   check(quick_spec(Network::kMyrinetL9, 4, Impl::kHgsync), "hgsync", "myrinet-l9");
   check(quick_spec(Network::kQuadrics, 4, Impl::kDirect), "direct", "quadrics");
+  check(quick_spec(Network::kInfiniBand, 4, Impl::kGsync), "gsync", "ib");
+  check(quick_spec(Network::kInfiniBand, 4, Impl::kDirect), "direct", "ib");
 
   auto s = quick_spec(Network::kMyrinetXP, 4, Impl::kDirect);
   s.op = coll::OpKind::kAllreduce;
@@ -131,6 +153,7 @@ TEST(SweepRunner, OneThreadAndManyThreadsAreBitIdentical) {
   for (const int n : {2, 4, 8}) specs.push_back(quick_spec(Network::kMyrinetXP, n));
   specs.push_back(quick_spec(Network::kQuadrics, 4, Impl::kNic));
   specs.push_back(quick_spec(Network::kQuadrics, 4, Impl::kHgsync));
+  specs.push_back(quick_spec(Network::kInfiniBand, 4, Impl::kNic));
   auto dropped = quick_spec(Network::kMyrinetXP, 4);
   dropped.drop_prob = 0.05;
   specs.push_back(dropped);

@@ -13,6 +13,7 @@
 //   qmbsim --network myrinet-xp --nodes 8 --drop-prob 0.01 --trace
 //   qmbsim --network quadrics --impl nic --sweep 2:1024:x2 --json
 //   qmbsim --network myrinet-xp --sweep 2,4,8,16 --threads 4
+//   qmbsim --network ib --nodes 64 --impl nic --drop-prob 0.001
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "cli.hpp"
+#include "run/substrate.hpp"
 #include "run/sweep.hpp"
 
 using namespace qmb;
@@ -40,7 +42,7 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --network myrinet-xp|myrinet-l9|quadrics   (default myrinet-xp)\n"
+      "  --network %s   (default myrinet-xp)\n"
       "  --nodes N                                  (default 8)\n"
       "  --op barrier|bcast|allreduce|allgather|alltoall (default barrier)\n"
       "  --impl nic|host|direct|gsync|hgsync        (default nic;\n"
@@ -49,9 +51,9 @@ struct Options {
       "  --algorithm ds|pe|gb                       (default ds)\n"
       "  --iters K --warmup W                       (default 1000 / 100)\n"
       "  --seed S --perm                            random rank placement\n"
-      "  --drop-prob P                              Myrinet packet loss\n"
+      "  --drop-prob P                              packet loss (%s)\n"
       "  --fault SPEC                               install a fault rule (repeatable,\n"
-      "         Myrinet only; rule order = match order). SPEC grammar:\n"
+      "         loss-capable networks only; rule order = match order). SPEC grammar:\n"
       "           drop:nth=3,src=2,dst=4    dup:p=0.01,seed=7\n"
       "           reorder:nth=2,delay=10us  blackout:from=100us,until=250us\n"
       "  --skew US                                  max per-entry skew in us\n"
@@ -75,7 +77,7 @@ struct Options {
       "                                             (default: all cores,\n"
       "                                             or $QMB_SWEEP_THREADS)\n"
       "  --json                                     one JSON object per run\n",
-      argv0);
+      argv0, run::substrate_names("|").c_str(), run::loss_capable_names().c_str());
   std::exit(2);
 }
 
@@ -143,9 +145,8 @@ Options parse(int argc, char** argv) {
       const char* v = next("--network");
       const auto n = run::parse_network(v);
       if (!n) {
-        std::fprintf(stderr,
-                     "unknown --network '%s' (valid: myrinet-xp, myrinet-l9, quadrics)\n",
-                     v);
+        std::fprintf(stderr, "unknown --network '%s' (valid: %s)\n", v,
+                     run::substrate_names().c_str());
         usage(argv[0]);
       }
       o.spec.network = *n;
