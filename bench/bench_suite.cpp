@@ -142,6 +142,20 @@ std::vector<SuitePoint> build_points(bool quick) {
   f.receiver_driven = false;
   abl("no-receiver-driven", f);
 
+  // Multi-tenant tier: four concurrent 4-rank barrier groups with
+  // fixed-rate arrivals under background flood at 0/25/50/75% of the
+  // substrate's sustainable flood throughput, on the two loss-recovering
+  // substrates. The workload fingerprint folds per-group p99s, so
+  // cross-group interference shifts gate CI like any latency regression.
+  for (const Network net : {Network::kMyrinetXP, Network::kInfiniBand}) {
+    for (const int pct : {0, 25, 50, 75}) {
+      run::ExperimentSpec s = bench::tenancy_spec(net, 8, Impl::kNic, 4, pct);
+      pts.push_back({std::string("tenancy/") + std::string(run::to_string(net)) +
+                         "/nic/barrier/g4/load" + std::to_string(pct),
+                     s});
+    }
+  }
+
   // Value collectives through the same NIC protocol (paper Sec. 6).
   const int coll_nodes = quick ? 4 : 8;
   for (const coll::OpKind op : {coll::OpKind::kBcast, coll::OpKind::kAllreduce,

@@ -10,18 +10,29 @@ namespace qmb::core {
 
 namespace {
 
-std::string_view kind_name(coll::OpKind kind) {
-  switch (kind) {
-    case coll::OpKind::kBarrier: return "barrier";
-    case coll::OpKind::kBcast: return "bcast";
-    case coll::OpKind::kAllreduce: return "allreduce";
-    case coll::OpKind::kAllgather: return "allgather";
-    case coll::OpKind::kAlltoall: return "alltoall";
-  }
-  return "?";
-}
+std::string_view kind_name(coll::OpKind kind) { return coll::to_string(kind); }
 
 }  // namespace
+
+std::int64_t expected_collective_result(coll::OpKind kind, int n) {
+  switch (kind) {
+    case coll::OpKind::kBarrier:
+      return 0;
+    case coll::OpKind::kBcast:
+      return 1;  // root is rank 0, which enters 0 + 1
+    case coll::OpKind::kAllreduce: {
+      const std::int64_t m = n;
+      return m * (m + 1) / 2;
+    }
+    case coll::OpKind::kAllgather:
+    case coll::OpKind::kAlltoall: {
+      std::int64_t acc = 0;
+      for (int r = 0; r < n; ++r) acc |= (r + 1);
+      return acc;
+    }
+  }
+  return 0;
+}
 
 coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n, int root) {
   switch (kind) {
@@ -203,9 +214,9 @@ ElanHostCollective::ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, 
         },
         kind, reduce);
 
-    // One host-level collective per ElanNode receive handler; the elan host
-    // API has no per-group dispatch (unlike GmPort), so filter by group.
-    ctx.node->set_receive_handler(
+    // The elan host API has no per-group dispatch (unlike GmPort), so each
+    // collective registers an additive handler and filters by group.
+    ctx.handler_id = ctx.node->add_receive_handler(
         [this, r](int src_node, std::uint32_t tag, std::int64_t value) {
           if (!BarrierTag::is_barrier(tag)) return;
           if (BarrierTag::group(tag) != group_id_) return;
@@ -216,6 +227,14 @@ ElanHostCollective::ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, 
               BarrierTag::widen_seq(BarrierTag::seq_low(tag), c.window->next_seq());
           c.window->on_arrival(seq, src_rank, BarrierTag::edge_tag(tag), value);
         });
+  }
+}
+
+ElanHostCollective::~ElanHostCollective() {
+  for (RankCtx& ctx : ranks_) {
+    if (ctx.node != nullptr && ctx.handler_id >= 0) {
+      ctx.node->remove_receive_handler(ctx.handler_id);
+    }
   }
 }
 
@@ -297,9 +316,9 @@ IbHostCollective::IbHostCollective(IbCluster& cluster, coll::OpKind kind, int ro
         },
         kind, reduce);
 
-    // Like the Elan host layer, IbNode has one receive handler per node, so
-    // filter by group id.
-    ctx.node->set_receive_handler(
+    // Like the Elan host layer, IbNode dispatches one host-message stream
+    // per node, so each collective adds a handler and filters by group id.
+    ctx.handler_id = ctx.node->add_receive_handler(
         [this, r](int src_node, std::uint32_t tag, std::int64_t value) {
           if (!BarrierTag::is_barrier(tag)) return;
           if (BarrierTag::group(tag) != group_id_) return;
@@ -310,6 +329,14 @@ IbHostCollective::IbHostCollective(IbCluster& cluster, coll::OpKind kind, int ro
               BarrierTag::widen_seq(BarrierTag::seq_low(tag), c.window->next_seq());
           c.window->on_arrival(seq, src_rank, BarrierTag::edge_tag(tag), value);
         });
+  }
+}
+
+IbHostCollective::~IbHostCollective() {
+  for (RankCtx& ctx : ranks_) {
+    if (ctx.node != nullptr && ctx.handler_id >= 0) {
+      ctx.node->remove_receive_handler(ctx.handler_id);
+    }
   }
 }
 

@@ -131,6 +131,7 @@ class ElanHostCollective final : public Collective {
   ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, int root,
                      coll::ReduceOp reduce, std::vector<int> rank_to_node,
                      std::uint32_t payload_bytes = 8);
+  ~ElanHostCollective() override;
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -142,6 +143,7 @@ class ElanHostCollective final : public Collective {
     elan::ElanNode* node = nullptr;
     std::unique_ptr<OpWindow> window;
     DoneFn done;
+    int handler_id = -1;
   };
 
   ElanCluster& cluster_;
@@ -184,6 +186,7 @@ class IbHostCollective final : public Collective {
   IbHostCollective(IbCluster& cluster, coll::OpKind kind, int root,
                    coll::ReduceOp reduce, std::vector<int> rank_to_node,
                    std::uint32_t payload_bytes = 8);
+  ~IbHostCollective() override;
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -195,6 +198,7 @@ class IbHostCollective final : public Collective {
     ib::IbNode* node = nullptr;
     std::unique_ptr<OpWindow> window;
     DoneFn done;
+    int handler_id = -1;
   };
 
   IbCluster& cluster_;
@@ -211,6 +215,12 @@ class IbHostCollective final : public Collective {
 /// Builds the schedule for an operation kind (root applies to bcast).
 [[nodiscard]] coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n,
                                                            int root);
+
+/// The exact result every rank must observe when rank r enters with value
+/// r+1 (root 0 for bcast; sum-reduce; allgather/alltoall union contribution
+/// masks). Shared by the run layer's value checking and the load
+/// subsystem's per-group verification.
+[[nodiscard]] std::int64_t expected_collective_result(coll::OpKind kind, int n);
 
 /// Factory helpers used by benches, tests and the mpi layer.
 std::unique_ptr<Collective> make_nic_collective(

@@ -39,7 +39,8 @@ IbHostBarrier::IbHostBarrier(IbCluster& cluster, const coll::GroupSchedule& sche
           if (cb) cb();
         });
 
-    ctx.node->set_receive_handler([this, r](int src_node, std::uint32_t tag, std::int64_t) {
+    ctx.handler_id =
+        ctx.node->add_receive_handler([this, r](int src_node, std::uint32_t tag, std::int64_t) {
       if (!BarrierTag::is_barrier(tag)) return;
       if (BarrierTag::group(tag) != group_id_) return;
       RankCtx& c = ranks_[static_cast<std::size_t>(r)];
@@ -49,6 +50,14 @@ IbHostBarrier::IbHostBarrier(IbCluster& cluster, const coll::GroupSchedule& sche
           BarrierTag::widen_seq(BarrierTag::seq_low(tag), c.window->next_seq());
       c.window->on_arrival(seq, src_rank, BarrierTag::edge_tag(tag));
     });
+  }
+}
+
+IbHostBarrier::~IbHostBarrier() {
+  for (RankCtx& ctx : ranks_) {
+    if (ctx.node != nullptr && ctx.handler_id >= 0) {
+      ctx.node->remove_receive_handler(ctx.handler_id);
+    }
   }
 }
 

@@ -27,6 +27,7 @@ class IbHostBarrier final : public Barrier {
  public:
   IbHostBarrier(IbCluster& cluster, const coll::GroupSchedule& schedule,
                 std::vector<int> rank_to_node);
+  ~IbHostBarrier() override;
 
   void enter(int rank, sim::EventCallback done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -37,6 +38,7 @@ class IbHostBarrier final : public Barrier {
     ib::IbNode* node = nullptr;
     std::unique_ptr<OpWindow> window;
     sim::EventCallback done;
+    int handler_id = -1;
   };
 
   IbCluster& cluster_;

@@ -38,7 +38,8 @@ ElanGsyncBarrier::ElanGsyncBarrier(ElanCluster& cluster, std::vector<int> rank_t
           if (cb) cb();
         });
 
-    ctx.node->set_receive_handler([this, r](int src_node, std::uint32_t tag, std::int64_t) {
+    ctx.handler_id =
+        ctx.node->add_receive_handler([this, r](int src_node, std::uint32_t tag, std::int64_t) {
       if (!BarrierTag::is_barrier(tag)) return;
       if (BarrierTag::group(tag) != group_id_) return;
       RankCtx& c = ranks_[static_cast<std::size_t>(r)];
@@ -48,6 +49,14 @@ ElanGsyncBarrier::ElanGsyncBarrier(ElanCluster& cluster, std::vector<int> rank_t
           BarrierTag::widen_seq(BarrierTag::seq_low(tag), c.window->next_seq());
       c.window->on_arrival(seq, src_rank, BarrierTag::edge_tag(tag));
     });
+  }
+}
+
+ElanGsyncBarrier::~ElanGsyncBarrier() {
+  for (RankCtx& ctx : ranks_) {
+    if (ctx.node != nullptr && ctx.handler_id >= 0) {
+      ctx.node->remove_receive_handler(ctx.handler_id);
+    }
   }
 }
 

@@ -22,6 +22,7 @@ class ElanCluster;
 class ElanGsyncBarrier final : public Barrier {
  public:
   ElanGsyncBarrier(ElanCluster& cluster, std::vector<int> rank_to_node, int tree_degree);
+  ~ElanGsyncBarrier() override;
 
   void enter(int rank, sim::EventCallback done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -32,6 +33,7 @@ class ElanGsyncBarrier final : public Barrier {
     elan::ElanNode* node = nullptr;
     std::unique_ptr<OpWindow> window;
     sim::EventCallback done;
+    int handler_id = -1;
   };
 
   ElanCluster& cluster_;

@@ -125,6 +125,26 @@ std::string_view to_string(Algorithm a) {
   return "?";
 }
 
+std::string_view to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kBarrier: return "barrier";
+    case OpKind::kBcast: return "bcast";
+    case OpKind::kAllreduce: return "allreduce";
+    case OpKind::kAllgather: return "allgather";
+    case OpKind::kAlltoall: return "alltoall";
+  }
+  return "?";
+}
+
+std::optional<OpKind> parse_op_kind(std::string_view s) {
+  if (s == "barrier") return OpKind::kBarrier;
+  if (s == "bcast") return OpKind::kBcast;
+  if (s == "allreduce") return OpKind::kAllreduce;
+  if (s == "allgather") return OpKind::kAllgather;
+  if (s == "alltoall") return OpKind::kAlltoall;
+  return std::nullopt;
+}
+
 int RankSchedule::total_sends() const {
   int n = 0;
   for (const Step& s : steps) n += static_cast<int>(s.sends.size());

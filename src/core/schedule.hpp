@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -47,6 +48,11 @@ inline constexpr std::uint32_t kTagDown = 0x201;  // GB: release from the root
 
 /// What a collective operation computes over its one-word payloads.
 enum class OpKind : std::uint8_t { kBarrier, kBcast, kAllreduce, kAllgather, kAlltoall };
+
+[[nodiscard]] std::string_view to_string(OpKind k);
+
+/// Parses the names to_string(OpKind) emits ("barrier", "bcast", ...).
+[[nodiscard]] std::optional<OpKind> parse_op_kind(std::string_view s);
 
 enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
 

@@ -1,9 +1,11 @@
 #include "fuzz/case.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
+#include "load/workload.hpp"
 #include "obs/json.hpp"
 #include "run/substrate.hpp"
 #include "sim/rng.hpp"
@@ -123,6 +125,43 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
       s.features.debug_skip_retransmit = true;
     }
   }
+
+  // A third of cases run the multi-tenant workload layer instead of one
+  // all-nodes group: concurrent (possibly overlapping) groups, an arrival
+  // process, and sometimes background flood — so the group dispatchers and
+  // per-group NIC state get fuzzed under the same fault plans. Drawn last:
+  // earlier cases' derivations are unchanged. Membership stays block/random
+  // (stride can collide, which validate() rejects by design); flood rates
+  // stay far below the slowest substrate link so the admission check never
+  // rejects a derived case.
+  if (rng.next_below(3) == 0) {
+    load::WorkloadSpec& w = s.workload;
+    if (s.impl != run::Impl::kNic && s.impl != run::Impl::kHost) {
+      s.impl = rng.next_bool(0.5) ? run::Impl::kNic : run::Impl::kHost;
+    }
+    w.groups = static_cast<int>(2 + rng.next_below(3));  // 2..4
+    const std::uint64_t max_size = static_cast<std::uint64_t>(std::min(s.nodes, 4));
+    w.group_size = static_cast<int>(2 + rng.next_below(max_size > 2 ? max_size - 1 : 1));
+    w.membership = rng.next_bool(0.5) ? load::Membership::kBlock : load::Membership::kRandom;
+    constexpr coll::OpKind kMixOps[] = {coll::OpKind::kBarrier, coll::OpKind::kBcast,
+                                        coll::OpKind::kAllreduce, coll::OpKind::kAllgather};
+    w.mix = {pick(rng, kMixOps)};
+    if (rng.next_bool(0.5)) w.mix.push_back(pick(rng, kMixOps));
+    constexpr load::Arrival kArrivals[] = {load::Arrival::kClosed, load::Arrival::kFixedRate,
+                                           load::Arrival::kPoisson, load::Arrival::kBurst};
+    w.arrival = pick(rng, kArrivals);
+    w.period_us = static_cast<double>(5 + rng.next_below(56));  // 5..60us
+    w.burst_on_us = static_cast<double>(100 + rng.next_below(301));
+    w.burst_off_us = static_cast<double>(200 + rng.next_below(601));
+    w.flood_streams = static_cast<int>(rng.next_below(3));  // 0..2
+    if (w.flood_streams > 0) {
+      constexpr std::uint32_t kBytes[] = {512, 1024, 2048};
+      w.flood_bytes = pick(rng, kBytes);
+      w.flood_period_us = 16.0;  // 2048B/16us = 128 MB/s < the 340 MB/s Elan link
+      w.flood_random = rng.next_bool(0.5);
+    }
+    w.seed = rng.next_u64();
+  }
   return s;
 }
 
@@ -217,6 +256,7 @@ std::string spec_to_json(const run::ExperimentSpec& s) {
     faults.array.push_back(std::move(r));
   }
   o.set("faults", std::move(faults));
+  if (s.workload.enabled()) o.set("workload", load::workload_to_json(s.workload));
   return o.dump();
 }
 
@@ -301,6 +341,10 @@ run::ExperimentSpec spec_from_json(std::string_view json) {
       f.delay_ps = i64_field(r, "delay_ps", 0);
       s.faults.push_back(f);
     }
+  }
+  if (const obs::JsonValue* w = doc.find("workload")) {
+    if (!w->is_object()) throw std::invalid_argument("'workload' must be an object");
+    s.workload = load::workload_from_json(*w);
   }
   return s;
 }

@@ -64,9 +64,16 @@ std::vector<Violation> check_invariants(const run::RunResult& r) {
   // The NIC collective engines complete each operation exactly once per
   // rank — stale/duplicate suppression must neither double-complete nor
   // swallow an operation. Each substrate's engine counts under its own
-  // metric name.
-  const std::uint64_t nic_ops_want = static_cast<std::uint64_t>(r.spec.nodes) *
-                                     static_cast<std::uint64_t>(r.spec.warmup + r.spec.iters);
+  // metric name. In workload mode the participating ranks are the groups'
+  // members (groups x group_size, counting a node once per group it joins),
+  // not all nodes; flood traffic bypasses the engines and never counts.
+  const std::uint64_t nic_ranks =
+      r.spec.workload.enabled()
+          ? static_cast<std::uint64_t>(r.spec.workload.groups) *
+                static_cast<std::uint64_t>(r.spec.workload.group_size)
+          : static_cast<std::uint64_t>(r.spec.nodes);
+  const std::uint64_t nic_ops_want =
+      nic_ranks * static_cast<std::uint64_t>(r.spec.warmup + r.spec.iters);
   const bool myrinet_nic_engine = (r.spec.network == run::Network::kMyrinetXP ||
                                    r.spec.network == run::Network::kMyrinetL9) &&
                                   r.spec.impl == run::Impl::kNic;

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "core/coll_tag.hpp"
+
 namespace qmb::ib {
 
 // Every request body must ride inline in the packet payload — the fabric
@@ -82,6 +84,16 @@ void Hca::post_write(int dst_node, IbWrite body, std::uint32_t payload_bytes) {
     const std::uint64_t flow = fabric_->send(
         net::Packet(addr_, net::NicAddr(dst_node), wire, stamped));
     trace("rdma_write", dst_node, stamped.psn, static_cast<std::int64_t>(flow));
+    if (stamped.op == IbWrite::Op::kWriteImm &&
+        stamped.imm_class == IbWrite::ImmClass::kGroup) {
+      // Collective trigger record, mirroring the Myrinet engine's
+      // "coll_send": the b operand carries the BarrierTag-encoded
+      // group/seq/edge tag so trace_report can attribute rounds and
+      // groups in multi-tenant runs.
+      trace("coll_send", dst_node,
+            core::BarrierTag::encode(stamped.group, stamped.seq, stamped.tag),
+            static_cast<std::int64_t>(flow));
+    }
     if (!q.timer_armed) arm_rto(dst_node);
   });
 }

@@ -28,10 +28,39 @@ void IbNode::post(int dst_node, std::uint32_t bytes, std::uint32_t tag,
 }
 
 void IbNode::set_receive_handler(ReceiveHandler fn) {
-  hca_.set_host_msg_handler([this, fn = std::move(fn)](const IbWrite& w) {
-    host_cpu_.exec(cfg_.host_cq_poll,
-                   [fn, src = static_cast<int>(w.src_rank), tag = w.tag,
-                    value = w.value] { fn(src, tag, value); });
+  app_handler_ = std::move(fn);
+  install_dispatcher();
+}
+
+int IbNode::add_receive_handler(ReceiveHandler fn) {
+  const int id = next_handler_id_++;
+  extra_handlers_.emplace_back(id, std::move(fn));
+  install_dispatcher();
+  return id;
+}
+
+void IbNode::remove_receive_handler(int id) {
+  for (auto it = extra_handlers_.begin(); it != extra_handlers_.end(); ++it) {
+    if (it->first == id) {
+      extra_handlers_.erase(it);
+      return;
+    }
+  }
+}
+
+void IbNode::install_dispatcher() {
+  if (dispatcher_installed_) return;
+  dispatcher_installed_ = true;
+  // One host_cq_poll per consumed CQE, however many handlers are
+  // registered — the host wakes once and fans the message out.
+  hca_.set_host_msg_handler([this](const IbWrite& w) {
+    host_cpu_.exec(cfg_.host_cq_poll, [this, src = static_cast<int>(w.src_rank),
+                                       tag = w.tag, value = w.value] {
+      for (std::size_t i = 0; i < extra_handlers_.size(); ++i) {
+        extra_handlers_[i].second(src, tag, value);
+      }
+      if (app_handler_) app_handler_(src, tag, value);
+    });
   });
 }
 

@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "ib/hca.hpp"
 #include "sim/resource.hpp"
@@ -27,7 +29,18 @@ class IbNode {
 
   using ReceiveHandler =
       std::function<void(int src_node, std::uint32_t tag, std::int64_t value)>;
+
+  /// Installs (or replaces) the application's receive handler. Every
+  /// consumed CQE pays one host_cq_poll, then runs the added handlers
+  /// followed by this one.
   void set_receive_handler(ReceiveHandler fn);
+
+  /// Adds a handler that sees every host message alongside the app handler
+  /// (host collectives over overlapping groups each add one and filter by
+  /// tag). Returns an id for remove_receive_handler. The per-message host
+  /// cost is paid once per node, not per handler.
+  int add_receive_handler(ReceiveHandler fn);
+  void remove_receive_handler(int id);
 
   /// Arms a collective group on this node's HCA (setup time, off the
   /// measured path — groups are created once before the run).
@@ -56,10 +69,16 @@ class IbNode {
   [[nodiscard]] const IbConfig& config() const { return cfg_; }
 
  private:
+  void install_dispatcher();
+
   int index_;
   const IbConfig& cfg_;
   sim::Resource host_cpu_;
   Hca hca_;
+  ReceiveHandler app_handler_;
+  std::vector<std::pair<int, ReceiveHandler>> extra_handlers_;
+  int next_handler_id_ = 0;
+  bool dispatcher_installed_ = false;
 };
 
 }  // namespace qmb::ib

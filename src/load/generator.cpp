@@ -1,0 +1,48 @@
+#include "load/generator.hpp"
+
+#include <cmath>
+
+namespace qmb::load {
+
+ArrivalProcess::ArrivalProcess(const WorkloadSpec& w, std::uint64_t seed)
+    : kind_(w.arrival),
+      period_ps_(sim::microseconds(w.period_us).picos()),
+      on_ps_(sim::microseconds(w.burst_on_us).picos()),
+      off_ps_(sim::microseconds(w.burst_off_us).picos()),
+      rng_(seed) {
+  if (period_ps_ < 1) period_ps_ = 1;
+  if (on_ps_ < 1) on_ps_ = 1;
+}
+
+sim::SimTime ArrivalProcess::next() {
+  switch (kind_) {
+    case Arrival::kClosed:
+    case Arrival::kFixedRate:
+      v_ps_ += period_ps_;
+      return sim::SimTime(v_ps_);
+    case Arrival::kPoisson: {
+      // Exponential inter-arrival with mean period: -ln(1-U) * period.
+      // Note libm's log1p makes this the one arrival mode whose picosecond
+      // rounding could differ across C libraries — keep it out of
+      // cross-machine fingerprint baselines (the bench tenancy tier uses
+      // fixed/burst only).
+      const double u = rng_.next_double();
+      std::int64_t gap = static_cast<std::int64_t>(
+          -std::log1p(-u) * static_cast<double>(period_ps_) + 0.5);
+      if (gap < 1) gap = 1;
+      v_ps_ += gap;
+      return sim::SimTime(v_ps_);
+    }
+    case Arrival::kBurst: {
+      // Fixed rate on the virtual busy clock, folded onto on-windows: the
+      // k-th on-window of length `on` starts at k*(on+off) real time.
+      v_ps_ += period_ps_;
+      const std::int64_t window = v_ps_ / on_ps_;
+      const std::int64_t within = v_ps_ % on_ps_;
+      return sim::SimTime(window * (on_ps_ + off_ps_) + within);
+    }
+  }
+  return sim::SimTime(v_ps_);
+}
+
+}  // namespace qmb::load

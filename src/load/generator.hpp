@@ -1,0 +1,36 @@
+// Open-loop arrival processes for the multi-tenant workload: each group
+// draws the absolute simulated instants at which it issues operations,
+// independent of how long the operations take — the open-loop property
+// that makes queueing (and thus tail latency) visible under load.
+#pragma once
+
+#include <cstdint>
+
+#include "load/workload.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace qmb::load {
+
+/// One group's arrival clock. Deterministic in (spec, seed); successive
+/// next() calls are monotone non-decreasing. Not used for Arrival::kClosed
+/// (the runner re-enters on completion there).
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const WorkloadSpec& w, std::uint64_t seed);
+
+  /// Absolute arrival instant of the next operation.
+  [[nodiscard]] sim::SimTime next();
+
+ private:
+  Arrival kind_;
+  std::int64_t period_ps_;
+  std::int64_t on_ps_;
+  std::int64_t off_ps_;
+  /// Virtual busy-time clock: kBurst maps it onto on-windows separated by
+  /// off-window silences, the other modes return it directly.
+  std::int64_t v_ps_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace qmb::load

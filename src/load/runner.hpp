@@ -1,0 +1,40 @@
+// Executes a multi-tenant workload on a built cluster: N concurrent groups
+// issuing mixed collectives from open-loop arrival processes, optional
+// background flood traffic, and per-group tail-latency accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "load/workload.hpp"
+#include "run/substrate.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace qmb::load {
+
+struct WorkloadOutcome {
+  std::vector<GroupStats> groups;
+  /// Jain fairness index over per-group throughput.
+  double fairness = 1.0;
+  std::uint64_t flood_sends = 0;
+  std::uint64_t ops_done = 0;  // per-rank completions across all groups
+  std::uint64_t value_errors = 0;
+  std::string impl_name;  // group 0's executor name
+  /// All timed samples across groups (group-major) — feeds the run layer's
+  /// aggregate latency summary and fingerprint.
+  sim::LatencySeries latency;
+};
+
+/// Runs spec.workload (must be enabled and validated) to completion: every
+/// group finishes warmup + iters operations. Installs flood traffic when
+/// spec.workload.flood_streams > 0, records per-group latencies into the
+/// engine's metric registry ("load.group_latency_picos", node = group id),
+/// and throws std::runtime_error if any group is still incomplete at the
+/// spec horizon.
+[[nodiscard]] WorkloadOutcome run_workload(sim::Engine& engine,
+                                           run::SubstrateCluster& cluster,
+                                           const run::ExperimentSpec& spec);
+
+}  // namespace qmb::load

@@ -1,0 +1,131 @@
+// Multi-tenant workload description: many concurrent process groups on one
+// fabric, each with its own membership, collective mix, and open-loop
+// arrival process, plus optional background point-to-point flood traffic.
+//
+// WorkloadSpec is pure data (like net::FaultSpec): JSON-round-trippable,
+// comparable, and carried inside run::ExperimentSpec. The default
+// `groups = 0` means the workload layer is disabled and the classic
+// single-group consecutive-operation run is bit-identical to specs that
+// predate this subsystem. Execution lives in load/runner.cpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "obs/json.hpp"
+
+namespace qmb::load {
+
+/// When each group issues its next operation.
+enum class Arrival : std::uint8_t {
+  kClosed,     // re-enter on completion (the classic benchmark loop)
+  kFixedRate,  // one arrival every period_us (integer arithmetic, CI-safe)
+  kPoisson,    // exponential inter-arrival with mean period_us
+  kBurst,      // fixed-rate inside on-windows, silent in off-windows
+};
+
+/// How group g's ranks map onto cluster nodes.
+enum class Membership : std::uint8_t {
+  kBlock,   // rank r -> node (g*size + r) % nodes: groups tile the cluster
+  kStride,  // rank r -> node (g + r*groups) % nodes: groups interleave
+  kRandom,  // seeded permutation prefix per group (always injective)
+};
+
+[[nodiscard]] std::string_view to_string(Arrival a);
+[[nodiscard]] std::string_view to_string(Membership m);
+[[nodiscard]] std::optional<Arrival> parse_arrival(std::string_view s);
+[[nodiscard]] std::optional<Membership> parse_membership(std::string_view s);
+
+struct WorkloadSpec {
+  /// Concurrent process groups; 0 disables the workload layer entirely.
+  int groups = 0;
+  int group_size = 4;  // ranks per group (may overlap across groups)
+  Membership membership = Membership::kBlock;
+  /// Operation mix: group g's op-index-k issue is mix[(g + k) % mix.size()],
+  /// so every group cycles the whole mix but groups start phase-shifted.
+  std::vector<coll::OpKind> mix = {coll::OpKind::kBarrier};
+  Arrival arrival = Arrival::kClosed;
+  double period_us = 10.0;      // mean inter-arrival (open-loop modes)
+  double burst_on_us = 200.0;   // kBurst: arrival window length
+  double burst_off_us = 800.0;  // kBurst: silence between windows
+  /// Background point-to-point flood streams (0 = none). Modeled on the
+  /// MPI flood/p2p_rand microbenchmarks: each stream sends one plain-tagged
+  /// message every flood_period_us, either on a fixed node pair or (with
+  /// flood_random) on a freshly drawn pair per send.
+  int flood_streams = 0;
+  std::uint32_t flood_bytes = 4096;
+  double flood_period_us = 8.0;
+  bool flood_random = false;
+  /// Workload RNG seed (arrival jitter, random membership, random flood
+  /// pairs); 0 = derive from the experiment seed.
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool enabled() const { return groups > 0; }
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// Tail-latency summary for one group, extracted exactly from the recorded
+/// per-operation completion latencies (arrival -> completion, so open-loop
+/// queueing delay is included — the paper's NIC offload argument is about
+/// exactly this number staying flat under load).
+struct GroupStats {
+  int group = 0;
+  std::uint64_t ops = 0;  // timed operations completed
+  std::int64_t mean_picos = 0;
+  std::int64_t p50_picos = 0;
+  std::int64_t p99_picos = 0;
+  std::int64_t p999_picos = 0;
+  std::int64_t max_picos = 0;
+  /// Deepest arrival backlog seen (ops queued behind a busy group).
+  std::uint64_t backlog_peak = 0;
+  /// First arrival -> last completion; with `ops` this gives throughput.
+  std::int64_t makespan_picos = 0;
+
+  [[nodiscard]] double ops_per_ms() const {
+    return makespan_picos > 0
+               ? static_cast<double>(ops) * 1e9 / static_cast<double>(makespan_picos)
+               : 0.0;
+  }
+};
+
+/// splitmix64 finalizer — decorrelates derived seeds (same mixer the run
+/// layer uses for per-point sweep seeds).
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt);
+
+/// The distinct op kinds of w.mix in first-appearance order: one executor
+/// per (group, kind) pair gets built, so the executor budget is
+/// groups * distinct_kinds(w).size().
+[[nodiscard]] std::vector<coll::OpKind> distinct_kinds(const WorkloadSpec& w);
+
+/// Group g's rank -> node placement over `nodes` nodes. Deterministic in
+/// (w, g, nodes, seed); kRandom derives a per-group permutation from
+/// mix_seed(seed, g).
+[[nodiscard]] std::vector<int> group_placement(const WorkloadSpec& w, int g, int nodes,
+                                               std::uint64_t seed);
+
+/// Jain fairness index (sum x)^2 / (n * sum x^2) over per-group throughput:
+/// 1.0 = perfectly fair, 1/n = one group starved the rest. All-zero input
+/// (degenerate) reports 1.0.
+[[nodiscard]] double jain_index(const std::vector<double>& xs);
+
+/// Empty string when the workload is runnable on `nodes` nodes under a
+/// substrate exposing `max_groups` concurrent group slots; otherwise a
+/// usage error naming the offending value, suitable for printing verbatim.
+/// Checks structure only (sizes, rates, per-group placement injectivity,
+/// executor budget); per-substrate impl legality stays in run::validate().
+[[nodiscard]] std::string validate_workload(const WorkloadSpec& w, int nodes,
+                                            int max_groups);
+
+/// JSON object for the spec (u64 seed as a decimal string — JSON numbers
+/// ride through double and lose precision past 2^53).
+[[nodiscard]] obs::JsonValue workload_to_json(const WorkloadSpec& w);
+
+/// Inverse of workload_to_json; missing fields keep their defaults (so old
+/// repro artifacts parse), malformed ones throw std::invalid_argument.
+[[nodiscard]] WorkloadSpec workload_from_json(const obs::JsonValue& v);
+
+}  // namespace qmb::load

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/coll_tag.hpp"
+
 namespace qmb::myri {
 
 CollectiveEngine::CollectiveEngine(Nic& nic) : nic_(nic), cfg_(nic.lanai()) {
@@ -216,9 +218,12 @@ void CollectiveEngine::send_msg(Group& g, std::uint32_t seq, const coll::Edge& e
     const std::uint64_t flow =
         nic_.inject(net::Packet(nic_.addr(), net::NicAddr(dst_node), wire, body));
     ++stats_.msgs_sent;
-    // Operands: destination node and schedule-edge tag (the barrier round
-    // for plain exchange steps); flow ties this trigger to its fabric hop.
-    nic_.trace("coll_send", dst_node, tag, static_cast<std::int64_t>(flow));
+    // Operands: destination node and the BarrierTag-encoded group/seq/edge
+    // tag, so multi-tenant traces stay attributable per group; flow ties
+    // this trigger to its fabric hop.
+    nic_.trace("coll_send", dst_node,
+               core::BarrierTag::encode(group_id, seq, tag),
+               static_cast<std::int64_t>(flow));
   });
 
   if (is_retransmit) {
@@ -298,7 +303,9 @@ void CollectiveEngine::arm_nack_timer(Group& g, Op& op) {
             nic_.inject(net::Packet(nic_.addr(), net::NicAddr(peer_node),
                                     coll_wire_bytes(cfg_.header_bytes), body));
         ++stats_.nacks_sent;
-        nic_.trace("coll_nack", peer_node, tag, static_cast<std::int64_t>(flow));
+        nic_.trace("coll_nack", peer_node,
+                   core::BarrierTag::encode(group_id, armed_seq, tag),
+                   static_cast<std::int64_t>(flow));
       });
     }
     arm_nack_timer(*gp, *opp);
@@ -316,7 +323,8 @@ bool CollectiveEngine::on_packet(net::Packet&& p) {
         return;
       }
       Group& g = git->second;
-      nic_.trace("coll_recv", static_cast<std::int64_t>(body.src_rank), body.tag,
+      nic_.trace("coll_recv", static_cast<std::int64_t>(body.src_rank),
+                 core::BarrierTag::encode(body.group, body.barrier_seq, body.tag),
                  static_cast<std::int64_t>(flow));
       if (!g.desc.features.bitvector_record) {
         nic_.cpu().occupy(cfg_.cycles(cfg_.cyc_record_per_msg));
@@ -390,7 +398,9 @@ void CollectiveEngine::handle_nack(const CollNack& n, std::uint64_t flow) {
   if (git == groups_.end()) return;
   Group& g = git->second;
   ++stats_.nacks_received;
-  nic_.trace("coll_nack_rx", n.dst_rank, n.tag, static_cast<std::int64_t>(flow));
+  nic_.trace("coll_nack_rx", n.dst_rank,
+             core::BarrierTag::encode(n.group, n.barrier_seq, n.tag),
+             static_cast<std::int64_t>(flow));
   const coll::Edge edge{static_cast<int>(n.dst_rank), n.tag};
   Op& slot = g.slots[n.barrier_seq & 1];
   if (slot.in_use && slot.seq == n.barrier_seq && slot.exec) {

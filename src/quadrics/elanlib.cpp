@@ -30,10 +30,39 @@ void ElanNode::put(int dst_node, std::uint32_t bytes, std::uint32_t tag,
 }
 
 void ElanNode::set_receive_handler(ReceiveHandler fn) {
-  nic_.set_host_msg_handler([this, fn = std::move(fn)](const ElanRdma& r) {
-    host_cpu_.exec(cfg_.host_detect,
-                   [fn, src = static_cast<int>(r.src_rank), tag = r.tag,
-                    value = r.value] { fn(src, tag, value); });
+  app_handler_ = std::move(fn);
+  install_dispatcher();
+}
+
+int ElanNode::add_receive_handler(ReceiveHandler fn) {
+  const int id = next_handler_id_++;
+  extra_handlers_.emplace_back(id, std::move(fn));
+  install_dispatcher();
+  return id;
+}
+
+void ElanNode::remove_receive_handler(int id) {
+  for (auto it = extra_handlers_.begin(); it != extra_handlers_.end(); ++it) {
+    if (it->first == id) {
+      extra_handlers_.erase(it);
+      return;
+    }
+  }
+}
+
+void ElanNode::install_dispatcher() {
+  if (dispatcher_installed_) return;
+  dispatcher_installed_ = true;
+  // One host_detect poll per delivered message, however many handlers are
+  // registered — the host wakes once and fans the message out.
+  nic_.set_host_msg_handler([this](const ElanRdma& r) {
+    host_cpu_.exec(cfg_.host_detect, [this, src = static_cast<int>(r.src_rank),
+                                      tag = r.tag, value = r.value] {
+      for (std::size_t i = 0; i < extra_handlers_.size(); ++i) {
+        extra_handlers_[i].second(src, tag, value);
+      }
+      if (app_handler_) app_handler_(src, tag, value);
+    });
   });
 }
 

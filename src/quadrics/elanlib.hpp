@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "quadrics/fabric.hpp"
 #include "quadrics/nic.hpp"
@@ -34,7 +36,18 @@ class ElanNode {
 
   using ReceiveHandler =
       std::function<void(int src_node, std::uint32_t tag, std::int64_t value)>;
+
+  /// Installs (or replaces) the application's receive handler. Every
+  /// delivered host message pays one host_detect poll, then runs the added
+  /// handlers followed by this one.
   void set_receive_handler(ReceiveHandler fn);
+
+  /// Adds a handler that sees every host message alongside the app handler
+  /// (host collectives over overlapping groups each add one and filter by
+  /// tag). Returns an id for remove_receive_handler. The per-message host
+  /// cost is paid once per node, not per handler.
+  int add_receive_handler(ReceiveHandler fn);
+  void remove_receive_handler(int id);
 
   /// Arms a chained-RDMA barrier group on this node's NIC (setup time, off
   /// the measured path — the paper arms descriptors from user level once).
@@ -63,11 +76,17 @@ class ElanNode {
   [[nodiscard]] const Elan3Config& config() const { return cfg_; }
 
  private:
+  void install_dispatcher();
+
   int index_;
   const Elan3Config& cfg_;
   sim::Resource host_cpu_;
   Nic nic_;
   HwBarrierController* hw_ = nullptr;
+  ReceiveHandler app_handler_;
+  std::vector<std::pair<int, ReceiveHandler>> extra_handlers_;
+  int next_handler_id_ = 0;
+  bool dispatcher_installed_ = false;
 };
 
 }  // namespace qmb::elan

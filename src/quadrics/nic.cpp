@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/coll_tag.hpp"
+
 namespace qmb::elan {
 
 Nic::Nic(sim::Engine& engine, net::Fabric& fabric, const Elan3Config& config,
@@ -47,8 +49,15 @@ void Nic::rdma_put(int dst_node, std::uint32_t bytes, ElanRdma body) {
     const std::uint64_t flow = fabric_->send(net::Packet(
         addr_, net::NicAddr(dst_node), config_->header_bytes + bytes, body));
     // The RDMA-chain trigger: operands are the destination and the
-    // schedule-edge tag (the barrier round); flow ties it to the wire hop.
-    trace("rdma_trigger", dst_node, body.tag, static_cast<std::int64_t>(flow));
+    // BarrierTag-encoded group/seq/edge tag (host-message tags arrive
+    // pre-encoded by the host executors; barrier-chain events carry the
+    // group so multi-tenant traces stay attributable); flow ties it to the
+    // wire hop.
+    const std::uint32_t b =
+        body.ev_class == ElanRdma::EventClass::kBarrier
+            ? core::BarrierTag::encode(body.group, body.seq, body.tag)
+            : body.tag;
+    trace("rdma_trigger", dst_node, b, static_cast<std::int64_t>(flow));
   });
 }
 

@@ -1,5 +1,6 @@
 #include "run/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -7,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "load/runner.hpp"
 #include "obs/json.hpp"
 #include "run/substrate.hpp"
 
@@ -33,16 +35,7 @@ std::string_view to_string(Impl i) {
   return "?";
 }
 
-std::string_view to_string(coll::OpKind k) {
-  switch (k) {
-    case coll::OpKind::kBarrier: return "barrier";
-    case coll::OpKind::kBcast: return "bcast";
-    case coll::OpKind::kAllreduce: return "allreduce";
-    case coll::OpKind::kAllgather: return "allgather";
-    case coll::OpKind::kAlltoall: return "alltoall";
-  }
-  return "?";
-}
+std::string_view to_string(coll::OpKind k) { return coll::to_string(k); }
 
 std::optional<Network> parse_network(std::string_view s) {
   if (const Substrate* sub = find_substrate(s)) return sub->network();
@@ -65,14 +58,7 @@ std::optional<coll::Algorithm> parse_algorithm(std::string_view s) {
   return std::nullopt;
 }
 
-std::optional<coll::OpKind> parse_op(std::string_view s) {
-  if (s == "barrier") return coll::OpKind::kBarrier;
-  if (s == "bcast") return coll::OpKind::kBcast;
-  if (s == "allreduce") return coll::OpKind::kAllreduce;
-  if (s == "allgather") return coll::OpKind::kAllgather;
-  if (s == "alltoall") return coll::OpKind::kAlltoall;
-  return std::nullopt;
-}
+std::optional<coll::OpKind> parse_op(std::string_view s) { return coll::parse_op_kind(s); }
 
 namespace {
 
@@ -84,7 +70,7 @@ std::string pair_error(const ExperimentSpec& s, const std::string& why,
   msg += to_string(s.network);
   if (s.op != coll::OpKind::kBarrier) {
     msg += " --op ";
-    msg += to_string(s.op);
+    msg += coll::to_string(s.op);
   }
   msg += " (";
   msg += why;
@@ -155,6 +141,51 @@ std::string validate(const ExperimentSpec& s) {
              std::to_string(s.nodes);
     }
   }
+  if (s.workload.enabled()) {
+    // Up-front structural checks (group count vs. the substrate's declared
+    // slot capability, membership injectivity, rates) so misconfiguration
+    // is a usage error here, not a collision deep in cluster construction.
+    if (const std::string err =
+            load::validate_workload(s.workload, s.nodes, caps.max_groups);
+        !err.empty()) {
+      return err;
+    }
+    if (s.impl != Impl::kNic && s.impl != Impl::kHost) {
+      return std::string("--workload runs concurrent groups; --impl ") +
+             std::string(to_string(s.impl)) +
+             " is a single-group scheme (use nic or host)";
+    }
+    for (const coll::OpKind kind : load::distinct_kinds(s.workload)) {
+      if (!caps_allow(caps, kind, s.impl)) {
+        ExperimentSpec probe = s;
+        probe.op = kind;
+        return pair_error(probe, impl_note(probe), caps_impl_list(caps, kind));
+      }
+    }
+    // Flood admission: an open-loop stream offered at or above the flood
+    // path's bottleneck rate (wire serialization, or host-bound delivery
+    // where slower) saturates it; the infinite-FIFO queue then diverges and
+    // every collective sharing the path starves until the horizon. Name the
+    // overload here instead.
+    if (s.workload.flood_streams > 0 && caps.flood_bytes_per_second > 0.0) {
+      const double service_us =
+          (static_cast<double>(s.workload.flood_bytes) / caps.flood_bytes_per_second +
+           caps.flood_message_overhead_s) *
+          1e6;
+      if (service_us >= s.workload.flood_period_us) {
+        const std::string name(substrate_for(s.network).name());
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "--workload flood saturates the %s flood path: a %u-byte "
+                      "message takes %.2fus to deliver but one arrives every "
+                      "%gus (raise flood-period or shrink flood-bytes)",
+                      name.c_str(), s.workload.flood_bytes, service_us,
+                      s.workload.flood_period_us);
+        return buf;
+      }
+    }
+    return {};
+  }
   if (!caps_allow(caps, s.op, s.impl)) {
     return pair_error(s, impl_note(s), caps_impl_list(caps, s.op));
   }
@@ -187,29 +218,6 @@ SkewPlan skew_plan(const ExperimentSpec& s) {
   return p;
 }
 
-/// The exact result every rank must observe when run_experiment enters rank
-/// r with value r+1 (root 0 for bcast; sum-reduce; allgather/alltoall union
-/// contribution masks).
-std::int64_t expected_value(coll::OpKind kind, int n) {
-  switch (kind) {
-    case coll::OpKind::kBarrier:
-      return 0;
-    case coll::OpKind::kBcast:
-      return 1;  // root is rank 0, which enters 0 + 1
-    case coll::OpKind::kAllreduce: {
-      const std::int64_t m = n;
-      return m * (m + 1) / 2;
-    }
-    case coll::OpKind::kAllgather:
-    case coll::OpKind::kAlltoall: {
-      std::int64_t acc = 0;
-      for (int r = 0; r < n; ++r) acc |= (r + 1);
-      return acc;
-    }
-  }
-  return 0;
-}
-
 /// Drives consecutive value collectives with the barrier runner's
 /// methodology: every rank re-enters as soon as its completion delivers;
 /// iteration latency is completion-to-completion of the whole group. Every
@@ -221,7 +229,7 @@ core::BarrierRunResult run_collective(sim::Engine& engine, core::Collective& op,
                                       std::uint64_t& value_errors) {
   const int n = op.size();
   const int total = warmup + iters;
-  const std::int64_t expected = expected_value(kind, n);
+  const std::int64_t expected = core::expected_collective_result(kind, n);
   std::vector<int> iter_of(static_cast<std::size_t>(n), 0);
   std::vector<int> done_in(static_cast<std::size_t>(total), 0);
   std::vector<sim::SimTime> completed(static_cast<std::size_t>(total));
@@ -326,6 +334,28 @@ RunResult run_on(const Substrate& sub, const ExperimentSpec& s) {
 
   RunResult out;
   out.spec = s;
+  if (s.workload.enabled()) {
+    out.ops_expected = static_cast<std::uint64_t>(s.workload.groups) *
+                       static_cast<std::uint64_t>(s.workload.group_size) *
+                       static_cast<std::uint64_t>(s.warmup + s.iters);
+    load::WorkloadOutcome wo = load::run_workload(engine, *cluster, s);
+    out.impl_name = wo.impl_name;
+    core::BarrierRunResult agg;
+    agg.per_iteration = std::move(wo.latency);
+    agg.iterations = agg.per_iteration.count();
+    agg.mean = agg.per_iteration.mean();
+    fill_latency(out, agg, engine);
+    out.value_errors = wo.value_errors;
+    out.group_stats = std::move(wo.groups);
+    out.fairness = wo.fairness;
+    out.flood_sends = wo.flood_sends;
+    fill_engine(out, engine);
+    out.ops_done = wo.ops_done;
+    if (s.collect_trace) out.trace_csv = tracer.to_csv();
+    if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
+    if (tracing) out.trace_dropped = tracer.overwritten();
+    return out;
+  }
   out.ops_expected = static_cast<std::uint64_t>(s.nodes) *
                      static_cast<std::uint64_t>(s.warmup + s.iters);
   if (s.op == coll::OpKind::kBarrier) {
@@ -370,6 +400,17 @@ std::uint64_t RunResult::fingerprint() const {
   fold(retransmissions);
   fold(hw_probes);
   fold(hw_failed_probes);
+  // Workload mode folds per-group tails too; a disabled workload leaves the
+  // digest bit-identical to results that predate the subsystem.
+  if (!group_stats.empty()) {
+    fold(static_cast<std::uint64_t>(group_stats.size()));
+    for (const load::GroupStats& g : group_stats) {
+      fold(static_cast<std::uint64_t>(g.p99_picos));
+      fold(g.ops);
+      fold(g.backlog_peak);
+    }
+    fold(flood_sends);
+  }
   return h;
 }
 
@@ -422,7 +463,7 @@ std::string to_json(const RunResult& r) {
                 "\"algorithm\":\"%s\",\"iters\":%d,\"warmup\":%d,\"seed\":%llu,"
                 "\"random_placement\":%s,\"drop_prob\":%g,",
                 std::string(to_string(r.spec.network)).c_str(), r.spec.nodes,
-                std::string(to_string(r.spec.op)).c_str(),
+                std::string(coll::to_string(r.spec.op)).c_str(),
                 std::string(to_string(r.spec.impl)).c_str(),
                 std::string(coll::to_string(r.spec.algorithm)).c_str(), r.spec.iters,
                 r.spec.warmup, static_cast<unsigned long long>(r.spec.seed),
@@ -455,6 +496,19 @@ std::string to_json(const RunResult& r) {
                 static_cast<unsigned long long>(r.ops_done),
                 static_cast<unsigned long long>(r.ops_expected));
   out += buf;
+  if (!r.group_stats.empty()) {
+    std::int64_t worst_p99 = 0;
+    for (const load::GroupStats& g : r.group_stats) {
+      worst_p99 = std::max(worst_p99, g.p99_picos);
+    }
+    std::snprintf(buf, sizeof buf,
+                  "\"workload_groups\":%zu,\"fairness\":%.6f,\"flood_sends\":%llu,"
+                  "\"worst_group_p99_us\":%.6f,",
+                  r.group_stats.size(), r.fairness,
+                  static_cast<unsigned long long>(r.flood_sends),
+                  static_cast<double>(worst_p99) * 1e-6);
+    out += buf;
+  }
   out += "\"metrics\":" + metrics_to_json(r.metrics) + ",";
   // Host-time observability fields; excluded from the fingerprint.
   std::snprintf(buf, sizeof buf, "\"host_seconds\":%.6f,\"events_per_sec\":%.0f,",

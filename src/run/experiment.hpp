@@ -25,6 +25,7 @@
 
 #include "core/cluster.hpp"
 #include "core/collectives.hpp"
+#include "load/workload.hpp"
 #include "net/fault.hpp"
 #include "obs/metrics.hpp"
 
@@ -77,6 +78,16 @@ struct ExperimentSpec {
   /// error at this horizon instead of spinning the engine; the fuzzer runs
   /// with a tight horizon so shrink iterations stay fast.
   std::int64_t horizon_ms = 120'000;
+
+  /// Multi-tenant workload layer: when enabled (groups > 0) the run becomes
+  /// `workload.groups` concurrent process groups issuing the workload's op
+  /// mix from its arrival process, with optional background flood traffic,
+  /// instead of one group of all nodes running `op`. `op`, `skew_max_us`,
+  /// and `random_placement` are ignored in workload mode (the mix, arrival
+  /// jitter, and membership policy replace them); `impl`, `algorithm`,
+  /// faults, and drop_prob apply to every group. Disabled (the default) is
+  /// bit-identical to specs that predate this field.
+  load::WorkloadSpec workload;
 };
 
 /// Empty string when the spec is runnable; otherwise a usage error naming
@@ -118,6 +129,15 @@ struct RunResult {
   /// reporting symmetry in repro artifacts.
   std::uint64_t ops_done = 0;
   std::uint64_t ops_expected = 0;
+  /// Per-group tail-latency summaries (workload mode only; empty
+  /// otherwise). The aggregate latency fields above then summarize
+  /// arrival->completion samples across all groups, and the per-group p99,
+  /// op count, and backlog peak join the fingerprint.
+  std::vector<load::GroupStats> group_stats;
+  /// Jain fairness index over per-group throughput (workload mode only).
+  double fairness = 0.0;
+  /// Background flood messages issued (workload mode only).
+  std::uint64_t flood_sends = 0;
   std::string trace_csv;               // only when spec.collect_trace
   std::string trace_json;              // Chrome trace_event doc, spec.chrome_trace
   // Events lost to trace-ring wrap-around during a traced run; the exports

@@ -29,6 +29,31 @@ struct SubstrateCaps {
   std::string_view loss_note = "";
   std::vector<Impl> barrier_impls;     // legal --impl values for barriers
   std::vector<Impl> collective_impls;  // legal --impl values for value ops
+  /// Concurrent group slots the substrate exposes (paper design point #1:
+  /// one dedicated NIC send queue per group). The 7-bit group field of the
+  /// BarrierTag codec binds every current substrate to 127; validate()
+  /// rejects workloads that would need more executors than this instead of
+  /// colliding group ids deep in cluster construction.
+  int max_groups = 127;
+  /// Sustainable per-stream background-flood throughput: the byte rate of
+  /// the flood path's tightest server. validate()'s admission check
+  /// rejects open-loop streams offered at or above this rate: their queues
+  /// diverge and every collective sharing the path starves until the
+  /// horizon, surfacing as a deep "did not complete" failure instead of a
+  /// usage error. Loads near (but below) the bound are legal and slow —
+  /// which is what the tenancy benchmarks measure. The admission model is
+  /// service = bytes / flood_bytes_per_second + flood_message_overhead_s;
+  /// costs outside the modeled bottleneck are not folded in, so offered
+  /// loads near the bound may still diverge — the horizon watchdog remains
+  /// the backstop.
+  double flood_bytes_per_second = 0.0;
+  /// Fixed per-message service time on the same bottleneck. On Myrinet the
+  /// tightest server is the *sender's* MCP send engine (same-destination
+  /// messages queue FIFO behind it), so this is the serialized LANai
+  /// firmware cycles of one send plus the PCI doorbell and DMA setup; on
+  /// Quadrics and IB it is the per-message event/completion-unit costs on
+  /// top of the wire rate.
+  double flood_message_overhead_s = 0.0;
 };
 
 /// A built cluster behind a uniform face: the generic experiment driver
@@ -44,6 +69,16 @@ class SubstrateCluster {
   /// Builds the spec's value collective over `placement`.
   [[nodiscard]] virtual std::unique_ptr<core::Collective> make_collective(
       const ExperimentSpec& spec, std::vector<int> placement) = 0;
+
+  /// Prepares every node for background point-to-point flood traffic
+  /// (e.g. the Myrinet adapter provisions and replenishes receive buffers
+  /// so plain-tagged messages never trigger NACK storms). Called once
+  /// before any flood_send; a no-op where receives need no resources.
+  virtual void flood_prepare() {}
+  /// One background point-to-point message src -> dst with an application
+  /// tag (no BarrierTag base bit), riding the substrate's ordinary host
+  /// send path — the open-loop generator's flood/p2p_rand traffic.
+  virtual void flood_send(int src, int dst, std::uint32_t bytes, std::uint32_t tag) = 0;
 };
 
 /// One registered network model.

@@ -33,6 +33,12 @@ class IbSubstrateCluster final : public SubstrateCluster {
                                               std::move(placement));
   }
 
+  // RC write-with-immediate needs no receive provisioning; flood traffic is
+  // an ordinary tagged post whose CQE the remote host consumes and ignores.
+  void flood_send(int src, int dst, std::uint32_t bytes, std::uint32_t tag) override {
+    cluster_.node(src).post(dst, bytes, tag);
+  }
+
  private:
   core::IbCluster cluster_;
 };
@@ -44,6 +50,12 @@ class IbSubstrate final : public Substrate {
     caps_.drop_prob = true;
     caps_.barrier_impls = {Impl::kNic, Impl::kHost};
     caps_.collective_impls = {Impl::kNic, Impl::kHost};
+    // RC writes land without a host-side copy; the wire binds the flood
+    // per byte, plus the responder HCA's PSN check and CQE DMA per message.
+    const ib::IbConfig cfg;
+    caps_.flood_bytes_per_second = cfg.link.bytes_per_second;
+    caps_.flood_message_overhead_s =
+        static_cast<double>((cfg.rx_process + cfg.cq_dma).picos()) * 1e-12;
   }
 
   Network network() const override { return Network::kInfiniBand; }

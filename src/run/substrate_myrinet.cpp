@@ -1,5 +1,6 @@
 // Myrinet substrate adapters (LANai XP and LANai 9 presets share one
 // cluster type; they register as two named substrates).
+#include <algorithm>
 #include <utility>
 
 #include "run/substrate_internal.hpp"
@@ -32,8 +33,28 @@ class MyrinetCluster final : public SubstrateCluster {
                                            std::move(placement));
   }
 
+  void flood_prepare() override {
+    if (flood_prepared_) return;
+    flood_prepared_ = true;
+    // GM receives consume buffer tokens; without provisioning, flood
+    // messages would NACK and retransmit forever. Seed a deep pool per node
+    // and replenish one token per delivered message so the supply never
+    // runs dry however long the run is.
+    for (int i = 0; i < cluster_.size(); ++i) {
+      myri::GmPort* port = &cluster_.node(i).port();
+      port->provide_receive_buffers(1024);
+      port->set_receive_handler(
+          [port](const myri::RecvEvent&) { port->provide_receive_buffers(1); });
+    }
+  }
+
+  void flood_send(int src, int dst, std::uint32_t bytes, std::uint32_t tag) override {
+    cluster_.node(src).port().send(dst, bytes, tag);
+  }
+
  private:
   core::MyriCluster cluster_;
+  bool flood_prepared_ = false;
 };
 
 class MyrinetSubstrate final : public Substrate {
@@ -44,6 +65,28 @@ class MyrinetSubstrate final : public Substrate {
     caps_.ablations = true;
     caps_.barrier_impls = {Impl::kNic, Impl::kHost, Impl::kDirect};
     caps_.collective_impls = {Impl::kNic, Impl::kHost};
+    // The flood's tightest server is the *sender's* MCP: each host-sourced
+    // message serializes LANai firmware work (send-event translation, token
+    // schedule, packet claim, header build, ACK bookkeeping) with the
+    // doorbell PIO and the payload SDMA across the host PCI bus — and every
+    // same-destination message queues FIFO behind it, so an offered rate
+    // above this service rate diverges that queue and starves any
+    // collective sharing the destination. The receive side (payload +
+    // event-record DMAs on the destination bus) is strictly cheaper per
+    // message, so admission keys off the sender. Both PCI generations are
+    // slower than the 2 GB/s wire, so the per-byte rate is the PCI rate.
+    const myri::MyrinetConfig cfg =
+        network == Network::kMyrinetL9 ? myri::lanai9_cluster() : myri::lanaixp_cluster();
+    const myri::LanaiConfig& ln = cfg.lanai;
+    caps_.flood_bytes_per_second =
+        std::min(cfg.link.bytes_per_second, cfg.pci.bytes_per_second);
+    caps_.flood_message_overhead_s =
+        static_cast<double>(ln.cycles(ln.cyc_process_send_event + ln.cyc_token_schedule +
+                                      ln.cyc_claim_packet + ln.cyc_build_header +
+                                      ln.cyc_process_ack + ln.cyc_release_packet)
+                                .picos()) *
+            1e-12 +
+        static_cast<double>((cfg.pci.pio_write + cfg.pci.dma_overhead).picos()) * 1e-12;
   }
 
   Network network() const override { return network_; }

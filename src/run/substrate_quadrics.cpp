@@ -35,6 +35,11 @@ class QuadricsCluster final : public SubstrateCluster {
                                                 std::move(placement));
   }
 
+  // elan_put fires a remote event; no receive-side resources to provision.
+  void flood_send(int src, int dst, std::uint32_t bytes, std::uint32_t tag) override {
+    cluster_.node(src).put(dst, bytes, tag);
+  }
+
  private:
   core::ElanCluster cluster_;
 };
@@ -45,6 +50,13 @@ class QuadricsSubstrate final : public Substrate {
     caps_.loss_note = "the Quadrics models have no loss recovery path";
     caps_.barrier_impls = {Impl::kNic, Impl::kHost, Impl::kGsync, Impl::kHgsync};
     caps_.collective_impls = {Impl::kNic, Impl::kHost};
+    // elan_put carries no host-side payload copy; the wire is the flood
+    // path's per-byte bottleneck, with the receive event unit's fixed
+    // per-message work on top (which binds for small payloads).
+    const elan::Elan3Config cfg;
+    caps_.flood_bytes_per_second = cfg.link.bytes_per_second;
+    caps_.flood_message_overhead_s =
+        static_cast<double>((cfg.event_fire + cfg.host_notify_dma).picos()) * 1e-12;
   }
 
   Network network() const override { return Network::kQuadrics; }

@@ -126,6 +126,47 @@ TEST(ParseNetwork, ErrorVocabularyListsEveryRegisteredName) {
   EXPECT_NE(names.find("ib"), std::string::npos) << names;
 }
 
+TEST(ParseWorkload, FullSpecParsesEveryKey) {
+  load::WorkloadSpec w;
+  const std::string err = parse_workload(
+      "groups=8,size=4,mix=barrier+allreduce,arrival=poisson,member=stride,"
+      "period=20us,burst-on=150us,burst-off=450us,flood=2,flood-bytes=2048,"
+      "flood-period=16us,flood-random,seed=18446744073709551615",
+      w);
+  ASSERT_EQ(err, "");
+  EXPECT_EQ(w.groups, 8);
+  EXPECT_EQ(w.group_size, 4);
+  ASSERT_EQ(w.mix.size(), 2u);
+  EXPECT_EQ(w.mix[0], coll::OpKind::kBarrier);
+  EXPECT_EQ(w.mix[1], coll::OpKind::kAllreduce);
+  EXPECT_EQ(w.arrival, load::Arrival::kPoisson);
+  EXPECT_EQ(w.membership, load::Membership::kStride);
+  EXPECT_DOUBLE_EQ(w.period_us, 20.0);
+  EXPECT_DOUBLE_EQ(w.burst_on_us, 150.0);
+  EXPECT_DOUBLE_EQ(w.burst_off_us, 450.0);
+  EXPECT_EQ(w.flood_streams, 2);
+  EXPECT_EQ(w.flood_bytes, 2048u);
+  EXPECT_DOUBLE_EQ(w.flood_period_us, 16.0);
+  EXPECT_TRUE(w.flood_random);
+  EXPECT_EQ(w.seed, 18446744073709551615ULL);  // full u64 range survives
+}
+
+TEST(ParseWorkload, GroupsDefaultsToOneWhenOtherKeysGiven) {
+  load::WorkloadSpec w;
+  ASSERT_EQ(parse_workload("size=4,arrival=closed", w), "");
+  EXPECT_EQ(w.groups, 1);
+  EXPECT_EQ(w.arrival, load::Arrival::kClosed);
+}
+
+TEST(ParseWorkload, RejectsBadValues) {
+  load::WorkloadSpec w;
+  EXPECT_NE(parse_workload("mix=barrier+teleport", w), "");
+  EXPECT_NE(parse_workload("arrival=sometimes", w), "");
+  EXPECT_NE(parse_workload("member=diagonal", w), "");
+  EXPECT_NE(parse_workload("period=fast", w), "");
+  EXPECT_NE(parse_workload("warp=9", w), "");
+}
+
 TEST(ParseNetwork, IbRunsEndToEnd) {
   // `--network ib` all the way through: parse the flag's string form, run
   // the experiment, and get a NIC-based dissemination barrier out.

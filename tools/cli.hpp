@@ -19,6 +19,20 @@
 //   --fault reorder:nth=2,delay=10us
 //   --fault blackout:from=100us,until=250us
 //
+// Workload grammar:  KEY=VALUE[,KEY=VALUE...]   (bare keys for booleans)
+//
+//   groups=N size=R          N concurrent groups of R ranks each
+//   mix=OP[+OP...]           barrier|bcast|allreduce|allgather (issue mix)
+//   arrival=closed|fixed|poisson|burst   period=T (e.g. 20us)
+//   burst-on=T burst-off=T   burst mode's on/off windows
+//   member=block|stride|random           group membership policy
+//   flood=S                  background p2p flood streams
+//   flood-bytes=B flood-period=T flood-random
+//   seed=S                   workload RNG seed (0 = derive from --seed)
+//
+//   --workload groups=8,size=4,mix=barrier+allreduce,arrival=poisson,period=20us
+//   --workload groups=64,size=4,member=stride,flood=8,flood-bytes=4096
+//
 // Header-only so tools and tests include it without another library.
 #pragma once
 
@@ -28,6 +42,7 @@
 #include <string>
 #include <string_view>
 
+#include "load/workload.hpp"
 #include "net/fault.hpp"
 #include "sim/time.hpp"
 
@@ -123,6 +138,93 @@ inline std::string parse_fault(std::string_view text, net::FaultSpec& out) {
   }
   if (std::string err = net::validate(f); !err.empty()) return err;
   out = f;
+  return {};
+}
+
+/// Parses one --workload value into `out`. Returns an empty string on
+/// success, else a printable error. Structural validity (group budget vs.
+/// substrate caps, membership injectivity) is run::validate()'s job — this
+/// only parses the grammar.
+inline std::string parse_workload(std::string_view text, load::WorkloadSpec& out) {
+  load::WorkloadSpec w;
+  w.groups = 1;  // "groups" may be omitted when any other key is given
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view kv =
+        rest.substr(0, comma == std::string_view::npos ? rest.size() : comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    const std::string_view key = kv.substr(0, eq);
+    const std::string value(eq == std::string_view::npos ? std::string_view{}
+                                                         : kv.substr(eq + 1));
+    const auto need_duration = [&](double& us) -> std::string {
+      const auto d = parse_duration(value);
+      if (!d) {
+        return "bad duration '" + value + "' for workload key '" + std::string(key) +
+               "' (use e.g. 20us, 2ms)";
+      }
+      us = d->micros();
+      return {};
+    };
+    if (key == "groups") {
+      w.groups = std::atoi(value.c_str());
+    } else if (key == "size") {
+      w.group_size = std::atoi(value.c_str());
+    } else if (key == "mix") {
+      w.mix.clear();
+      std::string_view ops = value;
+      while (!ops.empty()) {
+        const auto plus = ops.find('+');
+        const std::string_view op =
+            ops.substr(0, plus == std::string_view::npos ? ops.size() : plus);
+        ops = plus == std::string_view::npos ? std::string_view{} : ops.substr(plus + 1);
+        const auto k = coll::parse_op_kind(op);
+        if (!k) {
+          return "unknown op '" + std::string(op) +
+                 "' in workload mix (valid: barrier, bcast, allreduce, allgather, "
+                 "alltoall; join with '+')";
+        }
+        w.mix.push_back(*k);
+      }
+    } else if (key == "arrival") {
+      const auto a = load::parse_arrival(value);
+      if (!a) {
+        return "unknown arrival '" + value +
+               "' (valid: closed, fixed, poisson, burst)";
+      }
+      w.arrival = *a;
+    } else if (key == "member") {
+      const auto m = load::parse_membership(value);
+      if (!m) {
+        return "unknown membership '" + value + "' (valid: block, stride, random)";
+      }
+      w.membership = *m;
+    } else if (key == "period") {
+      if (auto err = need_duration(w.period_us); !err.empty()) return err;
+    } else if (key == "burst-on") {
+      if (auto err = need_duration(w.burst_on_us); !err.empty()) return err;
+    } else if (key == "burst-off") {
+      if (auto err = need_duration(w.burst_off_us); !err.empty()) return err;
+    } else if (key == "flood") {
+      w.flood_streams = std::atoi(value.c_str());
+    } else if (key == "flood-bytes") {
+      w.flood_bytes = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "flood-period") {
+      if (auto err = need_duration(w.flood_period_us); !err.empty()) return err;
+    } else if (key == "flood-random") {
+      w.flood_random = true;
+    } else if (key == "seed") {
+      w.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      return "unknown workload key '" + std::string(key) +
+             "' (valid: groups, size, mix, arrival, member, period, burst-on, "
+             "burst-off, flood, flood-bytes, flood-period, flood-random, seed)";
+    }
+  }
+  if (w.groups < 1) return "workload needs groups=N with N >= 1";
+  out = w;
   return {};
 }
 

@@ -58,6 +58,12 @@ struct Options {
       "           reorder:nth=2,delay=10us  blackout:from=100us,until=250us\n"
       "  --skew US                                  max per-entry skew in us\n"
       "         (each rank's every entry delays by a seeded uniform draw)\n"
+      "  --workload SPEC                            multi-tenant mode: N concurrent\n"
+      "         groups issuing a collective mix from an open-loop arrival process,\n"
+      "         plus optional background flood traffic. SPEC grammar (see cli.hpp):\n"
+      "           groups=8,size=4,mix=barrier+allreduce,arrival=poisson,period=20us\n"
+      "           groups=64,size=4,member=stride,flood=8,flood-bytes=4096\n"
+      "         prints per-group p50/p99/p999 and a Jain fairness index\n"
       "  --horizon-ms H                             simulated-time watchdog\n"
       "  --trace                                    dump protocol trace CSV\n"
       "  --trace-file PATH                          write the trace CSV to PATH\n"
@@ -199,6 +205,12 @@ Options parse(int argc, char** argv) {
       o.spec.faults.push_back(f);
     } else if (a == "--skew") {
       o.spec.skew_max_us = std::atof(next("--skew"));
+    } else if (a == "--workload") {
+      if (const std::string err = cli::parse_workload(next("--workload"), o.spec.workload);
+          !err.empty()) {
+        std::fprintf(stderr, "--workload: %s\n", err.c_str());
+        usage(argv[0]);
+      }
     } else if (a == "--horizon-ms") {
       o.spec.horizon_ms = std::atol(next("--horizon-ms"));
     } else if (a == "--trace") {
@@ -279,6 +291,28 @@ void print_result(const run::RunResult& r) {
     std::printf("hgsync: %llu probes, %llu failed\n",
                 static_cast<unsigned long long>(r.hw_probes),
                 static_cast<unsigned long long>(r.hw_failed_probes));
+  }
+  if (!r.group_stats.empty()) {
+    std::printf("workload: %zu groups x %d ranks, %s arrivals, fairness %.4f\n",
+                r.group_stats.size(), r.spec.workload.group_size,
+                std::string(load::to_string(r.spec.workload.arrival)).c_str(),
+                r.fairness);
+    if (r.flood_sends > 0) {
+      std::printf("flood: %d streams, %llu background messages\n",
+                  r.spec.workload.flood_streams,
+                  static_cast<unsigned long long>(r.flood_sends));
+    }
+    std::printf("%-8s %8s %12s %12s %12s %12s %10s\n", "group", "ops", "p50(us)",
+                "p99(us)", "p999(us)", "max(us)", "backlog");
+    for (const load::GroupStats& g : r.group_stats) {
+      std::printf("%-8d %8llu %12.2f %12.2f %12.2f %12.2f %10llu\n", g.group,
+                  static_cast<unsigned long long>(g.ops),
+                  static_cast<double>(g.p50_picos) * 1e-6,
+                  static_cast<double>(g.p99_picos) * 1e-6,
+                  static_cast<double>(g.p999_picos) * 1e-6,
+                  static_cast<double>(g.max_picos) * 1e-6,
+                  static_cast<unsigned long long>(g.backlog_peak));
+    }
   }
   std::printf("fingerprint: %016llx\n",
               static_cast<unsigned long long>(r.fingerprint()));

@@ -46,6 +46,21 @@ OTHER_ROUND = "other"
 BARRIER_TAG_BASE = 0x80000000  # core::BarrierTag: [31] base, [0..11] edge tag
 
 
+def group_of(tag):
+    """BarrierTag group field, or None for plain (non-collective) tags.
+
+    core/coll_tag.hpp packs [31] base, [30..24] group, [23..12] seq,
+    [11..0] edge tag -- multi-tenant traces are attributable to their
+    process group straight from the wire tag.
+    """
+    if tag is None:
+        return None
+    tag = int(tag)
+    if not tag & BARRIER_TAG_BASE:
+        return None
+    return (tag >> 24) & 0x7F
+
+
 def round_label(tag):
     if tag is None:
         return OTHER_ROUND
@@ -91,7 +106,10 @@ def build_report(events):
     flow_start = {}     # flow id -> injection ts
     flow_finish = {}    # flow id -> earliest delivery ts (dups keep first)
     flow_round = {}     # flow id -> round label
+    flow_group = {}     # flow id -> BarrierTag group id
     triggers = {}       # round label -> [trigger ts]
+    group_triggers = {}  # group id -> trigger count
+    group_nacks = {}    # group id -> count
     nacks = {}          # round label -> count
     retx = {}           # round label -> count
     mcp_retransmits = 0
@@ -116,11 +134,19 @@ def build_report(events):
         if name in TRIGGER_EVENTS:
             label = round_label(args.get("b"))
             triggers.setdefault(label, []).append(e["ts"])
+            group = group_of(args.get("b"))
+            if group is not None:
+                group_triggers[group] = group_triggers.get(group, 0) + 1
             if "flow" in args:
                 flow_round[args["flow"]] = label
+                if group is not None:
+                    flow_group[args["flow"]] = group
         elif name == "coll_nack":
             label = round_label(args.get("b"))
             nacks[label] = nacks.get(label, 0) + 1
+            group = group_of(args.get("b"))
+            if group is not None:
+                group_nacks[group] = group_nacks.get(group, 0) + 1
         elif name == "coll_nack_rx":
             label = round_label(args.get("b"))
             retx[label] = retx.get(label, 0) + 1
@@ -128,6 +154,7 @@ def build_report(events):
             mcp_retransmits += 1
 
     hops = {}  # round label -> [hop latency us]
+    group_hops = {}  # group id -> [hop latency us]
     dangling = 0
     for fid, t0 in flow_start.items():
         t1 = flow_finish.get(fid)
@@ -136,6 +163,9 @@ def build_report(events):
             continue
         label = flow_round.get(fid, OTHER_ROUND)
         hops.setdefault(label, []).append(t1 - t0)
+        group = flow_group.get(fid)
+        if group is not None:
+            group_hops.setdefault(group, []).append(t1 - t0)
 
     rounds = sorted(
         set(hops) | set(triggers) | set(nacks) | set(retx), key=round_sort_key
@@ -156,8 +186,20 @@ def build_report(events):
                 "retx": retx.get(label, 0),
             }
         )
+    group_rows = []
+    for group in sorted(set(group_hops) | set(group_triggers) | set(group_nacks)):
+        group_rows.append(
+            {
+                "group": group,
+                "hops": len(group_hops.get(group, [])),
+                "lat": spread(group_hops.get(group, [])),
+                "triggers": group_triggers.get(group, 0),
+                "nacks": group_nacks.get(group, 0),
+            }
+        )
     return {
         "rows": rows,
+        "group_rows": group_rows,
         "flows": len(flow_start),
         "paired": len(flow_start) - dangling,
         "dangling": dangling,
@@ -201,6 +243,27 @@ def print_report(rep, out=sys.stdout):
         )
     if not rep["rows"]:
         print("(no flow or trigger events in trace)", file=out)
+    # Per-group breakdown: only meaningful when the trace carries more than
+    # the single default group (a multi-tenant --workload run).
+    groups = rep.get("group_rows", [])
+    if len(groups) > 1:
+        gheader = (
+            f"{'group':>6} {'hops':>5} "
+            f"{'hop min':>9} {'hop med':>9} {'hop max':>9} "
+            f"{'triggers':>8} {'nacks':>5}"
+        )
+        print("", file=out)
+        print("per-group wire traffic (BarrierTag group field):", file=out)
+        print(gheader, file=out)
+        print("-" * len(gheader), file=out)
+        for g in groups:
+            print(
+                f"{g['group']:>6} {g['hops']:>5} "
+                f"{fmt_us(g['lat'][0]):>9} {fmt_us(g['lat'][1]):>9} "
+                f"{fmt_us(g['lat'][2]):>9} "
+                f"{g['triggers']:>8} {g['nacks']:>5}",
+                file=out,
+            )
 
 
 def main(argv=None):
