@@ -110,6 +110,23 @@ std::vector<SuitePoint> build_points(bool quick) {
   add_barrier_grid(pts, "fig8", Network::kMyrinetXP, {Impl::kNic}, large);
   add_barrier_grid(pts, "fig8", Network::kQuadrics, {Impl::kNic}, large);
 
+  // PDES tier: the same NIC barrier sharded over the conservative
+  // parallel engine at 8 worker threads. The gate is the fingerprint —
+  // the engine's contract is that these points are bit-identical to their
+  // sequential twins, so any determinism break in the window/merge logic
+  // shows up here as a fingerprint delta even on a single-core runner
+  // (events_per_sec stays advisory, like every host-time number).
+  {
+    const int pdes_n = quick ? 64 : 256;
+    for (const Network net :
+         {Network::kQuadrics, Network::kMyrinetXP, Network::kInfiniBand}) {
+      run::ExperimentSpec s = bench::barrier_spec(
+          net, pdes_n, Impl::kNic, coll::Algorithm::kDissemination);
+      s.engine_threads = 8;
+      pts.push_back({key_for("pdes", s), s});
+    }
+  }
+
   // Sec. 9 generalization tier: the NIC collective protocol ported to the
   // IB verbs substrate — RC-transport NIC barrier vs host baseline, plus
   // the NIC barrier's scalability curve on its own key group.

@@ -1,5 +1,6 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
 #include <numeric>
@@ -14,7 +15,7 @@
 namespace qmb::core {
 
 MyriCluster::MyriCluster(sim::Engine& engine, const myri::MyrinetConfig& config,
-                         int nodes, sim::Tracer* tracer)
+                         int nodes, sim::Tracer* tracer, int engine_domains)
     : engine_(engine), config_(config) {
   if (nodes < 2) throw std::invalid_argument("cluster needs >= 2 nodes");
   std::unique_ptr<net::Topology> topo;
@@ -30,8 +31,11 @@ MyriCluster::MyriCluster(sim::Engine& engine, const myri::MyrinetConfig& config,
   fabric_ = std::make_unique<net::Fabric>(engine_, std::move(topo),
                                           net::FabricParams{config_.link, config_.sw},
                                           tracer);
+  fabric_->enable_domains(engine_domains);
   nodes_.reserve(static_cast<std::size_t>(nodes));
   for (int i = 0; i < nodes; ++i) {
+    // Node i owns NIC i, so its entire event stream belongs to that domain.
+    sim::Engine::DomainScope scope(engine_, fabric_->domain_of(net::NicAddr(i)));
     nodes_.push_back(std::make_unique<myri::MyriNode>(engine_, *fabric_, config_, i, tracer));
   }
 }
@@ -55,13 +59,15 @@ std::unique_ptr<Barrier> MyriCluster::make_barrier(MyriBarrierKind kind,
 }
 
 ElanCluster::ElanCluster(sim::Engine& engine, const elan::Elan3Config& config,
-                         int nodes, sim::Tracer* tracer)
+                         int nodes, sim::Tracer* tracer, int engine_domains)
     : engine_(engine), config_(config) {
   if (nodes < 2) throw std::invalid_argument("cluster needs >= 2 nodes");
   fabric_ = elan::make_elan_fabric(engine_, config_, static_cast<std::size_t>(nodes), tracer);
+  fabric_->enable_domains(engine_domains);
   nodes_.reserve(static_cast<std::size_t>(nodes));
   std::vector<elan::Nic*> nics;
   for (int i = 0; i < nodes; ++i) {
+    sim::Engine::DomainScope scope(engine_, fabric_->domain_of(net::NicAddr(i)));
     nodes_.push_back(std::make_unique<elan::ElanNode>(engine_, *fabric_, config_, i, tracer));
     nics.push_back(&nodes_.back()->nic());
   }
@@ -90,7 +96,7 @@ std::unique_ptr<Barrier> ElanCluster::make_barrier(ElanBarrierKind kind,
 }
 
 IbCluster::IbCluster(sim::Engine& engine, const ib::IbConfig& config, int nodes,
-                     sim::Tracer* tracer, bool skip_retransmit)
+                     sim::Tracer* tracer, bool skip_retransmit, int engine_domains)
     : engine_(engine), config_(config) {
   if (nodes < 2) throw std::invalid_argument("cluster needs >= 2 nodes");
   std::unique_ptr<net::Topology> topo;
@@ -103,8 +109,10 @@ IbCluster::IbCluster(sim::Engine& engine, const ib::IbConfig& config, int nodes,
   fabric_ = std::make_unique<net::Fabric>(engine_, std::move(topo),
                                           net::FabricParams{config_.link, config_.sw},
                                           tracer);
+  fabric_->enable_domains(engine_domains);
   nodes_.reserve(static_cast<std::size_t>(nodes));
   for (int i = 0; i < nodes; ++i) {
+    sim::Engine::DomainScope scope(engine_, fabric_->domain_of(net::NicAddr(i)));
     nodes_.push_back(std::make_unique<ib::IbNode>(engine_, *fabric_, config_, i, tracer,
                                                   skip_retransmit));
   }
@@ -142,14 +150,22 @@ BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
                                           int warmup, int iters,
                                           sim::SimDuration max_skew,
                                           std::uint64_t skew_seed,
-                                          sim::SimDuration horizon) {
+                                          sim::SimDuration horizon,
+                                          const std::vector<int>* rank_domain) {
   const int n = barrier.size();
   const int total = warmup + iters;
   assert(total > 0);
+  assert((engine.domains() == 1 || rank_domain != nullptr) &&
+         "sharded engines need the rank -> domain map");
 
   std::vector<int> rank_iter(static_cast<std::size_t>(n), 0);
-  std::vector<int> done_in_iter(static_cast<std::size_t>(total), 0);
-  std::vector<sim::SimTime> iter_complete(static_cast<std::size_t>(total));
+  // Completion matrix, one row per rank: each slot is written exactly once,
+  // by the owning rank's completion callback — i.e. from its own engine
+  // domain — so parallel windows never race on it. The per-iteration
+  // completion instant (the time the sequential runner saw the n-th rank
+  // finish) is recovered below as the row-wise max.
+  std::vector<sim::SimTime> completion(static_cast<std::size_t>(n) *
+                                       static_cast<std::size_t>(total));
   sim::Rng skew_rng(skew_seed);
 
   std::function<void(int)> enter_next = [&](int rank) {
@@ -158,9 +174,8 @@ BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
     const auto enter = [&, rank, it] {
       barrier.enter(rank, [&, rank, it] {
         rank_iter[static_cast<std::size_t>(rank)] = it + 1;
-        if (++done_in_iter[static_cast<std::size_t>(it)] == n) {
-          iter_complete[static_cast<std::size_t>(it)] = engine.now();
-        }
+        completion[static_cast<std::size_t>(rank) * static_cast<std::size_t>(total) +
+                   static_cast<std::size_t>(it)] = engine.now();
         // Decouple re-entry from the completion callback so trivially-
         // completing barriers cannot recurse the host stack.
         engine.schedule(sim::SimDuration::zero(),
@@ -177,7 +192,17 @@ BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
       enter();
     }
   };
-  for (int r = 0; r < n; ++r) enter_next(r);
+  for (int r = 0; r < n; ++r) {
+    if (rank_domain != nullptr) {
+      // Direct-call entry inside the rank's domain: everything the protocol
+      // schedules from here lands on the right shard, with no extra event
+      // (event counts must match the sequential run exactly).
+      sim::Engine::DomainScope scope(engine, (*rank_domain)[static_cast<std::size_t>(r)]);
+      enter_next(r);
+    } else {
+      enter_next(r);
+    }
+  }
   // Watchdog: a protocol bug that retransmits forever would otherwise spin
   // the engine indefinitely. No legitimate run needs minutes of simulated
   // time per 10k barriers.
@@ -191,10 +216,16 @@ BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
 
   BarrierRunResult res;
   res.iterations = static_cast<std::uint64_t>(iters);
-  for (int i = warmup; i < total; ++i) {
-    const sim::SimTime prev =
-        i == 0 ? sim::SimTime::zero() : iter_complete[static_cast<std::size_t>(i - 1)];
-    res.per_iteration.add(iter_complete[static_cast<std::size_t>(i)] - prev);
+  sim::SimTime prev = sim::SimTime::zero();
+  for (int i = 0; i < total; ++i) {
+    sim::SimTime complete = sim::SimTime::zero();
+    for (int r = 0; r < n; ++r) {
+      complete = std::max(complete,
+                          completion[static_cast<std::size_t>(r) * static_cast<std::size_t>(total) +
+                                     static_cast<std::size_t>(i)]);
+    }
+    if (i >= warmup) res.per_iteration.add(complete - prev);
+    prev = complete;
   }
   res.mean = res.per_iteration.mean();
   return res;

@@ -46,8 +46,11 @@ enum class IbBarrierKind {
 /// scalability runs).
 class MyriCluster {
  public:
+  /// `engine_domains` > 1 asks the fabric for a conservative-PDES cut of
+  /// roughly that many domains (see Fabric::enable_domains); each node is
+  /// then built inside its domain so all of its events stay there.
   MyriCluster(sim::Engine& engine, const myri::MyrinetConfig& config, int nodes,
-              sim::Tracer* tracer = nullptr);
+              sim::Tracer* tracer = nullptr, int engine_domains = 1);
 
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] myri::MyriNode& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
@@ -75,7 +78,7 @@ class MyriCluster {
 class ElanCluster {
  public:
   ElanCluster(sim::Engine& engine, const elan::Elan3Config& config, int nodes,
-              sim::Tracer* tracer = nullptr);
+              sim::Tracer* tracer = nullptr, int engine_domains = 1);
 
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] elan::ElanNode& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
@@ -106,7 +109,8 @@ class ElanCluster {
 class IbCluster {
  public:
   IbCluster(sim::Engine& engine, const ib::IbConfig& config, int nodes,
-            sim::Tracer* tracer = nullptr, bool skip_retransmit = false);
+            sim::Tracer* tracer = nullptr, bool skip_retransmit = false,
+            int engine_domains = 1);
 
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] ib::IbNode& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
@@ -147,9 +151,17 @@ struct BarrierRunResult {
 /// RNG seeded with `skew_seed` (deterministic chaos, as the fuzzer drives).
 /// Drives the engine until every rank finished or `horizon` of simulated
 /// time elapsed, and throws std::runtime_error in the latter case.
+///
+/// On a sharded (PDES) engine, `rank_domain` (rank -> engine domain, from
+/// Fabric::domain_of over the placement) is required: initial entries are
+/// issued inside each rank's domain, and every completion lands in a
+/// rank-private slot so parallel windows never race. The per-iteration
+/// series is the per-iteration max across ranks either way — exactly the
+/// instant the sequential runner observed the n-th completion.
 BarrierRunResult run_consecutive_barriers(
     sim::Engine& engine, Barrier& barrier, int warmup, int iters,
     sim::SimDuration max_skew = sim::SimDuration::zero(), std::uint64_t skew_seed = 0,
-    sim::SimDuration horizon = sim::seconds(120));
+    sim::SimDuration horizon = sim::seconds(120),
+    const std::vector<int>* rank_domain = nullptr);
 
 }  // namespace qmb::core

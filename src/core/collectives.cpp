@@ -61,11 +61,12 @@ MyriNicCollective::MyriNicCollective(MyriCluster& cluster, coll::OpKind kind, in
   const auto schedule = make_collective_schedule(kind, n, root);
   name_ = std::string("myri-nic-") + std::string(kind_name(kind));
 
+  const coll::Placement placement = coll::make_placement(rank_to_node_);
   for (int r = 0; r < n; ++r) {
     myri::GroupDesc desc;
     desc.group_id = group_id_;
     desc.my_rank = r;
-    desc.rank_to_node = rank_to_node_;
+    desc.rank_to_node = placement;
     desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
     desc.op_kind = kind;
     desc.reduce_op = reduce;
@@ -154,11 +155,12 @@ ElanNicCollective::ElanNicCollective(ElanCluster& cluster, coll::OpKind kind, in
   const auto schedule = make_collective_schedule(kind, n, root);
   name_ = std::string("elan-nic-") + std::string(kind_name(kind));
 
+  const coll::Placement placement = coll::make_placement(rank_to_node_);
   for (int r = 0; r < n; ++r) {
     elan::ElanGroupDesc desc;
     desc.group_id = group_id_;
     desc.my_rank = r;
-    desc.rank_to_node = rank_to_node_;
+    desc.rank_to_node = placement;
     desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
     desc.op_kind = kind;
     desc.reduce_op = reduce;
@@ -258,11 +260,12 @@ IbNicCollective::IbNicCollective(IbCluster& cluster, coll::OpKind kind, int root
   const auto schedule = make_collective_schedule(kind, n, root);
   name_ = std::string("ib-nic-") + std::string(kind_name(kind));
 
+  const coll::Placement placement = coll::make_placement(rank_to_node_);
   for (int r = 0; r < n; ++r) {
     ib::IbGroupDesc desc;
     desc.group_id = group_id_;
     desc.my_rank = r;
-    desc.rank_to_node = rank_to_node_;
+    desc.rank_to_node = placement;
     desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
     desc.op_kind = kind;
     desc.reduce_op = reduce;

@@ -14,11 +14,12 @@ MyriNicBarrier::MyriNicBarrier(MyriCluster& cluster, const coll::GroupSchedule& 
   assert(static_cast<int>(rank_to_node_.size()) == n);
   name_ = std::string("myri-nic-coll-") + std::string(coll::to_string(schedule.algorithm));
 
+  const coll::Placement placement = coll::make_placement(rank_to_node_);
   for (int r = 0; r < n; ++r) {
     myri::GroupDesc desc;
     desc.group_id = group_id_;
     desc.my_rank = r;
-    desc.rank_to_node = rank_to_node_;
+    desc.rank_to_node = placement;
     desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
     desc.features = features;
     cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]).port().create_group(std::move(desc));

@@ -86,11 +86,12 @@ ElanNicBarrier::ElanNicBarrier(ElanCluster& cluster, const coll::GroupSchedule& 
   assert(static_cast<int>(rank_to_node_.size()) == n);
   name_ = std::string("elan-nic-") + std::string(coll::to_string(schedule.algorithm));
 
+  const coll::Placement placement = coll::make_placement(rank_to_node_);
   for (int r = 0; r < n; ++r) {
     elan::ElanGroupDesc desc;
     desc.group_id = group_id_;
     desc.my_rank = r;
-    desc.rank_to_node = rank_to_node_;
+    desc.rank_to_node = placement;
     desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
     cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]).create_barrier_group(std::move(desc));
   }

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
@@ -28,6 +29,16 @@
 namespace qmb::coll {
 
 enum class Algorithm { kGatherBroadcast, kPairwiseExchange, kDissemination };
+
+/// Immutable rank -> fabric-node map shared by every NIC-side group
+/// descriptor of one collective. A per-NIC copy is O(N) ints, which across
+/// N NICs is O(N^2) — 64 MB of placement tables at 4096 nodes. One shared
+/// table keeps per-node group state O(1) in the placement.
+using Placement = std::shared_ptr<const std::vector<int>>;
+
+[[nodiscard]] inline Placement make_placement(std::vector<int> rank_to_node) {
+  return std::make_shared<const std::vector<int>>(std::move(rank_to_node));
+}
 
 [[nodiscard]] std::string_view to_string(Algorithm a);
 

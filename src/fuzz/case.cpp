@@ -66,6 +66,7 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
   run::ExperimentSpec s;
   s.seed = rng.next_u64();  // feeds placement + skew, decorrelated from draws below
   s.horizon_ms = opts.horizon_ms;
+  s.engine_threads = opts.engine_threads > 0 ? opts.engine_threads : 1;
 
   constexpr run::Network kNets[] = {run::Network::kMyrinetXP, run::Network::kMyrinetXP,
                                     run::Network::kMyrinetL9, run::Network::kQuadrics,
@@ -227,6 +228,15 @@ std::string spec_to_json(const run::ExperimentSpec& s) {
   o.set("drop_prob", obs::JsonValue::of(s.drop_prob));
   o.set("skew_max_us", obs::JsonValue::of(s.skew_max_us));
   o.set("horizon_ms", obs::JsonValue::of(static_cast<std::int64_t>(s.horizon_ms)));
+  // PDES knobs never change results (that is the engine's contract), so
+  // they are replay-relevant only when non-default — keeps every artifact
+  // written before the parallel engine byte-identical.
+  if (s.engine_threads != 1) {
+    o.set("engine_threads", obs::JsonValue::of(static_cast<std::int64_t>(s.engine_threads)));
+  }
+  if (s.engine_domains != 0) {
+    o.set("engine_domains", obs::JsonValue::of(static_cast<std::int64_t>(s.engine_domains)));
+  }
 
   obs::JsonValue features = obs::JsonValue::make_object();
   features.set("dedicated_queue", obs::JsonValue::of(s.features.dedicated_queue));
@@ -307,6 +317,8 @@ run::ExperimentSpec spec_from_json(std::string_view json) {
   s.drop_prob = double_field(doc, "drop_prob", s.drop_prob);
   s.skew_max_us = double_field(doc, "skew_max_us", s.skew_max_us);
   s.horizon_ms = i64_field(doc, "horizon_ms", s.horizon_ms);
+  s.engine_threads = static_cast<int>(i64_field(doc, "engine_threads", s.engine_threads));
+  s.engine_domains = static_cast<int>(i64_field(doc, "engine_domains", s.engine_domains));
 
   if (const obs::JsonValue* f = doc.find("features")) {
     if (!f->is_object()) throw std::invalid_argument("'features' must be an object");

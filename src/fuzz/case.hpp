@@ -30,6 +30,12 @@ struct FuzzOptions {
   /// Lossy cases then hang at the horizon and the invariants must catch
   /// them — the fuzzer's own end-to-end self-check.
   bool inject_bug = false;
+  /// PDES worker threads for every derived case (default 1 = sequential).
+  /// The conservative engine is bit-deterministic, so verdicts, repro
+  /// artifacts, and the campaign digest are invariant under this knob —
+  /// cases the engine cannot shard (faults, skew, workloads) fall back to
+  /// the sequential engine automatically.
+  int engine_threads = 1;
 };
 
 /// Derives the complete experiment (including its fault plan) for one fuzz

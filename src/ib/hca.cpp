@@ -408,7 +408,7 @@ void Hca::group_send(Group& g, std::uint32_t seq, const coll::Edge& e,
           : g.desc.payload_bytes * static_cast<std::uint32_t>(coll::edge_payload_words(
                                        g.desc.op_kind, e.tag, value));
   body.payload_bytes = payload;
-  const int dst_node = g.desc.rank_to_node.at(static_cast<std::size_t>(e.peer));
+  const int dst_node = g.desc.rank_to_node->at(static_cast<std::size_t>(e.peer));
   post_write(dst_node, body, payload);
 }
 

@@ -27,8 +27,8 @@ void CollectiveEngine::create_group(GroupDesc desc) {
   if (groups_.contains(desc.group_id)) {
     throw std::invalid_argument("collective group id already registered");
   }
-  if (desc.my_rank < 0 ||
-      desc.my_rank >= static_cast<int>(desc.rank_to_node.size())) {
+  if (desc.rank_to_node == nullptr || desc.my_rank < 0 ||
+      desc.my_rank >= static_cast<int>(desc.rank_to_node->size())) {
     throw std::invalid_argument("my_rank outside rank_to_node");
   }
   Group g;
@@ -195,7 +195,7 @@ void CollectiveEngine::send_msg(Group& g, std::uint32_t seq, const coll::Edge& e
   }
   const std::uint32_t group_id = g.desc.group_id;
   const int my_rank = g.desc.my_rank;
-  const int dst_node = g.desc.rank_to_node.at(static_cast<std::size_t>(e.peer));
+  const int dst_node = g.desc.rank_to_node->at(static_cast<std::size_t>(e.peer));
   const std::uint32_t tag = e.tag;
   const int peer_rank = e.peer;
   const std::uint32_t wire = wire_bytes_for(g.desc, e.tag, value);
@@ -289,7 +289,7 @@ void CollectiveEngine::arm_nack_timer(Group& g, Op& op) {
   op.nack_timer = nic_.engine().schedule(cfg_.nack_timeout, [this, gp, opp, armed_seq] {
     if (!opp->in_use || opp->seq != armed_seq || opp->complete || !opp->active) return;
     for (const coll::Edge& miss : opp->exec->missing_current_waits()) {
-      const int peer_node = gp->desc.rank_to_node.at(static_cast<std::size_t>(miss.peer));
+      const int peer_node = gp->desc.rank_to_node->at(static_cast<std::size_t>(miss.peer));
       const std::uint32_t group_id = gp->desc.group_id;
       const int my_rank = gp->desc.my_rank;
       const std::uint32_t tag = miss.tag;
@@ -339,7 +339,7 @@ bool CollectiveEngine::on_packet(net::Packet&& p) {
           ack.tag = body.tag;
           ack.acker_rank = static_cast<std::uint32_t>(g.desc.my_rank);
           const int src_node =
-              g.desc.rank_to_node.at(static_cast<std::size_t>(body.src_rank));
+              g.desc.rank_to_node->at(static_cast<std::size_t>(body.src_rank));
           nic_.inject(net::Packet(nic_.addr(), net::NicAddr(src_node),
                                   ack_wire_bytes(cfg_.header_bytes), ack));
           ++stats_.acks_sent;

@@ -58,7 +58,8 @@ using ReduceOp = coll::ReduceOp;
 struct GroupDesc {
   std::uint32_t group_id = 0;
   int my_rank = -1;
-  std::vector<int> rank_to_node;  // rank -> fabric node index
+  coll::Placement rank_to_node;   // rank -> fabric node index, shared
+                                  // across the group's NICs
   coll::RankSchedule schedule;    // this rank's schedule for the op kind
   CollFeatures features;
   CollOpKind op_kind = CollOpKind::kBarrier;

@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -38,6 +39,37 @@ Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topology,
   bcast_head_scratch_.assign(topology_->num_links(), {0, sim::SimTime{}});
   faults_.set_clock(&engine_);
   faults_.register_metrics(reg);
+}
+
+int Fabric::enable_domains(int target_domains) {
+  if (target_domains <= 1) return 1;
+  if (!nics_.empty()) throw std::logic_error("fabric: enable_domains after NICs attached");
+  if (!domains_.empty()) throw std::logic_error("fabric: enable_domains called twice");
+  // The trace ring is single-threaded; traced runs stay sequential (the run
+  // layer also refuses the combination, this guards direct constructions).
+  if (tracer_ != nullptr) return 1;
+  // Every unicast crosses >= 2 links (src uplink + dst downlink), so no send
+  // can be observed anywhere before 2 * link latency has passed — that is
+  // the conservative lookahead. Zero-latency links leave no safe window.
+  const sim::SimDuration lookahead = params_.link.latency * 2;
+  if (lookahead <= sim::SimDuration::zero()) return 1;
+  std::vector<int> cut;
+  const int count = topology_->domain_cut(target_domains, cut);
+  if (count <= 1) return 1;
+  engine_.enable_domains(count, lookahead);
+  nic_domain_ = std::move(cut);
+  domains_.resize(static_cast<std::size_t>(count));
+  auto& reg = engine_.metrics();
+  for (int d = 0; d < count; ++d) {
+    DomainState& ds = domains_[static_cast<std::size_t>(d)];
+    ds.packets_sent = reg.counter("fabric.packets_sent", d);
+    ds.packets_delivered = reg.counter("fabric.packets_delivered", d);
+    ds.bytes_sent = reg.counter("fabric.bytes_sent", d);
+    ds.packet_bytes = reg.histogram("fabric.packet_bytes", d);
+    ds.next_packet_id = (static_cast<std::uint64_t>(d) + 1) << 48;
+  }
+  engine_.set_window_hook([this] { drain_window(); });
+  return count;
 }
 
 NicAddr Fabric::attach(DeliverFn deliver) {
@@ -81,10 +113,113 @@ void Fabric::schedule_delivery(Packet&& p, sim::SimTime at) {
   });
 }
 
+void Fabric::schedule_delivery_on(int domain, Packet&& p, sim::SimTime at,
+                                  const sim::SchedPath& path, std::uint64_t lineage) {
+  engine_.schedule_at_on(
+      domain, at,
+      [this, p = std::move(p)]() mutable {
+        ++domains_[static_cast<std::size_t>(nic_domain_[p.dst.index()])]
+              .packets_delivered;
+        if (tracer_ && tracer_->enabled()) {
+          tracer_->record(engine_.now(), trace_comp_, trace_ev_deliver_,
+                          p.dst.value(), p.src.value(),
+                          static_cast<std::int64_t>(p.wire_bytes),
+                          static_cast<std::int64_t>(p.id), obs::FlowPhase::kFinish);
+        }
+        nics_[p.dst.index()](std::move(p));
+      },
+      &path, lineage);
+}
+
+void Fabric::drain_window() {
+  // Merge all domain outboxes into the sequential traversal order:
+  // (emit time, sched, lineage, domain, per-domain emit order). Per-domain
+  // entries are already emit-ordered (events fire in time order), so the
+  // sort only settles cross-domain interleaving. Equal-emit-time entries
+  // order by the emitting events' causal stamps — the instant each event
+  // was scheduled, then its chain's anchor-delivery injection stamp — which
+  // is exactly the sequential engine's insertion order for those sends (see
+  // the EventQueue tie-break contract). Only chains rooted in pre-run setup
+  // (lineage 0, sched equal) can still tie across domains, and there the
+  // (domain, emit order) fallback is the sequential rank order because
+  // domain blocks ascend with rank.
+  merge_scratch_.clear();
+  for (std::uint32_t d = 0; d < domains_.size(); ++d) {
+    const auto& outbox = domains_[d].outbox;
+    for (std::uint32_t i = 0; i < outbox.size(); ++i) {
+#ifndef NDEBUG
+      // Tie-break contract, per-domain half: emits never go backwards.
+      assert(i == 0 || outbox[i - 1].emit <= outbox[i].emit);
+#endif
+      merge_scratch_.push_back(
+          MergeRef{outbox[i].emit, outbox[i].path, outbox[i].lineage, d, i});
+    }
+  }
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const MergeRef& a, const MergeRef& b) {
+              if (a.emit != b.emit) return a.emit < b.emit;
+              for (std::size_t h = 0; h < sim::SchedPath::kDepth; ++h) {
+                if (a.path.hops[h] != b.path.hops[h])
+                  return a.path.hops[h] < b.path.hops[h];
+              }
+              if (a.lineage != b.lineage) return a.lineage < b.lineage;
+              if (a.domain != b.domain) return a.domain < b.domain;
+              return a.idx < b.idx;
+            });
+  for (std::size_t i = 0; i < merge_scratch_.size(); ++i) {
+    const MergeRef& m = merge_scratch_[i];
+#ifndef NDEBUG
+    // Tie-break contract, merged half: the traversal order is globally
+    // time-sorted — equal-time entries were never reordered past a later
+    // instant (and within one instant follow the causal-stamp order).
+    assert(i == 0 || merge_scratch_[i - 1].emit <= m.emit);
+#endif
+    Deferred& e = domains_[m.domain].outbox[m.idx];
+    const RouteView route = routes_.unicast(e.packet.src, e.packet.dst, route_scratch_);
+    const sim::SimTime arrival = traverse(route, e.packet.wire_bytes, e.emit);
+    // The conservative guarantee that makes deferral safe: nothing can
+    // arrive before the window that just closed ended.
+    assert(arrival >= engine_.window_floor());
+    // The delivery's stamp: scheduled at its emit instant with the sender's
+    // ancestry behind it, anchored by this injection (stamps ascend in
+    // merge order, so descendants of earlier deliveries sort first — the
+    // sequential execution order).
+    const sim::SchedPath dpath{
+        {e.emit, e.path.hops[0], e.path.hops[1], e.path.hops[2]}};
+    schedule_delivery_on(nic_domain_[e.packet.dst.index()], std::move(e.packet),
+                         arrival, dpath, /*lineage=*/++inject_stamp_);
+  }
+  for (auto& d : domains_) d.outbox.clear();
+}
+
 std::uint64_t Fabric::send(Packet&& p) {
   assert(p.src.valid() && p.src.index() < nics_.size() && "send from unattached NIC");
   assert(p.dst.valid() && p.dst.index() < nics_.size() && "send to unattached NIC");
   assert(p.src != p.dst && "fabric does not loop back");
+
+  if (!domains_.empty()) {
+    // PDES: defer everything to the window merge. No wire state is touched
+    // here — links, switches, and the route scratch are coordinator-owned.
+    // Eligibility guarantees a fault-free run (asserted), so skipping the
+    // fault decision is exactly what the sequential path would do.
+    assert(faults_.rule_count() == 0 && "PDES runs must be fault-free");
+    DomainState& ds = domains_[static_cast<std::size_t>(nic_domain_[p.src.index()])];
+    p.id = ds.next_packet_id++;
+    const std::uint64_t flow = p.id;
+    ++ds.packets_sent;
+    ds.bytes_sent += p.wire_bytes;
+    ds.packet_bytes.record(p.wire_bytes);
+    const sim::SimTime emit = engine_.now();
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->record(emit, trace_comp_, trace_ev_inject_, p.src.value(), p.dst.value(),
+                      static_cast<std::int64_t>(p.wire_bytes),
+                      static_cast<std::int64_t>(flow), obs::FlowPhase::kStart);
+    }
+    ds.outbox.push_back(Deferred{emit, engine_.current_event_path(),
+                                 engine_.current_event_lineage(), std::move(p)});
+    return flow;
+  }
+
   p.id = next_packet_id_++;
   const std::uint64_t flow = p.id;
   ++packets_sent_;
@@ -92,7 +227,7 @@ std::uint64_t Fabric::send(Packet&& p) {
   packet_bytes_.record(p.wire_bytes);
 
   const FaultAction action = faults_.decide(p);
-  const RouteView route = routes_.unicast(p.src, p.dst);
+  const RouteView route = routes_.unicast(p.src, p.dst, route_scratch_);
   sim::SimTime arrival = traverse(route, p.wire_bytes, engine_.now());
   if (action == FaultAction::kReorder) {
     // The packet still occupies the wire normally; it is merely held back
@@ -136,6 +271,10 @@ sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
                                int min_top_level) {
   assert(first.value() <= last.value());
   assert(last.index() < nics_.size());
+  // Hardware broadcast mutates fabric-wide shared state (the epoch scratch,
+  // every trunk on the climb); the barriers that use it (gsync/hgsync) are
+  // excluded from PDES eligibility, so this path stays sequential-only.
+  assert(domains_.empty() && "hardware broadcast requires a sequential engine");
   // The broadcast climbs to at least the level spanning the whole range.
   int top = std::max(1, min_top_level);
   for (std::int32_t d = first.value(); d <= last.value(); ++d) {
@@ -195,11 +334,30 @@ sim::SimTime Fabric::broadcast(NicAddr src, NicAddr first, NicAddr last,
 
 sim::SimDuration Fabric::unloaded_latency(NicAddr src, NicAddr dst,
                                           std::uint32_t bytes) const {
-  const RouteView route = routes_.unicast(src, dst);
+  // Only the hop counts matter. Prefer the pure computed route — protocol
+  // code calls this from PDES worker threads, where mutating the shared
+  // memo table would race; compute_route touches nothing shared.
+  std::size_t num_links;
+  std::size_t num_switches;
+  RouteScratch scratch;
+  if (topology_->compute_route(src, dst, scratch)) {
+    num_links = scratch.num_links;
+    num_switches = scratch.num_switches;
+  } else if (domains_.empty()) {
+    const RouteView route = routes_.unicast(src, dst);
+    num_links = route.links.size();
+    num_switches = route.switches.size();
+  } else {
+    // Unstructured topology under PDES: build a throwaway Route instead of
+    // touching the memo (route() is const and allocates fresh vectors).
+    const Route route = topology_->route(src, dst);
+    num_links = route.links.size();
+    num_switches = route.switches.size();
+  }
   const Link probe(params_.link);
   sim::SimDuration total = probe.serialization(bytes);
-  total += params_.link.latency * static_cast<std::int64_t>(route.links.size());
-  total += params_.sw.routing_delay * static_cast<std::int64_t>(route.switches.size());
+  total += params_.link.latency * static_cast<std::int64_t>(num_links);
+  total += params_.sw.routing_delay * static_cast<std::int64_t>(num_switches);
   return total;
 }
 

@@ -9,12 +9,29 @@
 // reaches it, which is what creates contention between packets sharing a
 // link.
 //
-// Hot-path discipline: routes come from a RouteCache (memoized spans, no
-// virtual dispatch or vector allocation after first use), packet bodies are
-// inline PacketPayloads, delivery callbacks capture the Packet by value
-// inside the engine's inline callback storage, and broadcast's shared-link
-// bookkeeping uses an epoch-stamped scratch vector. Steady-state transit
-// performs zero heap allocations.
+// Hot-path discipline: routes come from a RouteCache (computed O(1) fills
+// for structured topologies, memoized spans otherwise — no virtual Route
+// allocation after first use either way), packet bodies are inline
+// PacketPayloads, delivery callbacks capture the Packet by value inside the
+// engine's inline callback storage, and broadcast's shared-link bookkeeping
+// uses an epoch-stamped scratch vector. Steady-state transit performs zero
+// heap allocations.
+//
+// Conservative PDES mode (enable_domains): the topology is cut into
+// locality-preserving NIC domains and the engine sharded to match, with
+// lookahead = 2 * link latency (every route crosses at least two links, so
+// no send can affect any domain sooner than that). Within a window, send()
+// does not touch wire state at all — it defers {emit time, causal stamp,
+// packet} into the source domain's outbox. At each window boundary the
+// single-threaded coordinator (the engine's window hook) merges all
+// outboxes in (emit time, sched, lineage, domain, emit order) order — the
+// causal stamps reproduce the sequential traversal order even for
+// equal-instant sends (see the EventQueue tie-break contract, which makes
+// this the determinism boundary) — then performs the
+// full eager route traversal and schedules each delivery into its
+// destination domain. Links and switches are therefore coordinator-owned:
+// parallel window execution never races on them, and results are
+// bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +88,24 @@ class Fabric {
   [[nodiscard]] sim::SimDuration unloaded_latency(NicAddr src, NicAddr dst,
                                                   std::uint32_t bytes) const;
 
+  /// Shards this fabric (and its engine) into roughly `target_domains`
+  /// conservative-PDES domains along the topology's cut. Call after
+  /// construction, before any NIC attaches. Returns the actual domain count;
+  /// 1 means the fabric stays sequential (target <= 1, an uncuttable
+  /// topology, or zero link latency leaving no safe lookahead). The cut
+  /// depends only on the topology and the target — never on thread count —
+  /// so any thread count replays the identical window sequence.
+  int enable_domains(int target_domains);
+
+  /// Domain count (1 when sequential).
+  [[nodiscard]] int domains() const {
+    return domains_.empty() ? 1 : static_cast<int>(domains_.size());
+  }
+  /// Domain owning a NIC (0 when sequential).
+  [[nodiscard]] int domain_of(NicAddr a) const {
+    return nic_domain_.empty() ? 0 : nic_domain_[static_cast<std::size_t>(a.index())];
+  }
+
   [[nodiscard]] FaultInjector& faults() { return faults_; }
   [[nodiscard]] const Topology& topology() const { return *topology_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
@@ -79,17 +114,78 @@ class Fabric {
   /// Host-side cache statistics (hits/misses/entries); not simulated state.
   [[nodiscard]] const RouteCache& route_cache() const { return routes_; }
 
-  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_.value(); }
-  [[nodiscard]] std::uint64_t packets_delivered() const { return packets_delivered_.value(); }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_.value(); }
+  // Aggregated across domains in PDES mode (each domain owns private
+  // counter slots registered under its domain id as the metric node).
+  [[nodiscard]] std::uint64_t packets_sent() const {
+    std::uint64_t n = packets_sent_.value();
+    for (const auto& d : domains_) n += d.packets_sent.value();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t packets_delivered() const {
+    std::uint64_t n = packets_delivered_.value();
+    for (const auto& d : domains_) n += d.packets_delivered.value();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    std::uint64_t n = bytes_sent_.value();
+    for (const auto& d : domains_) n += d.bytes_sent.value();
+    return n;
+  }
 
   [[nodiscard]] Link& link(LinkId id) { return links_[id.index()]; }
   [[nodiscard]] SwitchNode& switch_node(SwitchId id) { return switches_[id.index()]; }
 
  private:
+  /// A send deferred to the window boundary (PDES mode). `sched`/`lineage`
+  /// are the emitting event's causal stamp (Engine::current_event_sched/
+  /// _lineage): the instant that event was scheduled and the injection stamp
+  /// of its chain's anchor delivery. The window merge orders equal-emit-time
+  /// sends by them, reproducing the sequential issue order (see the
+  /// EventQueue tie-break contract).
+  struct Deferred {
+    sim::SimTime emit;
+    sim::SchedPath path;
+    std::uint64_t lineage;
+    Packet packet;
+  };
+  /// Per-domain PDES state. The counters shadow the fabric-wide ones under
+  /// the domain id as metric node: the registry sums per name across nodes,
+  /// so snapshots and totals stay identical to a sequential run.
+  struct DomainState {
+    obs::Counter packets_sent;
+    obs::Counter packets_delivered;
+    obs::Counter bytes_sent;
+    obs::Histogram packet_bytes;
+    // Packet ids only feed traces, never results, so per-domain streams in
+    // disjoint high-bits ranges keep them unique without coordination.
+    std::uint64_t next_packet_id = 0;
+    std::vector<Deferred> outbox;
+  };
+  /// Reference into a domain outbox; the window merge sorts these by
+  /// (emit, path, lineage, domain, idx) — causal ancestry first, then the
+  /// anchor stamp for time-symmetric chains, falling back to (domain, emit
+  /// order) only for pre-run-rooted ties (lineage 0), where ascending
+  /// domain blocks reproduce the sequential rank order.
+  struct MergeRef {
+    sim::SimTime emit;
+    sim::SchedPath path;
+    std::uint64_t lineage;
+    std::uint32_t domain;
+    std::uint32_t idx;
+  };
+
   /// Walks a route, reserving links; returns tail-arrival time at dst.
   sim::SimTime traverse(RouteView route, std::uint32_t bytes, sim::SimTime start);
   void schedule_delivery(Packet&& p, sim::SimTime at);
+  /// Coordinator-side delivery injection into the destination's domain,
+  /// carrying the sequential-order stamp (path = emit instant plus the
+  /// sender's ancestry, lineage = this injection's stamp) the delivery's
+  /// descendants will inherit.
+  void schedule_delivery_on(int domain, Packet&& p, sim::SimTime at,
+                            const sim::SchedPath& path, std::uint64_t lineage);
+  /// Window hook: merges all domain outboxes in the causal-stamp order,
+  /// traverses each route eagerly, and schedules the deliveries.
+  void drain_window();
 
   sim::Engine& engine_;
   std::unique_ptr<Topology> topology_;
@@ -111,6 +207,14 @@ class Fabric {
   std::vector<std::pair<std::uint64_t, sim::SimTime>> bcast_head_scratch_;
   std::uint64_t bcast_epoch_ = 0;
   std::uint64_t next_packet_id_ = 1;
+  // PDES state (empty when sequential).
+  std::vector<DomainState> domains_;
+  std::vector<int> nic_domain_;
+  std::vector<MergeRef> merge_scratch_;
+  // Coordinator's delivery-injection stamp (starts at 1; 0 marks chains
+  // rooted in pre-run setup). Globally unique, assigned in merge order.
+  std::uint64_t inject_stamp_ = 0;
+  RouteScratch route_scratch_;  // coordinator/sequential-thread only
   // Registered in the engine's MetricRegistry; RunResult reads the totals.
   obs::Counter packets_sent_;
   obs::Counter packets_delivered_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace qmb::net {
@@ -86,26 +87,75 @@ int FatTree::merge_level(NicAddr a, NicAddr b) const {
   return l == 0 ? 1 : l;  // a == b still crosses the leaf switch (level 1 span)
 }
 
-Route FatTree::route_impl(std::size_t src, std::size_t dst, std::size_t top,
-                          std::uint64_t trunk_hash) const {
+void FatTree::route_into(std::size_t src, std::size_t dst, std::size_t top,
+                         std::uint64_t trunk_hash, RouteScratch& out) const {
   assert(top >= 1 && top <= levels_);
-  Route r;
+  assert(2 * top <= RouteScratch::kMaxHops && "tree deeper than RouteScratch capacity");
   const std::uint64_t h64 = trunk_hash;
+  std::size_t nl = 0;
+  std::size_t ns = 0;
 
-  r.links.push_back(node_up(src));
-  r.switches.push_back(sw(0, src / arity_));
+  out.links[nl++] = node_up(src);
+  out.switches[ns++] = sw(0, src / arity_);
   for (std::size_t j = 1; j < top; ++j) {
     const std::size_t h = static_cast<std::size_t>(h64 % pow_[j]);
-    r.links.push_back(up_trunk(j, src / pow_[j], h));
-    r.switches.push_back(sw(j, src / pow_[j + 1]));
+    out.links[nl++] = up_trunk(j, src / pow_[j], h);
+    out.switches[ns++] = sw(j, src / pow_[j + 1]);
   }
   for (std::size_t j = top - 1; j >= 1; --j) {
     const std::size_t h = static_cast<std::size_t>(h64 % pow_[j]);
-    r.links.push_back(down_trunk(j, dst / pow_[j], h));
-    r.switches.push_back(sw(j - 1, dst / pow_[j]));
+    out.links[nl++] = down_trunk(j, dst / pow_[j], h);
+    out.switches[ns++] = sw(j - 1, dst / pow_[j]);
   }
-  r.links.push_back(node_down(dst));
+  out.links[nl++] = node_down(dst);
+  out.num_links = nl;
+  out.num_switches = ns;
+}
+
+Route FatTree::route_impl(std::size_t src, std::size_t dst, std::size_t top,
+                          std::uint64_t trunk_hash) const {
+  RouteScratch s;
+  route_into(src, dst, top, trunk_hash, s);
+  Route r;
+  r.links.assign(s.links.begin(), s.links.begin() + static_cast<std::ptrdiff_t>(s.num_links));
+  r.switches.assign(s.switches.begin(),
+                    s.switches.begin() + static_cast<std::ptrdiff_t>(s.num_switches));
   return r;
+}
+
+bool FatTree::compute_route(NicAddr src, NicAddr dst, RouteScratch& out) const {
+  assert(src != dst && "no loopback routes");
+  assert(src.index() < nics_ && dst.index() < nics_);
+  if (2 * levels_ > RouteScratch::kMaxHops) return false;
+  const std::uint64_t h =
+      mix((static_cast<std::uint64_t>(src.index()) << 32) | dst.index());
+  route_into(src.index(), dst.index(),
+             static_cast<std::size_t>(merge_level(src, dst)), h, out);
+  return true;
+}
+
+int FatTree::domain_cut(int target, std::vector<int>& nic_domain) const {
+  nic_domain.assign(nics_, 0);
+  if (target <= 1) return 1;
+  // Candidate cuts are the tree levels: level l yields ceil(nics / k^l)
+  // domains of whole size-k^l subtrees (l = 0 is one node per domain).
+  // Pick the level landing closest to target; prefer the finer cut on ties.
+  std::size_t best_level = levels_;
+  long best_err = -1;
+  for (std::size_t l = 0; l <= levels_; ++l) {
+    const std::size_t count = (nics_ + pow_[l] - 1) / pow_[l];
+    const long err = std::abs(static_cast<long>(count) - static_cast<long>(target));
+    if (best_err < 0 || err < best_err || (err == best_err && l < best_level)) {
+      best_err = err;
+      best_level = l;
+    }
+  }
+  int count = 0;
+  for (std::size_t p = 0; p < nics_; ++p) {
+    nic_domain[p] = static_cast<int>(p / pow_[best_level]);
+    count = std::max(count, nic_domain[p] + 1);
+  }
+  return count;
 }
 
 Route FatTree::route(NicAddr src, NicAddr dst) const {

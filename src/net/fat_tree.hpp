@@ -34,6 +34,11 @@ class FatTree final : public Topology {
   [[nodiscard]] Route route(NicAddr src, NicAddr dst) const override;
   [[nodiscard]] Route route_via(NicAddr src, NicAddr dst, int top_level) const override;
   [[nodiscard]] Route broadcast_route(NicAddr src, NicAddr dst, int top) const override;
+  [[nodiscard]] bool compute_route(NicAddr src, NicAddr dst, RouteScratch& out) const override;
+  /// Cuts at the tree level whose subtree count lands closest to `target`:
+  /// each size-k^l subtree of nodes becomes one domain, so any route between
+  /// two domains climbs through at least one trunk stage.
+  [[nodiscard]] int domain_cut(int target, std::vector<int>& nic_domain) const override;
   [[nodiscard]] int merge_level(NicAddr a, NicAddr b) const override;
   [[nodiscard]] int top_level() const override { return static_cast<int>(levels_); }
 
@@ -51,6 +56,9 @@ class FatTree final : public Topology {
   /// Aggregate switch at level j covering the size-k^(j+1) subtree `group`.
   [[nodiscard]] SwitchId sw(std::size_t j, std::size_t group) const;
   [[nodiscard]] static std::uint64_t mix(std::uint64_t x);
+  /// The one route builder: fills `out` allocation-free; route_impl wraps it.
+  void route_into(std::size_t src, std::size_t dst, std::size_t top,
+                  std::uint64_t trunk_hash, RouteScratch& out) const;
   [[nodiscard]] Route route_impl(std::size_t src, std::size_t dst, std::size_t top,
                                  std::uint64_t trunk_hash) const;
 

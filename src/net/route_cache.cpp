@@ -68,6 +68,16 @@ RouteView RouteCache::unicast(NicAddr src, NicAddr dst) {
   return view_of(entries_[slot - 1]);
 }
 
+RouteView RouteCache::unicast(NicAddr src, NicAddr dst, RouteScratch& scratch) {
+  assert(src.valid() && dst.valid() && src != dst);
+  if (topology_.compute_route(src, dst, scratch)) {
+    ++computed_;
+    return {std::span<const LinkId>(scratch.links.data(), scratch.num_links),
+            std::span<const SwitchId>(scratch.switches.data(), scratch.num_switches)};
+  }
+  return unicast(src, dst);
+}
+
 RouteView RouteCache::broadcast(NicAddr src, NicAddr dst, int top) {
   assert(src.valid() && dst.valid());
   const std::uint64_t key = bcast_key(src, dst, top);

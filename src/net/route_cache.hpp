@@ -44,6 +44,13 @@ class RouteCache {
   /// within max_nics() — same contract as the underlying virtual.
   [[nodiscard]] RouteView unicast(NicAddr src, NicAddr dst);
 
+  /// Computed O(1) unicast for structured topologies: fills the caller's
+  /// scratch via Topology::compute_route (no memo entry, no allocation —
+  /// the table stops growing O(N^2) on 4096-node fat trees) and returns a
+  /// view into it, valid until the scratch is reused. Topologies without a
+  /// closed form fall back to the memoized path.
+  [[nodiscard]] RouteView unicast(NicAddr src, NicAddr dst, RouteScratch& scratch);
+
   /// Memoized Topology::broadcast_route(src, dst, top).
   [[nodiscard]] RouteView broadcast(NicAddr src, NicAddr dst, int top);
 
@@ -51,6 +58,7 @@ class RouteCache {
   /// simulated state or fingerprints.
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t computed() const { return computed_; }
   [[nodiscard]] std::size_t entries() const { return entries_.size(); }
 
  private:
@@ -112,6 +120,7 @@ class RouteCache {
 
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t computed_ = 0;
 };
 
 }  // namespace qmb::net

@@ -3,6 +3,7 @@
 // pure structure.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -14,6 +15,17 @@ namespace qmb::net {
 struct Route {
   std::vector<LinkId> links;       // traversal order; size == switches.size() + 1
   std::vector<SwitchId> switches;  // switches crossed between consecutive links
+};
+
+/// Caller-owned scratch a structured topology fills in compute_route: fixed
+/// capacity, no heap, no shared state — safe from any thread. 32 hops covers
+/// a binary fat tree of 2^16 nodes (2 * levels links per route).
+struct RouteScratch {
+  static constexpr std::size_t kMaxHops = 32;
+  std::array<LinkId, kMaxHops> links;
+  std::array<SwitchId, kMaxHops> switches;
+  std::size_t num_links = 0;
+  std::size_t num_switches = 0;
 };
 
 class Topology {
@@ -29,6 +41,23 @@ class Topology {
 
   /// Unicast route. Precondition: src != dst, both < max_nics().
   [[nodiscard]] virtual Route route(NicAddr src, NicAddr dst) const = 0;
+
+  /// O(1) allocation-free unicast route for structured topologies: fills
+  /// `out` and returns true, identical hop-for-hop to route(). Returns false
+  /// when the topology has no closed form (callers fall back to the
+  /// memoizing path). Must be pure — no memoization, no mutation — so it is
+  /// callable from any PDES worker thread.
+  [[nodiscard]] virtual bool compute_route(NicAddr src, NicAddr dst, RouteScratch& out) const {
+    (void)src; (void)dst; (void)out;
+    return false;
+  }
+
+  /// Partitions the NIC index space into locality-preserving execution
+  /// domains for the conservative PDES engine, aiming for roughly `target`
+  /// domains. Fills `nic_domain` (resized to max_nics()) with each NIC's
+  /// domain id (dense, 0-based, non-decreasing in NIC index) and returns the
+  /// domain count. The base topology cannot be cut: one domain.
+  [[nodiscard]] virtual int domain_cut(int target, std::vector<int>& nic_domain) const;
 
   /// Route forced through (at least) tree level `top_level`; used to model
   /// hardware broadcast, which always climbs to the level spanning the whole
@@ -70,6 +99,10 @@ class SingleCrossbar final : public Topology {
   [[nodiscard]] std::size_t num_links() const override { return 2 * ports_; }
   [[nodiscard]] std::size_t num_switches() const override { return 1; }
   [[nodiscard]] Route route(NicAddr src, NicAddr dst) const override;
+  [[nodiscard]] bool compute_route(NicAddr src, NicAddr dst, RouteScratch& out) const override;
+  /// Contiguous equal blocks of ports; the single switch is shared, which is
+  /// fine — in PDES mode all link/switch state is coordinator-owned.
+  [[nodiscard]] int domain_cut(int target, std::vector<int>& nic_domain) const override;
 
  private:
   std::size_t ports_;

@@ -26,7 +26,7 @@ namespace qmb::elan {
 struct ElanGroupDesc {
   std::uint32_t group_id = 0;
   int my_rank = -1;
-  std::vector<int> rank_to_node;
+  coll::Placement rank_to_node;  // shared across the group's NICs
   coll::RankSchedule schedule;
   coll::OpKind op_kind = coll::OpKind::kBarrier;
   coll::ReduceOp reduce_op = coll::ReduceOp::kSum;

@@ -111,6 +111,33 @@ std::string loss_error(const ExperimentSpec& s, const SubstrateCaps& caps,
 
 }  // namespace
 
+std::string_view pdes_blocker(const ExperimentSpec& s) {
+  if (s.workload.enabled()) return "--workload";
+  if (!s.faults.empty()) return "--fault rules";
+  if (s.drop_prob > 0.0) return "--drop-prob";
+  if (s.skew_max_us > 0.0) return "--skew";
+  if (s.random_placement) return "--random-placement";
+  if (s.collect_trace || s.chrome_trace) return "tracing";
+  if (s.impl != Impl::kNic && s.impl != Impl::kHost && s.impl != Impl::kDirect) {
+    return "hardware-broadcast impls (gsync/hgsync)";
+  }
+  return {};
+}
+
+namespace {
+/// Auto domain target when engine_threads > 1 and engine_domains is 0.
+/// Deliberately a constant: deriving it from the thread count would make
+/// the domain cut — and thus the window schedule every counter-affecting
+/// merge runs through — thread-dependent, breaking fingerprint invariance.
+constexpr int kAutoDomainTarget = 32;
+}  // namespace
+
+int pdes_domain_target(const ExperimentSpec& s) {
+  if (!pdes_blocker(s).empty()) return 1;
+  if (s.engine_domains > 1) return s.engine_domains;
+  return s.engine_threads > 1 ? kAutoDomainTarget : 1;
+}
+
 std::string validate(const ExperimentSpec& s) {
   if (s.nodes < 2) return "--nodes must be >= 2 (got " + std::to_string(s.nodes) + ")";
   if (s.iters < 1) return "--iters must be >= 1 (got " + std::to_string(s.iters) + ")";
@@ -123,6 +150,20 @@ std::string validate(const ExperimentSpec& s) {
   }
   if (s.horizon_ms < 1) {
     return "--horizon must be >= 1 ms (got " + std::to_string(s.horizon_ms) + ")";
+  }
+  if (s.engine_threads < 1) {
+    return "--engine-threads must be >= 1 (got " + std::to_string(s.engine_threads) + ")";
+  }
+  if (s.engine_domains < 0) {
+    return "--engine-domains must be >= 0 (got " + std::to_string(s.engine_domains) + ")";
+  }
+  if (s.engine_domains > 1) {
+    if (const std::string_view why = pdes_blocker(s); !why.empty()) {
+      return "--engine-domains is incompatible with " + std::string(why) +
+             " (the parallel engine defers every send to a single-threaded window "
+             "merge, which cannot reproduce that feature's event interleaving); "
+             "drop --engine-domains to run sequentially";
+    }
   }
   const SubstrateCaps& caps = substrate_for(s.network).caps();
   if (!caps.drop_prob && s.drop_prob > 0.0) {
@@ -226,24 +267,29 @@ SkewPlan skew_plan(const ExperimentSpec& s) {
 core::BarrierRunResult run_collective(sim::Engine& engine, core::Collective& op,
                                       coll::OpKind kind, int warmup, int iters,
                                       const SkewPlan& skew, sim::SimDuration horizon,
-                                      std::uint64_t& value_errors) {
+                                      std::uint64_t& value_errors,
+                                      const std::vector<int>* rank_domain) {
   const int n = op.size();
   const int total = warmup + iters;
   const std::int64_t expected = core::expected_collective_result(kind, n);
   std::vector<int> iter_of(static_cast<std::size_t>(n), 0);
-  std::vector<int> done_in(static_cast<std::size_t>(total), 0);
-  std::vector<sim::SimTime> completed(static_cast<std::size_t>(total));
+  // Rank-private completion slots and error counts (see the barrier
+  // runner): each is written only from its rank's own engine domain, so
+  // parallel windows never race. The per-iteration completion instant is
+  // recovered below as the row-wise max; errors are summed post-run.
+  std::vector<sim::SimTime> completion(static_cast<std::size_t>(n) *
+                                       static_cast<std::size_t>(total));
+  std::vector<std::uint64_t> rank_errors(static_cast<std::size_t>(n), 0);
   sim::Rng skew_rng(skew.seed);
   std::function<void(int)> loop = [&](int rank) {
     const int it = iter_of[static_cast<std::size_t>(rank)];
     if (it >= total) return;
     const auto enter = [&, rank, it] {
       op.enter(rank, rank + 1, [&, rank, it](std::int64_t result) {
-        if (result != expected) ++value_errors;
+        if (result != expected) ++rank_errors[static_cast<std::size_t>(rank)];
         iter_of[static_cast<std::size_t>(rank)] = it + 1;
-        if (++done_in[static_cast<std::size_t>(it)] == n) {
-          completed[static_cast<std::size_t>(it)] = engine.now();
-        }
+        completion[static_cast<std::size_t>(rank) * static_cast<std::size_t>(total) +
+                   static_cast<std::size_t>(it)] = engine.now();
         engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
       });
     };
@@ -255,19 +301,33 @@ core::BarrierRunResult run_collective(sim::Engine& engine, core::Collective& op,
       enter();
     }
   };
-  for (int r = 0; r < n; ++r) loop(r);
+  for (int r = 0; r < n; ++r) {
+    if (rank_domain != nullptr) {
+      sim::Engine::DomainScope scope(engine, (*rank_domain)[static_cast<std::size_t>(r)]);
+      loop(r);
+    } else {
+      loop(r);
+    }
+  }
   engine.run_until(engine.now() + horizon);
   for (int r = 0; r < n; ++r) {
     if (iter_of[static_cast<std::size_t>(r)] != total) {
       throw std::runtime_error("collective run did not complete (deadlock in protocol?)");
     }
+    value_errors += rank_errors[static_cast<std::size_t>(r)];
   }
   core::BarrierRunResult res;
   res.iterations = static_cast<std::uint64_t>(iters);
-  for (int i = warmup; i < total; ++i) {
-    const sim::SimTime prev =
-        i == 0 ? sim::SimTime::zero() : completed[static_cast<std::size_t>(i - 1)];
-    res.per_iteration.add(completed[static_cast<std::size_t>(i)] - prev);
+  sim::SimTime prev = sim::SimTime::zero();
+  for (int i = 0; i < total; ++i) {
+    sim::SimTime complete = sim::SimTime::zero();
+    for (int r = 0; r < n; ++r) {
+      complete = std::max(complete,
+                          completion[static_cast<std::size_t>(r) * static_cast<std::size_t>(total) +
+                                     static_cast<std::size_t>(i)]);
+    }
+    if (i >= warmup) res.per_iteration.add(complete - prev);
+    prev = complete;
   }
   res.mean = res.per_iteration.mean();
   return res;
@@ -323,6 +383,9 @@ RunResult run_on(const Substrate& sub, const ExperimentSpec& s) {
   const bool tracing = s.collect_trace || s.chrome_trace;
   if (tracing) tracer.enable();
   auto cluster = sub.build_cluster(engine, s, tracing ? &tracer : nullptr);
+  // Threads only size the window worker pool; the domain cut (done inside
+  // build_cluster from pdes_domain_target) fixed the schedule already.
+  engine.set_threads(s.engine_threads);
   if (s.drop_prob > 0) {
     cluster->fabric().faults().add_random_rule(std::nullopt, std::nullopt, s.drop_prob,
                                                s.seed);
@@ -358,23 +421,43 @@ RunResult run_on(const Substrate& sub, const ExperimentSpec& s) {
   }
   out.ops_expected = static_cast<std::uint64_t>(s.nodes) *
                      static_cast<std::uint64_t>(s.warmup + s.iters);
+  // Rank -> engine domain, resolved through the placement *before* it is
+  // moved into the executor; the runners issue each rank's initial entry
+  // inside its own domain so the whole protocol cascade stays there.
+  std::vector<int> rank_domain;
+  const std::vector<int>* rd = nullptr;
+  if (cluster->fabric().domains() > 1) {
+    rank_domain.reserve(placement.size());
+    for (const int node : placement) {
+      rank_domain.push_back(cluster->fabric().domain_of(net::NicAddr(node)));
+    }
+    rd = &rank_domain;
+  }
   if (s.op == coll::OpKind::kBarrier) {
     auto barrier = cluster->make_barrier(s, std::move(placement));
     out.impl_name = std::string(barrier->name());
     fill_latency(out,
                  core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters,
-                                                skew.max, skew.seed, horizon),
+                                                skew.max, skew.seed, horizon, rd),
                  engine);
   } else {
     auto op = cluster->make_collective(s, std::move(placement));
     out.impl_name = std::string(op->name());
     fill_latency(out,
                  run_collective(engine, *op, s.op, s.warmup, s.iters, skew, horizon,
-                                out.value_errors),
+                                out.value_errors, rd),
                  engine);
   }
   out.ops_done = out.ops_expected;  // the runners throw before reaching here otherwise
   fill_engine(out, engine);
+  out.pdes_domains = cluster->fabric().domains();
+  out.pdes_windows = engine.windows_run();
+  if (engine.domains() > 1) {
+    out.pdes_domain_events.reserve(static_cast<std::size_t>(engine.domains()));
+    for (int d = 0; d < engine.domains(); ++d) {
+      out.pdes_domain_events.push_back(engine.domain_events_fired(d));
+    }
+  }
   if (s.collect_trace) out.trace_csv = tracer.to_csv();
   if (s.chrome_trace) out.trace_json = tracer.to_chrome_json();
   if (tracing) out.trace_dropped = tracer.overwritten();
@@ -510,6 +593,23 @@ std::string to_json(const RunResult& r) {
     out += buf;
   }
   out += "\"metrics\":" + metrics_to_json(r.metrics) + ",";
+  // PDES shape (observability only; absent on classic sequential runs so
+  // their JSON stays byte-identical to pre-PDES output).
+  if (r.spec.engine_threads > 1 || r.pdes_domains > 1) {
+    std::snprintf(buf, sizeof buf,
+                  "\"engine_threads\":%d,\"pdes_domains\":%d,\"pdes_windows\":%llu,",
+                  r.spec.engine_threads, r.pdes_domains,
+                  static_cast<unsigned long long>(r.pdes_windows));
+    out += buf;
+    out += "\"pdes_domain_events\":[";
+    for (std::size_t d = 0; d < r.pdes_domain_events.size(); ++d) {
+      if (d > 0) out += ',';
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(r.pdes_domain_events[d]));
+      out += buf;
+    }
+    out += "],";
+  }
   // Host-time observability fields; excluded from the fingerprint.
   std::snprintf(buf, sizeof buf, "\"host_seconds\":%.6f,\"events_per_sec\":%.0f,",
                 r.host_seconds, r.events_per_sec());

@@ -88,12 +88,44 @@ struct ExperimentSpec {
   /// faults, and drop_prob apply to every group. Disabled (the default) is
   /// bit-identical to specs that predate this field.
   load::WorkloadSpec workload;
+
+  /// Worker threads for the conservative-PDES engine. 1 (the default) runs
+  /// the classic sequential loop and is bit-identical to specs that predate
+  /// this field. >1 shards the fabric into engine domains and advances them
+  /// in lookahead-bounded windows — and because the domain cut and the
+  /// window merge order depend only on the spec (never on thread count),
+  /// every RunResult fingerprint is bit-identical at any engine_threads
+  /// value. Runs that PDES cannot serve (workloads, faults, wire loss,
+  /// entry skew, random placement, hardware-broadcast impls) silently run
+  /// sequentially; only an *explicit* engine_domains on such a spec is a
+  /// usage error.
+  int engine_threads = 1;
+
+  /// Target PDES domain count. 0 (default) = auto: a fixed target chosen
+  /// by the runner when engine_threads > 1 (fixed so the cut — and thus the
+  /// fingerprint-relevant window schedule — never depends on thread count).
+  /// >1 forces a cut of roughly that many domains even at engine_threads=1
+  /// (useful for testing the windowed path without parallelism).
+  int engine_domains = 0;
 };
 
 /// Empty string when the spec is runnable; otherwise a usage error naming
 /// the offending value *pair* (e.g. which impl is invalid for which
 /// network), suitable for printing verbatim.
 [[nodiscard]] std::string validate(const ExperimentSpec& spec);
+
+/// The spec feature that blocks conservative PDES, or empty when the spec
+/// is eligible. Ineligible specs with engine_threads > 1 silently run
+/// sequentially (threads never change results); an explicit
+/// engine_domains > 1 on one is a validate() usage error.
+[[nodiscard]] std::string_view pdes_blocker(const ExperimentSpec& spec);
+
+/// Resolved PDES domain target for a spec: <= 1 means run sequentially.
+/// Substrate adapters pass this into their cluster constructors so the cut
+/// happens at fabric construction. The auto target (engine_domains == 0,
+/// engine_threads > 1) is a fixed constant — never derived from the thread
+/// count, so the window schedule (and the fingerprint) cannot depend on it.
+[[nodiscard]] int pdes_domain_target(const ExperimentSpec& spec);
 
 struct RunResult {
   ExperimentSpec spec;
@@ -144,6 +176,16 @@ struct RunResult {
   // above are the tail of the timeline when this is non-zero. Host-side
   // observability only — never part of fingerprint().
   std::uint64_t trace_dropped = 0;
+
+  /// Conservative-PDES shape of the run: the actual domain count (1 =
+  /// sequential), the synchronization windows executed, and the events
+  /// fired per domain (empty when sequential). Host-side observability —
+  /// NOT part of fingerprint(): the same spec must fingerprint identically
+  /// whether it ran sequentially or sharded, and events_fired (which *is*
+  /// fingerprinted) already proves the work was identical.
+  int pdes_domains = 1;
+  std::uint64_t pdes_windows = 0;
+  std::vector<std::uint64_t> pdes_domain_events;
 
   /// Generic snapshot of every metric the run registered (protocol
   /// counters, gauges, log2 histograms), aggregated across nodes in

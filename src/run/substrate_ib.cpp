@@ -12,7 +12,7 @@ class IbSubstrateCluster final : public SubstrateCluster {
  public:
   IbSubstrateCluster(sim::Engine& engine, const ExperimentSpec& spec, sim::Tracer* tracer)
       : cluster_(engine, ib::ib_cluster(), spec.nodes, tracer,
-                 spec.features.debug_skip_retransmit) {}
+                 spec.features.debug_skip_retransmit, pdes_domain_target(spec)) {}
 
   net::Fabric& fabric() override { return cluster_.fabric(); }
 

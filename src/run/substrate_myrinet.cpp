@@ -12,7 +12,7 @@ class MyrinetCluster final : public SubstrateCluster {
  public:
   MyrinetCluster(sim::Engine& engine, const myri::MyrinetConfig& cfg,
                  const ExperimentSpec& spec, sim::Tracer* tracer)
-      : cluster_(engine, cfg, spec.nodes, tracer) {}
+      : cluster_(engine, cfg, spec.nodes, tracer, pdes_domain_target(spec)) {}
 
   net::Fabric& fabric() override { return cluster_.fabric(); }
 

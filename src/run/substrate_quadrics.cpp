@@ -11,7 +11,8 @@ namespace {
 class QuadricsCluster final : public SubstrateCluster {
  public:
   QuadricsCluster(sim::Engine& engine, const ExperimentSpec& spec, sim::Tracer* tracer)
-      : cluster_(engine, elan::elan3_cluster(), spec.nodes, tracer) {}
+      : cluster_(engine, elan::elan3_cluster(), spec.nodes, tracer,
+                 pdes_domain_target(spec)) {}
 
   net::Fabric& fabric() override { return cluster_.fabric(); }
 

@@ -1,0 +1,31 @@
+// Thread-local execution-domain tag for the conservative PDES engine.
+//
+// When an Engine is sharded into domains (Engine::enable_domains), every
+// piece of simulated hardware belongs to exactly one domain, and all of its
+// callbacks execute with that domain current: schedule()/now() route to the
+// domain's private event queue and clock, and the Tracer routes records to
+// the domain's private ring. current_domain() is -1 on the control thread
+// (outside any window) and always -1 for a sequential engine, so
+// domain-unaware code keeps working unchanged.
+//
+// The tag is plain thread-local state, not tied to one Engine instance: a
+// thread only ever executes inside one engine at a time (SweepRunner gives
+// every experiment a private engine; a PDES worker belongs to exactly one
+// run), so there is no ambiguity to resolve.
+#pragma once
+
+namespace qmb::sim {
+
+namespace detail {
+// Defined in engine.cpp. t_shard points at the Engine::Shard whose events
+// this thread is currently executing (type-erased to keep the Shard layout
+// private to Engine); t_domain is its index.
+extern thread_local void* t_shard;
+extern thread_local int t_domain;
+}  // namespace detail
+
+/// Index of the engine domain the calling thread is executing, or -1 when
+/// outside any domain (control thread, or a sequential engine).
+[[nodiscard]] inline int current_domain() noexcept { return detail::t_domain; }
+
+}  // namespace qmb::sim

@@ -5,7 +5,8 @@
 
 namespace qmb::sim {
 
-EventId EventQueue::push(SimTime at, EventCallback cb) {
+EventId EventQueue::push(SimTime at, EventCallback cb, SimTime sched,
+                         std::uint64_t lineage, const SchedPath* path) {
   const std::uint64_t seq = next_seq_++;
   std::uint32_t slot;
   if (!free_slots_.empty()) {
@@ -17,7 +18,8 @@ EventId EventQueue::push(SimTime at, EventCallback cb) {
     slot_cb_.emplace_back();
   }
   slot_cb_[slot] = std::move(cb);
-  heap_.push_back(Entry{at, seq, slot, slot_gen_[slot]});
+  const SchedPath key = path != nullptr ? *path : SchedPath{{sched}};
+  heap_.push_back(Entry{at, key, lineage, seq, slot, slot_gen_[slot]});
   std::push_heap(heap_.begin(), heap_.end());
   ++live_;
   return EventId(slot, slot_gen_[slot]);
@@ -74,7 +76,7 @@ EventQueue::Fired EventQueue::pop() {
   EventCallback cb = std::move(slot_cb_[e.slot]);
   release_slot(e.slot);
   --live_;
-  return Fired{e.at, std::move(cb)};
+  return Fired{e.at, std::move(cb), e.path.hops[0], e.lineage, e.path};
 }
 
 }  // namespace qmb::sim

@@ -5,6 +5,38 @@
 // events scheduled for the same instant always fire in the order they were
 // scheduled.
 //
+// The (time, insertion) tie-break is a CONTRACT, not an implementation
+// detail: the parallel (PDES) engine partitions the simulation into
+// per-domain queues and must merge cross-domain work back into an order
+// that reproduces this sequential tie-break. Concretely:
+//   1. pop() returns live events in strictly non-decreasing key order —
+//      equal-key events fire exactly in push() order;
+//   2. seq is assigned at push() time and never reordered by cancellation
+//      or compaction;
+//   3. total_scheduled() counts every push ever made, so two executions
+//      that schedule the same events agree on it regardless of interleaving
+//      with pops.
+//
+// Sharded queues extend the key to (at, path, lineage, seq): path is the
+// bounded causal-ancestry record (SchedPath — the event's own scheduling
+// instant followed by its ancestors'), and lineage is the coordinator's
+// injection stamp of the causal chain's anchor (the cross-domain delivery
+// — or 0 for chains rooted in the pre-run setup). This reproduces the
+// sequential engine's insertion order without global sequencing: a
+// sequential run assigns seq in execution order, which is nondecreasing in
+// scheduling instant — and within one instant, insertion order equals the
+// pushers' execution order, which the comparator recovers recursively from
+// the ancestors' scheduling instants (hops[1..]). Chains that are fully
+// time-symmetric past kDepth are ordered by the anchor stamp, which the
+// coordinator assigns in merge order — itself the senders' sequential
+// order, inductively. Sequential queues leave path/lineage zero, so the
+// extended comparator degenerates to the historical (at, seq) bit-for-bit.
+// Window merges sort deferred cross-domain sends by the same
+// (emit, path, lineage) key, falling back to (domain, per-domain order)
+// only for pre-run-rooted ties — where domain blocks are ascending so that
+// fallback is rank order, matching the sequential setup loop.
+// test_event_queue's TieBreakContract test pins this down.
+//
 // Cancellation is O(1) and allocation-free: every live event owns a slot in
 // a generation table; cancelling bumps the slot's generation, which orphans
 // the heap entry (detected when it surfaces, or swept by compaction when
@@ -15,6 +47,7 @@
 // free list.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -26,9 +59,25 @@ namespace qmb::sim {
 
 using EventCallback = Callback;
 
+/// Bounded causal-ancestry record for sharded queues: the scheduling
+/// instants of an event and its nearest ancestors (hops[0] = the event's
+/// own sched, hops[1] = its parent's, ...). The window merge compares these
+/// lexicographically to order equal-instant cross-domain sends the way the
+/// sequential engine inserted their emitting events; beyond kDepth the
+/// chains are time-symmetric and the anchor lineage stamp decides (see the
+/// tie-break contract above). Sequential queues never populate paths.
+struct SchedPath {
+  static constexpr std::size_t kDepth = 4;
+  std::array<SimTime, kDepth> hops{};
+
+  friend bool operator==(const SchedPath&, const SchedPath&) = default;
+};
+
 /// Identifies a scheduled event so it can be cancelled. An id is a
 /// (slot, generation) pair: slots are reused, generations are not, so a
-/// stale id can never cancel a later event that inherited its slot.
+/// stale id can never cancel a later event that inherited its slot. A
+/// sharded engine additionally stamps the owning domain so cancel() can
+/// find the right per-domain queue (0 for sequential engines).
 class EventId {
  public:
   constexpr EventId() = default;
@@ -37,16 +86,23 @@ class EventId {
 
  private:
   friend class EventQueue;
+  friend class Engine;
   static constexpr std::uint32_t kInvalidSlot = 0xFFFFFFFFu;
   constexpr EventId(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
   std::uint32_t slot_ = kInvalidSlot;
   std::uint32_t gen_ = 0;
+  std::uint32_t shard_ = 0;
 };
 
 class EventQueue {
  public:
-  /// Enqueues a callback to fire at absolute time `at`.
-  EventId push(SimTime at, EventCallback cb);
+  /// Enqueues a callback to fire at absolute time `at`. The ordering key is
+  /// (at, path, lineage, seq) — see the tie-break contract above; the
+  /// sequential engine passes the zero defaults, which makes the key
+  /// degenerate to the historical (at, seq). When `path` is null, a path of
+  /// {sched, 0, 0, 0} is stored (path.hops[0] is always the sched instant).
+  EventId push(SimTime at, EventCallback cb, SimTime sched = SimTime::zero(),
+               std::uint64_t lineage = 0, const SchedPath* path = nullptr);
 
   /// Cancels a pending event. Returns false if it already fired, was already
   /// cancelled, or the id is invalid.
@@ -56,9 +112,14 @@ class EventQueue {
   [[nodiscard]] std::optional<SimTime> next_time() const;
 
   /// Removes and returns the earliest live event. Precondition: !empty().
+  /// sched/lineage echo what push() recorded, so a sharded engine can
+  /// propagate the running event's causal stamp to whatever it schedules.
   struct Fired {
     SimTime at;
     EventCallback cb;
+    SimTime sched;
+    std::uint64_t lineage;
+    SchedPath path;
   };
   Fired pop();
 
@@ -77,15 +138,27 @@ class EventQueue {
   // Heap entries are small PODs; the callback itself lives in the slot
   // table (stable storage, one move per event) so sift swaps are plain
   // memberwise copies instead of SBO relocations of a 100-byte callback.
+  // The full ancestry path rides in the entry (path.hops[0] is the sched
+  // instant) because the comparator needs the deeper hops: a locally pushed
+  // event and a coordinator-injected delivery can tie on sched, and only
+  // the ancestors' scheduling instants recover the sequential order.
   struct Entry {
     SimTime at;
+    SchedPath path;
+    std::uint64_t lineage = 0;
     std::uint64_t seq = 0;
     std::uint32_t slot = 0;
     std::uint32_t gen = 0;
 
     // Min-heap: std::push_heap etc. build a max-heap on operator<, so invert.
+    // Sequential queues hold all-zero path/lineage, so the extra compares
+    // never reorder anything there.
     friend bool operator<(const Entry& a, const Entry& b) {
       if (a.at != b.at) return a.at > b.at;
+      for (std::size_t h = 0; h < SchedPath::kDepth; ++h) {
+        if (a.path.hops[h] != b.path.hops[h]) return a.path.hops[h] > b.path.hops[h];
+      }
+      if (a.lineage != b.lineage) return a.lineage > b.lineage;
       return a.seq > b.seq;
     }
   };

@@ -41,7 +41,7 @@ struct Harness {
       GroupDesc d;
       d.group_id = gid;
       d.my_rank = r;
-      d.rank_to_node = ident;
+      d.rank_to_node = coll::make_placement(ident);
       d.schedule = sched.ranks[static_cast<std::size_t>(r)];
       d.features = features;
       nodes[static_cast<std::size_t>(r)]->coll().create_group(std::move(d));
@@ -215,7 +215,7 @@ TEST(CollectiveEngine, DuplicateGroupIdRejected) {
   GroupDesc d;
   d.group_id = 1;
   d.my_rank = 0;
-  d.rank_to_node = {0, 1};
+  d.rank_to_node = coll::make_placement({0, 1});
   EXPECT_THROW(h.coll(0).create_group(std::move(d)), std::invalid_argument);
 }
 
@@ -224,7 +224,7 @@ TEST(CollectiveEngine, BadRankRejected) {
   GroupDesc d;
   d.group_id = 9;
   d.my_rank = 5;
-  d.rank_to_node = {0, 1};
+  d.rank_to_node = coll::make_placement({0, 1});
   EXPECT_THROW(h.coll(0).create_group(std::move(d)), std::invalid_argument);
 }
 

@@ -42,7 +42,7 @@ struct Harness {
       ElanGroupDesc d;
       d.group_id = gid;
       d.my_rank = r;
-      d.rank_to_node = ident;
+      d.rank_to_node = coll::make_placement(ident);
       d.schedule = sched.ranks[static_cast<std::size_t>(r)];
       d.op_kind = kind;
       d.reduce_op = op;
@@ -154,7 +154,7 @@ TEST(ElanNic, DuplicateGroupRejected) {
   ElanGroupDesc d;
   d.group_id = 1;
   d.my_rank = 0;
-  d.rank_to_node = {0, 1};
+  d.rank_to_node = coll::make_placement({0, 1});
   EXPECT_THROW(h.nics[0]->create_barrier_group(std::move(d)), std::invalid_argument);
 }
 

@@ -218,5 +218,57 @@ TEST(EventQueue, StressInterleavedPushCancelPop) {
   EXPECT_EQ(q.total_scheduled(), 50u * 20u);
 }
 
+// The (time, insertion) tie-break is a contract the PDES engine builds on
+// (see the header comment): equal-key events fire exactly in push() order,
+// cancellation never reorders survivors, and the extended sharded key
+// (at, path, lineage, seq) degenerates to (at, seq) when the extras are
+// left at their zero defaults.
+TEST(TieBreakContract, SurvivorsKeepInsertionOrderAcrossCancels) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(q.push(at_us(7), [&order, i] { order.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);  // evens die
+  while (!q.empty()) q.pop().cb();
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(2 * i + 1));
+  }
+}
+
+TEST(TieBreakContract, ShardedKeyOrdersBeforeInsertion) {
+  // sched (path.hops[0]) dominates seq: a later push with an earlier sched
+  // fires first — this is how a sharded queue replays the sequential
+  // insertion order for events pushed out-of-band at window boundaries.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at_us(9), [&] { order.push_back(0); }, at_us(5));
+  q.push(at_us(9), [&] { order.push_back(1); }, at_us(3));
+  // Equal sched: deeper path hops (the ancestors' scheduling instants)
+  // decide before lineage and before insertion order.
+  const SchedPath deep_late{{at_us(3), at_us(2)}};
+  const SchedPath deep_early{{at_us(3), at_us(1)}};
+  q.push(at_us(9), [&] { order.push_back(2); }, at_us(3), 7, &deep_late);
+  q.push(at_us(9), [&] { order.push_back(3); }, at_us(3), 6, &deep_early);
+  // Equal path: the anchor lineage stamp decides, ascending.
+  const SchedPath flat{{at_us(4)}};
+  q.push(at_us(9), [&] { order.push_back(4); }, at_us(4), 9, &flat);
+  q.push(at_us(9), [&] { order.push_back(5); }, at_us(4), 8, &flat);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 5, 4, 0}));
+}
+
+TEST(TieBreakContract, PopEchoesPathAndLineage) {
+  EventQueue q;
+  const SchedPath p{{at_us(2), at_us(1)}};
+  q.push(at_us(5), [] {}, at_us(2), 42, &p);
+  const EventQueue::Fired f = q.pop();
+  EXPECT_EQ(f.sched, at_us(2));
+  EXPECT_EQ(f.lineage, 42u);
+  EXPECT_EQ(f.path, p);
+}
+
 }  // namespace
 }  // namespace qmb::sim

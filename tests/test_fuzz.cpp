@@ -201,6 +201,21 @@ TEST(Fuzzer, CampaignIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(one.verdict_digest, four.verdict_digest);
 }
 
+TEST(Fuzzer, DigestIsInvariantUnderEngineThreads) {
+  // The PDES engine's bit-identical contract, end to end through the
+  // fuzzer: the same campaign run on the sequential engine and on the
+  // windowed engine (eligible cases shard, the rest fall back) must
+  // produce the same verdicts and the same order-stable digest.
+  FuzzOptions sequential;
+  FuzzOptions windowed;
+  windowed.engine_threads = 4;
+  const auto seq = fuzz_range(42, 16, 2, sequential, /*shrink_budget=*/0);
+  const auto par = fuzz_range(42, 16, 2, windowed, /*shrink_budget=*/0);
+  EXPECT_EQ(seq.runs, par.runs);
+  EXPECT_EQ(seq.failed, par.failed);
+  EXPECT_EQ(seq.verdict_digest, par.verdict_digest);
+}
+
 TEST(Fuzzer, InjectedBugIsCaughtAndShrinksSmall) {
   // The fuzzer's end-to-end self-check: plant the skip-retransmission bug,
   // fuzz a fixed seed range, and require (a) the invariants catch it and

@@ -147,8 +147,10 @@ TEST(HotpathAlloc, SteadyStateSweepPerformsZeroAllocations) {
   run_sweep(engine, fabric, remaining, 200);
   const std::uint64_t delivered_warm = fabric.packets_delivered();
   ASSERT_GT(delivered_warm, 0u);
-  EXPECT_EQ(fabric.route_cache().entries(),
-            static_cast<std::size_t>(kNics) * (kNics - 1));
+  // The crossbar is a structured topology: every route comes from the
+  // cache's computed O(1) fill, so the memo table never grows at all.
+  EXPECT_EQ(fabric.route_cache().entries(), 0u);
+  EXPECT_GT(fabric.route_cache().computed(), 0u);
 
   // Sanity: the counter itself works. Direct operator-new calls cannot be
   // elided the way a new-expression can.
@@ -169,9 +171,8 @@ TEST(HotpathAlloc, SteadyStateSweepPerformsZeroAllocations) {
   EXPECT_GT(delivered, static_cast<std::uint64_t>(kNics) * 200u - 1u);
   EXPECT_EQ(allocs, 0u) << "steady-state packet path allocated " << allocs
                         << " times over " << delivered << " deliveries";
-  EXPECT_EQ(fabric.route_cache().entries(),
-            static_cast<std::size_t>(kNics) * (kNics - 1))
-      << "measured sweep should not discover new routes";
+  EXPECT_EQ(fabric.route_cache().entries(), 0u)
+      << "measured sweep should not memoize routes on a structured topology";
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+// Conservative-PDES determinism: the whole point of the windowed engine is
+// that a RunResult fingerprint is a pure function of the spec — identical
+// whether the run was sequential, windowed on one thread, or windowed on
+// eight. These tests pin that contract on all three substrates, on value
+// collectives, and on degenerate domain cuts (one node per domain, all
+// nodes in one domain).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "run/experiment.hpp"
+#include "run/substrate.hpp"
+
+namespace qmb::run {
+namespace {
+
+ExperimentSpec base_spec(Network net, int nodes) {
+  ExperimentSpec s;
+  s.network = net;
+  s.nodes = nodes;
+  s.impl = Impl::kNic;
+  s.algorithm = coll::Algorithm::kDissemination;
+  s.warmup = 5;
+  s.iters = 40;
+  s.seed = 7;
+  return s;
+}
+
+/// Runs `s` sequentially and at the given thread counts; expects every
+/// fingerprint (and the headline latency numbers) to be bit-identical.
+void expect_thread_invariant(ExperimentSpec s, std::vector<int> threads) {
+  s.engine_threads = 1;
+  s.engine_domains = 0;
+  const RunResult seq = run_experiment(s);
+  ASSERT_EQ(seq.pdes_domains, 1) << "baseline must be the sequential engine";
+  for (const int t : threads) {
+    ExperimentSpec p = s;
+    p.engine_threads = t;
+    const RunResult par = run_experiment(p);
+    if (t > 1) {
+      EXPECT_GT(par.pdes_domains, 1)
+          << "spec was expected to shard at engine_threads=" << t;
+      EXPECT_GT(par.pdes_windows, 0u);
+    }
+    EXPECT_EQ(par.fingerprint(), seq.fingerprint()) << "engine_threads=" << t;
+    EXPECT_EQ(par.mean_picos, seq.mean_picos) << "engine_threads=" << t;
+    EXPECT_EQ(par.events_fired, seq.events_fired) << "engine_threads=" << t;
+    EXPECT_EQ(par.events_scheduled, seq.events_scheduled) << "engine_threads=" << t;
+    EXPECT_EQ(par.packets_sent, seq.packets_sent) << "engine_threads=" << t;
+    EXPECT_EQ(par.value_errors, 0u);
+  }
+}
+
+TEST(PdesFingerprint, QuadricsNicBarrier64) {
+  expect_thread_invariant(base_spec(Network::kQuadrics, 64), {1, 2, 8});
+}
+
+TEST(PdesFingerprint, MyrinetNicBarrier128) {
+  // > 16 nodes so the Myrinet cluster builds the fat tree (the structured
+  // cut); 128 ranks = 7 dissemination rounds.
+  expect_thread_invariant(base_spec(Network::kMyrinetXP, 128), {2, 8});
+}
+
+TEST(PdesFingerprint, IbNicBarrier64) {
+  expect_thread_invariant(base_spec(Network::kInfiniBand, 64), {2, 8});
+}
+
+TEST(PdesFingerprint, HostBarrier) {
+  ExperimentSpec s = base_spec(Network::kMyrinetL9, 64);
+  s.impl = Impl::kHost;
+  expect_thread_invariant(s, {2});
+}
+
+TEST(PdesFingerprint, DirectBarrier) {
+  ExperimentSpec s = base_spec(Network::kMyrinetXP, 64);
+  s.impl = Impl::kDirect;
+  expect_thread_invariant(s, {2});
+}
+
+TEST(PdesFingerprint, ValueCollective) {
+  ExperimentSpec s = base_spec(Network::kQuadrics, 64);
+  s.op = coll::OpKind::kAllreduce;
+  expect_thread_invariant(s, {2, 8});
+}
+
+// Degenerate cuts must still be exact: one node per domain maximizes
+// cross-domain traffic (everything goes through the window merge), and an
+// explicit single domain runs the windowed loop with zero cross traffic.
+TEST(PdesDomainCut, OneNodePerDomain) {
+  ExperimentSpec s = base_spec(Network::kQuadrics, 32);
+  s.iters = 20;
+  ExperimentSpec p = s;
+  p.engine_threads = 4;
+  p.engine_domains = 32;
+  const RunResult seq = run_experiment(s);
+  const RunResult par = run_experiment(p);
+  EXPECT_EQ(par.pdes_domains, 32);
+  EXPECT_EQ(par.fingerprint(), seq.fingerprint());
+}
+
+TEST(PdesDomainCut, ExplicitDomainsSequentialThreads) {
+  // engine_domains > 1 with engine_threads == 1: the windowed engine on one
+  // thread — the pure window-schedule test, no parallelism involved.
+  ExperimentSpec s = base_spec(Network::kInfiniBand, 48);
+  s.iters = 20;
+  ExperimentSpec p = s;
+  p.engine_domains = 8;
+  const RunResult seq = run_experiment(s);
+  const RunResult par = run_experiment(p);
+  EXPECT_GT(par.pdes_domains, 1);
+  EXPECT_EQ(par.fingerprint(), seq.fingerprint());
+}
+
+TEST(PdesDomainCut, DomainEventsSumToTotal) {
+  ExperimentSpec p = base_spec(Network::kQuadrics, 64);
+  p.engine_threads = 4;
+  const RunResult par = run_experiment(p);
+  ASSERT_GT(par.pdes_domains, 1);
+  ASSERT_EQ(par.pdes_domain_events.size(),
+            static_cast<std::size_t>(par.pdes_domains));
+  std::uint64_t sum = 0;
+  for (const std::uint64_t e : par.pdes_domain_events) sum += e;
+  EXPECT_EQ(sum, par.events_fired);
+}
+
+// Ineligible specs silently fall back to the sequential engine (threads
+// never change results) — but an explicit domain request is a usage error.
+TEST(PdesEligibility, IneligibleSpecFallsBackSequential) {
+  ExperimentSpec s = base_spec(Network::kMyrinetXP, 32);
+  s.skew_max_us = 1.0;
+  s.engine_threads = 8;
+  const RunResult r = run_experiment(s);
+  EXPECT_EQ(r.pdes_domains, 1);
+  EXPECT_EQ(r.pdes_windows, 0u);
+}
+
+TEST(PdesEligibility, ExplicitDomainsOnIneligibleSpecIsUsageError) {
+  ExperimentSpec s = base_spec(Network::kMyrinetXP, 32);
+  s.drop_prob = 0.01;
+  s.engine_domains = 4;
+  const std::string err = validate(s);
+  EXPECT_NE(err.find("--engine-domains"), std::string::npos) << err;
+  EXPECT_NE(err.find("--drop-prob"), std::string::npos) << err;
+}
+
+TEST(PdesEligibility, HgsyncStaysSequential) {
+  ExperimentSpec s = base_spec(Network::kQuadrics, 32);
+  s.impl = Impl::kHgsync;
+  s.engine_threads = 8;
+  const RunResult r = run_experiment(s);
+  EXPECT_EQ(r.pdes_domains, 1);
+}
+
+}  // namespace
+}  // namespace qmb::run

@@ -58,6 +58,11 @@ struct Options {
       "                      re-check every invariant; exit 1 if it still fails\n"
       "  --fault SPEC        append a fault rule to the replayed spec; same\n"
       "                      grammar as qmbsim (drop:nth=3,src=2 ...)\n"
+      "  --engine-threads T  run every derived case on the conservative-PDES\n"
+      "                      engine with T workers (default 1 = sequential).\n"
+      "                      Verdicts and the digest are invariant under this\n"
+      "                      knob; cases the engine cannot shard fall back to\n"
+      "                      the sequential engine automatically\n"
       "  --inject-bug        plant the deliberate skip-retransmission bug in\n"
       "                      every Myrinet NIC case (fuzzer self-check: the\n"
       "                      invariants must catch it)\n"
@@ -96,6 +101,13 @@ Options parse(int argc, char** argv) {
         usage(argv[0]);
       }
       o.extra_faults.push_back(f);
+    } else if (a == "--engine-threads") {
+      o.fuzz.engine_threads =
+          std::atoi(cli::require_value(argc, argv, i, "--engine-threads"));
+      if (o.fuzz.engine_threads < 1) {
+        std::fprintf(stderr, "--engine-threads must be >= 1\n");
+        usage(argv[0]);
+      }
     } else if (a == "--inject-bug") {
       o.fuzz.inject_bug = true;
     } else if (a == "--max-nodes") {

@@ -76,6 +76,15 @@ struct Options {
       "         single runs only). Packet hops render as flow arrows between\n"
       "         NIC tracks; summarize per-round latency with:\n"
       "           python3 tools/trace_report.py PATH\n"
+      "  --engine-threads T                         conservative-PDES worker\n"
+      "         threads for a single run (default 1 = sequential engine).\n"
+      "         Results are bit-identical at any thread count; specs with\n"
+      "         faults, skew, workloads, tracing or non-NIC impls fall back\n"
+      "         to the sequential engine\n"
+      "  --engine-domains D                         explicit PDES domain count\n"
+      "         (default: auto from --engine-threads). Domain count, not\n"
+      "         thread count, decides the window schedule; results are\n"
+      "         identical for every thread count at a fixed domain count\n"
       "  --sweep LIST                               node-count axis; LIST is\n"
       "         comma-separated counts and/or ranges: 2,4,8  2:64:x2 (geometric)\n"
       "         2:16:+2 (arithmetic); runs all points in parallel\n"
@@ -223,6 +232,20 @@ Options parse(int argc, char** argv) {
     } else if (a == "--chrome-trace") {
       o.chrome_trace = next("--chrome-trace");
       o.spec.chrome_trace = true;
+    } else if (a == "--engine-threads") {
+      const int t = std::atoi(next("--engine-threads"));
+      if (t < 1) {
+        std::fprintf(stderr, "--engine-threads must be >= 1\n");
+        usage(argv[0]);
+      }
+      o.spec.engine_threads = t;
+    } else if (a == "--engine-domains") {
+      const int d = std::atoi(next("--engine-domains"));
+      if (d < 1) {
+        std::fprintf(stderr, "--engine-domains must be >= 1\n");
+        usage(argv[0]);
+      }
+      o.spec.engine_domains = d;
     } else if (a == "--sweep") {
       o.sweep_nodes = parse_sweep(next("--sweep"), argv[0]);
     } else if (a == "--threads") {
