@@ -54,12 +54,7 @@ struct SuiteOptions {
 std::string impl_slug(Impl i) { return std::string(run::to_string(i)); }
 
 std::string alg_slug(coll::Algorithm a) {
-  switch (a) {
-    case coll::Algorithm::kDissemination: return "ds";
-    case coll::Algorithm::kPairwiseExchange: return "pe";
-    case coll::Algorithm::kGatherBroadcast: return "gb";
-  }
-  return "?";
+  return std::string(run::algorithm_cli_name(a));
 }
 
 /// "fig5/myrinet-l9/nic/barrier/ds/n8" — stable across runs and releases;
@@ -170,6 +165,33 @@ std::vector<SuitePoint> build_points(bool quick) {
       pts.push_back({std::string("tenancy/") + std::string(run::to_string(net)) +
                          "/nic/barrier/g4/load" + std::to_string(pct),
                      s});
+    }
+  }
+
+  // Algorithm zoo tier: every barrier algorithm each substrate's
+  // capability model admits, on the schedule-driven NIC executor, so the
+  // Tinit/Ttrig scaling of the whole zoo is one keyed artifact. Plus a
+  // split-phase overlap sweep: the same dissemination barrier with each
+  // rank computing ov microseconds between notify() and wait(), showing
+  // how much of the synchronization cost hides behind compute.
+  {
+    const std::vector<int> algo_nodes = quick ? std::vector<int>{8, 64}
+                                              : std::vector<int>{8, 64, 256};
+    for (const Network net :
+         {Network::kMyrinetXP, Network::kQuadrics, Network::kInfiniBand}) {
+      const run::SubstrateCaps& caps = run::substrate_for(net).caps();
+      for (const coll::Algorithm alg : caps.barrier_algorithms) {
+        for (const int n : algo_nodes) {
+          run::ExperimentSpec s = bench::barrier_spec(net, n, Impl::kNic, alg);
+          pts.push_back({key_for("algos", s), s});
+        }
+      }
+      for (const int ov : {0, 4, 16}) {
+        run::ExperimentSpec s =
+            bench::barrier_spec(net, 8, Impl::kNic, coll::Algorithm::kDissemination);
+        s.overlap_us = static_cast<double>(ov);
+        pts.push_back({key_for("algos", s) + "/ov" + std::to_string(ov), s});
+      }
     }
   }
 

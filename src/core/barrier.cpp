@@ -1,0 +1,63 @@
+#include "core/barrier.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace qmb::core {
+
+Barrier::SplitState& Barrier::split_state(int rank) {
+  if (rank < 0 || rank >= size()) {
+    throw std::logic_error("split-phase rank " + std::to_string(rank) +
+                           " out of range for a " + std::to_string(size()) +
+                           "-rank barrier");
+  }
+  if (split_.size() != static_cast<std::size_t>(size())) {
+    split_.resize(static_cast<std::size_t>(size()));
+  }
+  return split_[static_cast<std::size_t>(rank)];
+}
+
+void Barrier::notify(int rank) {
+  SplitState& st = split_state(rank);
+  if (st.phase != Phase::kIdle) {
+    throw std::logic_error("rank " + std::to_string(rank) +
+                           " notified the barrier twice without waiting");
+  }
+  st.phase = Phase::kNotified;
+  enter(rank, [this, rank] {
+    SplitState& s = split_state(rank);
+    if (s.phase == Phase::kWaiting) {
+      // Host got there first and parked; release it and re-arm.
+      sim::EventCallback done = std::move(s.waiter);
+      s.waiter = nullptr;
+      s.phase = Phase::kIdle;
+      done();
+    } else {
+      s.phase = Phase::kReady;
+    }
+  });
+}
+
+void Barrier::wait(int rank, sim::EventCallback done) {
+  SplitState& st = split_state(rank);
+  switch (st.phase) {
+    case Phase::kIdle:
+      throw std::logic_error("rank " + std::to_string(rank) +
+                             " waited on the barrier without a notify");
+    case Phase::kWaiting:
+      throw std::logic_error("rank " + std::to_string(rank) +
+                             " waited on the barrier twice");
+    case Phase::kReady:
+      // Protocol already finished under the compute phase: complete now.
+      st.phase = Phase::kIdle;
+      done();
+      return;
+    case Phase::kNotified:
+      st.phase = Phase::kWaiting;
+      st.waiter = std::move(done);
+      return;
+  }
+}
+
+}  // namespace qmb::core

@@ -1,10 +1,24 @@
 // Public barrier interface. Each implementation spans a whole simulated
 // cluster (the simulation owns every rank); application code enters per
 // rank and gets its completion callback at host time.
+//
+// Two entry styles share one protocol engine:
+//
+//  * enter(rank, done)       — blocking style: the rank enters and `done`
+//                              fires when its barrier completes.
+//  * notify(rank) / wait(..) — GASNet-style split phase: notify() starts
+//                              the rank's participation and returns
+//                              immediately; the rank computes, then wait()
+//                              either completes at once (the barrier
+//                              already finished underneath the compute) or
+//                              parks until it does. Synchronization cost
+//                              that overlaps computation is hidden.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string_view>
+#include <vector>
 
 #include "sim/engine.hpp"
 
@@ -19,8 +33,36 @@ class Barrier {
   /// previous completion.
   virtual void enter(int rank, sim::EventCallback done) = 0;
 
+  /// Split phase, part 1: starts `rank`'s participation without blocking.
+  /// Throws std::logic_error on a double notify (a notify with no
+  /// intervening wait completion).
+  void notify(int rank);
+
+  /// Split phase, part 2: `done` runs when the barrier notified earlier
+  /// completes for `rank` — immediately if it already has. Throws
+  /// std::logic_error without a prior notify, or when a wait is already
+  /// pending.
+  void wait(int rank, sim::EventCallback done);
+
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual int size() const = 0;
+
+ private:
+  /// Per-rank split-phase progress. The protocol completion can land before
+  /// or after the host's wait(); the state records which side arrived first.
+  enum class Phase : std::uint8_t {
+    kIdle,      // no split-phase operation in flight
+    kNotified,  // notify() issued, protocol still running, no waiter yet
+    kWaiting,   // wait() parked a callback, protocol still running
+    kReady,     // protocol completed before wait() showed up
+  };
+  struct SplitState {
+    Phase phase = Phase::kIdle;
+    sim::EventCallback waiter;
+  };
+  SplitState& split_state(int rank);
+
+  std::vector<SplitState> split_;  // lazily sized to size()
 };
 
 }  // namespace qmb::core

@@ -43,9 +43,10 @@ MyriCluster::MyriCluster(sim::Engine& engine, const myri::MyrinetConfig& config,
 std::unique_ptr<Barrier> MyriCluster::make_barrier(MyriBarrierKind kind,
                                                    coll::Algorithm algorithm,
                                                    std::vector<int> rank_to_node,
-                                                   myri::CollFeatures features) {
+                                                   myri::CollFeatures features, int radix) {
   if (rank_to_node.empty()) rank_to_node = identity_placement(size());
-  const auto schedule = coll::make_barrier_schedule(algorithm, static_cast<int>(rank_to_node.size()));
+  const auto schedule = coll::make_barrier_schedule(
+      algorithm, static_cast<int>(rank_to_node.size()), radix);
   switch (kind) {
     case MyriBarrierKind::kHost:
       return std::make_unique<MyriHostBarrier>(*this, schedule, std::move(rank_to_node));
@@ -78,7 +79,7 @@ ElanCluster::ElanCluster(sim::Engine& engine, const elan::Elan3Config& config,
 std::unique_ptr<Barrier> ElanCluster::make_barrier(ElanBarrierKind kind,
                                                    coll::Algorithm algorithm,
                                                    std::vector<int> rank_to_node,
-                                                   int gsync_tree_degree) {
+                                                   int gsync_tree_degree, int radix) {
   if (rank_to_node.empty()) rank_to_node = identity_placement(size());
   switch (kind) {
     case ElanBarrierKind::kGsyncTree:
@@ -87,8 +88,8 @@ std::unique_ptr<Barrier> ElanCluster::make_barrier(ElanBarrierKind kind,
     case ElanBarrierKind::kHardware:
       return std::make_unique<ElanHwBarrier>(*this);
     case ElanBarrierKind::kNicChained: {
-      const auto schedule =
-          coll::make_barrier_schedule(algorithm, static_cast<int>(rank_to_node.size()));
+      const auto schedule = coll::make_barrier_schedule(
+          algorithm, static_cast<int>(rank_to_node.size()), radix);
       return std::make_unique<ElanNicBarrier>(*this, schedule, std::move(rank_to_node));
     }
   }
@@ -120,10 +121,10 @@ IbCluster::IbCluster(sim::Engine& engine, const ib::IbConfig& config, int nodes,
 
 std::unique_ptr<Barrier> IbCluster::make_barrier(IbBarrierKind kind,
                                                  coll::Algorithm algorithm,
-                                                 std::vector<int> rank_to_node) {
+                                                 std::vector<int> rank_to_node, int radix) {
   if (rank_to_node.empty()) rank_to_node = identity_placement(size());
-  const auto schedule =
-      coll::make_barrier_schedule(algorithm, static_cast<int>(rank_to_node.size()));
+  const auto schedule = coll::make_barrier_schedule(
+      algorithm, static_cast<int>(rank_to_node.size()), radix);
   switch (kind) {
     case IbBarrierKind::kHost:
       return std::make_unique<IbHostBarrier>(*this, schedule, std::move(rank_to_node));
@@ -206,6 +207,61 @@ BarrierRunResult run_consecutive_barriers(sim::Engine& engine, Barrier& barrier,
   // Watchdog: a protocol bug that retransmits forever would otherwise spin
   // the engine indefinitely. No legitimate run needs minutes of simulated
   // time per 10k barriers.
+  engine.run_until(engine.now() + horizon);
+
+  for (int r = 0; r < n; ++r) {
+    if (rank_iter[static_cast<std::size_t>(r)] != total) {
+      throw std::runtime_error("barrier run did not complete (deadlock in protocol?)");
+    }
+  }
+
+  BarrierRunResult res;
+  res.iterations = static_cast<std::uint64_t>(iters);
+  sim::SimTime prev = sim::SimTime::zero();
+  for (int i = 0; i < total; ++i) {
+    sim::SimTime complete = sim::SimTime::zero();
+    for (int r = 0; r < n; ++r) {
+      complete = std::max(complete,
+                          completion[static_cast<std::size_t>(r) * static_cast<std::size_t>(total) +
+                                     static_cast<std::size_t>(i)]);
+    }
+    if (i >= warmup) res.per_iteration.add(complete - prev);
+    prev = complete;
+  }
+  res.mean = res.per_iteration.mean();
+  return res;
+}
+
+BarrierRunResult run_split_phase_barriers(sim::Engine& engine, Barrier& barrier,
+                                          int warmup, int iters,
+                                          sim::SimDuration overlap,
+                                          sim::SimDuration horizon) {
+  const int n = barrier.size();
+  const int total = warmup + iters;
+  assert(total > 0);
+
+  std::vector<int> rank_iter(static_cast<std::size_t>(n), 0);
+  std::vector<sim::SimTime> completion(static_cast<std::size_t>(n) *
+                                       static_cast<std::size_t>(total));
+
+  std::function<void(int)> enter_next = [&](int rank) {
+    const int it = rank_iter[static_cast<std::size_t>(rank)];
+    if (it >= total) return;
+    // Split phase: start the protocol, compute for `overlap`, then wait.
+    // The protocol makes progress underneath the simulated computation; the
+    // wait only pays whatever latency the compute did not cover.
+    barrier.notify(rank);
+    engine.schedule(overlap, [&, rank, it] {
+      barrier.wait(rank, [&, rank, it] {
+        rank_iter[static_cast<std::size_t>(rank)] = it + 1;
+        completion[static_cast<std::size_t>(rank) * static_cast<std::size_t>(total) +
+                   static_cast<std::size_t>(it)] = engine.now();
+        engine.schedule(sim::SimDuration::zero(),
+                        [&enter_next, rank] { enter_next(rank); });
+      });
+    });
+  };
+  for (int r = 0; r < n; ++r) enter_next(r);
   engine.run_until(engine.now() + horizon);
 
   for (int r = 0; r < n; ++r) {

@@ -62,7 +62,7 @@ class MyriCluster {
   /// placement (the paper benchmarks random permutations); empty = identity.
   std::unique_ptr<Barrier> make_barrier(MyriBarrierKind kind, coll::Algorithm algorithm,
                                         std::vector<int> rank_to_node = {},
-                                        myri::CollFeatures features = {});
+                                        myri::CollFeatures features = {}, int radix = 0);
 
   [[nodiscard]] std::uint32_t next_group_id() { return next_group_id_++; }
 
@@ -89,7 +89,7 @@ class ElanCluster {
 
   std::unique_ptr<Barrier> make_barrier(ElanBarrierKind kind, coll::Algorithm algorithm,
                                         std::vector<int> rank_to_node = {},
-                                        int gsync_tree_degree = 4);
+                                        int gsync_tree_degree = 4, int radix = 0);
 
   [[nodiscard]] std::uint32_t next_group_id() { return next_group_id_++; }
 
@@ -119,7 +119,7 @@ class IbCluster {
   [[nodiscard]] const ib::IbConfig& config() const { return config_; }
 
   std::unique_ptr<Barrier> make_barrier(IbBarrierKind kind, coll::Algorithm algorithm,
-                                        std::vector<int> rank_to_node = {});
+                                        std::vector<int> rank_to_node = {}, int radix = 0);
 
   [[nodiscard]] std::uint32_t next_group_id() { return next_group_id_++; }
 
@@ -163,5 +163,17 @@ BarrierRunResult run_consecutive_barriers(
     sim::SimDuration max_skew = sim::SimDuration::zero(), std::uint64_t skew_seed = 0,
     sim::SimDuration horizon = sim::seconds(120),
     const std::vector<int>* rank_domain = nullptr);
+
+/// Runs `warmup + iters` consecutive *split-phase* barriers: each rank
+/// issues notify(), simulates `overlap` of local computation, then wait()s
+/// — the GASNet notify/compute/wait idiom. The per-iteration series
+/// measures the interval between consecutive wait completions, so the
+/// visible cost per iteration is max(overlap, barrier latency) plus the
+/// non-overlapped protocol tail; with overlap zero it degenerates to the
+/// blocking runner. Horizon semantics match run_consecutive_barriers.
+BarrierRunResult run_split_phase_barriers(
+    sim::Engine& engine, Barrier& barrier, int warmup, int iters,
+    sim::SimDuration overlap,
+    sim::SimDuration horizon = sim::seconds(120));
 
 }  // namespace qmb::core

@@ -1,7 +1,13 @@
 // Tag codec for collective messages multiplexed over GM tags: group id,
 // windowed operation sequence and schedule-edge tag share the 32-bit GM tag
 // space, above a base bit that keeps them clear of application traffic.
-// Layout: [31] base | [24..30] group | [12..23] seq | [0..11] edge tag.
+// Layout: [31] base | [20..30] group | [12..19] seq | [0..11] edge tag.
+//
+// The split favors groups over sequence: 11 group bits let thousands of
+// concurrent tenant groups coexist, while 8 sequence bits still dwarf the
+// two-deep operation window widen_seq has to disambiguate. The edge tag
+// keeps 12 bits because alltoall round tags scale with group size (up to
+// n-2 at the 4096-node ceiling).
 //
 // Header-only and dependency-free: the GM port uses it to demultiplex
 // collective traffic to group handlers, the host-level executors to encode
@@ -16,17 +22,20 @@ namespace qmb::core {
 
 struct BarrierTag {
   static constexpr std::uint32_t kBase = 0x80000000u;
-  static constexpr std::uint32_t kSeqMask = 0xFFFu;  // 12-bit sequence window
+  static constexpr std::uint32_t kGroupMask = 0x7FFu;  // 11-bit group id
+  static constexpr std::uint32_t kSeqMask = 0xFFu;     // 8-bit sequence window
+  static constexpr std::uint32_t kTagMask = 0xFFFu;    // 12-bit edge tag
 
   [[nodiscard]] static constexpr std::uint32_t encode(std::uint32_t group,
                                                       std::uint32_t seq,
                                                       std::uint32_t tag) {
-    return kBase | ((group & 0x7Fu) << 24) | ((seq & kSeqMask) << 12) | (tag & 0xFFFu);
+    return kBase | ((group & kGroupMask) << 20) | ((seq & kSeqMask) << 12) |
+           (tag & kTagMask);
   }
   [[nodiscard]] static constexpr bool is_barrier(std::uint32_t t) { return (t & kBase) != 0; }
-  [[nodiscard]] static constexpr std::uint32_t group(std::uint32_t t) { return (t >> 24) & 0x7Fu; }
+  [[nodiscard]] static constexpr std::uint32_t group(std::uint32_t t) { return (t >> 20) & kGroupMask; }
   [[nodiscard]] static constexpr std::uint32_t seq_low(std::uint32_t t) { return (t >> 12) & kSeqMask; }
-  [[nodiscard]] static constexpr std::uint32_t edge_tag(std::uint32_t t) { return t & 0xFFFu; }
+  [[nodiscard]] static constexpr std::uint32_t edge_tag(std::uint32_t t) { return t & kTagMask; }
 
   /// Widens the windowed sequence bits against a full-width reference: the
   /// true sequence is within the two-deep operation window around the

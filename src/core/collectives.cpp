@@ -34,10 +34,11 @@ std::int64_t expected_collective_result(coll::OpKind kind, int n) {
   return 0;
 }
 
-coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n, int root) {
+coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n, int root,
+                                             coll::Algorithm algorithm, int radix) {
   switch (kind) {
     case coll::OpKind::kBarrier:
-      return coll::make_barrier_schedule(coll::Algorithm::kDissemination, n);
+      return coll::make_barrier_schedule(algorithm, n, radix);
     case coll::OpKind::kBcast:
       return coll::make_bcast_schedule(n, root);
     case coll::OpKind::kAllreduce:
@@ -52,13 +53,14 @@ coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n, int root)
 
 MyriNicCollective::MyriNicCollective(MyriCluster& cluster, coll::OpKind kind, int root,
                                      coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                                     std::uint32_t payload_bytes)
+                                     std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix)
     : cluster_(cluster),
       kind_(kind),
       rank_to_node_(std::move(rank_to_node)),
       group_id_(cluster.next_group_id()) {
   const int n = static_cast<int>(rank_to_node_.size());
-  const auto schedule = make_collective_schedule(kind, n, root);
+  const auto schedule = make_collective_schedule(kind, n, root, algorithm, radix);
   name_ = std::string("myri-nic-") + std::string(kind_name(kind));
 
   const coll::Placement placement = coll::make_placement(rank_to_node_);
@@ -83,14 +85,15 @@ void MyriNicCollective::enter(int rank, std::int64_t value, DoneFn done) {
 MyriHostCollective::MyriHostCollective(MyriCluster& cluster, coll::OpKind kind, int root,
                                        coll::ReduceOp reduce,
                                        std::vector<int> rank_to_node,
-                                       std::uint32_t payload_bytes)
+                                       std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix)
     : cluster_(cluster),
       kind_(kind),
       rank_to_node_(std::move(rank_to_node)),
-      group_id_(cluster.next_group_id() & 0x7Fu),
+      group_id_(cluster.next_group_id() & core::BarrierTag::kGroupMask),
       payload_bytes_(payload_bytes) {
   const int n = static_cast<int>(rank_to_node_.size());
-  schedule_ = make_collective_schedule(kind, n, root);
+  schedule_ = make_collective_schedule(kind, n, root, algorithm, radix);
   name_ = std::string("myri-host-") + std::string(kind_name(kind));
 
   node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
@@ -146,13 +149,14 @@ void MyriHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
 
 ElanNicCollective::ElanNicCollective(ElanCluster& cluster, coll::OpKind kind, int root,
                                      coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                                     std::uint32_t payload_bytes)
+                                     std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix)
     : cluster_(cluster),
       kind_(kind),
       rank_to_node_(std::move(rank_to_node)),
       group_id_(cluster.next_group_id()) {
   const int n = static_cast<int>(rank_to_node_.size());
-  const auto schedule = make_collective_schedule(kind, n, root);
+  const auto schedule = make_collective_schedule(kind, n, root, algorithm, radix);
   name_ = std::string("elan-nic-") + std::string(kind_name(kind));
 
   const coll::Placement placement = coll::make_placement(rank_to_node_);
@@ -178,14 +182,15 @@ void ElanNicCollective::enter(int rank, std::int64_t value, DoneFn done) {
 ElanHostCollective::ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, int root,
                                        coll::ReduceOp reduce,
                                        std::vector<int> rank_to_node,
-                                       std::uint32_t payload_bytes)
+                                       std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix)
     : cluster_(cluster),
       kind_(kind),
       rank_to_node_(std::move(rank_to_node)),
-      group_id_(cluster.next_group_id() & 0x7Fu),
+      group_id_(cluster.next_group_id() & core::BarrierTag::kGroupMask),
       payload_bytes_(payload_bytes) {
   const int n = static_cast<int>(rank_to_node_.size());
-  schedule_ = make_collective_schedule(kind, n, root);
+  schedule_ = make_collective_schedule(kind, n, root, algorithm, radix);
   name_ = std::string("elan-host-") + std::string(kind_name(kind));
 
   node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
@@ -251,13 +256,14 @@ void ElanHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
 
 IbNicCollective::IbNicCollective(IbCluster& cluster, coll::OpKind kind, int root,
                                  coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                                 std::uint32_t payload_bytes)
+                                 std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix)
     : cluster_(cluster),
       kind_(kind),
       rank_to_node_(std::move(rank_to_node)),
       group_id_(cluster.next_group_id()) {
   const int n = static_cast<int>(rank_to_node_.size());
-  const auto schedule = make_collective_schedule(kind, n, root);
+  const auto schedule = make_collective_schedule(kind, n, root, algorithm, radix);
   name_ = std::string("ib-nic-") + std::string(kind_name(kind));
 
   const coll::Placement placement = coll::make_placement(rank_to_node_);
@@ -281,14 +287,15 @@ void IbNicCollective::enter(int rank, std::int64_t value, DoneFn done) {
 
 IbHostCollective::IbHostCollective(IbCluster& cluster, coll::OpKind kind, int root,
                                    coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                                   std::uint32_t payload_bytes)
+                                   std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix)
     : cluster_(cluster),
       kind_(kind),
       rank_to_node_(std::move(rank_to_node)),
-      group_id_(cluster.next_group_id() & 0x7Fu),
+      group_id_(cluster.next_group_id() & core::BarrierTag::kGroupMask),
       payload_bytes_(payload_bytes) {
   const int n = static_cast<int>(rank_to_node_.size());
-  schedule_ = make_collective_schedule(kind, n, root);
+  schedule_ = make_collective_schedule(kind, n, root, algorithm, radix);
   name_ = std::string("ib-host-") + std::string(kind_name(kind));
 
   node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
@@ -355,57 +362,69 @@ void IbHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
 std::unique_ptr<Collective> make_nic_collective(MyriCluster& cluster, coll::OpKind kind,
                                                 int root, coll::ReduceOp reduce,
                                                 std::vector<int> rank_to_node,
-                                                std::uint32_t payload_bytes) {
+                                                std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix) {
   if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
   return std::make_unique<MyriNicCollective>(cluster, kind, root, reduce,
-                                             std::move(rank_to_node), payload_bytes);
+                                             std::move(rank_to_node), payload_bytes,
+                                             algorithm, radix);
 }
 
 std::unique_ptr<Collective> make_host_collective(MyriCluster& cluster, coll::OpKind kind,
                                                  int root, coll::ReduceOp reduce,
                                                  std::vector<int> rank_to_node,
-                                                 std::uint32_t payload_bytes) {
+                                                 std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix) {
   if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
   return std::make_unique<MyriHostCollective>(cluster, kind, root, reduce,
-                                              std::move(rank_to_node), payload_bytes);
+                                              std::move(rank_to_node), payload_bytes,
+                                             algorithm, radix);
 }
 
 std::unique_ptr<Collective> make_elan_nic_collective(ElanCluster& cluster,
                                                      coll::OpKind kind, int root,
                                                      coll::ReduceOp reduce,
                                                      std::vector<int> rank_to_node,
-                                                     std::uint32_t payload_bytes) {
+                                                     std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix) {
   if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
   return std::make_unique<ElanNicCollective>(cluster, kind, root, reduce,
-                                             std::move(rank_to_node), payload_bytes);
+                                             std::move(rank_to_node), payload_bytes,
+                                             algorithm, radix);
 }
 
 std::unique_ptr<Collective> make_elan_host_collective(ElanCluster& cluster,
                                                       coll::OpKind kind, int root,
                                                       coll::ReduceOp reduce,
                                                       std::vector<int> rank_to_node,
-                                                      std::uint32_t payload_bytes) {
+                                                      std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix) {
   if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
   return std::make_unique<ElanHostCollective>(cluster, kind, root, reduce,
-                                              std::move(rank_to_node), payload_bytes);
+                                              std::move(rank_to_node), payload_bytes,
+                                             algorithm, radix);
 }
 
 std::unique_ptr<Collective> make_ib_nic_collective(IbCluster& cluster, coll::OpKind kind,
                                                    int root, coll::ReduceOp reduce,
                                                    std::vector<int> rank_to_node,
-                                                   std::uint32_t payload_bytes) {
+                                                   std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix) {
   if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
   return std::make_unique<IbNicCollective>(cluster, kind, root, reduce,
-                                           std::move(rank_to_node), payload_bytes);
+                                           std::move(rank_to_node), payload_bytes,
+                                             algorithm, radix);
 }
 
 std::unique_ptr<Collective> make_ib_host_collective(IbCluster& cluster, coll::OpKind kind,
                                                     int root, coll::ReduceOp reduce,
                                                     std::vector<int> rank_to_node,
-                                                    std::uint32_t payload_bytes) {
+                                                    std::uint32_t payload_bytes,
+                                     coll::Algorithm algorithm, int radix) {
   if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
   return std::make_unique<IbHostCollective>(cluster, kind, root, reduce,
-                                            std::move(rank_to_node), payload_bytes);
+                                            std::move(rank_to_node), payload_bytes,
+                                             algorithm, radix);
 }
 
 }  // namespace qmb::core

@@ -54,7 +54,8 @@ class MyriNicCollective final : public Collective {
  public:
   MyriNicCollective(MyriCluster& cluster, coll::OpKind kind, int root,
                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                    std::uint32_t payload_bytes = 8);
+                    std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -76,7 +77,8 @@ class MyriHostCollective final : public Collective {
  public:
   MyriHostCollective(MyriCluster& cluster, coll::OpKind kind, int root,
                      coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                     std::uint32_t payload_bytes = 8);
+                     std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -109,7 +111,8 @@ class ElanNicCollective final : public Collective {
  public:
   ElanNicCollective(ElanCluster& cluster, coll::OpKind kind, int root,
                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                    std::uint32_t payload_bytes = 8);
+                    std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -130,7 +133,8 @@ class ElanHostCollective final : public Collective {
  public:
   ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, int root,
                      coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                     std::uint32_t payload_bytes = 8);
+                     std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
   ~ElanHostCollective() override;
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
@@ -164,7 +168,8 @@ class IbNicCollective final : public Collective {
  public:
   IbNicCollective(IbCluster& cluster, coll::OpKind kind, int root,
                   coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                  std::uint32_t payload_bytes = 8);
+                  std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -185,7 +190,8 @@ class IbHostCollective final : public Collective {
  public:
   IbHostCollective(IbCluster& cluster, coll::OpKind kind, int root,
                    coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                   std::uint32_t payload_bytes = 8);
+                   std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
   ~IbHostCollective() override;
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
@@ -212,9 +218,12 @@ class IbHostCollective final : public Collective {
   std::string name_;
 };
 
-/// Builds the schedule for an operation kind (root applies to bcast).
-[[nodiscard]] coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n,
-                                                           int root);
+/// Builds the schedule for an operation kind. `root` applies to bcast;
+/// `algorithm` and `radix` select the barrier pattern (the value-carrying
+/// kinds have fixed algorithm-specific schedules and ignore them).
+[[nodiscard]] coll::GroupSchedule make_collective_schedule(
+    coll::OpKind kind, int n, int root,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 
 /// The exact result every rank must observe when rank r enters with value
 /// r+1 (root 0 for bcast; sum-reduce; allgather/alltoall union contribution
@@ -226,26 +235,32 @@ class IbHostCollective final : public Collective {
 std::unique_ptr<Collective> make_nic_collective(
     MyriCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
-    std::uint32_t payload_bytes = 8);
+    std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 std::unique_ptr<Collective> make_host_collective(
     MyriCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
-    std::uint32_t payload_bytes = 8);
+    std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 std::unique_ptr<Collective> make_elan_nic_collective(
     ElanCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
-    std::uint32_t payload_bytes = 8);
+    std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 std::unique_ptr<Collective> make_elan_host_collective(
     ElanCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
-    std::uint32_t payload_bytes = 8);
+    std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 std::unique_ptr<Collective> make_ib_nic_collective(
     IbCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
-    std::uint32_t payload_bytes = 8);
+    std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 std::unique_ptr<Collective> make_ib_host_collective(
     IbCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
-    std::uint32_t payload_bytes = 8);
+    std::uint32_t payload_bytes = 8,
+    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
 
 }  // namespace qmb::core

@@ -11,7 +11,7 @@ MyriHostBarrier::MyriHostBarrier(MyriCluster& cluster, const coll::GroupSchedule
     : cluster_(cluster),
       schedule_(schedule),
       rank_to_node_(std::move(rank_to_node)),
-      group_id_(cluster.next_group_id() & 0x7Fu) {
+      group_id_(cluster.next_group_id() & core::BarrierTag::kGroupMask) {
   const int n = schedule_.size;
   assert(static_cast<int>(rank_to_node_.size()) == n);
   name_ = std::string("myri-host-") + std::string(coll::to_string(schedule_.algorithm));

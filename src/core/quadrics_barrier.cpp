@@ -9,7 +9,7 @@ ElanGsyncBarrier::ElanGsyncBarrier(ElanCluster& cluster, std::vector<int> rank_t
                                    int tree_degree)
     : cluster_(cluster),
       rank_to_node_(std::move(rank_to_node)),
-      group_id_(cluster.next_group_id() & 0x7Fu) {
+      group_id_(cluster.next_group_id() & core::BarrierTag::kGroupMask) {
   const int n = static_cast<int>(rank_to_node_.size());
   schedule_ = coll::make_barrier_schedule(coll::Algorithm::kGatherBroadcast, n, tree_degree);
   name_ = "elan-gsync-tree";

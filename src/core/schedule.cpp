@@ -114,6 +114,152 @@ GroupSchedule make_gather_broadcast(int n, int d) {
   return g;
 }
 
+GroupSchedule make_binomial_tree(int n) {
+  GroupSchedule g;
+  g.algorithm = Algorithm::kTree;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    // Binomial structure: rank i's parent is i minus its lowest set bit;
+    // its children are i + 2^k for every 2^k below that bit (and < n).
+    int parent = -1;
+    std::vector<int> children;
+    for (int m = 1; m < n; m *= 2) {
+      if ((i & m) != 0) {
+        parent = i - m;
+        break;
+      }
+      if (i + m < n) children.push_back(i + m);
+    }
+    if (!children.empty()) {
+      Step gather;
+      for (int c : children) gather.waits.push_back({c, kTagUp});
+      rs.steps.push_back(std::move(gather));
+    }
+    if (parent >= 0) {
+      Step up_then_wait;
+      up_then_wait.sends.push_back({parent, kTagUp});
+      up_then_wait.waits.push_back({parent, kTagDown});
+      rs.steps.push_back(std::move(up_then_wait));
+    }
+    if (!children.empty()) {
+      Step release;
+      for (int c : children) release.sends.push_back({c, kTagDown});
+      rs.steps.push_back(std::move(release));
+    }
+  }
+  return g;
+}
+
+GroupSchedule make_tournament(int n) {
+  // Mellor-Crummey/Scott tournament with statically determined winners:
+  // rank i loses at round k = ctz(i) (it signals i - 2^k and blocks for a
+  // wakeup), winning every earlier round against i + 2^k where that loser
+  // exists. Rank 0 is the champion; wakeups fan back out in reverse round
+  // order. Same edges as the binomial tree, but each round is its own
+  // sequenced step — the timing signature the tournament is known for.
+  GroupSchedule g;
+  g.algorithm = Algorithm::kTournament;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    int lose_round = -1;  // champion never loses
+    int lose_dist = 0;
+    for (int k = 0, m = 1; m < n; ++k, m *= 2) {
+      if (i != 0 && (i & m) != 0) {
+        lose_round = k;
+        lose_dist = m;
+        break;
+      }
+      if (i + m < n) {
+        Step win;
+        win.waits.push_back({i + m, static_cast<std::uint32_t>(k)});
+        rs.steps.push_back(std::move(win));
+      }
+    }
+    if (lose_round >= 0) {
+      Step lose;
+      lose.sends.push_back({i - lose_dist, static_cast<std::uint32_t>(lose_round)});
+      lose.waits.push_back({i - lose_dist, kTagWake});
+      rs.steps.push_back(std::move(lose));
+    }
+    // Wakeup fan-out: every round this rank won, in reverse order. The
+    // champion's top is the next power of two >= n (its last win round may
+    // pair it beyond the largest rank when n is not a power of two).
+    int top = lose_dist;
+    if (lose_round < 0) {
+      top = 1;
+      while (top < n) top *= 2;
+    }
+    for (int m = top / 2; m >= 1; m /= 2) {
+      if (i + m >= n) continue;
+      Step wake;
+      wake.sends.push_back({i + m, kTagWake});
+      rs.steps.push_back(std::move(wake));
+    }
+  }
+  return g;
+}
+
+GroupSchedule make_fway_dissemination(int n, int f) {
+  if (f < 2) throw std::invalid_argument("f-way dissemination needs radix >= 2");
+  GroupSchedule g;
+  g.algorithm = Algorithm::kFwayDissemination;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    int round = 0;
+    for (long long unit = 1; unit < n; unit *= f, ++round) {
+      Step st;
+      // Round k covers distances j * f^k for j = 1..f-1. Distances that
+      // collapse to 0 mod n (or repeat within the round) are skipped: the
+      // knowledge they would carry is already covered.
+      std::vector<bool> used(static_cast<std::size_t>(n), false);
+      for (int j = 1; j < f; ++j) {
+        const int d = static_cast<int>((static_cast<long long>(j) * unit) % n);
+        if (d == 0 || used[static_cast<std::size_t>(d)]) continue;
+        used[static_cast<std::size_t>(d)] = true;
+        st.sends.push_back({(i + d) % n, static_cast<std::uint32_t>(round)});
+        st.waits.push_back({(i - d + n) % n, static_cast<std::uint32_t>(round)});
+      }
+      rs.steps.push_back(std::move(st));
+    }
+  }
+  return g;
+}
+
+GroupSchedule make_remote_atomic(int n) {
+  // Central-counter barrier over remote atomics (shigeki-akiyama's
+  // remote_cas MPI barrier): every rank fetch-adds the counter that lives
+  // on rank 0's NIC and blocks on the release flag; the arrival that makes
+  // the counter hit N-1 triggers the release fan-out. As a schedule that
+  // is a star: N-1 kTagUp edges into rank 0, N-1 kTagDown edges out.
+  GroupSchedule g;
+  g.algorithm = Algorithm::kRemoteAtomic;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    if (i == 0) {
+      Step gather;
+      for (int r = 1; r < n; ++r) gather.waits.push_back({r, kTagUp});
+      rs.steps.push_back(std::move(gather));
+      Step release;
+      for (int r = 1; r < n; ++r) release.sends.push_back({r, kTagDown});
+      rs.steps.push_back(std::move(release));
+    } else {
+      Step st;
+      st.sends.push_back({0, kTagUp});
+      st.waits.push_back({0, kTagDown});
+      rs.steps.push_back(std::move(st));
+    }
+  }
+  return g;
+}
+
 }  // namespace
 
 std::string_view to_string(Algorithm a) {
@@ -121,6 +267,11 @@ std::string_view to_string(Algorithm a) {
     case Algorithm::kGatherBroadcast: return "gather-broadcast";
     case Algorithm::kPairwiseExchange: return "pairwise-exchange";
     case Algorithm::kDissemination: return "dissemination";
+    case Algorithm::kTree: return "tree";
+    case Algorithm::kTournament: return "tournament";
+    case Algorithm::kFwayDissemination: return "fway-dissemination";
+    case Algorithm::kRemoteAtomic: return "remote-atomic";
+    case Algorithm::kRotation: return "rotation";
   }
   return "?";
 }
@@ -169,8 +320,17 @@ int GroupSchedule::max_steps() const {
   return static_cast<int>(n);
 }
 
-GroupSchedule make_barrier_schedule(Algorithm algorithm, int n, int tree_degree) {
+GroupSchedule make_barrier_schedule(Algorithm algorithm, int n, int radix) {
   if (n < 1) throw std::invalid_argument("barrier group needs >= 1 rank");
+  if (algorithm == Algorithm::kRotation) {
+    throw std::invalid_argument(
+        "rotation labels the alltoall ring; it is not a barrier algorithm");
+  }
+  if (radix == 1) {
+    // Degree-1 trees degenerate to O(n) chains; callers always mean either
+    // "the default" (0) or a real fan-out (>= 2).
+    throw std::invalid_argument("barrier radix must be 0 (default) or >= 2");
+  }
   if (n == 1) {
     GroupSchedule g;
     g.algorithm = algorithm;
@@ -181,7 +341,14 @@ GroupSchedule make_barrier_schedule(Algorithm algorithm, int n, int tree_degree)
   switch (algorithm) {
     case Algorithm::kDissemination: return make_dissemination(n);
     case Algorithm::kPairwiseExchange: return make_pairwise_exchange(n);
-    case Algorithm::kGatherBroadcast: return make_gather_broadcast(n, tree_degree);
+    case Algorithm::kGatherBroadcast:
+      return make_gather_broadcast(n, radix > 0 ? radix : 2);
+    case Algorithm::kTree: return make_binomial_tree(n);
+    case Algorithm::kTournament: return make_tournament(n);
+    case Algorithm::kFwayDissemination:
+      return make_fway_dissemination(n, radix > 0 ? radix : 4);
+    case Algorithm::kRemoteAtomic: return make_remote_atomic(n);
+    case Algorithm::kRotation: break;  // rejected above
   }
   throw std::invalid_argument("unknown algorithm");
 }
@@ -286,7 +453,7 @@ GroupSchedule make_allgather_schedule(int n) {
 GroupSchedule make_alltoall_schedule(int n) {
   if (n < 1) throw std::invalid_argument("alltoall group needs >= 1 rank");
   GroupSchedule g;
-  g.algorithm = Algorithm::kDissemination;  // rotation pattern, reported as DS
+  g.algorithm = Algorithm::kRotation;
   g.size = n;
   g.ranks.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {

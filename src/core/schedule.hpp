@@ -2,14 +2,25 @@
 //
 // A GroupSchedule is the full message pattern of one barrier operation: for
 // every rank, an ordered list of steps, each step issuing sends on entry and
-// blocking until its expected receives arrive. The three classic algorithms
-// are provided:
+// blocking until its expected receives arrive. The barrier algorithms:
 //
 //  * gather-broadcast   — d-ary tree, combine to root, fan back out
 //                         (2 log_d N steps)
 //  * pairwise-exchange  — MPICH recursive doubling (log2 N steps, +2 for
 //                         non-powers of two)
 //  * dissemination      — Mellor-Crummey/Scott (ceil(log2 N) steps always)
+//  * tree               — binomial tree: rank-dependent fan-in (rank 0 has
+//                         log2 N children), combine up, release down
+//  * tournament         — Mellor-Crummey/Scott tournament: statically
+//                         paired rounds, losers signal winners, the
+//                         champion wakes its losers in reverse round order
+//  * fway-dissemination — radix-f dissemination: ceil(log_f N) rounds of
+//                         f-1 sends each (f = the radix parameter)
+//  * remote-atomic      — central counter star (remote fetch-add on rank
+//                         0's NIC; every rank increments, rank 0 releases)
+//
+// kRotation is a label, not a barrier: it names the alltoall rotation-ring
+// pattern so traces and metrics report that schedule honestly.
 //
 // The schedule is *data*: the same GroupSchedule drives the host-based GM
 // barrier, the direct NIC scheme, the NIC collective protocol, and the
@@ -28,7 +39,26 @@
 
 namespace qmb::coll {
 
-enum class Algorithm { kGatherBroadcast, kPairwiseExchange, kDissemination };
+enum class Algorithm {
+  kGatherBroadcast,
+  kPairwiseExchange,
+  kDissemination,
+  kTree,
+  kTournament,
+  kFwayDissemination,
+  kRemoteAtomic,
+  kRotation,  // alltoall's rotation ring; not a barrier algorithm
+};
+
+/// Every barrier algorithm (kRotation excluded — it only labels alltoall),
+/// in a fixed order shared by tests, the fuzzer's coverage accounting, and
+/// the spec JSON codec.
+inline constexpr Algorithm kBarrierAlgorithms[] = {
+    Algorithm::kGatherBroadcast, Algorithm::kPairwiseExchange,
+    Algorithm::kDissemination,   Algorithm::kTree,
+    Algorithm::kTournament,      Algorithm::kFwayDissemination,
+    Algorithm::kRemoteAtomic,
+};
 
 /// Immutable rank -> fabric-node map shared by every NIC-side group
 /// descriptor of one collective. A per-NIC copy is O(N) ints, which across
@@ -51,10 +81,11 @@ inline constexpr std::uint32_t kTagPre = 0x100;   // PE: high rank registers wit
 inline constexpr std::uint32_t kTagPost = 0x101;  // PE: partner releases high rank
 inline constexpr std::uint32_t kTagUp = 0x200;    // GB: combine toward the root
 inline constexpr std::uint32_t kTagDown = 0x201;  // GB: release from the root
+inline constexpr std::uint32_t kTagWake = 0x202;  // tournament: champion-derived wakeup
 
 /// True for tags whose payload is a completed result rather than a partial.
 [[nodiscard]] constexpr bool is_result_tag(std::uint32_t tag) {
-  return tag == kTagPost || tag == kTagDown;
+  return tag == kTagPost || tag == kTagDown || tag == kTagWake;
 }
 
 /// What a collective operation computes over its one-word payloads.
@@ -114,10 +145,13 @@ struct GroupSchedule {
   [[nodiscard]] int max_steps() const;
 };
 
-/// Builds the message pattern for an N-rank barrier. `tree_degree` applies
-/// to gather-broadcast only.
+/// Builds the message pattern for an N-rank barrier. `radix` is the
+/// gather-broadcast tree degree and the f of f-way dissemination; <= 0
+/// picks the algorithm's default (degree 2, radix 4). The other algorithms
+/// ignore it. Throws std::invalid_argument for kRotation (a pattern label,
+/// not a barrier).
 [[nodiscard]] GroupSchedule make_barrier_schedule(Algorithm algorithm, int n,
-                                                  int tree_degree = 2);
+                                                  int radix = 0);
 
 /// Broadcast from `root`: the down-phase of a d-ary tree (rotated so any
 /// rank can be the root). Every message carries the final value (kTagDown).

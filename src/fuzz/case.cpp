@@ -89,10 +89,22 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
     s.impl = rng.next_bool(0.25) ? run::Impl::kHost : run::Impl::kNic;
   }
 
-  constexpr coll::Algorithm kAlgos[] = {coll::Algorithm::kDissemination,
-                                        coll::Algorithm::kPairwiseExchange,
-                                        coll::Algorithm::kGatherBroadcast};
-  s.algorithm = pick(rng, kAlgos);
+  // Drawn from the substrate's capability list so every legal algorithm —
+  // including remote-atomic, which only IB's HCA verbs support — gets
+  // fuzzed, and illegal (network, algorithm) pairs never derive. The
+  // fixed-pattern impls ignore schedules (validate() rejects a non-default
+  // algorithm there), so those fall back to the default after the draw.
+  s.algorithm = pick(rng, caps.barrier_algorithms);
+  if (std::find(caps.fixed_pattern_barrier_impls.begin(),
+                caps.fixed_pattern_barrier_impls.end(),
+                s.impl) != caps.fixed_pattern_barrier_impls.end()) {
+    s.algorithm = coll::Algorithm::kDissemination;
+  }
+  if ((s.algorithm == coll::Algorithm::kGatherBroadcast ||
+       s.algorithm == coll::Algorithm::kFwayDissemination) &&
+      rng.next_bool(0.5)) {
+    s.radix = static_cast<int>(2 + rng.next_below(7));  // 2..8
+  }
 
   s.nodes = static_cast<int>(2 + rng.next_below(static_cast<std::uint64_t>(
                                      opts.max_nodes > 2 ? opts.max_nodes - 1 : 1)));
@@ -162,6 +174,21 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
       w.flood_random = rng.next_bool(0.5);
     }
     w.seed = rng.next_u64();
+    // The workload impl redraw above can land on a fixed-pattern barrier
+    // impl (quadrics --impl host is the gsync tree); keep the case legal.
+    if (std::find(caps.fixed_pattern_barrier_impls.begin(),
+                  caps.fixed_pattern_barrier_impls.end(),
+                  s.impl) != caps.fixed_pattern_barrier_impls.end()) {
+      s.algorithm = coll::Algorithm::kDissemination;
+    }
+  }
+
+  // Split-phase overlap: a quarter of plain barrier cases run the
+  // notify/compute/wait loop with up to 20 us of simulated compute. Drawn
+  // last, so every earlier case's derivation is unchanged.
+  if (!s.workload.enabled() && s.op == coll::OpKind::kBarrier &&
+      rng.next_below(4) == 0) {
+    s.overlap_us = static_cast<double>(rng.next_below(20'001)) / 1000.0;
   }
   return s;
 }
@@ -221,6 +248,10 @@ std::string spec_to_json(const run::ExperimentSpec& s) {
   o.set("op", obs::JsonValue::of(run::to_string(s.op)));
   o.set("impl", obs::JsonValue::of(run::to_string(s.impl)));
   o.set("algorithm", obs::JsonValue::of(coll::to_string(s.algorithm)));
+  // Zoo knobs are replay-relevant only when non-default; omitting defaults
+  // keeps pre-existing artifacts byte-identical.
+  if (s.radix != 0) o.set("radix", obs::JsonValue::of(static_cast<std::int64_t>(s.radix)));
+  if (s.overlap_us >= 0.0) o.set("overlap_us", obs::JsonValue::of(s.overlap_us));
   o.set("iters", obs::JsonValue::of(static_cast<std::int64_t>(s.iters)));
   o.set("warmup", obs::JsonValue::of(static_cast<std::int64_t>(s.warmup)));
   o.set("seed", u64_json(s.seed));
@@ -296,19 +327,19 @@ run::ExperimentSpec spec_from_json(std::string_view json) {
     s.impl = *i;
   }
   if (const obs::JsonValue* v = doc.find("algorithm")) {
-    // Accept both the CLI short form (ds/pe/gb) and coll::to_string()'s
-    // long form, which is what spec_to_json writes.
+    // Accept both the CLI short form (ds/pe/gb/tree/trn/fway/ra) and
+    // coll::to_string()'s long form, which is what spec_to_json writes.
     auto a = run::parse_algorithm(v->string);
     if (!a) {
-      for (const coll::Algorithm cand :
-           {coll::Algorithm::kDissemination, coll::Algorithm::kPairwiseExchange,
-            coll::Algorithm::kGatherBroadcast}) {
+      for (const coll::Algorithm cand : coll::kBarrierAlgorithms) {
         if (v->string == coll::to_string(cand)) a = cand;
       }
     }
     if (!a) throw std::invalid_argument("unknown algorithm '" + v->string + "'");
     s.algorithm = *a;
   }
+  s.radix = static_cast<int>(i64_field(doc, "radix", s.radix));
+  s.overlap_us = double_field(doc, "overlap_us", s.overlap_us);
   s.nodes = static_cast<int>(i64_field(doc, "nodes", s.nodes));
   s.iters = static_cast<int>(i64_field(doc, "iters", s.iters));
   s.warmup = static_cast<int>(i64_field(doc, "warmup", s.warmup));

@@ -114,7 +114,7 @@ std::string validate_workload(const WorkloadSpec& w, int nodes, int max_groups) 
            std::to_string(kinds) + " op kinds = " + std::to_string(executors) +
            " concurrent group slots, but the substrate exposes " +
            std::to_string(max_groups) +
-           " (the BarrierTag group field is 7 bits wide)";
+           " (the BarrierTag group field is 11 bits wide)";
   }
   if (w.arrival != Arrival::kClosed && w.period_us <= 0.0) {
     return "workload period must be positive for open-loop arrivals";

@@ -50,7 +50,7 @@ void GmPort::set_receive_handler(std::function<void(const RecvEvent&)> fn) {
 void GmPort::add_collective_handler(std::uint32_t group,
                                     std::function<void(const RecvEvent&)> fn) {
   install_dispatcher();
-  group_handlers_[group & 0x7Fu] = std::move(fn);
+  group_handlers_[group & core::BarrierTag::kGroupMask] = std::move(fn);
 }
 
 void GmPort::barrier_enter(std::uint32_t group, sim::EventCallback done) {

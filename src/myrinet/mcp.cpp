@@ -152,17 +152,42 @@ void Mcp::arm_retransmit(std::uint64_t key) {
   it->second.timer = nic_.engine().schedule(cfg_.ack_timeout, [this, key] {
     auto rec_it = send_records_.find(key);
     if (rec_it == send_records_.end()) return;  // ACKed while timer fired
-    ++stats_.retransmissions;
-    nic_.exec(cfg_.cyc_retransmit, [this, key] {
-      auto rit = send_records_.find(key);
-      if (rit == send_records_.end()) return;
-      const SendRecord& rec = rit->second;
-      const std::uint64_t flow =
-          nic_.inject(net::Packet(nic_.addr(), rec.dst, rec.wire_bytes, rec.body));
-      nic_.trace("mcp_retransmit", rec.dst.value(), rec.seqno,
-                 static_cast<std::int64_t>(flow));
-      arm_retransmit(key);
-    });
+    // GM recovery is go-back-N per channel: the receiver accepts nothing
+    // past a sequence gap, so resending records one-per-timer can never
+    // resynchronize — every later packet only lands via its own timeout,
+    // the expected pointer trails the transmit frontier forever, and one
+    // loss pins the channel in a two-transmissions-per-packet regime
+    // (a livelock once offered load exceeds half the pool's service
+    // rate). Instead, only the destination's *oldest* unACKed record
+    // drives recovery, and it resends every unACKed record for that
+    // destination in sequence order; the burst lands in order, the
+    // receiver catches up to the frontier, and the channel returns to
+    // the fast path.
+    const std::uint64_t lo = key & ~0xFFFFFFFFull;
+    if (send_records_.lower_bound(lo)->first != key) {
+      arm_retransmit(key);  // not the oldest: its fate rides the oldest's burst
+      return;
+    }
+    const std::uint64_t hi = lo | 0xFFFFFFFFull;
+    std::vector<std::uint64_t> burst;
+    for (auto it2 = send_records_.lower_bound(lo);
+         it2 != send_records_.end() && it2->first <= hi; ++it2) {
+      burst.push_back(it2->first);
+    }
+    for (const std::uint64_t k2 : burst) {
+      ++stats_.retransmissions;
+      nic_.exec(cfg_.cyc_retransmit, [this, k2] {
+        auto rit = send_records_.find(k2);
+        if (rit == send_records_.end()) return;  // ACKed after the burst queued
+        const SendRecord& rec = rit->second;
+        const std::uint64_t flow =
+            nic_.inject(net::Packet(nic_.addr(), rec.dst, rec.wire_bytes, rec.body));
+        nic_.trace("mcp_retransmit", rec.dst.value(), rec.seqno,
+                   static_cast<std::int64_t>(flow));
+      });
+      nic_.engine().cancel(send_records_[k2].timer);
+      arm_retransmit(k2);
+    }
   });
 }
 

@@ -143,7 +143,9 @@ class Mcp {
   int pool_available_;
   std::uint64_t next_msg_id_ = 1;
   std::unordered_map<int, std::uint32_t> next_tx_seq_;
-  std::unordered_map<std::uint64_t, SendRecord> send_records_;
+  // Ordered by record_key = (dst, seqno) so timeout recovery can walk one
+  // destination's unACKed records in sequence order (go-back-N).
+  std::map<std::uint64_t, SendRecord> send_records_;
   // Tokens whose fragments are all injected but not yet all ACKed, keyed by
   // (dst, msg_id).
   std::map<std::pair<int, std::uint64_t>, SendToken> inflight_tokens_;

@@ -55,7 +55,25 @@ std::optional<coll::Algorithm> parse_algorithm(std::string_view s) {
   if (s == "ds") return coll::Algorithm::kDissemination;
   if (s == "pe") return coll::Algorithm::kPairwiseExchange;
   if (s == "gb") return coll::Algorithm::kGatherBroadcast;
+  if (s == "tree") return coll::Algorithm::kTree;
+  if (s == "trn") return coll::Algorithm::kTournament;
+  if (s == "fway") return coll::Algorithm::kFwayDissemination;
+  if (s == "ra") return coll::Algorithm::kRemoteAtomic;
   return std::nullopt;
+}
+
+std::string_view algorithm_cli_name(coll::Algorithm a) {
+  switch (a) {
+    case coll::Algorithm::kDissemination: return "ds";
+    case coll::Algorithm::kPairwiseExchange: return "pe";
+    case coll::Algorithm::kGatherBroadcast: return "gb";
+    case coll::Algorithm::kTree: return "tree";
+    case coll::Algorithm::kTournament: return "trn";
+    case coll::Algorithm::kFwayDissemination: return "fway";
+    case coll::Algorithm::kRemoteAtomic: return "ra";
+    case coll::Algorithm::kRotation: return "rotation";
+  }
+  return "?";
 }
 
 std::optional<coll::OpKind> parse_op(std::string_view s) { return coll::parse_op_kind(s); }
@@ -113,6 +131,7 @@ std::string loss_error(const ExperimentSpec& s, const SubstrateCaps& caps,
 
 std::string_view pdes_blocker(const ExperimentSpec& s) {
   if (s.workload.enabled()) return "--workload";
+  if (s.overlap_us >= 0.0) return "--overlap";
   if (!s.faults.empty()) return "--fault rules";
   if (s.drop_prob > 0.0) return "--drop-prob";
   if (s.skew_max_us > 0.0) return "--skew";
@@ -166,6 +185,34 @@ std::string validate(const ExperimentSpec& s) {
     }
   }
   const SubstrateCaps& caps = substrate_for(s.network).caps();
+  if (s.radix != 0 && s.radix < 2) {
+    return "--radix must be 0 (algorithm default) or >= 2 (got " +
+           std::to_string(s.radix) + ")";
+  }
+  if (!caps_allow_algorithm(caps, s.algorithm)) {
+    return std::string("--algorithm ") + std::string(algorithm_cli_name(s.algorithm)) +
+           " is not supported on --network " + std::string(to_string(s.network)) +
+           " (valid: " + caps_algorithm_list(caps) + ")";
+  }
+  if (s.op == coll::OpKind::kBarrier && s.algorithm != coll::Algorithm::kDissemination &&
+      std::find(caps.fixed_pattern_barrier_impls.begin(),
+                caps.fixed_pattern_barrier_impls.end(),
+                s.impl) != caps.fixed_pattern_barrier_impls.end()) {
+    return std::string("--impl ") + std::string(to_string(s.impl)) + " on --network " +
+           std::string(to_string(s.network)) +
+           " embeds a fixed pattern and ignores schedules; --algorithm only "
+           "applies to the schedule-driven impls";
+  }
+  if (s.overlap_us >= 0.0) {
+    if (s.workload.enabled()) {
+      return "--overlap measures one split-phase group; it is incompatible "
+             "with --workload";
+    }
+    if (s.op != coll::OpKind::kBarrier) {
+      return std::string("--overlap is a split-phase *barrier* knob; --op ") +
+             std::string(coll::to_string(s.op)) + " has no notify/wait phase";
+    }
+  }
   if (!caps.drop_prob && s.drop_prob > 0.0) {
     return loss_error(s, caps, "--drop-prob is", "remove it");
   }
@@ -436,10 +483,18 @@ RunResult run_on(const Substrate& sub, const ExperimentSpec& s) {
   if (s.op == coll::OpKind::kBarrier) {
     auto barrier = cluster->make_barrier(s, std::move(placement));
     out.impl_name = std::string(barrier->name());
-    fill_latency(out,
-                 core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters,
-                                                skew.max, skew.seed, horizon, rd),
-                 engine);
+    if (s.overlap_us >= 0.0) {
+      fill_latency(out,
+                   core::run_split_phase_barriers(engine, *barrier, s.warmup, s.iters,
+                                                  sim::microseconds(s.overlap_us),
+                                                  horizon),
+                   engine);
+    } else {
+      fill_latency(out,
+                   core::run_consecutive_barriers(engine, *barrier, s.warmup, s.iters,
+                                                  skew.max, skew.seed, horizon, rd),
+                   engine);
+    }
   } else {
     auto op = cluster->make_collective(s, std::move(placement));
     out.impl_name = std::string(op->name());
@@ -552,6 +607,16 @@ std::string to_json(const RunResult& r) {
                 r.spec.warmup, static_cast<unsigned long long>(r.spec.seed),
                 r.spec.random_placement ? "true" : "false", r.spec.drop_prob);
   out += buf;
+  // Algorithm-zoo knobs appear only when set, so pre-existing output stays
+  // byte-identical.
+  if (r.spec.radix != 0) {
+    std::snprintf(buf, sizeof buf, "\"radix\":%d,", r.spec.radix);
+    out += buf;
+  }
+  if (r.spec.overlap_us >= 0.0) {
+    std::snprintf(buf, sizeof buf, "\"overlap_us\":%g,", r.spec.overlap_us);
+    out += buf;
+  }
   out += "\"impl_name\":\"" + r.impl_name + "\",";
   std::snprintf(buf, sizeof buf,
                 "\"mean_us\":%.6f,\"min_us\":%.6f,\"max_us\":%.6f,\"p99_us\":%.6f,"

@@ -44,6 +44,9 @@ enum class Impl { kNic, kHost, kDirect, kGsync, kHgsync };
 [[nodiscard]] std::optional<Network> parse_network(std::string_view s);
 [[nodiscard]] std::optional<Impl> parse_impl(std::string_view s);
 [[nodiscard]] std::optional<coll::Algorithm> parse_algorithm(std::string_view s);
+/// The short CLI spelling parse_algorithm accepts ("ds", "pe", "gb",
+/// "tree", "trn", "fway", "ra").
+[[nodiscard]] std::string_view algorithm_cli_name(coll::Algorithm a);
 [[nodiscard]] std::optional<coll::OpKind> parse_op(std::string_view s);
 
 struct ExperimentSpec {
@@ -52,6 +55,16 @@ struct ExperimentSpec {
   coll::OpKind op = coll::OpKind::kBarrier;
   Impl impl = Impl::kNic;
   coll::Algorithm algorithm = coll::Algorithm::kDissemination;
+  /// Algorithm radix: the gather-broadcast tree degree and the f of f-way
+  /// dissemination. 0 (the default) picks the algorithm's own default and
+  /// is bit-identical to specs that predate this field.
+  int radix = 0;
+  /// Split-phase compute overlap in microseconds. Negative (the default)
+  /// runs the blocking enter() loop, bit-identical to specs that predate
+  /// this field. >= 0 switches barrier runs to the GASNet-style
+  /// notify/compute/wait loop with that much simulated computation between
+  /// the two phases. Barrier ops only; validate() enforces it.
+  double overlap_us = -1.0;
   int iters = 200;
   int warmup = 20;
   std::uint64_t seed = 1;

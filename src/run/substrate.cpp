@@ -69,4 +69,18 @@ std::string caps_impl_list(const SubstrateCaps& caps, coll::OpKind op) {
   return out;
 }
 
+bool caps_allow_algorithm(const SubstrateCaps& caps, coll::Algorithm a) {
+  return std::find(caps.barrier_algorithms.begin(), caps.barrier_algorithms.end(), a) !=
+         caps.barrier_algorithms.end();
+}
+
+std::string caps_algorithm_list(const SubstrateCaps& caps) {
+  std::string out;
+  for (const coll::Algorithm a : caps.barrier_algorithms) {
+    if (!out.empty()) out += ", ";
+    out += algorithm_cli_name(a);
+  }
+  return out;
+}
+
 }  // namespace qmb::run

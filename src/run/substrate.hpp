@@ -29,12 +29,23 @@ struct SubstrateCaps {
   std::string_view loss_note = "";
   std::vector<Impl> barrier_impls;     // legal --impl values for barriers
   std::vector<Impl> collective_impls;  // legal --impl values for value ops
+  /// Barrier Algorithm values the substrate's executors can run. The
+  /// schedule-driven impls take any schedule, so this is a property of the
+  /// substrate's hardware model (e.g. remote-atomic needs the IB HCA's
+  /// remote fetch-add); the fixed-pattern impls (gsync/hgsync) additionally
+  /// reject everything but the default regardless of this list.
+  std::vector<coll::Algorithm> barrier_algorithms;
+  /// Barrier impls that embed a fixed pattern and ignore schedules (the
+  /// Quadrics gsync tree and hardware barrier, and quadrics --impl host
+  /// which maps to the gsync tree). validate() rejects a non-default
+  /// --algorithm with these instead of silently ignoring it.
+  std::vector<Impl> fixed_pattern_barrier_impls;
   /// Concurrent group slots the substrate exposes (paper design point #1:
-  /// one dedicated NIC send queue per group). The 7-bit group field of the
-  /// BarrierTag codec binds every current substrate to 127; validate()
+  /// one dedicated NIC send queue per group). The 11-bit group field of the
+  /// BarrierTag codec binds every current substrate to 2047; validate()
   /// rejects workloads that would need more executors than this instead of
   /// colliding group ids deep in cluster construction.
-  int max_groups = 127;
+  int max_groups = 2047;
   /// Sustainable per-stream background-flood throughput: the byte rate of
   /// the flood path's tightest server. validate()'s admission check
   /// rejects open-loop streams offered at or above this rate: their queues
@@ -117,5 +128,11 @@ class Substrate {
 
 /// The legal --impl list for `op` under `caps`, e.g. "nic, host, direct".
 [[nodiscard]] std::string caps_impl_list(const SubstrateCaps& caps, coll::OpKind op);
+
+/// Whether `a` is a barrier algorithm the substrate's executors can run.
+[[nodiscard]] bool caps_allow_algorithm(const SubstrateCaps& caps, coll::Algorithm a);
+
+/// The legal --algorithm list under `caps`, e.g. "ds, pe, gb, tree, trn, fway".
+[[nodiscard]] std::string caps_algorithm_list(const SubstrateCaps& caps);
 
 }  // namespace qmb::run

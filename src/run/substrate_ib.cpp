@@ -21,16 +21,18 @@ class IbSubstrateCluster final : public SubstrateCluster {
     const core::IbBarrierKind kind = s.impl == Impl::kHost
                                          ? core::IbBarrierKind::kHost
                                          : core::IbBarrierKind::kNicCollective;
-    return cluster_.make_barrier(kind, s.algorithm, std::move(placement));
+    return cluster_.make_barrier(kind, s.algorithm, std::move(placement), s.radix);
   }
 
   std::unique_ptr<core::Collective> make_collective(const ExperimentSpec& s,
                                                     std::vector<int> placement) override {
     return s.impl == Impl::kHost
                ? core::make_ib_host_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                               std::move(placement))
+                                               std::move(placement), 8, s.algorithm,
+                                               s.radix)
                : core::make_ib_nic_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                              std::move(placement));
+                                              std::move(placement), 8, s.algorithm,
+                                              s.radix);
   }
 
   // RC write-with-immediate needs no receive provisioning; flood traffic is
@@ -50,6 +52,15 @@ class IbSubstrate final : public Substrate {
     caps_.drop_prob = true;
     caps_.barrier_impls = {Impl::kNic, Impl::kHost};
     caps_.collective_impls = {Impl::kNic, Impl::kHost};
+    // Both IB executors are schedule-driven; remote-atomic is legal here
+    // because the HCA exposes remote CAS/fetch-add verbs, which is what the
+    // central-counter star models.
+    caps_.barrier_algorithms = {
+        coll::Algorithm::kDissemination,      coll::Algorithm::kPairwiseExchange,
+        coll::Algorithm::kGatherBroadcast,    coll::Algorithm::kTree,
+        coll::Algorithm::kTournament,         coll::Algorithm::kFwayDissemination,
+        coll::Algorithm::kRemoteAtomic,
+    };
     // RC writes land without a host-side copy; the wire binds the flood
     // per byte, plus the responder HCA's PSN check and CQE DMA per message.
     const ib::IbConfig cfg;

@@ -21,16 +21,19 @@ class MyrinetCluster final : public SubstrateCluster {
     core::MyriBarrierKind kind = core::MyriBarrierKind::kNicCollective;
     if (s.impl == Impl::kHost) kind = core::MyriBarrierKind::kHost;
     else if (s.impl == Impl::kDirect) kind = core::MyriBarrierKind::kNicDirect;
-    return cluster_.make_barrier(kind, s.algorithm, std::move(placement), s.features);
+    return cluster_.make_barrier(kind, s.algorithm, std::move(placement), s.features,
+                                 s.radix);
   }
 
   std::unique_ptr<core::Collective> make_collective(const ExperimentSpec& s,
                                                     std::vector<int> placement) override {
     return s.impl == Impl::kHost
                ? core::make_host_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                            std::move(placement))
+                                            std::move(placement), 8, s.algorithm,
+                                            s.radix)
                : core::make_nic_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                           std::move(placement));
+                                           std::move(placement), 8, s.algorithm,
+                                           s.radix);
   }
 
   void flood_prepare() override {
@@ -65,6 +68,14 @@ class MyrinetSubstrate final : public Substrate {
     caps_.ablations = true;
     caps_.barrier_impls = {Impl::kNic, Impl::kHost, Impl::kDirect};
     caps_.collective_impls = {Impl::kNic, Impl::kHost};
+    // Every Myrinet executor is schedule-driven, so any message-passing
+    // pattern runs; remote-atomic needs NIC-resident fetch-add (an IB HCA
+    // verb) that the LANai firmware does not model.
+    caps_.barrier_algorithms = {
+        coll::Algorithm::kDissemination,      coll::Algorithm::kPairwiseExchange,
+        coll::Algorithm::kGatherBroadcast,    coll::Algorithm::kTree,
+        coll::Algorithm::kTournament,         coll::Algorithm::kFwayDissemination,
+    };
     // The flood's tightest server is the *sender's* MCP: each host-sourced
     // message serializes LANai firmware work (send-event translation, token
     // schedule, packet claim, header build, ACK bookkeeping) with the

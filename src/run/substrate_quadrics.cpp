@@ -24,16 +24,18 @@ class QuadricsCluster final : public SubstrateCluster {
     } else if (s.impl == Impl::kHgsync) {
       kind = core::ElanBarrierKind::kHardware;
     }
-    return cluster_.make_barrier(kind, s.algorithm, std::move(placement));
+    return cluster_.make_barrier(kind, s.algorithm, std::move(placement), 4, s.radix);
   }
 
   std::unique_ptr<core::Collective> make_collective(const ExperimentSpec& s,
                                                     std::vector<int> placement) override {
     return s.impl == Impl::kHost
                ? core::make_elan_host_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                                 std::move(placement))
+                                                 std::move(placement), 8, s.algorithm,
+                                                 s.radix)
                : core::make_elan_nic_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                                std::move(placement));
+                                                std::move(placement), 8, s.algorithm,
+                                                s.radix);
   }
 
   // elan_put fires a remote event; no receive-side resources to provision.
@@ -51,6 +53,17 @@ class QuadricsSubstrate final : public Substrate {
     caps_.loss_note = "the Quadrics models have no loss recovery path";
     caps_.barrier_impls = {Impl::kNic, Impl::kHost, Impl::kGsync, Impl::kHgsync};
     caps_.collective_impls = {Impl::kNic, Impl::kHost};
+    // The chained-RDMA NIC barrier is schedule-driven; remote-atomic needs
+    // a NIC-resident fetch-add verb the Elan3 model does not expose. The
+    // host/gsync/hgsync barriers embed fixed patterns (see below).
+    caps_.barrier_algorithms = {
+        coll::Algorithm::kDissemination,      coll::Algorithm::kPairwiseExchange,
+        coll::Algorithm::kGatherBroadcast,    coll::Algorithm::kTree,
+        coll::Algorithm::kTournament,         coll::Algorithm::kFwayDissemination,
+    };
+    // --impl host maps to the gsync software tree for barriers, so it is
+    // fixed-pattern here (unlike Myrinet/IB host barriers).
+    caps_.fixed_pattern_barrier_impls = {Impl::kHost, Impl::kGsync, Impl::kHgsync};
     // elan_put carries no host-side payload copy; the wire is the flood
     // path's per-byte bottleneck, with the receive event unit's fixed
     // per-message work on top (which binds for small payloads).

@@ -123,6 +123,95 @@ TEST(Factories, AllElanKindsConstruct) {
   }
 }
 
+// ---------- split-phase notify/wait ----------
+
+TEST(SplitPhase, NotifyComputeWaitCompletesAllRanks) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 4);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  int done = 0;
+  for (int r = 0; r < b->size(); ++r) b->notify(r);
+  for (int r = 0; r < b->size(); ++r) b->wait(r, [&done] { ++done; });
+  e.run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(SplitPhase, WaitAfterProtocolFinishedCompletesImmediately) {
+  // All ranks notify, the engine runs to quiescence (the protocol finishes
+  // with no waiter parked), and only then does the host wait(): the kReady
+  // path must complete synchronously, without another engine step.
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 2);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  b->notify(0);
+  b->notify(1);
+  e.run();
+  int done = 0;
+  b->wait(0, [&done] { ++done; });
+  b->wait(1, [&done] { ++done; });
+  EXPECT_EQ(done, 2);
+}
+
+TEST(SplitPhase, DoubleNotifyThrows) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 2);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  b->notify(0);
+  EXPECT_THROW(b->notify(0), std::logic_error);
+}
+
+TEST(SplitPhase, WaitWithoutNotifyThrows) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 2);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  EXPECT_THROW(b->wait(0, [] {}), std::logic_error);
+}
+
+TEST(SplitPhase, DoubleWaitThrows) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 2);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  b->notify(0);
+  b->wait(0, [] {});
+  EXPECT_THROW(b->wait(0, [] {}), std::logic_error);
+}
+
+TEST(SplitPhase, RankOutOfRangeThrows) {
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 2);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  EXPECT_THROW(b->notify(-1), std::logic_error);
+  EXPECT_THROW(b->notify(2), std::logic_error);
+}
+
+TEST(SplitPhase, RunnerOverlapDominatesIterationCost) {
+  // With compute overlap far above the 4-node barrier latency, each
+  // iteration's visible cost is essentially the overlap itself.
+  Engine e;
+  MyriCluster c(e, myri::lanaixp_cluster(), 4);
+  auto b = c.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  const auto overlap = sim::microseconds(500);
+  const auto r = run_split_phase_barriers(e, *b, 1, 5, overlap);
+  EXPECT_EQ(r.iterations, 5u);
+  EXPECT_GE(r.mean, overlap);
+  EXPECT_LT(r.mean, overlap + sim::microseconds(100));
+}
+
+TEST(SplitPhase, RunnerZeroOverlapMatchesBlockingRunner) {
+  // overlap == 0 degenerates to the blocking runner's cost structure: same
+  // barrier, comparable mean (split-phase adds no protocol work).
+  Engine e1;
+  MyriCluster c1(e1, myri::lanaixp_cluster(), 4);
+  auto b1 = c1.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  const auto blocking = run_consecutive_barriers(e1, *b1, 1, 5);
+  Engine e2;
+  MyriCluster c2(e2, myri::lanaixp_cluster(), 4);
+  auto b2 = c2.make_barrier(MyriBarrierKind::kNicCollective, coll::Algorithm::kDissemination);
+  const auto split = run_split_phase_barriers(e2, *b2, 1, 5, sim::SimDuration::zero());
+  EXPECT_EQ(split.iterations, blocking.iterations);
+  EXPECT_EQ(split.mean, blocking.mean);
+}
+
 TEST(Factories, PlacementMustCoverCluster) {
   Engine e;
   MyriCluster c(e, myri::lanaixp_cluster(), 4);

@@ -443,6 +443,29 @@ TEST(Collectives, ScheduleFactoryRejectsBadArgs) {
   EXPECT_THROW(coll::make_bcast_schedule(0, 0), std::invalid_argument);
 }
 
+TEST(Collectives, ScheduleFactoryHonorsRequestedBarrierAlgorithm) {
+  // Regression: this factory used to hardcode dissemination for barriers,
+  // silently ignoring the algorithm the caller asked for.
+  for (const coll::Algorithm alg : coll::kBarrierAlgorithms) {
+    const auto got = make_collective_schedule(coll::OpKind::kBarrier, 8, 0, alg, 0);
+    EXPECT_EQ(got.algorithm, alg) << coll::to_string(alg);
+    const auto want = coll::make_barrier_schedule(alg, 8, 0);
+    ASSERT_EQ(got.ranks.size(), want.ranks.size());
+    for (std::size_t r = 0; r < got.ranks.size(); ++r) {
+      EXPECT_EQ(got.ranks[r].steps.size(), want.ranks[r].steps.size())
+          << coll::to_string(alg) << " rank " << r;
+    }
+  }
+  // And the radix flows through: a 4-way dissemination on 16 ranks is 2
+  // rounds, a 2-way one is 4.
+  const auto f4 = make_collective_schedule(coll::OpKind::kBarrier, 16, 0,
+                                           coll::Algorithm::kFwayDissemination, 4);
+  const auto f2 = make_collective_schedule(coll::OpKind::kBarrier, 16, 0,
+                                           coll::Algorithm::kFwayDissemination, 2);
+  EXPECT_EQ(f4.ranks[0].steps.size(), 2u);
+  EXPECT_EQ(f2.ranks[0].steps.size(), 4u);
+}
+
 TEST(Collectives, CombineValueRules) {
   using coll::combine_value;
   using coll::OpKind;

@@ -152,6 +152,40 @@ TEST(FuzzCase, DerivationCoversTheSpace) {
   EXPECT_TRUE(any_skew);
 }
 
+TEST(FuzzCase, DerivationDrawsEveryBarrierAlgorithm) {
+  // The CI smoke run asserts nonzero coverage of every algorithm in the
+  // zoo; this is the same property over a small in-process seed range.
+  std::set<coll::Algorithm> algorithms;
+  bool any_radix = false;
+  bool any_overlap = false;
+  for (std::uint64_t seed = 1; seed <= 512; ++seed) {
+    const auto s = derive_case(seed);
+    algorithms.insert(s.algorithm);
+    any_radix |= s.radix != 0;
+    any_overlap |= s.overlap_us >= 0.0;
+  }
+  for (const coll::Algorithm a : coll::kBarrierAlgorithms) {
+    EXPECT_TRUE(algorithms.count(a)) << coll::to_string(a);
+  }
+  EXPECT_FALSE(algorithms.count(coll::Algorithm::kRotation));
+  EXPECT_TRUE(any_radix);
+  EXPECT_TRUE(any_overlap);
+}
+
+TEST(FuzzCase, RadixAndOverlapSurviveJson) {
+  auto spec = derive_case(3);
+  spec.algorithm = coll::Algorithm::kFwayDissemination;
+  spec.radix = 7;
+  spec.overlap_us = 12.5;
+  const auto back = spec_from_json(spec_to_json(spec));
+  EXPECT_EQ(back.algorithm, coll::Algorithm::kFwayDissemination);
+  EXPECT_EQ(back.radix, 7);
+  EXPECT_EQ(back.overlap_us, 12.5);
+  // The disabled sentinel (-1) round-trips as disabled.
+  spec.overlap_us = -1.0;
+  EXPECT_LT(spec_from_json(spec_to_json(spec)).overlap_us, 0.0);
+}
+
 TEST(FuzzCase, SpecJsonRoundTrips) {
   for (std::uint64_t seed = 1; seed <= 24; ++seed) {
     const auto spec = derive_case(seed);

@@ -112,6 +112,20 @@ TEST(ValidateWorkload, RejectsExecutorBudgetBeyondSubstrateSlots) {
   EXPECT_EQ(validate_workload(w, 256, 127), "");
 }
 
+TEST(ValidateWorkload, GroupFieldAdmitsThousandsOfSlots) {
+  // The widened 11-bit BarrierTag group field raises the substrate ceiling
+  // to 2047 concurrent slots: 2047 single-op groups fit, 2048 do not.
+  WorkloadSpec w;
+  w.groups = 2047;
+  w.group_size = 2;
+  w.mix = {coll::OpKind::kBarrier};
+  EXPECT_EQ(validate_workload(w, 4096, 2047), "");
+  w.groups = 2048;
+  const std::string err = validate_workload(w, 4096, 2047);
+  EXPECT_NE(err.find("2047"), std::string::npos) << err;
+  EXPECT_NE(err.find("11 bits"), std::string::npos) << err;
+}
+
 TEST(ValidateWorkload, RejectsWithinGroupNodeCollision) {
   WorkloadSpec w;
   w.groups = 2;

@@ -2,6 +2,7 @@
 // pure function of its ExperimentSpec — rerunning a spec, or running it on
 // a sweep with any thread count, must reproduce bit-identical latency
 // stats and event-count fingerprints.
+#include "run/substrate.hpp"
 #include "run/sweep.hpp"
 
 #include <gtest/gtest.h>
@@ -186,6 +187,85 @@ TEST(SeedFor, DeterministicAndDecorrelated) {
   EXPECT_EQ(seed_for(1, 0), seed_for(1, 0));
   EXPECT_NE(seed_for(1, 0), seed_for(1, 1));
   EXPECT_NE(seed_for(1, 0), seed_for(2, 0));
+}
+
+// ---------- algorithm zoo ----------
+
+TEST(AlgorithmZoo, EveryAdvertisedPairRunsDeterministically) {
+  // Every (substrate, algorithm) pair the capability model advertises must
+  // actually execute, produce a plausible latency, and be bit-reproducible.
+  for (const Network net : {Network::kMyrinetXP, Network::kMyrinetL9,
+                            Network::kQuadrics, Network::kInfiniBand}) {
+    const SubstrateCaps& caps = substrate_for(net).caps();
+    EXPECT_FALSE(caps.barrier_algorithms.empty());
+    for (const coll::Algorithm alg : caps.barrier_algorithms) {
+      auto s = quick_spec(net, 8);
+      s.algorithm = alg;
+      EXPECT_EQ(validate(s), "") << coll::to_string(alg);
+      const auto a = run_experiment(s);
+      EXPECT_GT(a.mean_picos, 0u) << coll::to_string(alg);
+      expect_identical(a, run_experiment(s));
+    }
+  }
+}
+
+TEST(AlgorithmZoo, RadixIsHonoredEndToEnd) {
+  // f-way dissemination with different fan-outs runs different schedules,
+  // so the end-to-end fingerprints must differ.
+  auto s = quick_spec(Network::kMyrinetXP, 16);
+  s.algorithm = coll::Algorithm::kFwayDissemination;
+  s.radix = 2;
+  const auto narrow = run_experiment(s);
+  s.radix = 8;
+  const auto wide = run_experiment(s);
+  EXPECT_NE(narrow.fingerprint(), wide.fingerprint());
+}
+
+TEST(AlgorithmZoo, SplitPhaseOverlapIsMeasuredAndDeterministic) {
+  auto s = quick_spec(Network::kMyrinetXP, 8);
+  s.overlap_us = 50.0;
+  const auto a = run_experiment(s);
+  // Each iteration hides 50us of compute behind the barrier, so the mean
+  // can never be below the overlap itself.
+  EXPECT_GE(a.mean_picos, 50'000'000u);
+  expect_identical(a, run_experiment(s));
+}
+
+TEST(Validate, NamesTheUnsupportedAlgorithm) {
+  auto s = quick_spec(Network::kMyrinetXP, 4);
+  s.algorithm = coll::Algorithm::kRemoteAtomic;
+  const std::string err = validate(s);
+  EXPECT_NE(err.find("ra"), std::string::npos) << err;
+  EXPECT_NE(err.find("myrinet-xp"), std::string::npos) << err;
+}
+
+TEST(Validate, FixedPatternImplRejectsAlgorithmChoice) {
+  auto s = quick_spec(Network::kQuadrics, 4, Impl::kGsync);
+  s.algorithm = coll::Algorithm::kTree;
+  EXPECT_NE(validate(s).find("fixed pattern"), std::string::npos) << validate(s);
+}
+
+TEST(Validate, RadixMustBeZeroOrAtLeastTwo) {
+  auto s = quick_spec();
+  s.radix = 1;
+  EXPECT_NE(validate(s).find("--radix"), std::string::npos) << validate(s);
+  s.radix = 0;
+  EXPECT_EQ(validate(s), "");
+  s.radix = 2;
+  EXPECT_EQ(validate(s), "");
+}
+
+TEST(Validate, OverlapIsBarrierOnlyAndExcludesWorkload) {
+  auto s = quick_spec();
+  s.overlap_us = 4.0;
+  s.op = coll::OpKind::kBcast;
+  EXPECT_NE(validate(s).find("notify/wait"), std::string::npos) << validate(s);
+
+  s = quick_spec();
+  s.overlap_us = 4.0;
+  s.workload.groups = 1;
+  ASSERT_TRUE(s.workload.enabled());
+  EXPECT_NE(validate(s).find("--workload"), std::string::npos) << validate(s);
 }
 
 TEST(ToJson, CarriesSpecAndResultFields) {

@@ -139,8 +139,162 @@ TEST(GatherBroadcast, MessageCountIsTwiceEdges) {
 }
 
 TEST(GatherBroadcast, InvalidDegreeThrows) {
-  EXPECT_THROW(make_barrier_schedule(Algorithm::kGatherBroadcast, 4, 0),
+  EXPECT_THROW(make_barrier_schedule(Algorithm::kGatherBroadcast, 4, 1),
                std::invalid_argument);
+}
+
+TEST(GatherBroadcast, RadixZeroMeansDefaultDegreeTwo) {
+  const auto def = make_barrier_schedule(Algorithm::kGatherBroadcast, 7, 0);
+  const auto& root = def.ranks[0];
+  ASSERT_EQ(root.steps.size(), 2u);
+  EXPECT_EQ(root.steps[0].waits.size(), 2u);  // binary tree: children 1, 2
+  EXPECT_EQ(def.total_messages(), 2 * (7 - 1));
+}
+
+// ---------- binomial tree ----------
+
+TEST(Tree, RootGathersAllSubtreesAndReleases) {
+  const auto g = make_barrier_schedule(Algorithm::kTree, 8);
+  const auto& root = g.ranks[0];
+  ASSERT_EQ(root.steps.size(), 2u);
+  EXPECT_EQ(root.steps[0].waits.size(), 3u);  // children 1, 2, 4
+  EXPECT_EQ(root.steps[1].sends.size(), 3u);
+  EXPECT_TRUE(root.steps[0].sends.empty());
+  EXPECT_TRUE(root.steps[1].waits.empty());
+}
+
+TEST(Tree, ParentIsRankMinusLowBit) {
+  const auto g = make_barrier_schedule(Algorithm::kTree, 13);
+  for (int i = 1; i < 13; ++i) {
+    const auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    const int parent = i - (i & -i);
+    bool sends_up = false;
+    for (const auto& st : rs.steps) {
+      for (const auto& e : st.sends) {
+        if (e.tag == kTagUp) {
+          EXPECT_EQ(e.peer, parent) << "rank " << i;
+          sends_up = true;
+        }
+      }
+    }
+    EXPECT_TRUE(sends_up) << "rank " << i;
+  }
+}
+
+TEST(Tree, MessageCountIsTwiceEdges) {
+  for (int n : {2, 3, 7, 8, 16, 21}) {
+    const auto g = make_barrier_schedule(Algorithm::kTree, n);
+    EXPECT_EQ(g.total_messages(), 2 * (n - 1)) << "n=" << n;
+  }
+}
+
+// ---------- tournament ----------
+
+TEST(Tournament, EveryLoserSignalsOnceAndIsWoken) {
+  const auto g = make_barrier_schedule(Algorithm::kTournament, 16);
+  // 15 losers each send one win-notification; 15 wake messages flow back:
+  // 2(n-1) messages total, like the trees.
+  EXPECT_EQ(g.total_messages(), 2 * (16 - 1));
+  for (int i = 1; i < 16; ++i) {
+    const auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    bool waits_wake = false;
+    for (const auto& st : rs.steps) {
+      for (const auto& e : st.waits) waits_wake |= e.tag == kTagWake;
+    }
+    EXPECT_TRUE(waits_wake) << "rank " << i;
+  }
+}
+
+TEST(Tournament, LoserRoundIsLowestSetBit) {
+  const auto g = make_barrier_schedule(Algorithm::kTournament, 8);
+  // Rank 6 = 0b110 loses round 1 to rank 4: its up-message carries tag 1.
+  const auto& rs = g.ranks[6];
+  bool found = false;
+  for (const auto& st : rs.steps) {
+    for (const auto& e : st.sends) {
+      if (e.tag == 1) {
+        EXPECT_EQ(e.peer, 4);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------- f-way dissemination ----------
+
+TEST(FwayDissemination, RoundCountIsCeilLogF) {
+  // f = 4: 4^k rounds; n = 64 needs 3 rounds, n = 65 needs 4.
+  EXPECT_EQ(make_barrier_schedule(Algorithm::kFwayDissemination, 64, 4).max_steps(), 3);
+  EXPECT_EQ(make_barrier_schedule(Algorithm::kFwayDissemination, 65, 4).max_steps(), 4);
+  // Default radix is 4.
+  EXPECT_EQ(make_barrier_schedule(Algorithm::kFwayDissemination, 64, 0).max_steps(), 3);
+}
+
+TEST(FwayDissemination, RadixTwoMatchesDissemination) {
+  // f = 2 degenerates to plain dissemination: same peers, same step count.
+  const auto f2 = make_barrier_schedule(Algorithm::kFwayDissemination, 11, 2);
+  const auto ds = make_barrier_schedule(Algorithm::kDissemination, 11);
+  ASSERT_EQ(f2.max_steps(), ds.max_steps());
+  for (int i = 0; i < 11; ++i) {
+    const auto& a = f2.ranks[static_cast<std::size_t>(i)];
+    const auto& b = ds.ranks[static_cast<std::size_t>(i)];
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (std::size_t s = 0; s < a.steps.size(); ++s) {
+      ASSERT_EQ(a.steps[s].sends.size(), 1u);
+      EXPECT_EQ(a.steps[s].sends[0].peer, b.steps[s].sends[0].peer);
+    }
+  }
+}
+
+TEST(FwayDissemination, EachRoundSendsAtMostFMinusOne) {
+  const auto g = make_barrier_schedule(Algorithm::kFwayDissemination, 20, 5);
+  for (const auto& rs : g.ranks) {
+    for (const auto& st : rs.steps) {
+      EXPECT_LE(st.sends.size(), 4u);
+      EXPECT_EQ(st.sends.size(), st.waits.size());
+    }
+  }
+}
+
+// ---------- remote-atomic central counter ----------
+
+TEST(RemoteAtomic, StarShape) {
+  const auto g = make_barrier_schedule(Algorithm::kRemoteAtomic, 9);
+  const auto& hub = g.ranks[0];
+  ASSERT_EQ(hub.steps.size(), 2u);
+  EXPECT_EQ(hub.steps[0].waits.size(), 8u);  // every rank increments
+  EXPECT_EQ(hub.steps[1].sends.size(), 8u);  // hub releases everyone
+  for (int i = 1; i < 9; ++i) {
+    const auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    ASSERT_EQ(rs.steps.size(), 1u);
+    ASSERT_EQ(rs.steps[0].sends.size(), 1u);
+    EXPECT_EQ(rs.steps[0].sends[0].peer, 0);
+    ASSERT_EQ(rs.steps[0].waits.size(), 1u);
+    EXPECT_EQ(rs.steps[0].waits[0].peer, 0);
+  }
+  EXPECT_EQ(g.total_messages(), 2 * (9 - 1));
+}
+
+// ---------- rotation is a label, not a barrier ----------
+
+TEST(Rotation, BarrierScheduleThrows) {
+  EXPECT_THROW(make_barrier_schedule(Algorithm::kRotation, 8),
+               std::invalid_argument);
+}
+
+TEST(Rotation, AlltoallIsLabeledHonestly) {
+  // Regression: the alltoall ring used to masquerade as kDissemination in
+  // traces and metrics.
+  EXPECT_EQ(make_alltoall_schedule(8).algorithm, Algorithm::kRotation);
+}
+
+TEST(AlgorithmNames, ZooRoundTripsThroughToString) {
+  EXPECT_EQ(to_string(Algorithm::kTree), "tree");
+  EXPECT_EQ(to_string(Algorithm::kTournament), "tournament");
+  EXPECT_EQ(to_string(Algorithm::kFwayDissemination), "fway-dissemination");
+  EXPECT_EQ(to_string(Algorithm::kRemoteAtomic), "remote-atomic");
+  EXPECT_EQ(to_string(Algorithm::kRotation), "rotation");
 }
 
 // ---------- correctness property (all algorithms, swept N) ----------
@@ -148,23 +302,30 @@ TEST(GatherBroadcast, InvalidDegreeThrows) {
 struct CorrectnessCase {
   Algorithm algorithm;
   int n;
+  int radix;
 };
 
 class BarrierCorrectness : public ::testing::TestWithParam<CorrectnessCase> {};
 
 TEST_P(BarrierCorrectness, FullInformationProperty) {
   const auto& p = GetParam();
-  const int degree = p.algorithm == Algorithm::kGatherBroadcast ? 4 : 2;
-  const auto g = make_barrier_schedule(p.algorithm, p.n, degree);
+  const auto g = make_barrier_schedule(p.algorithm, p.n, p.radix);
   EXPECT_TRUE(schedule_is_correct_barrier(g))
-      << to_string(p.algorithm) << " n=" << p.n;
+      << to_string(p.algorithm) << " n=" << p.n << " radix=" << p.radix;
 }
 
 std::vector<CorrectnessCase> all_cases() {
   std::vector<CorrectnessCase> cases;
-  for (const auto alg : {Algorithm::kDissemination, Algorithm::kPairwiseExchange,
-                         Algorithm::kGatherBroadcast}) {
-    for (int n = 1; n <= 33; ++n) cases.push_back({alg, n});
+  for (const auto alg : kBarrierAlgorithms) {
+    const int radix = alg == Algorithm::kGatherBroadcast ? 4 : 0;
+    for (int n = 1; n <= 33; ++n) cases.push_back({alg, n, radix});
+  }
+  // The radixed generators again at non-default fan-outs.
+  for (const int f : {2, 3, 5, 8}) {
+    for (int n : {1, 2, 7, 16, 33}) {
+      cases.push_back({Algorithm::kFwayDissemination, n, f});
+      cases.push_back({Algorithm::kGatherBroadcast, n, f});
+    }
   }
   return cases;
 }
@@ -176,7 +337,8 @@ INSTANTIATE_TEST_SUITE_P(
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      return name + "_n" + std::to_string(info.param.n);
+      return name + "_n" + std::to_string(info.param.n) + "_r" +
+             std::to_string(info.param.radix);
     });
 
 // ---------- executor ----------

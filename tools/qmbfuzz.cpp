@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,7 @@ struct Options {
   fuzz::FuzzOptions fuzz;
   int shrink_budget = 200;
   bool json = false;
+  bool coverage = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -70,6 +72,9 @@ struct Options {
       "  --max-iters K       cap derived timed iterations (default 10)\n"
       "  --horizon-ms H      per-case simulated-time watchdog (default 10000)\n"
       "  --shrink-budget B   candidate runs per failure (default 200; 0 = off)\n"
+      "  --coverage          also print how many derived cases drew each barrier\n"
+      "                      algorithm (and split-phase overlap) over the seed\n"
+      "                      range, so CI can assert every algorithm appears\n"
       "  --json              machine-readable verdict lines\n",
       argv0);
   std::exit(2);
@@ -118,6 +123,8 @@ Options parse(int argc, char** argv) {
       o.fuzz.horizon_ms = std::atol(cli::require_value(argc, argv, i, "--horizon-ms"));
     } else if (a == "--shrink-budget") {
       o.shrink_budget = std::atoi(cli::require_value(argc, argv, i, "--shrink-budget"));
+    } else if (a == "--coverage") {
+      o.coverage = true;
     } else if (a == "--json") {
       o.json = true;
     } else if (a == "--help" || a == "-h") {
@@ -185,6 +192,30 @@ int run_replay(const Options& o) {
     print_violations(c.violations);
   }
   return c.failed() ? 1 : 0;
+}
+
+/// Re-derives the seed range's specs (derive_case is a pure function of
+/// the seed, so this costs microseconds per case, not a simulation) and
+/// prints one draw count per barrier algorithm plus the split-phase
+/// overlap count. CI greps this line to prove the smoke range exercises
+/// every algorithm in the zoo.
+void print_coverage(const Options& o, std::uint64_t base_seed) {
+  constexpr std::size_t kAlgos = std::size(coll::kBarrierAlgorithms);
+  std::size_t counts[kAlgos] = {};
+  std::size_t overlap_cases = 0;
+  for (std::size_t i = 0; i < o.runs; ++i) {
+    const run::ExperimentSpec s = fuzz::derive_case(run::seed_for(base_seed, i), o.fuzz);
+    for (std::size_t k = 0; k < kAlgos; ++k) {
+      if (s.algorithm == coll::kBarrierAlgorithms[k]) ++counts[k];
+    }
+    if (s.overlap_us >= 0.0) ++overlap_cases;
+  }
+  std::printf("algorithm coverage:");
+  for (std::size_t k = 0; k < kAlgos; ++k) {
+    const std::string name{run::algorithm_cli_name(coll::kBarrierAlgorithms[k])};
+    std::printf(" %s=%zu", name.c_str(), counts[k]);
+  }
+  std::printf(" overlap=%zu\n", overlap_cases);
 }
 
 /// Runs one fixed seed range and writes artifacts. Returns the report.
@@ -258,6 +289,7 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(digest));
       }
     }
+    if (o.coverage) print_coverage(o, o.seed);
     return total_failed > 0 ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());

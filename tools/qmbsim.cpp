@@ -48,7 +48,16 @@ struct Options {
       "  --impl nic|host|direct|gsync|hgsync        (default nic;\n"
       "         direct = prior-work NIC scheme, Myrinet barrier only;\n"
       "         gsync/hgsync = Quadrics barrier only)\n"
-      "  --algorithm ds|pe|gb                       (default ds)\n"
+      "  --algorithm ds|pe|gb|tree|trn|fway|ra      (default ds;\n"
+      "         ds = dissemination, pe = pairwise exchange, gb = gather-\n"
+      "         broadcast tree, tree = binomial tree, trn = tournament,\n"
+      "         fway = f-way dissemination, ra = remote-atomic central\n"
+      "         counter, IB only; per-network support is capability-gated)\n"
+      "  --radix R                                  gb tree degree / fway f\n"
+      "         (default 0 = the algorithm's own default: gb 2, fway 4)\n"
+      "  --overlap US                               split-phase barriers: each\n"
+      "         rank notify()s, computes US microseconds, then wait()s;\n"
+      "         measures how much synchronization hides behind compute\n"
       "  --iters K --warmup W                       (default 1000 / 100)\n"
       "  --seed S --perm                            random rank placement\n"
       "  --drop-prob P                              packet loss (%s)\n"
@@ -191,10 +200,17 @@ Options parse(int argc, char** argv) {
       const char* v = next("--algorithm");
       const auto alg = run::parse_algorithm(v);
       if (!alg) {
-        std::fprintf(stderr, "unknown --algorithm '%s' (valid: ds, pe, gb)\n", v);
+        std::fprintf(stderr,
+                     "unknown --algorithm '%s' (valid: ds, pe, gb, tree, trn, fway, "
+                     "ra)\n",
+                     v);
         usage(argv[0]);
       }
       o.spec.algorithm = *alg;
+    } else if (a == "--radix") {
+      o.spec.radix = std::atoi(next("--radix"));
+    } else if (a == "--overlap") {
+      o.spec.overlap_us = std::atof(next("--overlap"));
     } else if (a == "--iters") {
       o.spec.iters = std::atoi(next("--iters"));
     } else if (a == "--warmup") {

@@ -49,7 +49,7 @@ BARRIER_TAG_BASE = 0x80000000  # core::BarrierTag: [31] base, [0..11] edge tag
 def group_of(tag):
     """BarrierTag group field, or None for plain (non-collective) tags.
 
-    core/coll_tag.hpp packs [31] base, [30..24] group, [23..12] seq,
+    core/coll_tag.hpp packs [31] base, [30..20] group, [19..12] seq,
     [11..0] edge tag -- multi-tenant traces are attributable to their
     process group straight from the wire tag.
     """
@@ -58,7 +58,7 @@ def group_of(tag):
     tag = int(tag)
     if not tag & BARRIER_TAG_BASE:
         return None
-    return (tag >> 24) & 0x7F
+    return (tag >> 20) & 0x7FF
 
 
 def round_label(tag):
