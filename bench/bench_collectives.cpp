@@ -15,8 +15,10 @@ using namespace qmb;
 double collective_mean_us(coll::OpKind kind, int nodes, bool nic, int iters) {
   sim::Engine engine;
   core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
-  auto op = nic ? core::make_nic_collective(cluster, kind)
-                : core::make_host_collective(cluster, kind);
+  coll::CollSpec cs;
+  cs.op = kind;
+  cs.engine = nic ? coll::Engine::kNic : coll::Engine::kHost;
+  auto op = core::make_collective(cluster, cs);
 
   const int total = bench::warmup_iters() + iters;
   std::vector<int> iter_of(static_cast<std::size_t>(nodes), 0);
@@ -43,8 +45,10 @@ double collective_mean_us(coll::OpKind kind, int nodes, bool nic, int iters) {
 double elan_collective_mean_us(coll::OpKind kind, int nodes, bool nic, int iters) {
   sim::Engine engine;
   core::ElanCluster cluster(engine, elan::elan3_cluster(), nodes);
-  auto op = nic ? core::make_elan_nic_collective(cluster, kind)
-                : core::make_elan_host_collective(cluster, kind);
+  coll::CollSpec cs;
+  cs.op = kind;
+  cs.engine = nic ? coll::Engine::kNic : coll::Engine::kHost;
+  auto op = core::make_collective(cluster, cs);
 
   const int total = bench::warmup_iters() + iters;
   std::vector<int> iter_of(static_cast<std::size_t>(nodes), 0);
@@ -110,10 +114,11 @@ void print_tables() {
 double bcast_size_mean_us(std::uint32_t payload, int nodes, bool nic, int iters) {
   sim::Engine engine;
   core::MyriCluster cluster(engine, myri::lanaixp_cluster(), nodes);
-  auto op = nic ? core::make_nic_collective(cluster, coll::OpKind::kBcast, 0,
-                                            coll::ReduceOp::kSum, {}, payload)
-                : core::make_host_collective(cluster, coll::OpKind::kBcast, 0,
-                                             coll::ReduceOp::kSum, {}, payload);
+  coll::CollSpec cs;
+  cs.op = coll::OpKind::kBcast;
+  cs.engine = nic ? coll::Engine::kNic : coll::Engine::kHost;
+  cs.payload_bytes = payload;
+  auto op = core::make_collective(cluster, cs);
   const int total = bench::warmup_iters() + iters;
   std::vector<int> iter_of(static_cast<std::size_t>(nodes), 0);
   std::vector<int> done_in(static_cast<std::size_t>(total), 0);

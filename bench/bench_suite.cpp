@@ -205,6 +205,25 @@ std::vector<SuitePoint> build_points(bool quick) {
     s.op = op;
     pts.push_back({key_for("collectives", s), s});
   }
+
+  // Value-collective algorithm tier: NIC vs host allreduce under every
+  // algorithm the capability model admits for the kind, on all three
+  // hardware models — the value-op companion to the barrier zoo tier, so
+  // "which allreduce schedule wins at which scale" is one keyed artifact.
+  for (const Network net :
+       {Network::kMyrinetXP, Network::kQuadrics, Network::kInfiniBand}) {
+    const run::SubstrateCaps& caps = run::substrate_for(net).caps();
+    for (const Impl impl : {Impl::kNic, Impl::kHost}) {
+      for (const coll::Algorithm alg :
+           run::caps_algorithms(caps, coll::OpKind::kAllreduce)) {
+        for (const int n : {8, 64}) {
+          run::ExperimentSpec s = bench::barrier_spec(net, n, impl, alg);
+          s.op = coll::OpKind::kAllreduce;
+          pts.push_back({key_for("vcoll", s), s});
+        }
+      }
+    }
+  }
   return pts;
 }
 

@@ -1,0 +1,101 @@
+#include "core/coll_spec.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace qmb::coll {
+
+std::string_view to_string(Engine e) {
+  switch (e) {
+    case Engine::kNic: return "nic";
+    case Engine::kHost: return "host";
+  }
+  return "?";
+}
+
+std::optional<Engine> parse_engine(std::string_view s) {
+  if (s == "nic") return Engine::kNic;
+  if (s == "host") return Engine::kHost;
+  return std::nullopt;
+}
+
+obs::JsonValue to_json(const CollSpec& spec) {
+  const CollSpec defaults;
+  auto v = obs::JsonValue::make_object();
+  if (spec.op != defaults.op) v.set("op", obs::JsonValue::of(to_string(spec.op)));
+  if (spec.engine != defaults.engine) {
+    v.set("engine", obs::JsonValue::of(to_string(spec.engine)));
+  }
+  if (spec.root != defaults.root) {
+    v.set("root", obs::JsonValue::of(static_cast<std::int64_t>(spec.root)));
+  }
+  if (spec.reduce != defaults.reduce) {
+    v.set("reduce", obs::JsonValue::of(to_string(spec.reduce)));
+  }
+  if (spec.payload_bytes != defaults.payload_bytes) {
+    v.set("payload_bytes",
+          obs::JsonValue::of(static_cast<std::int64_t>(spec.payload_bytes)));
+  }
+  if (spec.algorithm != defaults.algorithm) {
+    v.set("algorithm", obs::JsonValue::of(to_string(spec.algorithm)));
+  }
+  if (spec.radix != defaults.radix) {
+    v.set("radix", obs::JsonValue::of(static_cast<std::int64_t>(spec.radix)));
+  }
+  if (spec.overlap_us != defaults.overlap_us) {
+    v.set("overlap_us", obs::JsonValue::of(spec.overlap_us));
+  }
+  if (!spec.rank_to_node.empty()) {
+    auto arr = obs::JsonValue::make_array();
+    for (int node : spec.rank_to_node) {
+      arr.array.push_back(obs::JsonValue::of(static_cast<std::int64_t>(node)));
+    }
+    v.set("rank_to_node", std::move(arr));
+  }
+  return v;
+}
+
+CollSpec coll_spec_from_json(const obs::JsonValue& v) {
+  CollSpec spec;
+  if (!v.is_object()) throw std::invalid_argument("CollSpec JSON must be an object");
+  if (const auto* f = v.find("op")) {
+    const auto op = parse_op_kind(f->string);
+    if (!op) throw std::invalid_argument("CollSpec: unknown op \"" + f->string + "\"");
+    spec.op = *op;
+  }
+  if (const auto* f = v.find("engine")) {
+    const auto e = parse_engine(f->string);
+    if (!e) throw std::invalid_argument("CollSpec: unknown engine \"" + f->string + "\"");
+    spec.engine = *e;
+  }
+  spec.root = static_cast<int>(v.number_or("root", spec.root));
+  if (const auto* f = v.find("reduce")) {
+    const auto r = parse_reduce_op(f->string);
+    if (!r) throw std::invalid_argument("CollSpec: unknown reduce \"" + f->string + "\"");
+    spec.reduce = *r;
+  }
+  spec.payload_bytes = static_cast<std::uint32_t>(
+      v.number_or("payload_bytes", spec.payload_bytes));
+  if (const auto* f = v.find("algorithm")) {
+    const auto a = parse_algorithm(f->string);
+    if (!a) {
+      throw std::invalid_argument("CollSpec: unknown algorithm \"" + f->string + "\"");
+    }
+    spec.algorithm = *a;
+  }
+  spec.radix = static_cast<int>(v.number_or("radix", spec.radix));
+  spec.overlap_us = v.number_or("overlap_us", spec.overlap_us);
+  if (const auto* f = v.find("rank_to_node")) {
+    if (!f->is_array()) {
+      throw std::invalid_argument("CollSpec: rank_to_node must be an array");
+    }
+    for (const auto& e : f->array) {
+      spec.rank_to_node.push_back(static_cast<int>(e.number));
+    }
+  }
+  return spec;
+}
+
+}  // namespace qmb::coll

@@ -1,7 +1,9 @@
 #include "core/collectives.hpp"
 
 #include <cassert>
+#include <iterator>
 #include <stdexcept>
+#include <string>
 
 #include "core/cluster.hpp"
 #include "core/myri_barriers.hpp"  // BarrierTag codec
@@ -11,6 +13,18 @@ namespace qmb::core {
 namespace {
 
 std::string_view kind_name(coll::OpKind kind) { return coll::to_string(kind); }
+
+[[nodiscard]] std::vector<int> resolve_placement(const coll::CollSpec& spec,
+                                                 int cluster_size) {
+  if (!spec.rank_to_node.empty()) return spec.rank_to_node;
+  return identity_placement(cluster_size);
+}
+
+[[noreturn]] void throw_unsupported(coll::OpKind kind, coll::Algorithm algorithm) {
+  throw std::invalid_argument(std::string(coll::to_string(kind)) +
+                              " has no value-correct schedule for algorithm " +
+                              std::string(coll::to_string(algorithm)));
+}
 
 }  // namespace
 
@@ -34,34 +48,152 @@ std::int64_t expected_collective_result(coll::OpKind kind, int n) {
   return 0;
 }
 
-coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n, int root,
-                                             coll::Algorithm algorithm, int radix) {
+const std::vector<coll::Algorithm>& collective_algorithms_for(coll::OpKind kind) {
+  using A = coll::Algorithm;
+  // Listed in kBarrierAlgorithms order. Bcast trees must push the payload
+  // down before combining ACKs up (gather-first patterns broadcast
+  // nothing); sum-reductions need exchange rounds whose partial blocks
+  // tile without overlap (plain dissemination double-counts on non-power
+  // sizes, hence the power-of-f-block f-way variant); allgather's union is
+  // idempotent, so every knowledge-complete barrier pattern qualifies.
+  static const std::vector<A> barrier(std::begin(coll::kBarrierAlgorithms),
+                                      std::end(coll::kBarrierAlgorithms));
+  static const std::vector<A> bcast = {A::kGatherBroadcast, A::kDissemination,
+                                       A::kTree};
+  static const std::vector<A> value_combine = {
+      A::kGatherBroadcast, A::kPairwiseExchange, A::kDissemination,
+      A::kTree,            A::kTournament,       A::kFwayDissemination,
+  };
+  static const std::vector<A> alltoall = {A::kDissemination};
   switch (kind) {
-    case coll::OpKind::kBarrier:
-      return coll::make_barrier_schedule(algorithm, n, radix);
-    case coll::OpKind::kBcast:
-      return coll::make_bcast_schedule(n, root);
+    case coll::OpKind::kBarrier: return barrier;
+    case coll::OpKind::kBcast: return bcast;
     case coll::OpKind::kAllreduce:
-      return coll::make_allreduce_schedule(n);
-    case coll::OpKind::kAllgather:
-      return coll::make_allgather_schedule(n);
-    case coll::OpKind::kAlltoall:
-      return coll::make_alltoall_schedule(n);
+    case coll::OpKind::kAllgather: return value_combine;
+    case coll::OpKind::kAlltoall: return alltoall;
   }
   throw std::invalid_argument("unknown collective kind");
 }
 
-MyriNicCollective::MyriNicCollective(MyriCluster& cluster, coll::OpKind kind, int root,
-                                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                                     std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix)
+coll::GroupSchedule make_collective_schedule(coll::OpKind kind, int n, int root,
+                                             coll::Algorithm algorithm, int radix) {
+  using A = coll::Algorithm;
+  switch (kind) {
+    case coll::OpKind::kBarrier:
+      return coll::make_barrier_schedule(algorithm, n, radix);
+    case coll::OpKind::kBcast:
+      switch (algorithm) {
+        case A::kDissemination:  // default: canonical binary tree
+          return coll::make_bcast_schedule(n, root);
+        case A::kGatherBroadcast:  // the d-ary tree, degree = radix
+          return coll::make_bcast_schedule(n, root, radix > 0 ? radix : 2);
+        case A::kTree:
+          return coll::make_binomial_bcast_schedule(n, root);
+        default:
+          throw_unsupported(kind, algorithm);
+      }
+    case coll::OpKind::kAllreduce:
+      switch (algorithm) {
+        case A::kDissemination:  // default: canonical recursive doubling
+        case A::kPairwiseExchange:
+          return coll::make_allreduce_schedule(n);
+        case A::kGatherBroadcast:
+        case A::kTree:
+        case A::kTournament:
+          // Combine-up / result-down patterns: non-result tags sum the
+          // partials, kTagDown/kTagWake replace with the final value.
+          return coll::make_barrier_schedule(algorithm, n, radix);
+        case A::kFwayDissemination:
+          return coll::make_fway_allreduce_schedule(n, radix);
+        default:
+          throw_unsupported(kind, algorithm);
+      }
+    case coll::OpKind::kAllgather:
+      switch (algorithm) {
+        case A::kDissemination:  // default: canonical dissemination
+          return coll::make_allgather_schedule(n);
+        case A::kGatherBroadcast:
+        case A::kPairwiseExchange:
+        case A::kTree:
+        case A::kTournament:
+        case A::kFwayDissemination:
+          // Union is idempotent, so any knowledge-complete barrier
+          // schedule gathers correctly.
+          return coll::make_barrier_schedule(algorithm, n, radix);
+        default:
+          throw_unsupported(kind, algorithm);
+      }
+    case coll::OpKind::kAlltoall:
+      if (algorithm == A::kDissemination) return coll::make_alltoall_schedule(n);
+      throw_unsupported(kind, algorithm);
+  }
+  throw std::invalid_argument("unknown collective kind");
+}
+
+Collective::SplitState& Collective::split_state(int rank) {
+  if (rank < 0 || rank >= size()) {
+    throw std::logic_error("split-phase rank " + std::to_string(rank) +
+                           " out of range for a " + std::to_string(size()) +
+                           "-rank collective");
+  }
+  if (split_.size() != static_cast<std::size_t>(size())) {
+    split_.resize(static_cast<std::size_t>(size()));
+  }
+  return split_[static_cast<std::size_t>(rank)];
+}
+
+void Collective::start(int rank, std::int64_t value) {
+  SplitState& st = split_state(rank);
+  if (st.phase != Phase::kIdle) {
+    throw std::logic_error("rank " + std::to_string(rank) +
+                           " started the collective twice without waiting");
+  }
+  st.phase = Phase::kNotified;
+  enter(rank, value, [this, rank](std::int64_t result) {
+    SplitState& s = split_state(rank);
+    if (s.phase == Phase::kWaiting) {
+      // Host got there first and parked; release it and re-arm.
+      DoneFn done = std::move(s.waiter);
+      s.waiter = nullptr;
+      s.phase = Phase::kIdle;
+      done(result);
+    } else {
+      s.result = result;
+      s.phase = Phase::kReady;
+    }
+  });
+}
+
+void Collective::wait(int rank, DoneFn done) {
+  SplitState& st = split_state(rank);
+  switch (st.phase) {
+    case Phase::kIdle:
+      throw std::logic_error("rank " + std::to_string(rank) +
+                             " waited on the collective without a start");
+    case Phase::kWaiting:
+      throw std::logic_error("rank " + std::to_string(rank) +
+                             " waited on the collective twice");
+    case Phase::kReady:
+      // Protocol already finished under the compute phase: complete now.
+      st.phase = Phase::kIdle;
+      done(st.result);
+      return;
+    case Phase::kNotified:
+      st.phase = Phase::kWaiting;
+      st.waiter = std::move(done);
+      return;
+  }
+}
+
+MyriNicCollective::MyriNicCollective(MyriCluster& cluster, const coll::CollSpec& spec)
     : cluster_(cluster),
-      kind_(kind),
-      rank_to_node_(std::move(rank_to_node)),
+      kind_(spec.op),
+      rank_to_node_(resolve_placement(spec, cluster.size())),
       group_id_(cluster.next_group_id()) {
   const int n = static_cast<int>(rank_to_node_.size());
-  const auto schedule = make_collective_schedule(kind, n, root, algorithm, radix);
-  name_ = std::string("myri-nic-") + std::string(kind_name(kind));
+  const auto schedule =
+      make_collective_schedule(spec.op, n, spec.root, spec.algorithm, spec.radix);
+  name_ = std::string("myri-nic-") + std::string(kind_name(spec.op));
 
   const coll::Placement placement = coll::make_placement(rank_to_node_);
   for (int r = 0; r < n; ++r) {
@@ -70,9 +202,9 @@ MyriNicCollective::MyriNicCollective(MyriCluster& cluster, coll::OpKind kind, in
     desc.my_rank = r;
     desc.rank_to_node = placement;
     desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
-    desc.op_kind = kind;
-    desc.reduce_op = reduce;
-    desc.payload_bytes = payload_bytes;
+    desc.op_kind = spec.op;
+    desc.reduce_op = spec.reduce;
+    desc.payload_bytes = spec.payload_bytes;
     cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]).port().create_group(std::move(desc));
   }
 }
@@ -82,19 +214,15 @@ void MyriNicCollective::enter(int rank, std::int64_t value, DoneFn done) {
   cluster_.node(node).port().collective_enter(group_id_, value, std::move(done));
 }
 
-MyriHostCollective::MyriHostCollective(MyriCluster& cluster, coll::OpKind kind, int root,
-                                       coll::ReduceOp reduce,
-                                       std::vector<int> rank_to_node,
-                                       std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix)
+MyriHostCollective::MyriHostCollective(MyriCluster& cluster, const coll::CollSpec& spec)
     : cluster_(cluster),
-      kind_(kind),
-      rank_to_node_(std::move(rank_to_node)),
+      kind_(spec.op),
+      rank_to_node_(resolve_placement(spec, cluster.size())),
       group_id_(cluster.next_group_id() & core::BarrierTag::kGroupMask),
-      payload_bytes_(payload_bytes) {
+      payload_bytes_(spec.payload_bytes) {
   const int n = static_cast<int>(rank_to_node_.size());
-  schedule_ = make_collective_schedule(kind, n, root, algorithm, radix);
-  name_ = std::string("myri-host-") + std::string(kind_name(kind));
+  schedule_ = make_collective_schedule(spec.op, n, spec.root, spec.algorithm, spec.radix);
+  name_ = std::string("myri-host-") + std::string(kind_name(spec.op));
 
   node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
   for (int r = 0; r < n; ++r) {
@@ -124,7 +252,7 @@ MyriHostCollective::MyriHostCollective(MyriCluster& cluster, coll::OpKind kind, 
           c.done = nullptr;
           if (cb) cb(result);
         },
-        kind, reduce);
+        spec.op, spec.reduce);
 
     ctx.port->add_collective_handler(group_id_, [this, r](const myri::RecvEvent& ev) {
       RankCtx& c = ranks_[static_cast<std::size_t>(r)];
@@ -147,17 +275,15 @@ void MyriHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
   });
 }
 
-ElanNicCollective::ElanNicCollective(ElanCluster& cluster, coll::OpKind kind, int root,
-                                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                                     std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix)
+ElanNicCollective::ElanNicCollective(ElanCluster& cluster, const coll::CollSpec& spec)
     : cluster_(cluster),
-      kind_(kind),
-      rank_to_node_(std::move(rank_to_node)),
+      kind_(spec.op),
+      rank_to_node_(resolve_placement(spec, cluster.size())),
       group_id_(cluster.next_group_id()) {
   const int n = static_cast<int>(rank_to_node_.size());
-  const auto schedule = make_collective_schedule(kind, n, root, algorithm, radix);
-  name_ = std::string("elan-nic-") + std::string(kind_name(kind));
+  const auto schedule =
+      make_collective_schedule(spec.op, n, spec.root, spec.algorithm, spec.radix);
+  name_ = std::string("elan-nic-") + std::string(kind_name(spec.op));
 
   const coll::Placement placement = coll::make_placement(rank_to_node_);
   for (int r = 0; r < n; ++r) {
@@ -166,9 +292,9 @@ ElanNicCollective::ElanNicCollective(ElanCluster& cluster, coll::OpKind kind, in
     desc.my_rank = r;
     desc.rank_to_node = placement;
     desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
-    desc.op_kind = kind;
-    desc.reduce_op = reduce;
-    desc.payload_bytes = payload_bytes;
+    desc.op_kind = spec.op;
+    desc.reduce_op = spec.reduce;
+    desc.payload_bytes = spec.payload_bytes;
     cluster_.node(rank_to_node_[static_cast<std::size_t>(r)])
         .create_barrier_group(std::move(desc));
   }
@@ -179,19 +305,15 @@ void ElanNicCollective::enter(int rank, std::int64_t value, DoneFn done) {
   cluster_.node(node).collective_enter(group_id_, value, std::move(done));
 }
 
-ElanHostCollective::ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, int root,
-                                       coll::ReduceOp reduce,
-                                       std::vector<int> rank_to_node,
-                                       std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix)
+ElanHostCollective::ElanHostCollective(ElanCluster& cluster, const coll::CollSpec& spec)
     : cluster_(cluster),
-      kind_(kind),
-      rank_to_node_(std::move(rank_to_node)),
+      kind_(spec.op),
+      rank_to_node_(resolve_placement(spec, cluster.size())),
       group_id_(cluster.next_group_id() & core::BarrierTag::kGroupMask),
-      payload_bytes_(payload_bytes) {
+      payload_bytes_(spec.payload_bytes) {
   const int n = static_cast<int>(rank_to_node_.size());
-  schedule_ = make_collective_schedule(kind, n, root, algorithm, radix);
-  name_ = std::string("elan-host-") + std::string(kind_name(kind));
+  schedule_ = make_collective_schedule(spec.op, n, spec.root, spec.algorithm, spec.radix);
+  name_ = std::string("elan-host-") + std::string(kind_name(spec.op));
 
   node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
   for (int r = 0; r < n; ++r) {
@@ -219,7 +341,7 @@ ElanHostCollective::ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, 
           c.done = nullptr;
           if (cb) cb(result);
         },
-        kind, reduce);
+        spec.op, spec.reduce);
 
     // The elan host API has no per-group dispatch (unlike GmPort), so each
     // collective registers an additive handler and filters by group.
@@ -254,17 +376,15 @@ void ElanHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
   });
 }
 
-IbNicCollective::IbNicCollective(IbCluster& cluster, coll::OpKind kind, int root,
-                                 coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                                 std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix)
+IbNicCollective::IbNicCollective(IbCluster& cluster, const coll::CollSpec& spec)
     : cluster_(cluster),
-      kind_(kind),
-      rank_to_node_(std::move(rank_to_node)),
+      kind_(spec.op),
+      rank_to_node_(resolve_placement(spec, cluster.size())),
       group_id_(cluster.next_group_id()) {
   const int n = static_cast<int>(rank_to_node_.size());
-  const auto schedule = make_collective_schedule(kind, n, root, algorithm, radix);
-  name_ = std::string("ib-nic-") + std::string(kind_name(kind));
+  const auto schedule =
+      make_collective_schedule(spec.op, n, spec.root, spec.algorithm, spec.radix);
+  name_ = std::string("ib-nic-") + std::string(kind_name(spec.op));
 
   const coll::Placement placement = coll::make_placement(rank_to_node_);
   for (int r = 0; r < n; ++r) {
@@ -273,9 +393,9 @@ IbNicCollective::IbNicCollective(IbCluster& cluster, coll::OpKind kind, int root
     desc.my_rank = r;
     desc.rank_to_node = placement;
     desc.schedule = schedule.ranks[static_cast<std::size_t>(r)];
-    desc.op_kind = kind;
-    desc.reduce_op = reduce;
-    desc.payload_bytes = payload_bytes;
+    desc.op_kind = spec.op;
+    desc.reduce_op = spec.reduce;
+    desc.payload_bytes = spec.payload_bytes;
     cluster_.node(rank_to_node_[static_cast<std::size_t>(r)]).create_group(std::move(desc));
   }
 }
@@ -285,18 +405,15 @@ void IbNicCollective::enter(int rank, std::int64_t value, DoneFn done) {
   cluster_.node(node).collective_enter(group_id_, value, std::move(done));
 }
 
-IbHostCollective::IbHostCollective(IbCluster& cluster, coll::OpKind kind, int root,
-                                   coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                                   std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix)
+IbHostCollective::IbHostCollective(IbCluster& cluster, const coll::CollSpec& spec)
     : cluster_(cluster),
-      kind_(kind),
-      rank_to_node_(std::move(rank_to_node)),
+      kind_(spec.op),
+      rank_to_node_(resolve_placement(spec, cluster.size())),
       group_id_(cluster.next_group_id() & core::BarrierTag::kGroupMask),
-      payload_bytes_(payload_bytes) {
+      payload_bytes_(spec.payload_bytes) {
   const int n = static_cast<int>(rank_to_node_.size());
-  schedule_ = make_collective_schedule(kind, n, root, algorithm, radix);
-  name_ = std::string("ib-host-") + std::string(kind_name(kind));
+  schedule_ = make_collective_schedule(spec.op, n, spec.root, spec.algorithm, spec.radix);
+  name_ = std::string("ib-host-") + std::string(kind_name(spec.op));
 
   node_to_rank_.assign(static_cast<std::size_t>(cluster_.size()), -1);
   for (int r = 0; r < n; ++r) {
@@ -324,7 +441,7 @@ IbHostCollective::IbHostCollective(IbCluster& cluster, coll::OpKind kind, int ro
           c.done = nullptr;
           if (cb) cb(result);
         },
-        kind, reduce);
+        spec.op, spec.reduce);
 
     // Like the Elan host layer, IbNode dispatches one host-message stream
     // per node, so each collective adds a handler and filters by group id.
@@ -359,26 +476,76 @@ void IbHostCollective::enter(int rank, std::int64_t value, DoneFn done) {
   });
 }
 
+std::unique_ptr<Collective> make_collective(MyriCluster& cluster,
+                                            const coll::CollSpec& spec) {
+  if (spec.engine == coll::Engine::kHost) {
+    return std::make_unique<MyriHostCollective>(cluster, spec);
+  }
+  return std::make_unique<MyriNicCollective>(cluster, spec);
+}
+
+std::unique_ptr<Collective> make_collective(ElanCluster& cluster,
+                                            const coll::CollSpec& spec) {
+  if (spec.engine == coll::Engine::kHost) {
+    return std::make_unique<ElanHostCollective>(cluster, spec);
+  }
+  return std::make_unique<ElanNicCollective>(cluster, spec);
+}
+
+std::unique_ptr<Collective> make_collective(IbCluster& cluster,
+                                            const coll::CollSpec& spec) {
+  if (spec.engine == coll::Engine::kHost) {
+    return std::make_unique<IbHostCollective>(cluster, spec);
+  }
+  return std::make_unique<IbNicCollective>(cluster, spec);
+}
+
+namespace {
+
+[[nodiscard]] coll::CollSpec legacy_spec(coll::OpKind kind, coll::Engine engine,
+                                         int root, coll::ReduceOp reduce,
+                                         std::vector<int> rank_to_node,
+                                         std::uint32_t payload_bytes,
+                                         coll::Algorithm algorithm, int radix) {
+  coll::CollSpec spec;
+  spec.op = kind;
+  spec.engine = engine;
+  spec.root = root;
+  spec.reduce = reduce;
+  spec.payload_bytes = payload_bytes;
+  spec.algorithm = algorithm;
+  spec.radix = radix;
+  spec.rank_to_node = std::move(rank_to_node);
+  return spec;
+}
+
+}  // namespace
+
+// Deprecated shim definitions (declarations carry the attribute; silence
+// the self-referential warning here only).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 std::unique_ptr<Collective> make_nic_collective(MyriCluster& cluster, coll::OpKind kind,
                                                 int root, coll::ReduceOp reduce,
                                                 std::vector<int> rank_to_node,
                                                 std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix) {
-  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
-  return std::make_unique<MyriNicCollective>(cluster, kind, root, reduce,
-                                             std::move(rank_to_node), payload_bytes,
-                                             algorithm, radix);
+                                                coll::Algorithm algorithm, int radix) {
+  return make_collective(cluster,
+                         legacy_spec(kind, coll::Engine::kNic, root, reduce,
+                                     std::move(rank_to_node), payload_bytes,
+                                     algorithm, radix));
 }
 
 std::unique_ptr<Collective> make_host_collective(MyriCluster& cluster, coll::OpKind kind,
                                                  int root, coll::ReduceOp reduce,
                                                  std::vector<int> rank_to_node,
                                                  std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix) {
-  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
-  return std::make_unique<MyriHostCollective>(cluster, kind, root, reduce,
-                                              std::move(rank_to_node), payload_bytes,
-                                             algorithm, radix);
+                                                 coll::Algorithm algorithm, int radix) {
+  return make_collective(cluster,
+                         legacy_spec(kind, coll::Engine::kHost, root, reduce,
+                                     std::move(rank_to_node), payload_bytes,
+                                     algorithm, radix));
 }
 
 std::unique_ptr<Collective> make_elan_nic_collective(ElanCluster& cluster,
@@ -386,11 +553,11 @@ std::unique_ptr<Collective> make_elan_nic_collective(ElanCluster& cluster,
                                                      coll::ReduceOp reduce,
                                                      std::vector<int> rank_to_node,
                                                      std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix) {
-  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
-  return std::make_unique<ElanNicCollective>(cluster, kind, root, reduce,
-                                             std::move(rank_to_node), payload_bytes,
-                                             algorithm, radix);
+                                                     coll::Algorithm algorithm, int radix) {
+  return make_collective(cluster,
+                         legacy_spec(kind, coll::Engine::kNic, root, reduce,
+                                     std::move(rank_to_node), payload_bytes,
+                                     algorithm, radix));
 }
 
 std::unique_ptr<Collective> make_elan_host_collective(ElanCluster& cluster,
@@ -398,33 +565,35 @@ std::unique_ptr<Collective> make_elan_host_collective(ElanCluster& cluster,
                                                       coll::ReduceOp reduce,
                                                       std::vector<int> rank_to_node,
                                                       std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix) {
-  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
-  return std::make_unique<ElanHostCollective>(cluster, kind, root, reduce,
-                                              std::move(rank_to_node), payload_bytes,
-                                             algorithm, radix);
+                                                      coll::Algorithm algorithm, int radix) {
+  return make_collective(cluster,
+                         legacy_spec(kind, coll::Engine::kHost, root, reduce,
+                                     std::move(rank_to_node), payload_bytes,
+                                     algorithm, radix));
 }
 
 std::unique_ptr<Collective> make_ib_nic_collective(IbCluster& cluster, coll::OpKind kind,
                                                    int root, coll::ReduceOp reduce,
                                                    std::vector<int> rank_to_node,
                                                    std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix) {
-  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
-  return std::make_unique<IbNicCollective>(cluster, kind, root, reduce,
-                                           std::move(rank_to_node), payload_bytes,
-                                             algorithm, radix);
+                                                   coll::Algorithm algorithm, int radix) {
+  return make_collective(cluster,
+                         legacy_spec(kind, coll::Engine::kNic, root, reduce,
+                                     std::move(rank_to_node), payload_bytes,
+                                     algorithm, radix));
 }
 
 std::unique_ptr<Collective> make_ib_host_collective(IbCluster& cluster, coll::OpKind kind,
                                                     int root, coll::ReduceOp reduce,
                                                     std::vector<int> rank_to_node,
                                                     std::uint32_t payload_bytes,
-                                     coll::Algorithm algorithm, int radix) {
-  if (rank_to_node.empty()) rank_to_node = identity_placement(cluster.size());
-  return std::make_unique<IbHostCollective>(cluster, kind, root, reduce,
-                                            std::move(rank_to_node), payload_bytes,
-                                             algorithm, radix);
+                                                    coll::Algorithm algorithm, int radix) {
+  return make_collective(cluster,
+                         legacy_spec(kind, coll::Engine::kHost, root, reduce,
+                                     std::move(rank_to_node), payload_bytes,
+                                     algorithm, radix));
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace qmb::core

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/coll_spec.hpp"
 #include "core/op_window.hpp"
 #include "core/schedule.hpp"
 #include "ib/node.hpp"
@@ -33,6 +34,17 @@ class IbCluster;
 
 /// A cluster-wide value collective. Ranks enter with a contribution and
 /// receive the operation's result in their completion callback.
+///
+/// Two entry styles share one protocol engine (mirroring Barrier):
+///
+///  * enter(rank, value, done)  — blocking style: `done(result)` fires when
+///                                the operation completes for the rank.
+///  * start(rank, value) /
+///    wait(rank, done)          — GASNet-style split phase: start() launches
+///                                the rank's participation and returns; the
+///                                rank computes, then wait() completes at
+///                                once (the result already landed under the
+///                                compute) or parks until it does.
 class Collective {
  public:
   virtual ~Collective() = default;
@@ -43,19 +55,44 @@ class Collective {
   /// A rank must not re-enter before its previous completion.
   virtual void enter(int rank, std::int64_t value, DoneFn done) = 0;
 
+  /// Split phase, part 1: starts `rank`'s participation with `value`
+  /// without blocking. Throws std::logic_error on a double start (a start
+  /// with no intervening wait completion).
+  void start(int rank, std::int64_t value);
+
+  /// Split phase, part 2: `done(result)` runs when the operation started
+  /// earlier completes for `rank` — immediately if it already has. Throws
+  /// std::logic_error without a prior start, or when a wait is pending.
+  void wait(int rank, DoneFn done);
+
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual int size() const = 0;
   [[nodiscard]] virtual coll::OpKind kind() const = 0;
+
+ private:
+  /// Per-rank split-phase progress; the protocol completion can land before
+  /// or after the host's wait(), the state records which side came first.
+  enum class Phase : std::uint8_t {
+    kIdle,      // no split-phase operation in flight
+    kNotified,  // start() issued, protocol still running, no waiter yet
+    kWaiting,   // wait() parked a callback, protocol still running
+    kReady,     // protocol completed before wait() showed up
+  };
+  struct SplitState {
+    Phase phase = Phase::kIdle;
+    std::int64_t result = 0;
+    DoneFn waiter;
+  };
+  SplitState& split_state(int rank);
+
+  std::vector<SplitState> split_;  // lazily sized to size()
 };
 
 /// NIC-resident implementation: one doorbell in, one completion word out,
 /// all combining done by the NICs inside the collective protocol.
 class MyriNicCollective final : public Collective {
  public:
-  MyriNicCollective(MyriCluster& cluster, coll::OpKind kind, int root,
-                    coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                    std::uint32_t payload_bytes = 8,
-    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+  MyriNicCollective(MyriCluster& cluster, const coll::CollSpec& spec);
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -75,10 +112,7 @@ class MyriNicCollective final : public Collective {
 /// version is measured against (bench_collectives).
 class MyriHostCollective final : public Collective {
  public:
-  MyriHostCollective(MyriCluster& cluster, coll::OpKind kind, int root,
-                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                     std::uint32_t payload_bytes = 8,
-    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+  MyriHostCollective(MyriCluster& cluster, const coll::CollSpec& spec);
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -109,10 +143,7 @@ class MyriHostCollective final : public Collective {
 /// its Sec. 9 future work).
 class ElanNicCollective final : public Collective {
  public:
-  ElanNicCollective(ElanCluster& cluster, coll::OpKind kind, int root,
-                    coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                    std::uint32_t payload_bytes = 8,
-    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+  ElanNicCollective(ElanCluster& cluster, const coll::CollSpec& spec);
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -131,10 +162,7 @@ class ElanNicCollective final : public Collective {
 /// generalized to value operations).
 class ElanHostCollective final : public Collective {
  public:
-  ElanHostCollective(ElanCluster& cluster, coll::OpKind kind, int root,
-                     coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                     std::uint32_t payload_bytes = 8,
-    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+  ElanHostCollective(ElanCluster& cluster, const coll::CollSpec& spec);
   ~ElanHostCollective() override;
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
@@ -166,10 +194,7 @@ class ElanHostCollective final : public Collective {
 /// CQE out, like the Myrinet and Elan NIC engines.
 class IbNicCollective final : public Collective {
  public:
-  IbNicCollective(IbCluster& cluster, coll::OpKind kind, int root,
-                  coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                  std::uint32_t payload_bytes = 8,
-    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+  IbNicCollective(IbCluster& cluster, const coll::CollSpec& spec);
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -188,10 +213,7 @@ class IbNicCollective final : public Collective {
 /// pays WQE build + doorbell + CQ polling on the hosts.
 class IbHostCollective final : public Collective {
  public:
-  IbHostCollective(IbCluster& cluster, coll::OpKind kind, int root,
-                   coll::ReduceOp reduce, std::vector<int> rank_to_node,
-                   std::uint32_t payload_bytes = 8,
-    coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+  IbHostCollective(IbCluster& cluster, const coll::CollSpec& spec);
   ~IbHostCollective() override;
 
   void enter(int rank, std::int64_t value, DoneFn done) override;
@@ -219,11 +241,23 @@ class IbHostCollective final : public Collective {
 };
 
 /// Builds the schedule for an operation kind. `root` applies to bcast;
-/// `algorithm` and `radix` select the barrier pattern (the value-carrying
-/// kinds have fixed algorithm-specific schedules and ignore them).
+/// `algorithm` selects the pattern per kind (kDissemination = the kind's
+/// canonical default) and `radix` its degree/fan-out. Throws
+/// std::invalid_argument for (kind, algorithm) pairs with no value-correct
+/// schedule — the pairs collective_algorithms_for does not list.
 [[nodiscard]] coll::GroupSchedule make_collective_schedule(
     coll::OpKind kind, int n, int root,
     coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+
+/// The algorithms make_collective_schedule accepts for `kind`, in the
+/// kBarrierAlgorithms order. Single source of truth for the substrate
+/// capability tables (SubstrateCaps::collective_algorithms), validate()'s
+/// error text, and the fuzzer's case space. Value kinds only list
+/// algorithms whose schedule provably combines that kind's payloads
+/// (e.g. plain dissemination double-counts a sum, so allreduce maps its
+/// kDissemination default to recursive doubling instead).
+[[nodiscard]] const std::vector<coll::Algorithm>& collective_algorithms_for(
+    coll::OpKind kind);
 
 /// The exact result every rank must observe when rank r enters with value
 /// r+1 (root 0 for bcast; sum-reduce; allgather/alltoall union contribution
@@ -231,32 +265,49 @@ class IbHostCollective final : public Collective {
 /// subsystem's per-group verification.
 [[nodiscard]] std::int64_t expected_collective_result(coll::OpKind kind, int n);
 
-/// Factory helpers used by benches, tests and the mpi layer.
+/// Single construction entry points: one CollSpec in, one Collective out,
+/// dispatching on spec.engine. The substrate registry's
+/// SubstrateCluster::make_collective lands here.
+std::unique_ptr<Collective> make_collective(MyriCluster& cluster,
+                                            const coll::CollSpec& spec);
+std::unique_ptr<Collective> make_collective(ElanCluster& cluster,
+                                            const coll::CollSpec& spec);
+std::unique_ptr<Collective> make_collective(IbCluster& cluster,
+                                            const coll::CollSpec& spec);
+
+// Deprecated positional factories, kept one release as shims over CollSpec
+// (byte-identical construction — a test asserts the fingerprints match).
+[[deprecated("build a coll::CollSpec and call make_collective(cluster, spec)")]]
 std::unique_ptr<Collective> make_nic_collective(
     MyriCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
     std::uint32_t payload_bytes = 8,
     coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+[[deprecated("build a coll::CollSpec and call make_collective(cluster, spec)")]]
 std::unique_ptr<Collective> make_host_collective(
     MyriCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
     std::uint32_t payload_bytes = 8,
     coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+[[deprecated("build a coll::CollSpec and call make_collective(cluster, spec)")]]
 std::unique_ptr<Collective> make_elan_nic_collective(
     ElanCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
     std::uint32_t payload_bytes = 8,
     coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+[[deprecated("build a coll::CollSpec and call make_collective(cluster, spec)")]]
 std::unique_ptr<Collective> make_elan_host_collective(
     ElanCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
     std::uint32_t payload_bytes = 8,
     coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+[[deprecated("build a coll::CollSpec and call make_collective(cluster, spec)")]]
 std::unique_ptr<Collective> make_ib_nic_collective(
     IbCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},
     std::uint32_t payload_bytes = 8,
     coll::Algorithm algorithm = coll::Algorithm::kDissemination, int radix = 0);
+[[deprecated("build a coll::CollSpec and call make_collective(cluster, spec)")]]
 std::unique_ptr<Collective> make_ib_host_collective(
     IbCluster& cluster, coll::OpKind kind, int root = 0,
     coll::ReduceOp reduce = coll::ReduceOp::kSum, std::vector<int> rank_to_node = {},

@@ -276,6 +276,14 @@ std::string_view to_string(Algorithm a) {
   return "?";
 }
 
+std::optional<Algorithm> parse_algorithm(std::string_view s) {
+  for (Algorithm a : kBarrierAlgorithms) {
+    if (s == to_string(a)) return a;
+  }
+  if (s == to_string(Algorithm::kRotation)) return Algorithm::kRotation;
+  return std::nullopt;
+}
+
 std::string_view to_string(OpKind k) {
   switch (k) {
     case OpKind::kBarrier: return "barrier";
@@ -291,8 +299,25 @@ std::optional<OpKind> parse_op_kind(std::string_view s) {
   if (s == "barrier") return OpKind::kBarrier;
   if (s == "bcast") return OpKind::kBcast;
   if (s == "allreduce") return OpKind::kAllreduce;
+  if (s == "reduce") return OpKind::kAllreduce;  // MPI-style CLI alias
   if (s == "allgather") return OpKind::kAllgather;
   if (s == "alltoall") return OpKind::kAlltoall;
+  return std::nullopt;
+}
+
+std::string_view to_string(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kMax: return "max";
+  }
+  return "?";
+}
+
+std::optional<ReduceOp> parse_reduce_op(std::string_view s) {
+  if (s == "sum") return ReduceOp::kSum;
+  if (s == "min") return ReduceOp::kMin;
+  if (s == "max") return ReduceOp::kMax;
   return std::nullopt;
 }
 
@@ -439,11 +464,114 @@ GroupSchedule make_bcast_schedule(int n, int root, int tree_degree) {
   return g;
 }
 
+GroupSchedule make_binomial_bcast_schedule(int n, int root) {
+  if (n < 1) throw std::invalid_argument("bcast group needs >= 1 rank");
+  if (root < 0 || root >= n) throw std::invalid_argument("bcast root out of range");
+  GroupSchedule g;
+  g.algorithm = Algorithm::kTree;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  // Binomial tree on virtual ranks v = (r - root) mod n: v's parent is v
+  // minus its lowest set bit, its children are v + 2^k for every 2^k below
+  // that bit (and < n). Phase order matches make_bcast_schedule — payload
+  // down first, ACKs combine back up — so the root cannot race ahead of
+  // the leaves by more than one operation.
+  const auto real = [&](int v) { return (v + root) % n; };
+  for (int v = 0; v < n; ++v) {
+    auto& rs = g.ranks[static_cast<std::size_t>(real(v))];
+    int parent = -1;
+    std::vector<int> children;
+    for (int m = 1; m < n; m *= 2) {
+      if ((v & m) != 0) {
+        parent = v - m;
+        break;
+      }
+      if (v + m < n) children.push_back(v + m);
+    }
+    if (parent >= 0) {
+      Step recv;
+      recv.waits.push_back({real(parent), kTagDown});
+      rs.steps.push_back(std::move(recv));
+    }
+    if (!children.empty()) {
+      Step fwd;
+      for (int c : children) fwd.sends.push_back({real(c), kTagDown});
+      rs.steps.push_back(std::move(fwd));
+      Step gather;
+      for (int c : children) gather.waits.push_back({real(c), kTagUp});
+      rs.steps.push_back(std::move(gather));
+    }
+    if (parent >= 0) {
+      Step ack;
+      ack.sends.push_back({real(parent), kTagUp});
+      rs.steps.push_back(std::move(ack));
+    }
+  }
+  return g;
+}
+
 GroupSchedule make_allreduce_schedule(int n) {
   // Recursive doubling: exchange partials, then release the extra ranks
   // with the final result. The pairwise-exchange barrier schedule already
   // has exactly this structure; only the payload semantics differ.
   return make_barrier_schedule(Algorithm::kPairwiseExchange, n);
+}
+
+GroupSchedule make_fway_allreduce_schedule(int n, int f) {
+  if (n < 1) throw std::invalid_argument("allreduce group needs >= 1 rank");
+  if (f <= 0) f = 4;
+  if (f < 2) throw std::invalid_argument("f-way allreduce needs radix >= 2");
+  GroupSchedule g;
+  g.algorithm = Algorithm::kFwayDissemination;
+  g.size = n;
+  g.ranks.resize(static_cast<std::size_t>(n));
+  if (n == 1) return g;
+  // The dissemination barrier's skip-distances double-count contributions
+  // under a non-idempotent reduction on arbitrary n, so the value-carrying
+  // variant restricts the exchange rounds to the largest power-of-f block
+  // m: after round k every block rank holds the sum of the f^(k+1)
+  // contiguous ranks ending at itself, and those source blocks tile with no
+  // overlap. Ranks >= m register with base i mod m up front (kTagPre,
+  // summed) and wait for the final result (kTagPost, replaces).
+  long long m = 1;
+  while (m * static_cast<long long>(f) <= n) m *= f;
+  const int base_count = static_cast<int>(m);
+  for (int i = 0; i < n; ++i) {
+    auto& rs = g.ranks[static_cast<std::size_t>(i)];
+    if (i >= base_count) {
+      Step pre;
+      pre.sends.push_back({i % base_count, kTagPre});
+      rs.steps.push_back(std::move(pre));
+      Step post;
+      post.waits.push_back({i % base_count, kTagPost});
+      rs.steps.push_back(std::move(post));
+      continue;
+    }
+    std::vector<int> extras;
+    for (int e = i + base_count; e < n; e += base_count) extras.push_back(e);
+    if (!extras.empty()) {
+      Step pre;
+      for (int e : extras) pre.waits.push_back({e, kTagPre});
+      rs.steps.push_back(std::move(pre));
+    }
+    int round = 0;
+    for (long long unit = 1; unit < base_count; unit *= f, ++round) {
+      Step st;
+      for (int j = 1; j < f; ++j) {
+        const int d = static_cast<int>((static_cast<long long>(j) * unit) % base_count);
+        st.sends.push_back({(i + d) % base_count, static_cast<std::uint32_t>(round)});
+        st.waits.push_back({(i - d + base_count) % base_count,
+                            static_cast<std::uint32_t>(round)});
+      }
+      rs.steps.push_back(std::move(st));
+    }
+    if (!extras.empty()) {
+      Step post;
+      for (int e : extras) post.sends.push_back({e, kTagPost});
+      rs.steps.push_back(std::move(post));
+    }
+  }
+  return g;
 }
 
 GroupSchedule make_allgather_schedule(int n) {

@@ -72,6 +72,10 @@ using Placement = std::shared_ptr<const std::vector<int>>;
 
 [[nodiscard]] std::string_view to_string(Algorithm a);
 
+/// Parses the names to_string(Algorithm) emits ("dissemination",
+/// "gather-broadcast", ...); kRotation included for round-tripping labels.
+[[nodiscard]] std::optional<Algorithm> parse_algorithm(std::string_view s);
+
 // Tag namespaces. Plain exchange rounds use small step indices; the named
 // sentinels mark the pre/post steps of non-power-of-two pairwise-exchange
 // and the two phases of gather-broadcast. Value-carrying collectives use
@@ -93,10 +97,16 @@ enum class OpKind : std::uint8_t { kBarrier, kBcast, kAllreduce, kAllgather, kAl
 
 [[nodiscard]] std::string_view to_string(OpKind k);
 
-/// Parses the names to_string(OpKind) emits ("barrier", "bcast", ...).
+/// Parses the names to_string(OpKind) emits ("barrier", "bcast", ...),
+/// plus the CLI alias "reduce" for kAllreduce.
 [[nodiscard]] std::optional<OpKind> parse_op_kind(std::string_view s);
 
 enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
+
+[[nodiscard]] std::string_view to_string(ReduceOp op);
+
+/// Parses the names to_string(ReduceOp) emits ("sum", "min", "max").
+[[nodiscard]] std::optional<ReduceOp> parse_reduce_op(std::string_view s);
 
 /// Payload folding rule shared by the NIC engine and host-level executors:
 /// barrier payloads are ignored, bcast and result-tagged edges replace,
@@ -157,10 +167,23 @@ struct GroupSchedule {
 /// rank can be the root). Every message carries the final value (kTagDown).
 [[nodiscard]] GroupSchedule make_bcast_schedule(int n, int root, int tree_degree = 2);
 
+/// Broadcast from `root` over a binomial tree (rotated virtual ranks, like
+/// make_bcast_schedule): rank-dependent fan-out, log2 N payload depth, with
+/// the same down-before-ack phase ordering so consecutive broadcasts stay
+/// pipelined by at most one operation.
+[[nodiscard]] GroupSchedule make_binomial_bcast_schedule(int n, int root);
+
 /// Allreduce: recursive-doubling pairwise exchange. Exchange-step messages
 /// carry partials (combine); the non-power-of-two post step carries the
 /// final result (kTagPost). Correct for non-idempotent operations (sum).
 [[nodiscard]] GroupSchedule make_allreduce_schedule(int n);
+
+/// Allreduce over radix-f dissemination rounds: the largest power-of-f
+/// block runs ceil(log_f m) exchange rounds whose contiguous partial-sum
+/// blocks tile exactly (correct for non-idempotent reductions); the ranks
+/// beyond the block register up front (kTagPre) and are released with the
+/// final result (kTagPost). `f` <= 0 picks the default radix 4.
+[[nodiscard]] GroupSchedule make_fway_allreduce_schedule(int n, int f = 4);
 
 /// Allgather of one contribution per rank, as a dissemination pattern.
 /// Only correct for idempotent merges (set union / bitmask or) — which is

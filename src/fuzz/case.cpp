@@ -89,13 +89,16 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
     s.impl = rng.next_bool(0.25) ? run::Impl::kHost : run::Impl::kNic;
   }
 
-  // Drawn from the substrate's capability list so every legal algorithm —
-  // including remote-atomic, which only IB's HCA verbs support — gets
-  // fuzzed, and illegal (network, algorithm) pairs never derive. The
-  // fixed-pattern impls ignore schedules (validate() rejects a non-default
-  // algorithm there), so those fall back to the default after the draw.
-  s.algorithm = pick(rng, caps.barrier_algorithms);
-  if (std::find(caps.fixed_pattern_barrier_impls.begin(),
+  // Drawn from the substrate's capability list *for the drawn op kind* so
+  // every legal (kind, algorithm) pair — including remote-atomic barriers,
+  // which only IB's HCA verbs support, and the value-collective schedules
+  // (tree/fway allreduce etc.) — gets fuzzed, and illegal pairs never
+  // derive. The fixed-pattern barrier impls ignore schedules (validate()
+  // rejects a non-default algorithm there), so those fall back to the
+  // default after the draw.
+  s.algorithm = pick(rng, run::caps_algorithms(caps, s.op));
+  if (s.op == coll::OpKind::kBarrier &&
+      std::find(caps.fixed_pattern_barrier_impls.begin(),
                 caps.fixed_pattern_barrier_impls.end(),
                 s.impl) != caps.fixed_pattern_barrier_impls.end()) {
     s.algorithm = coll::Algorithm::kDissemination;
@@ -183,11 +186,11 @@ run::ExperimentSpec derive_case(std::uint64_t seed, const FuzzOptions& opts) {
     }
   }
 
-  // Split-phase overlap: a quarter of plain barrier cases run the
-  // notify/compute/wait loop with up to 20 us of simulated compute. Drawn
+  // Split-phase overlap: a quarter of plain (non-workload) cases run the
+  // split-phase loop — notify/compute/wait for barriers, start/compute/wait
+  // for value collectives — with up to 20 us of simulated compute. Drawn
   // last, so every earlier case's derivation is unchanged.
-  if (!s.workload.enabled() && s.op == coll::OpKind::kBarrier &&
-      rng.next_below(4) == 0) {
+  if (!s.workload.enabled() && rng.next_below(4) == 0) {
     s.overlap_us = static_cast<double>(rng.next_below(20'001)) / 1000.0;
   }
   return s;

@@ -25,6 +25,12 @@ GroupManager::GroupManager(run::SubstrateCluster& cluster,
       e.kind = kind;
       run::ExperimentSpec sub = spec;
       sub.op = kind;
+      if (kind != spec.op) {
+        // --algorithm binds to --op; other kinds in the mix run their
+        // default pattern (the chosen schedule may not exist for them).
+        sub.algorithm = coll::Algorithm::kDissemination;
+        sub.radix = 0;
+      }
       if (kind == coll::OpKind::kBarrier) {
         e.barrier = cluster.make_barrier(sub, grp.placement);
         if (impl_name_.empty()) impl_name_ = e.barrier->name();

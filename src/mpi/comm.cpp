@@ -32,10 +32,14 @@ Communicator::Communicator(core::MyriCluster& cluster, Backend backend,
 std::unique_ptr<core::Collective> Communicator::make_collective(coll::OpKind kind,
                                                                 int root,
                                                                 coll::ReduceOp op) {
-  if (backend_ == Backend::kNicCollective) {
-    return core::make_nic_collective(cluster_, kind, root, op, rank_to_node_);
-  }
-  return core::make_host_collective(cluster_, kind, root, op, rank_to_node_);
+  coll::CollSpec spec;
+  spec.op = kind;
+  spec.engine = backend_ == Backend::kNicCollective ? coll::Engine::kNic
+                                                    : coll::Engine::kHost;
+  spec.root = root;
+  spec.reduce = op;
+  spec.rank_to_node = rank_to_node_;
+  return core::make_collective(cluster_, spec);
 }
 
 core::Collective& Communicator::bcast_for_root(int root) {

@@ -189,10 +189,11 @@ std::string validate(const ExperimentSpec& s) {
     return "--radix must be 0 (algorithm default) or >= 2 (got " +
            std::to_string(s.radix) + ")";
   }
-  if (!caps_allow_algorithm(caps, s.algorithm)) {
+  if (!caps_allow_algorithm(caps, s.op, s.algorithm)) {
     return std::string("--algorithm ") + std::string(algorithm_cli_name(s.algorithm)) +
-           " is not supported on --network " + std::string(to_string(s.network)) +
-           " (valid: " + caps_algorithm_list(caps) + ")";
+           " is not supported for --op " + std::string(coll::to_string(s.op)) +
+           " on --network " + std::string(to_string(s.network)) +
+           " (valid: " + caps_algorithm_list(caps, s.op) + ")";
   }
   if (s.op == coll::OpKind::kBarrier && s.algorithm != coll::Algorithm::kDissemination &&
       std::find(caps.fixed_pattern_barrier_impls.begin(),
@@ -203,15 +204,9 @@ std::string validate(const ExperimentSpec& s) {
            " embeds a fixed pattern and ignores schedules; --algorithm only "
            "applies to the schedule-driven impls";
   }
-  if (s.overlap_us >= 0.0) {
-    if (s.workload.enabled()) {
-      return "--overlap measures one split-phase group; it is incompatible "
-             "with --workload";
-    }
-    if (s.op != coll::OpKind::kBarrier) {
-      return std::string("--overlap is a split-phase *barrier* knob; --op ") +
-             std::string(coll::to_string(s.op)) + " has no notify/wait phase";
-    }
+  if (s.overlap_us >= 0.0 && s.workload.enabled()) {
+    return "--overlap measures one split-phase group; it is incompatible "
+           "with --workload";
   }
   if (!caps.drop_prob && s.drop_prob > 0.0) {
     return loss_error(s, caps, "--drop-prob is", "remove it");
@@ -380,6 +375,58 @@ core::BarrierRunResult run_collective(sim::Engine& engine, core::Collective& op,
   return res;
 }
 
+/// Split-phase variant of run_collective: each rank start()s the op,
+/// simulates `overlap` of local computation, then wait()s — the same
+/// GASNet notify/compute/wait idiom run_split_phase_barriers drives, with
+/// the delivered value checked against the op's exact expected result.
+core::BarrierRunResult run_split_phase_collectives(
+    sim::Engine& engine, core::Collective& op, coll::OpKind kind, int warmup,
+    int iters, sim::SimDuration overlap, sim::SimDuration horizon,
+    std::uint64_t& value_errors) {
+  const int n = op.size();
+  const int total = warmup + iters;
+  const std::int64_t expected = core::expected_collective_result(kind, n);
+  std::vector<int> iter_of(static_cast<std::size_t>(n), 0);
+  std::vector<sim::SimTime> completion(static_cast<std::size_t>(n) *
+                                       static_cast<std::size_t>(total));
+  std::function<void(int)> loop = [&](int rank) {
+    const int it = iter_of[static_cast<std::size_t>(rank)];
+    if (it >= total) return;
+    op.start(rank, rank + 1);
+    engine.schedule(overlap, [&, rank, it] {
+      op.wait(rank, [&, rank, it](std::int64_t result) {
+        if (result != expected) ++value_errors;
+        iter_of[static_cast<std::size_t>(rank)] = it + 1;
+        completion[static_cast<std::size_t>(rank) * static_cast<std::size_t>(total) +
+                   static_cast<std::size_t>(it)] = engine.now();
+        engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
+      });
+    });
+  };
+  for (int r = 0; r < n; ++r) loop(r);
+  engine.run_until(engine.now() + horizon);
+  for (int r = 0; r < n; ++r) {
+    if (iter_of[static_cast<std::size_t>(r)] != total) {
+      throw std::runtime_error("collective run did not complete (deadlock in protocol?)");
+    }
+  }
+  core::BarrierRunResult res;
+  res.iterations = static_cast<std::uint64_t>(iters);
+  sim::SimTime prev = sim::SimTime::zero();
+  for (int i = 0; i < total; ++i) {
+    sim::SimTime complete = sim::SimTime::zero();
+    for (int r = 0; r < n; ++r) {
+      complete = std::max(complete,
+                          completion[static_cast<std::size_t>(r) * static_cast<std::size_t>(total) +
+                                     static_cast<std::size_t>(i)]);
+    }
+    if (i >= warmup) res.per_iteration.add(complete - prev);
+    prev = complete;
+  }
+  res.mean = res.per_iteration.mean();
+  return res;
+}
+
 void fill_latency(RunResult& out, const core::BarrierRunResult& r, sim::Engine& engine) {
   out.iterations = r.iterations;
   out.mean_picos = r.mean.picos();
@@ -498,10 +545,18 @@ RunResult run_on(const Substrate& sub, const ExperimentSpec& s) {
   } else {
     auto op = cluster->make_collective(s, std::move(placement));
     out.impl_name = std::string(op->name());
-    fill_latency(out,
-                 run_collective(engine, *op, s.op, s.warmup, s.iters, skew, horizon,
-                                out.value_errors, rd),
-                 engine);
+    if (s.overlap_us >= 0.0) {
+      fill_latency(out,
+                   run_split_phase_collectives(engine, *op, s.op, s.warmup, s.iters,
+                                               sim::microseconds(s.overlap_us), horizon,
+                                               out.value_errors),
+                   engine);
+    } else {
+      fill_latency(out,
+                   run_collective(engine, *op, s.op, s.warmup, s.iters, skew, horizon,
+                                  out.value_errors, rd),
+                   engine);
+    }
   }
   out.ops_done = out.ops_expected;  // the runners throw before reaching here otherwise
   fill_engine(out, engine);

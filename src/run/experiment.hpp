@@ -61,9 +61,10 @@ struct ExperimentSpec {
   int radix = 0;
   /// Split-phase compute overlap in microseconds. Negative (the default)
   /// runs the blocking enter() loop, bit-identical to specs that predate
-  /// this field. >= 0 switches barrier runs to the GASNet-style
-  /// notify/compute/wait loop with that much simulated computation between
-  /// the two phases. Barrier ops only; validate() enforces it.
+  /// this field. >= 0 switches the run to the GASNet-style split-phase
+  /// loop with that much simulated computation between the two phases:
+  /// notify/compute/wait for barriers, start/compute/wait for value
+  /// collectives (bcast/allreduce/allgather/alltoall).
   double overlap_us = -1.0;
   int iters = 200;
   int warmup = 20;

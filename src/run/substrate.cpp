@@ -69,18 +69,42 @@ std::string caps_impl_list(const SubstrateCaps& caps, coll::OpKind op) {
   return out;
 }
 
-bool caps_allow_algorithm(const SubstrateCaps& caps, coll::Algorithm a) {
-  return std::find(caps.barrier_algorithms.begin(), caps.barrier_algorithms.end(), a) !=
-         caps.barrier_algorithms.end();
+const std::vector<coll::Algorithm>& caps_algorithms(const SubstrateCaps& caps,
+                                                    coll::OpKind op) {
+  if (op == coll::OpKind::kBarrier) return caps.barrier_algorithms;
+  for (const auto& entry : caps.collective_algorithms) {
+    if (entry.op == op) return entry.algorithms;
+  }
+  static const std::vector<coll::Algorithm> default_only = {
+      coll::Algorithm::kDissemination};
+  return default_only;
 }
 
-std::string caps_algorithm_list(const SubstrateCaps& caps) {
+bool caps_allow_algorithm(const SubstrateCaps& caps, coll::OpKind op,
+                          coll::Algorithm a) {
+  const std::vector<coll::Algorithm>& legal = caps_algorithms(caps, op);
+  return std::find(legal.begin(), legal.end(), a) != legal.end();
+}
+
+std::string caps_algorithm_list(const SubstrateCaps& caps, coll::OpKind op) {
   std::string out;
-  for (const coll::Algorithm a : caps.barrier_algorithms) {
+  for (const coll::Algorithm a : caps_algorithms(caps, op)) {
     if (!out.empty()) out += ", ";
     out += algorithm_cli_name(a);
   }
   return out;
+}
+
+std::unique_ptr<core::Collective> SubstrateCluster::make_collective(
+    const ExperimentSpec& spec, std::vector<int> placement) {
+  coll::CollSpec cs;
+  cs.op = spec.op;
+  cs.engine = spec.impl == Impl::kHost ? coll::Engine::kHost : coll::Engine::kNic;
+  cs.algorithm = spec.algorithm;
+  cs.radix = spec.radix;
+  cs.overlap_us = spec.overlap_us;
+  cs.rank_to_node = std::move(placement);
+  return make_collective(cs);
 }
 
 }  // namespace qmb::run

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/coll_spec.hpp"
 #include "run/experiment.hpp"
 
 namespace qmb::run {
@@ -35,6 +36,17 @@ struct SubstrateCaps {
   /// remote fetch-add); the fixed-pattern impls (gsync/hgsync) additionally
   /// reject everything but the default regardless of this list.
   std::vector<coll::Algorithm> barrier_algorithms;
+  /// Algorithm values the substrate's executors can run for each *value*
+  /// op kind (bcast/allreduce/allgather/alltoall), mirroring
+  /// barrier_algorithms for barriers. Seeded from the schedule layer's
+  /// core::collective_algorithms_for table; a substrate that cannot run a
+  /// pattern (hardware model limits) trims its entry. Kinds without an
+  /// entry accept only the default algorithm.
+  struct KindAlgorithms {
+    coll::OpKind op = coll::OpKind::kBarrier;
+    std::vector<coll::Algorithm> algorithms;
+  };
+  std::vector<KindAlgorithms> collective_algorithms;
   /// Barrier impls that embed a fixed pattern and ignore schedules (the
   /// Quadrics gsync tree and hardware barrier, and quadrics --impl host
   /// which maps to the gsync tree). validate() rejects a non-default
@@ -77,9 +89,16 @@ class SubstrateCluster {
   /// Builds the spec's barrier over `placement` (rank -> node).
   [[nodiscard]] virtual std::unique_ptr<core::Barrier> make_barrier(
       const ExperimentSpec& spec, std::vector<int> placement) = 0;
-  /// Builds the spec's value collective over `placement`.
+  /// THE collective construction entry point: one CollSpec in, one
+  /// executor out. Every knob (kind, engine, root, reduce, payload,
+  /// algorithm, radix, placement) rides the spec — growing a knob never
+  /// touches this signature again.
   [[nodiscard]] virtual std::unique_ptr<core::Collective> make_collective(
-      const ExperimentSpec& spec, std::vector<int> placement) = 0;
+      const coll::CollSpec& spec) = 0;
+  /// Convenience: lowers an ExperimentSpec + placement to a CollSpec
+  /// (op/impl/algorithm/radix/overlap) and calls the entry point above.
+  [[nodiscard]] std::unique_ptr<core::Collective> make_collective(
+      const ExperimentSpec& spec, std::vector<int> placement);
 
   /// Prepares every node for background point-to-point flood traffic
   /// (e.g. the Myrinet adapter provisions and replenishes receive buffers
@@ -129,10 +148,19 @@ class Substrate {
 /// The legal --impl list for `op` under `caps`, e.g. "nic, host, direct".
 [[nodiscard]] std::string caps_impl_list(const SubstrateCaps& caps, coll::OpKind op);
 
-/// Whether `a` is a barrier algorithm the substrate's executors can run.
-[[nodiscard]] bool caps_allow_algorithm(const SubstrateCaps& caps, coll::Algorithm a);
+/// The algorithms the substrate's executors can run for `op`: the barrier
+/// list for kBarrier, the matching collective_algorithms entry otherwise
+/// (a single-element default list when a kind has no entry).
+[[nodiscard]] const std::vector<coll::Algorithm>& caps_algorithms(
+    const SubstrateCaps& caps, coll::OpKind op);
 
-/// The legal --algorithm list under `caps`, e.g. "ds, pe, gb, tree, trn, fway".
-[[nodiscard]] std::string caps_algorithm_list(const SubstrateCaps& caps);
+/// Whether `a` is an algorithm the substrate's executors can run for `op`.
+[[nodiscard]] bool caps_allow_algorithm(const SubstrateCaps& caps, coll::OpKind op,
+                                        coll::Algorithm a);
+
+/// The legal --algorithm list for `op` under `caps`, e.g.
+/// "ds, pe, gb, tree, trn, fway".
+[[nodiscard]] std::string caps_algorithm_list(const SubstrateCaps& caps,
+                                              coll::OpKind op);
 
 }  // namespace qmb::run

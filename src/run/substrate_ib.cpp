@@ -24,15 +24,9 @@ class IbSubstrateCluster final : public SubstrateCluster {
     return cluster_.make_barrier(kind, s.algorithm, std::move(placement), s.radix);
   }
 
-  std::unique_ptr<core::Collective> make_collective(const ExperimentSpec& s,
-                                                    std::vector<int> placement) override {
-    return s.impl == Impl::kHost
-               ? core::make_ib_host_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                               std::move(placement), 8, s.algorithm,
-                                               s.radix)
-               : core::make_ib_nic_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                              std::move(placement), 8, s.algorithm,
-                                              s.radix);
+  using SubstrateCluster::make_collective;
+  std::unique_ptr<core::Collective> make_collective(const coll::CollSpec& spec) override {
+    return core::make_collective(cluster_, spec);
   }
 
   // RC write-with-immediate needs no receive provisioning; flood traffic is
@@ -61,6 +55,13 @@ class IbSubstrate final : public Substrate {
         coll::Algorithm::kTournament,         coll::Algorithm::kFwayDissemination,
         coll::Algorithm::kRemoteAtomic,
     };
+    // Value collectives run the schedule-driven executors; remote-atomic
+    // stays barrier-only (the central counter carries no payload).
+    for (const coll::OpKind k :
+         {coll::OpKind::kBcast, coll::OpKind::kAllreduce, coll::OpKind::kAllgather,
+          coll::OpKind::kAlltoall}) {
+      caps_.collective_algorithms.push_back({k, core::collective_algorithms_for(k)});
+    }
     // RC writes land without a host-side copy; the wire binds the flood
     // per byte, plus the responder HCA's PSN check and CQE DMA per message.
     const ib::IbConfig cfg;

@@ -25,15 +25,9 @@ class MyrinetCluster final : public SubstrateCluster {
                                  s.radix);
   }
 
-  std::unique_ptr<core::Collective> make_collective(const ExperimentSpec& s,
-                                                    std::vector<int> placement) override {
-    return s.impl == Impl::kHost
-               ? core::make_host_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                            std::move(placement), 8, s.algorithm,
-                                            s.radix)
-               : core::make_nic_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                           std::move(placement), 8, s.algorithm,
-                                           s.radix);
+  using SubstrateCluster::make_collective;
+  std::unique_ptr<core::Collective> make_collective(const coll::CollSpec& spec) override {
+    return core::make_collective(cluster_, spec);
   }
 
   void flood_prepare() override {
@@ -76,6 +70,13 @@ class MyrinetSubstrate final : public Substrate {
         coll::Algorithm::kGatherBroadcast,    coll::Algorithm::kTree,
         coll::Algorithm::kTournament,         coll::Algorithm::kFwayDissemination,
     };
+    // Value collectives run the same schedule-driven executors, so every
+    // pattern the schedule layer can combine correctly is available.
+    for (const coll::OpKind k :
+         {coll::OpKind::kBcast, coll::OpKind::kAllreduce, coll::OpKind::kAllgather,
+          coll::OpKind::kAlltoall}) {
+      caps_.collective_algorithms.push_back({k, core::collective_algorithms_for(k)});
+    }
     // The flood's tightest server is the *sender's* MCP: each host-sourced
     // message serializes LANai firmware work (send-event translation, token
     // schedule, packet claim, header build, ACK bookkeeping) with the

@@ -27,15 +27,9 @@ class QuadricsCluster final : public SubstrateCluster {
     return cluster_.make_barrier(kind, s.algorithm, std::move(placement), 4, s.radix);
   }
 
-  std::unique_ptr<core::Collective> make_collective(const ExperimentSpec& s,
-                                                    std::vector<int> placement) override {
-    return s.impl == Impl::kHost
-               ? core::make_elan_host_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                                 std::move(placement), 8, s.algorithm,
-                                                 s.radix)
-               : core::make_elan_nic_collective(cluster_, s.op, 0, coll::ReduceOp::kSum,
-                                                std::move(placement), 8, s.algorithm,
-                                                s.radix);
+  using SubstrateCluster::make_collective;
+  std::unique_ptr<core::Collective> make_collective(const coll::CollSpec& spec) override {
+    return core::make_collective(cluster_, spec);
   }
 
   // elan_put fires a remote event; no receive-side resources to provision.
@@ -61,6 +55,14 @@ class QuadricsSubstrate final : public Substrate {
         coll::Algorithm::kGatherBroadcast,    coll::Algorithm::kTree,
         coll::Algorithm::kTournament,         coll::Algorithm::kFwayDissemination,
     };
+    // Value collectives ride the schedule-driven chained-RDMA/host
+    // executors (no fixed-pattern restriction — that is a barrier-impl
+    // property), so the full schedule-layer table applies.
+    for (const coll::OpKind k :
+         {coll::OpKind::kBcast, coll::OpKind::kAllreduce, coll::OpKind::kAllgather,
+          coll::OpKind::kAlltoall}) {
+      caps_.collective_algorithms.push_back({k, core::collective_algorithms_for(k)});
+    }
     // --impl host maps to the gsync software tree for barriers, so it is
     // fixed-pattern here (unlike Myrinet/IB host barriers).
     caps_.fixed_pattern_barrier_impls = {Impl::kHost, Impl::kGsync, Impl::kHgsync};

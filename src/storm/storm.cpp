@@ -9,8 +9,11 @@ ResourceManager::ResourceManager(core::MyriCluster& cluster, Backend backend,
     : cluster_(cluster), backend_(backend), rng_(seed) {
   const bool nic = backend == Backend::kNicOffloaded;
   auto make = [&](coll::OpKind kind, coll::ReduceOp op) {
-    return nic ? core::make_nic_collective(cluster_, kind, 0, op)
-               : core::make_host_collective(cluster_, kind, 0, op);
+    coll::CollSpec spec;
+    spec.op = kind;
+    spec.engine = nic ? coll::Engine::kNic : coll::Engine::kHost;
+    spec.reduce = op;
+    return core::make_collective(cluster_, spec);
   };
   launch_bcast_ = make(coll::OpKind::kBcast, coll::ReduceOp::kSum);
   completion_gather_ = make(coll::OpKind::kAllreduce, coll::ReduceOp::kSum);

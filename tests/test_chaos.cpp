@@ -92,8 +92,9 @@ TEST_P(CollectiveChaos, AllreduceValuesStayCorrectUnderChaos) {
   MyriCluster cluster(engine, myri::lanaixp_cluster(), 6);
   cluster.fabric().faults().rule().prob(0.03, seed).drop();
   cluster.fabric().faults().rule().prob(0.02, seed + 7).duplicate();
-  auto op = make_nic_collective(cluster, coll::OpKind::kAllreduce, 0,
-                                coll::ReduceOp::kSum);
+  coll::CollSpec cspec;
+  cspec.op = coll::OpKind::kAllreduce;
+  auto op = make_collective(cluster, cspec);
   sim::Rng rng(seed + 13);
 
   const int iters = 8;

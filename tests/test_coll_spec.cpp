@@ -1,0 +1,548 @@
+// The CollSpec construction API and the value-collective algorithm zoo:
+// the correctness matrix over every advertised (op kind, algorithm) pair,
+// the split-phase start/wait state machine, the JSON codec, and the
+// deprecated factory shims' behavioural identity with the new entry point.
+#include "core/coll_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/collectives.hpp"
+#include "obs/json.hpp"
+#include "run/substrate.hpp"
+
+namespace qmb::core {
+namespace {
+
+// ---------- in-memory value semantics of a schedule ----------
+
+/// Mirrors the ScheduleExecutor's value rules without a cluster: sends are
+/// issued at step entry carrying the accumulator *at entry*, a step
+/// consumes its waits only once all of them arrived, and each consumed
+/// edge folds with combine_value. Returns one result per rank, or throws
+/// if the schedule deadlocks.
+std::vector<std::int64_t> simulate_values(const coll::GroupSchedule& g,
+                                          coll::OpKind kind, coll::ReduceOp op,
+                                          const std::vector<std::int64_t>& input) {
+  struct RankState {
+    std::int64_t acc = 0;
+    std::size_t step = 0;
+    bool entered = false;
+    std::map<std::pair<int, std::uint32_t>, std::deque<std::int64_t>> inbox;
+  };
+  const int n = g.size;
+  std::vector<RankState> ranks(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    ranks[static_cast<std::size_t>(r)].acc = input[static_cast<std::size_t>(r)];
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < n; ++r) {
+      RankState& me = ranks[static_cast<std::size_t>(r)];
+      const auto& steps = g.ranks[static_cast<std::size_t>(r)].steps;
+      while (me.step < steps.size()) {
+        const coll::Step& st = steps[me.step];
+        if (!me.entered) {
+          for (const coll::Edge& e : st.sends) {
+            ranks[static_cast<std::size_t>(e.peer)].inbox[{r, e.tag}].push_back(me.acc);
+          }
+          me.entered = true;
+          progress = true;
+        }
+        bool all_arrived = true;
+        for (const coll::Edge& w : st.waits) {
+          const auto it = me.inbox.find({w.peer, w.tag});
+          if (it == me.inbox.end() || it->second.empty()) {
+            all_arrived = false;
+            break;
+          }
+        }
+        if (!all_arrived) break;
+        for (const coll::Edge& w : st.waits) {
+          auto& q = me.inbox[{w.peer, w.tag}];
+          me.acc = coll::combine_value(kind, op, w.tag, me.acc, q.front());
+          q.pop_front();
+        }
+        ++me.step;
+        me.entered = false;
+        progress = true;
+      }
+    }
+  }
+  std::vector<std::int64_t> out;
+  for (int r = 0; r < n; ++r) {
+    const RankState& me = ranks[static_cast<std::size_t>(r)];
+    if (me.step != g.ranks[static_cast<std::size_t>(r)].steps.size()) {
+      throw std::runtime_error("schedule deadlocked at rank " + std::to_string(r));
+    }
+    out.push_back(me.acc);
+  }
+  return out;
+}
+
+constexpr coll::OpKind kValueKinds[] = {coll::OpKind::kBcast, coll::OpKind::kAllreduce,
+                                        coll::OpKind::kAllgather,
+                                        coll::OpKind::kAlltoall};
+
+/// Every advertised (kind, algorithm) pair must produce the mathematically
+/// correct result for every size 1..33 (both sides of every power-of-two
+/// and power-of-f boundary) and every radix the generators special-case.
+TEST(CollSpecMatrix, EveryAdvertisedPairIsValueCorrectForN1To33) {
+  for (const coll::OpKind kind : kValueKinds) {
+    for (const coll::Algorithm alg : collective_algorithms_for(kind)) {
+      for (const int radix : {0, 3}) {
+        for (int n = 1; n <= 33; ++n) {
+          const int root = n > 2 ? 2 : 0;
+          const auto g = make_collective_schedule(kind, n, root, alg, radix);
+          std::vector<std::int64_t> input;
+          std::int64_t sum = 0;
+          for (int r = 0; r < n; ++r) {
+            if (kind == coll::OpKind::kAllgather || kind == coll::OpKind::kAlltoall) {
+              input.push_back(std::int64_t{1} << r);
+            } else if (kind == coll::OpKind::kBcast) {
+              input.push_back(r == root ? 4242 : -777);  // non-root junk must vanish
+            } else {
+              input.push_back(3 * r - 7);
+              sum += 3 * r - 7;
+            }
+          }
+          std::int64_t expected = 0;
+          if (kind == coll::OpKind::kBcast) expected = 4242;
+          else if (kind == coll::OpKind::kAllreduce) expected = sum;
+          else expected = (std::int64_t{1} << n) - 1;
+          const auto results =
+              simulate_values(g, kind, coll::ReduceOp::kSum, input);
+          for (int r = 0; r < n; ++r) {
+            ASSERT_EQ(results[static_cast<std::size_t>(r)], expected)
+                << coll::to_string(kind) << "/" << coll::to_string(alg) << " radix "
+                << radix << " n=" << n << " rank " << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CollSpecMatrix, AllreduceMinMaxHoldOnEveryAlgorithm) {
+  for (const coll::Algorithm alg :
+       collective_algorithms_for(coll::OpKind::kAllreduce)) {
+    for (const coll::ReduceOp op : {coll::ReduceOp::kMin, coll::ReduceOp::kMax}) {
+      for (const int n : {1, 2, 5, 9, 16, 27, 33}) {
+        const auto g = make_collective_schedule(coll::OpKind::kAllreduce, n, 0, alg, 0);
+        std::vector<std::int64_t> input;
+        for (int r = 0; r < n; ++r) input.push_back((r * 31) % 17 - 8);
+        std::int64_t expected = input[0];
+        for (const std::int64_t v : input) {
+          expected = op == coll::ReduceOp::kMin ? std::min(expected, v)
+                                                : std::max(expected, v);
+        }
+        const auto results = simulate_values(g, coll::OpKind::kAllreduce, op, input);
+        for (int r = 0; r < n; ++r) {
+          ASSERT_EQ(results[static_cast<std::size_t>(r)], expected)
+              << coll::to_string(alg) << " " << coll::to_string(op) << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(CollSpecMatrix, UnsupportedPairsThrowWithBothNames) {
+  try {
+    (void)make_collective_schedule(coll::OpKind::kAlltoall, 8, 0,
+                                   coll::Algorithm::kTree, 0);
+    FAIL() << "alltoall/tree must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("alltoall"), std::string::npos) << what;
+    EXPECT_NE(what.find("tree"), std::string::npos) << what;
+  }
+  EXPECT_THROW(make_collective_schedule(coll::OpKind::kBcast, 8, 0,
+                                        coll::Algorithm::kPairwiseExchange, 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_collective_schedule(coll::OpKind::kBcast, 8, 0,
+                                        coll::Algorithm::kRemoteAtomic, 0),
+               std::invalid_argument);
+}
+
+/// The capability tables every substrate advertises must be exactly the
+/// schedule layer's value-correct sets — the matrix above then covers
+/// every pair any substrate will accept.
+TEST(CollSpecMatrix, SubstrateCapsMirrorTheScheduleLayerTable) {
+  for (const run::Substrate* sub : run::substrates()) {
+    for (const coll::OpKind kind : kValueKinds) {
+      EXPECT_EQ(run::caps_algorithms(sub->caps(), kind),
+                collective_algorithms_for(kind))
+          << sub->name() << " " << coll::to_string(kind);
+    }
+  }
+}
+
+// ---------- end-to-end: every pair on every substrate ----------
+
+TEST(CollSpecEndToEnd, EveryAdvertisedPairRunsWithZeroValueErrors) {
+  for (const run::Network net : {run::Network::kMyrinetXP, run::Network::kQuadrics,
+                                 run::Network::kInfiniBand}) {
+    const run::SubstrateCaps& caps = run::substrate_for(net).caps();
+    for (const coll::OpKind kind : kValueKinds) {
+      for (const coll::Algorithm alg : run::caps_algorithms(caps, kind)) {
+        run::ExperimentSpec s;
+        s.network = net;
+        s.nodes = 6;  // non-power size exercises the extra-rank paths
+        s.op = kind;
+        s.algorithm = alg;
+        s.iters = 2;
+        s.warmup = 1;
+        ASSERT_EQ(run::validate(s), "")
+            << run::to_string(net) << " " << coll::to_string(kind) << " "
+            << coll::to_string(alg);
+        const auto r = run::run_experiment(s);
+        EXPECT_EQ(r.value_errors, 0u)
+            << run::to_string(net) << " " << coll::to_string(kind) << " "
+            << coll::to_string(alg);
+        EXPECT_GT(r.mean_picos, 0u);
+      }
+    }
+  }
+}
+
+TEST(CollSpecEndToEnd, ReduceAliasWithTreeAndOverlapRunsEverywhere) {
+  // The ISSUE's acceptance probe: --op reduce --algorithm tree --overlap 16
+  // must run end-to-end on every substrate that advertises the pair.
+  const auto op = coll::parse_op_kind("reduce");
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(*op, coll::OpKind::kAllreduce);
+  for (const run::Substrate* sub : run::substrates()) {
+    ASSERT_TRUE(run::caps_allow_algorithm(sub->caps(), *op, coll::Algorithm::kTree));
+    run::ExperimentSpec s;
+    s.network = sub->network();
+    s.nodes = 6;
+    s.op = *op;
+    s.algorithm = coll::Algorithm::kTree;
+    s.overlap_us = 16.0;
+    s.iters = 3;
+    s.warmup = 1;
+    ASSERT_EQ(run::validate(s), "") << sub->name();
+    const auto a = run::run_experiment(s);
+    EXPECT_EQ(a.value_errors, 0u) << sub->name();
+    // Each iteration hides 16us of compute behind the reduction, so the
+    // mean can never be below the overlap itself.
+    EXPECT_GE(a.mean_picos, 16'000'000u) << sub->name();
+    const auto b = run::run_experiment(s);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint()) << sub->name();
+  }
+}
+
+TEST(CollSpecEndToEnd, ValidateNamesTheOpAndTheLegalList) {
+  // A pair outside the capability table is a usage error that names the
+  // op kind and the capability-generated legal list.
+  run::ExperimentSpec s;
+  s.network = run::Network::kMyrinetXP;
+  s.nodes = 4;
+  s.op = coll::OpKind::kBcast;
+  s.algorithm = coll::Algorithm::kPairwiseExchange;
+  const std::string err = run::validate(s);
+  EXPECT_NE(err.find("bcast"), std::string::npos) << err;
+  EXPECT_NE(err.find("valid:"), std::string::npos) << err;
+  EXPECT_NE(err.find("gb"), std::string::npos) << err;
+  EXPECT_NE(err.find("tree"), std::string::npos) << err;
+
+  s.op = coll::OpKind::kAlltoall;
+  s.algorithm = coll::Algorithm::kTree;
+  EXPECT_NE(run::validate(s).find("alltoall"), std::string::npos) << run::validate(s);
+
+  // Overlap on a value op is legal now; the split-phase loop covers it.
+  s = run::ExperimentSpec{};
+  s.nodes = 4;
+  s.op = coll::OpKind::kAllgather;
+  s.overlap_us = 8.0;
+  EXPECT_EQ(run::validate(s), "");
+}
+
+// ---------- split-phase state machine ----------
+
+struct Fixture {
+  sim::Engine engine;
+  MyriCluster cluster;
+  explicit Fixture(int n) : cluster(engine, myri::lanaixp_cluster(), n) {}
+};
+
+std::unique_ptr<Collective> nic_allreduce(MyriCluster& cluster) {
+  coll::CollSpec spec;
+  spec.op = coll::OpKind::kAllreduce;
+  return make_collective(cluster, spec);
+}
+
+TEST(CollSpecSplitPhase, StartComputeWaitDeliversTheResult) {
+  Fixture f(4);
+  auto op = nic_allreduce(f.cluster);
+  std::vector<std::int64_t> results(4, -1);
+  for (int r = 0; r < 4; ++r) op->start(r, r + 1);
+  // Wait long after the protocol finished: wait() must complete instantly
+  // with the parked result.
+  f.engine.schedule(sim::milliseconds(1), [&] {
+    for (int r = 0; r < 4; ++r) {
+      op->wait(r, [&results, r](std::int64_t v) {
+        results[static_cast<std::size_t>(r)] = v;
+      });
+    }
+  });
+  f.engine.run();
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(results[static_cast<std::size_t>(r)], 10);
+}
+
+TEST(CollSpecSplitPhase, ImmediateWaitMatchesEnter) {
+  // start() + immediate wait() is the blocking enter() — same result.
+  Fixture f(4);
+  auto op = nic_allreduce(f.cluster);
+  std::vector<std::int64_t> results(4, -1);
+  for (int r = 0; r < 4; ++r) {
+    op->start(r, r + 1);
+    op->wait(r, [&results, r](std::int64_t v) {
+      results[static_cast<std::size_t>(r)] = v;
+    });
+  }
+  f.engine.run();
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(results[static_cast<std::size_t>(r)], 10);
+}
+
+TEST(CollSpecSplitPhase, DoubleStartThrows) {
+  Fixture f(4);
+  auto op = nic_allreduce(f.cluster);
+  op->start(0, 1);
+  try {
+    op->start(0, 1);
+    FAIL() << "second start without wait must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("twice without waiting"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CollSpecSplitPhase, WaitWithoutStartThrows) {
+  Fixture f(4);
+  auto op = nic_allreduce(f.cluster);
+  try {
+    op->wait(0, [](std::int64_t) {});
+    FAIL() << "wait without start must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("without a start"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CollSpecSplitPhase, DoubleWaitThrows) {
+  Fixture f(4);
+  auto op = nic_allreduce(f.cluster);
+  op->start(0, 1);
+  op->wait(0, [](std::int64_t) {});
+  try {
+    op->wait(0, [](std::int64_t) {});
+    FAIL() << "second wait while parked must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("twice"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CollSpecSplitPhase, OutOfRangeRankThrows) {
+  Fixture f(4);
+  auto op = nic_allreduce(f.cluster);
+  try {
+    op->start(4, 1);
+    FAIL() << "rank 4 of 4 must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(op->wait(-1, [](std::int64_t) {}), std::logic_error);
+}
+
+// ---------- JSON codec ----------
+
+TEST(CollSpecJson, DefaultSpecDumpsEmptyObject) {
+  EXPECT_EQ(coll::to_json(coll::CollSpec{}).dump(), "{}");
+}
+
+TEST(CollSpecJson, RoundTripsEveryField) {
+  coll::CollSpec spec;
+  spec.op = coll::OpKind::kAllreduce;
+  spec.engine = coll::Engine::kHost;
+  spec.root = 3;
+  spec.reduce = coll::ReduceOp::kMax;
+  spec.payload_bytes = 256;
+  spec.algorithm = coll::Algorithm::kFwayDissemination;
+  spec.radix = 3;
+  spec.overlap_us = 12.5;
+  spec.rank_to_node = {3, 1, 0, 2};
+  const auto back = coll::coll_spec_from_json(coll::to_json(spec));
+  EXPECT_EQ(back, spec);
+}
+
+TEST(CollSpecJson, AbsentFieldsTakeDefaults) {
+  const auto spec = coll::coll_spec_from_json(obs::JsonValue::parse("{}"));
+  EXPECT_EQ(spec, coll::CollSpec{});
+  const auto partial =
+      coll::coll_spec_from_json(obs::JsonValue::parse(R"({"op":"bcast","root":2})"));
+  EXPECT_EQ(partial.op, coll::OpKind::kBcast);
+  EXPECT_EQ(partial.root, 2);
+  EXPECT_EQ(partial.engine, coll::Engine::kNic);
+  EXPECT_EQ(partial.algorithm, coll::Algorithm::kDissemination);
+}
+
+TEST(CollSpecJson, UnknownEnumNamesThrow) {
+  EXPECT_THROW(coll::coll_spec_from_json(obs::JsonValue::parse(R"({"op":"scan"})")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      coll::coll_spec_from_json(obs::JsonValue::parse(R"({"engine":"fpga"})")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      coll::coll_spec_from_json(obs::JsonValue::parse(R"({"algorithm":"gossip"})")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      coll::coll_spec_from_json(obs::JsonValue::parse(R"({"reduce":"xor"})")),
+      std::invalid_argument);
+}
+
+TEST(CollSpecJson, EnumCodecsRoundTrip) {
+  for (const coll::Engine e : {coll::Engine::kNic, coll::Engine::kHost}) {
+    EXPECT_EQ(coll::parse_engine(coll::to_string(e)), e);
+  }
+  for (const coll::ReduceOp op :
+       {coll::ReduceOp::kSum, coll::ReduceOp::kMin, coll::ReduceOp::kMax}) {
+    EXPECT_EQ(coll::parse_reduce_op(coll::to_string(op)), op);
+  }
+  for (const coll::Algorithm a : coll::kBarrierAlgorithms) {
+    EXPECT_EQ(coll::parse_algorithm(coll::to_string(a)), a);
+  }
+  EXPECT_EQ(coll::parse_algorithm(coll::to_string(coll::Algorithm::kRotation)),
+            coll::Algorithm::kRotation);
+  EXPECT_FALSE(coll::parse_engine("offload").has_value());
+  EXPECT_FALSE(coll::parse_reduce_op("prod").has_value());
+  EXPECT_FALSE(coll::parse_algorithm("butterfly").has_value());
+}
+
+// ---------- deprecated factory shims ----------
+
+/// Drives `total` consecutive allreduces and returns a behaviour digest:
+/// (events fired, packets, bytes, xor of every delivered result).
+struct DriveDigest {
+  std::uint64_t events = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t result_xor = 0;
+  friend bool operator==(const DriveDigest&, const DriveDigest&) = default;
+};
+
+DriveDigest drive(sim::Engine& engine, MyriCluster& cluster, Collective& op,
+                  int total) {
+  DriveDigest d;
+  const int n = op.size();
+  std::vector<int> iter_of(static_cast<std::size_t>(n), 0);
+  std::function<void(int)> loop = [&](int rank) {
+    const int it = iter_of[static_cast<std::size_t>(rank)];
+    if (it >= total) return;
+    op.enter(rank, rank + it + 1, [&, rank, it](std::int64_t v) {
+      d.result_xor ^= v * (rank + 1);
+      iter_of[static_cast<std::size_t>(rank)] = it + 1;
+      engine.schedule(sim::SimDuration::zero(), [&loop, rank] { loop(rank); });
+    });
+  };
+  for (int r = 0; r < n; ++r) loop(r);
+  engine.run();
+  d.events = engine.events_fired();
+  d.packets = cluster.fabric().packets_sent();
+  d.bytes = cluster.fabric().bytes_sent();
+  return d;
+}
+
+TEST(CollSpecShims, DeprecatedFactoriesMatchTheCollSpecPathExactly) {
+  // The shims must lower to the same CollSpec construction — identical
+  // event counts, wire traffic, and results on the same drive loop.
+  const auto run_new = [](bool nic) {
+    sim::Engine engine;
+    MyriCluster cluster(engine, myri::lanaixp_cluster(), 6);
+    coll::CollSpec spec;
+    spec.op = coll::OpKind::kAllreduce;
+    spec.engine = nic ? coll::Engine::kNic : coll::Engine::kHost;
+    auto op = make_collective(cluster, spec);
+    return drive(engine, cluster, *op, 3);
+  };
+  const auto run_old = [](bool nic) {
+    sim::Engine engine;
+    MyriCluster cluster(engine, myri::lanaixp_cluster(), 6);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    auto op = nic ? make_nic_collective(cluster, coll::OpKind::kAllreduce)
+                  : make_host_collective(cluster, coll::OpKind::kAllreduce);
+#pragma GCC diagnostic pop
+    return drive(engine, cluster, *op, 3);
+  };
+  EXPECT_EQ(run_old(true), run_new(true));
+  EXPECT_EQ(run_old(false), run_new(false));
+}
+
+TEST(CollSpecShims, ElanShimsMatchToo) {
+  const auto digest = [](bool legacy) {
+    sim::Engine engine;
+    ElanCluster cluster(engine, elan::elan3_cluster(), 5);
+    std::unique_ptr<Collective> op;
+    if (legacy) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+      op = make_elan_nic_collective(cluster, coll::OpKind::kBcast, 2);
+#pragma GCC diagnostic pop
+    } else {
+      coll::CollSpec spec;
+      spec.op = coll::OpKind::kBcast;
+      spec.root = 2;
+      op = make_collective(cluster, spec);
+    }
+    std::vector<std::int64_t> results(5, -1);
+    for (int r = 0; r < 5; ++r) {
+      op->enter(r, r == 2 ? 77 : 0, [&results, r](std::int64_t v) {
+        results[static_cast<std::size_t>(r)] = v;
+      });
+    }
+    engine.run();
+    for (int r = 0; r < 5; ++r) EXPECT_EQ(results[static_cast<std::size_t>(r)], 77);
+    return std::pair{engine.events_fired(), cluster.fabric().bytes_sent()};
+  };
+  EXPECT_EQ(digest(true), digest(false));
+}
+
+// ---------- value algorithms change wire behaviour ----------
+
+TEST(CollSpecEndToEnd, AllreduceAlgorithmsProduceDistinctFingerprints) {
+  // tree and fway are genuinely different message patterns, not aliases of
+  // the default: the end-to-end fingerprints must differ.
+  run::ExperimentSpec s;
+  s.network = run::Network::kMyrinetXP;
+  s.nodes = 9;
+  s.op = coll::OpKind::kAllreduce;
+  s.iters = 3;
+  s.warmup = 1;
+  std::vector<std::uint64_t> prints;
+  for (const coll::Algorithm alg :
+       {coll::Algorithm::kDissemination, coll::Algorithm::kTree,
+        coll::Algorithm::kFwayDissemination}) {
+    s.algorithm = alg;
+    prints.push_back(run::run_experiment(s).fingerprint());
+  }
+  EXPECT_NE(prints[0], prints[1]);
+  EXPECT_NE(prints[0], prints[2]);
+  EXPECT_NE(prints[1], prints[2]);
+}
+
+}  // namespace
+}  // namespace qmb::core

@@ -22,6 +22,20 @@ struct Fixture {
   explicit Fixture(int n) : cluster(engine, myri::lanaixp_cluster(), n) {}
 };
 
+/// CollSpec builder shared by every construction below: kind + engine and
+/// the occasional root/reduce/payload, everything else default.
+coll::CollSpec spec_of(coll::OpKind kind, bool nic, int root = 0,
+                       coll::ReduceOp op = coll::ReduceOp::kSum,
+                       std::uint32_t payload = 8) {
+  coll::CollSpec spec;
+  spec.op = kind;
+  spec.engine = nic ? coll::Engine::kNic : coll::Engine::kHost;
+  spec.root = root;
+  spec.reduce = op;
+  spec.payload_bytes = payload;
+  return spec;
+}
+
 /// Runs one collective operation with per-rank values; returns results.
 std::vector<std::int64_t> run_once(Engine& engine, Collective& op,
                                    const std::vector<std::int64_t>& values,
@@ -53,8 +67,7 @@ class AllreduceSweep : public ::testing::TestWithParam<ArCase> {};
 TEST_P(AllreduceSweep, ComputesTheReduction) {
   const auto& p = GetParam();
   Fixture f(p.n);
-  auto op = p.nic ? make_nic_collective(f.cluster, coll::OpKind::kAllreduce, 0, p.op)
-                  : make_host_collective(f.cluster, coll::OpKind::kAllreduce, 0, p.op);
+  auto op = make_collective(f.cluster, spec_of(coll::OpKind::kAllreduce, p.nic, 0, p.op));
   std::vector<std::int64_t> values;
   std::int64_t sum = 0, mn = 1 << 20, mx = -(1 << 20);
   for (int r = 0; r < p.n; ++r) {
@@ -103,8 +116,7 @@ TEST_P(BcastSweep, EveryRankReceivesRootValue) {
   const auto [nic, n] = GetParam();
   for (int root : {0, n / 2, n - 1}) {
     Fixture f(n);
-    auto op = nic ? make_nic_collective(f.cluster, coll::OpKind::kBcast, root)
-                  : make_host_collective(f.cluster, coll::OpKind::kBcast, root);
+    auto op = make_collective(f.cluster, spec_of(coll::OpKind::kBcast, nic, root));
     std::vector<std::int64_t> values(static_cast<std::size_t>(n), 0);
     values[static_cast<std::size_t>(root)] = 0xC0FFEE + root;
     const auto results = run_once(f.engine, *op, values);
@@ -132,8 +144,7 @@ class AllgatherSweep : public ::testing::TestWithParam<std::pair<bool, int>> {};
 TEST_P(AllgatherSweep, GathersEveryContribution) {
   const auto [nic, n] = GetParam();
   Fixture f(n);
-  auto op = nic ? make_nic_collective(f.cluster, coll::OpKind::kAllgather)
-                : make_host_collective(f.cluster, coll::OpKind::kAllgather);
+  auto op = make_collective(f.cluster, spec_of(coll::OpKind::kAllgather, nic));
   std::vector<std::int64_t> values;
   for (int r = 0; r < n; ++r) values.push_back(std::int64_t{1} << r);
   const std::int64_t full = (std::int64_t{1} << n) - 1;
@@ -160,8 +171,7 @@ TEST(Collectives, NicBeatsHostForEveryKind) {
        {coll::OpKind::kBcast, coll::OpKind::kAllreduce, coll::OpKind::kAllgather}) {
     auto mean_us = [&](bool nic) {
       Fixture f(8);
-      auto op = nic ? make_nic_collective(f.cluster, kind)
-                    : make_host_collective(f.cluster, kind);
+      auto op = make_collective(f.cluster, spec_of(kind, nic));
       // Consecutive operations, paper methodology.
       std::vector<std::int64_t> values(8, 1);
       sim::SimTime last_done;
@@ -188,8 +198,7 @@ TEST(Collectives, AllreduceSurvivesPacketLoss) {
   Fixture f(8);
   f.cluster.fabric().faults().add_nth_rule(net::NicAddr(0), net::NicAddr(1), 1);
   f.cluster.fabric().faults().add_nth_rule(net::NicAddr(4), net::NicAddr(6), 1);
-  auto op = make_nic_collective(f.cluster, coll::OpKind::kAllreduce, 0,
-                                coll::ReduceOp::kSum);
+  auto op = make_collective(f.cluster, spec_of(coll::OpKind::kAllreduce, true));
   std::vector<std::int64_t> values;
   for (int r = 0; r < 8; ++r) values.push_back(r + 1);
   const auto results = run_once(f.engine, *op, values);
@@ -200,8 +209,7 @@ TEST(Collectives, AllreduceSurvivesPacketLoss) {
 
 TEST(Collectives, SkewedEntryStillCorrect) {
   Fixture f(6);
-  auto op = make_nic_collective(f.cluster, coll::OpKind::kAllreduce, 0,
-                                coll::ReduceOp::kSum);
+  auto op = make_collective(f.cluster, spec_of(coll::OpKind::kAllreduce, true));
   std::vector<std::int64_t> values{1, 2, 3, 4, 5, 6};
   std::vector<sim::SimDuration> delays;
   for (int r = 0; r < 6; ++r) delays.push_back(sim::microseconds((5 - r) * 30));
@@ -213,8 +221,7 @@ TEST(Collectives, SkewedEntryStillCorrect) {
 
 TEST(Collectives, ConsecutiveAllreducesDoNotLeakState) {
   Fixture f(4);
-  auto op = make_nic_collective(f.cluster, coll::OpKind::kAllreduce, 0,
-                                coll::ReduceOp::kSum);
+  auto op = make_collective(f.cluster, spec_of(coll::OpKind::kAllreduce, true));
   // Values change per iteration; each result must match its own iteration.
   std::vector<std::vector<std::int64_t>> results(3);
   std::function<void(int, int)> loop = [&](int rank, int iter) {
@@ -240,7 +247,7 @@ TEST(Collectives, AllgatherWireBytesGrowWithMask) {
   // Later dissemination steps ship bigger fragments: total bytes must
   // exceed N*log2(N) minimal messages of one word each.
   Fixture f(8);
-  auto op = make_nic_collective(f.cluster, coll::OpKind::kAllgather);
+  auto op = make_collective(f.cluster, spec_of(coll::OpKind::kAllgather, true));
   std::vector<std::int64_t> values;
   for (int r = 0; r < 8; ++r) values.push_back(std::int64_t{1} << r);
   run_once(f.engine, *op, values);
@@ -253,9 +260,8 @@ TEST(Collectives, TwoCollectivesCoexistOnOneCluster) {
   // Host-based executors demultiplex by group id: run a host allreduce and
   // a host bcast back-to-back on the same cluster.
   Fixture f(4);
-  auto ar = make_host_collective(f.cluster, coll::OpKind::kAllreduce, 0,
-                                 coll::ReduceOp::kSum);
-  auto bc = make_host_collective(f.cluster, coll::OpKind::kBcast, 1);
+  auto ar = make_collective(f.cluster, spec_of(coll::OpKind::kAllreduce, false));
+  auto bc = make_collective(f.cluster, spec_of(coll::OpKind::kBcast, false, 1));
   std::vector<std::int64_t> ar_out(4, -1), bc_out(4, -1);
   for (int r = 0; r < 4; ++r) {
     ar->enter(r, r + 1, [&, r](std::int64_t v) { ar_out[static_cast<std::size_t>(r)] = v; });
@@ -276,8 +282,7 @@ class AlltoallSweep : public ::testing::TestWithParam<std::pair<bool, int>> {};
 TEST_P(AlltoallSweep, PersonalizedExchangeCompletes) {
   const auto [nic, n] = GetParam();
   Fixture f(n);
-  auto op = nic ? make_nic_collective(f.cluster, coll::OpKind::kAlltoall)
-                : make_host_collective(f.cluster, coll::OpKind::kAlltoall);
+  auto op = make_collective(f.cluster, spec_of(coll::OpKind::kAlltoall, nic));
   std::vector<std::int64_t> values;
   for (int r = 0; r < n; ++r) values.push_back(std::int64_t{1} << r);
   const std::int64_t full = (std::int64_t{1} << n) - 1;
@@ -298,7 +303,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Collectives, AlltoallSendsOneMessagePerOrderedPair) {
   Fixture f(6);
-  auto op = make_nic_collective(f.cluster, coll::OpKind::kAlltoall);
+  auto op = make_collective(f.cluster, spec_of(coll::OpKind::kAlltoall, true));
   std::vector<std::int64_t> values(6, 1);
   run_once(f.engine, *op, values);
   EXPECT_EQ(f.cluster.fabric().packets_sent(), 6u * 5u);
@@ -319,8 +324,7 @@ TEST_P(ElanCollectiveSweep, ComputesTheRightResult) {
   const auto [kind, n] = GetParam();
   for (const bool nic : {true, false}) {
     ElanFixture f(n);
-    auto op = nic ? make_elan_nic_collective(f.cluster, kind, n - 1)
-                  : make_elan_host_collective(f.cluster, kind, n - 1);
+    auto op = make_collective(f.cluster, spec_of(kind, nic, n - 1));
     std::vector<std::int64_t> values;
     std::int64_t expected = 0;
     switch (kind) {
@@ -381,8 +385,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ElanCollectives, NicBeatsHostLevel) {
   auto once_us = [](bool nic) {
     ElanFixture f(8);
-    auto op = nic ? make_elan_nic_collective(f.cluster, coll::OpKind::kAllreduce)
-                  : make_elan_host_collective(f.cluster, coll::OpKind::kAllreduce);
+    auto op = make_collective(f.cluster, spec_of(coll::OpKind::kAllreduce, nic));
     for (int r = 0; r < 8; ++r) {
       op->enter(r, r, [](std::int64_t) {});
     }
@@ -397,8 +400,8 @@ TEST(Collectives, LargePayloadsStayCorrectAndCostMore) {
   // must not lose correctness.
   auto run_with_payload = [](std::uint32_t payload, double* mean_us) {
     Fixture f(8);
-    auto op = make_nic_collective(f.cluster, coll::OpKind::kBcast, 0,
-                                  coll::ReduceOp::kSum, {}, payload);
+    auto op = make_collective(
+        f.cluster, spec_of(coll::OpKind::kBcast, true, 0, coll::ReduceOp::kSum, payload));
     std::vector<std::int64_t> values(8, 0);
     values[0] = 31337;
     sim::SimTime done_at;
@@ -424,8 +427,8 @@ TEST(Collectives, ElanLargePayloadCorrectAndAccounted) {
   // accounting must reflect the payload on every bcast edge.
   sim::Engine engine;
   ElanCluster cluster(engine, elan::elan3_cluster(), 8);
-  auto op = make_elan_nic_collective(cluster, coll::OpKind::kBcast, 0,
-                                     coll::ReduceOp::kSum, {}, 2048);
+  auto op = make_collective(
+      cluster, spec_of(coll::OpKind::kBcast, true, 0, coll::ReduceOp::kSum, 2048));
   std::vector<std::int64_t> results(8, -1);
   for (int r = 0; r < 8; ++r) {
     op->enter(r, r == 0 ? 555 : 0,

@@ -74,7 +74,8 @@ struct Options {
       "  --shrink-budget B   candidate runs per failure (default 200; 0 = off)\n"
       "  --coverage          also print how many derived cases drew each barrier\n"
       "                      algorithm (and split-phase overlap) over the seed\n"
-      "                      range, so CI can assert every algorithm appears\n"
+      "                      range, plus every (value op, algorithm) pair, so CI\n"
+      "                      can assert every capability pair appears\n"
       "  --json              machine-readable verdict lines\n",
       argv0);
   std::exit(2);
@@ -197,16 +198,27 @@ int run_replay(const Options& o) {
 /// Re-derives the seed range's specs (derive_case is a pure function of
 /// the seed, so this costs microseconds per case, not a simulation) and
 /// prints one draw count per barrier algorithm plus the split-phase
-/// overlap count. CI greps this line to prove the smoke range exercises
-/// every algorithm in the zoo.
+/// overlap count, then one count per advertised (value kind, algorithm)
+/// pair. CI greps both lines to prove the smoke range exercises every
+/// algorithm in the zoo and every capability pair.
 void print_coverage(const Options& o, std::uint64_t base_seed) {
   constexpr std::size_t kAlgos = std::size(coll::kBarrierAlgorithms);
+  constexpr coll::OpKind kValueKinds[] = {
+      coll::OpKind::kBcast, coll::OpKind::kAllreduce, coll::OpKind::kAllgather,
+      coll::OpKind::kAlltoall};
   std::size_t counts[kAlgos] = {};
+  std::size_t pair_counts[std::size(kValueKinds)][kAlgos] = {};
   std::size_t overlap_cases = 0;
   for (std::size_t i = 0; i < o.runs; ++i) {
     const run::ExperimentSpec s = fuzz::derive_case(run::seed_for(base_seed, i), o.fuzz);
     for (std::size_t k = 0; k < kAlgos; ++k) {
       if (s.algorithm == coll::kBarrierAlgorithms[k]) ++counts[k];
+    }
+    for (std::size_t v = 0; v < std::size(kValueKinds); ++v) {
+      if (s.op != kValueKinds[v]) continue;
+      for (std::size_t k = 0; k < kAlgos; ++k) {
+        if (s.algorithm == coll::kBarrierAlgorithms[k]) ++pair_counts[v][k];
+      }
     }
     if (s.overlap_us >= 0.0) ++overlap_cases;
   }
@@ -216,6 +228,21 @@ void print_coverage(const Options& o, std::uint64_t base_seed) {
     std::printf(" %s=%zu", name.c_str(), counts[k]);
   }
   std::printf(" overlap=%zu\n", overlap_cases);
+  // One token per advertised (kind, algorithm) capability pair, so CI can
+  // assert every pair the substrates advertise was actually drawn.
+  std::printf("collective coverage:");
+  for (std::size_t v = 0; v < std::size(kValueKinds); ++v) {
+    const std::string op{run::to_string(kValueKinds[v])};
+    for (const coll::Algorithm a : core::collective_algorithms_for(kValueKinds[v])) {
+      std::size_t c = 0;
+      for (std::size_t k = 0; k < kAlgos; ++k) {
+        if (coll::kBarrierAlgorithms[k] == a) c = pair_counts[v][k];
+      }
+      std::printf(" %s:%s=%zu", op.c_str(),
+                  std::string(run::algorithm_cli_name(a)).c_str(), c);
+    }
+  }
+  std::printf("\n");
 }
 
 /// Runs one fixed seed range and writes artifacts. Returns the report.

@@ -44,7 +44,8 @@ struct Options {
       "usage: %s [options]\n"
       "  --network %s   (default myrinet-xp)\n"
       "  --nodes N                                  (default 8)\n"
-      "  --op barrier|bcast|allreduce|allgather|alltoall (default barrier)\n"
+      "  --op barrier|bcast|reduce|allreduce|allgather|alltoall (default barrier;\n"
+      "         reduce is an alias for allreduce)\n"
       "  --impl nic|host|direct|gsync|hgsync        (default nic;\n"
       "         direct = prior-work NIC scheme, Myrinet barrier only;\n"
       "         gsync/hgsync = Quadrics barrier only)\n"
@@ -52,12 +53,14 @@ struct Options {
       "         ds = dissemination, pe = pairwise exchange, gb = gather-\n"
       "         broadcast tree, tree = binomial tree, trn = tournament,\n"
       "         fway = f-way dissemination, ra = remote-atomic central\n"
-      "         counter, IB only; per-network support is capability-gated)\n"
+      "         counter, IB only; per-(network, op) support is capability-\n"
+      "         gated — value collectives accept the value-correct subset)\n"
       "  --radix R                                  gb tree degree / fway f\n"
       "         (default 0 = the algorithm's own default: gb 2, fway 4)\n"
-      "  --overlap US                               split-phase barriers: each\n"
-      "         rank notify()s, computes US microseconds, then wait()s;\n"
-      "         measures how much synchronization hides behind compute\n"
+      "  --overlap US                               split-phase collectives: each\n"
+      "         rank start()s (notify()s for barriers), computes US micro-\n"
+      "         seconds, then wait()s; measures how much of the operation\n"
+      "         hides behind compute\n"
       "  --iters K --warmup W                       (default 1000 / 100)\n"
       "  --seed S --perm                            random rank placement\n"
       "  --drop-prob P                              packet loss (%s)\n"
@@ -181,8 +184,8 @@ Options parse(int argc, char** argv) {
       const auto k = run::parse_op(v);
       if (!k) {
         std::fprintf(stderr,
-                     "unknown --op '%s' (valid: barrier, bcast, allreduce, allgather, "
-                     "alltoall)\n",
+                     "unknown --op '%s' (valid: barrier, bcast, reduce, allreduce, "
+                     "allgather, alltoall)\n",
                      v);
         usage(argv[0]);
       }
